@@ -1,0 +1,48 @@
+"""A10 (§1): adaptation speed after a phase switch.
+
+"A prefetcher's ability to adapt to new access patterns as they emerge is
+becoming more crucial than ever."  We switch pointer structures mid-trace
+and measure windowed miss removal after the switch.  The complementary-
+learning-systems story appears directly in the learning curves: the
+one-shot hippocampal recall path adapts within the first window, while
+the gradient learner needs several windows to consolidate — and then
+wins steady-state.  That fast/slow complementarity is Figure 4's whole
+point.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.harness.ablations import ablation_adaptation
+from repro.harness.reporting import format_series, print_table
+
+
+def test_ablation_adaptation_speed(benchmark):
+    rows = benchmark.pedantic(ablation_adaptation, rounds=1, iterations=1)
+    curves: dict[str, list[float]] = defaultdict(list)
+    for row in rows:
+        curves[row["model"]].append(row["misses_removed_pct"])
+
+    print()
+    print("A10 — windowed % misses removed after the phase switch")
+    for model, values in curves.items():
+        print(" ", format_series(model, list(range(len(values))), values,
+                                 x_name="window", y_name="removed %"))
+
+    print_table(
+        ["model", "first window", "last window"],
+        [[m, v[0], v[-1]] for m, v in curves.items()],
+        title="A10 — immediate vs consolidated adaptation")
+
+    recall = curves["hebbian+recall"]
+    hebbian = curves["hebbian"]
+    lstm = curves["lstm"]
+    # one-shot recall adapts within the FIRST window...
+    assert recall[0] > lstm[0] + 15.0
+    assert recall[0] > hebbian[0] + 15.0
+    # ...the gradient learners need consolidation time but catch up
+    assert lstm[-1] > lstm[0] + 20.0
+    assert hebbian[-1] > hebbian[0] + 15.0
+    # steady-state: the consolidated learner at least matches recall
+    assert lstm[-1] > recall[-1] - 5.0

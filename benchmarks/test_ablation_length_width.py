@@ -1,0 +1,38 @@
+"""A2 (§5.2): prefetch length/width vs timeliness.
+
+§5.2: "if the time between misses is less than the inference latency,
+even a perfect model will always prefetch too late ... a more effective
+method is to predict a sequence of misses further into the future."
+This ablation sweeps (length, width) under two landing delays.
+"""
+
+from __future__ import annotations
+
+from repro.harness.ablations import ablation_length_width
+from repro.harness.reporting import print_table
+
+
+def test_ablation_length_width_timeliness(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ablation_length_width(n_accesses=10_000,
+                                      lengths=(1, 2, 4), widths=(1, 2, 4),
+                                      delays=(0, 4)),
+        rounds=1, iterations=1)
+    print_table(
+        ["delay", "length", "width", "misses removed %", "accuracy"],
+        [[r["delay_accesses"], r["length"], r["width"],
+          r["misses_removed_pct"], r["prefetch_accuracy"]] for r in rows],
+        title="A2 (§5.2) — length/width sweep on pointer_chase")
+
+    def cell(delay, length, width):
+        return next(r for r in rows if (r["delay_accesses"], r["length"],
+                                        r["width"]) == (delay, length, width))
+
+    # under delay, length-1 prefetching is crippled; longer length recovers
+    late_l1 = cell(4, 1, 1)["misses_removed_pct"]
+    late_l4 = cell(4, 4, 1)["misses_removed_pct"]
+    assert late_l4 > late_l1 + 5.0
+    # with no delay, width adds coverage on top of length
+    timely_w1 = cell(0, 2, 1)["misses_removed_pct"]
+    timely_w4 = cell(0, 2, 4)["misses_removed_pct"]
+    assert timely_w4 >= timely_w1 - 1.0

@@ -1,0 +1,38 @@
+"""A9 (§5.2): rollout vs direct lag-L prediction, under landing delay.
+
+§5.2's co-design in its sharpest form: rollout prediction's horizon is
+limited by inference cost (L inferences per trigger) and collapses once
+the landing delay exceeds it; direct lag-L training reaches any horizon
+with ONE inference, and with prefetch chaining its coverage is
+delay-immune up to L.
+"""
+
+from __future__ import annotations
+
+from repro.harness.ablations import ablation_prediction_mode
+from repro.harness.reporting import print_table
+
+
+def test_ablation_prediction_mode(benchmark):
+    rows = benchmark.pedantic(ablation_prediction_mode, rounds=1, iterations=1)
+    print_table(
+        ["delay", "mode", "misses removed %", "accuracy",
+         "inferences/trigger"],
+        [[r["delay_accesses"], r["mode"], r["misses_removed_pct"],
+          r["prefetch_accuracy"], r["inferences_per_trigger"]] for r in rows],
+        title="A9 (§5.2) — rollout vs direct multi-step prediction")
+
+    def removed(delay, mode):
+        return next(r for r in rows if (r["delay_accesses"], r["mode"])
+                    == (delay, mode))["misses_removed_pct"]
+
+    # with no delay, rollout's full window coverage is competitive
+    assert removed(0, "rollout L=4") > 20.0
+    # at delay 6, rollout (horizon 4) collapses...
+    assert removed(6, "rollout L=4") < 5.0
+    # ...direct lag-6 still lands prefetches at 1/4 the inference cost...
+    assert removed(6, "direct L=6") > 10.0
+    # ...and chaining makes coverage delay-immune
+    assert removed(6, "direct L=6 + chain") > 25.0
+    assert (abs(removed(0, "direct L=6 + chain")
+                - removed(6, "direct L=6 + chain")) < 3.0)

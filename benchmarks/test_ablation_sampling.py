@@ -1,0 +1,37 @@
+"""A1 (§5.1): training-instance sampling policies.
+
+Training on every miss is the paper's experimental setting but "can be
+unnecessary and resource-consuming".  This ablation measures how much
+accuracy each cheaper policy gives up per training step saved.
+"""
+
+from __future__ import annotations
+
+from repro.harness.ablations import ablation_sampling
+from repro.harness.reporting import print_table
+
+
+def test_ablation_training_sampling(benchmark):
+    rows = benchmark.pedantic(lambda: ablation_sampling(n_accesses=15_000),
+                              rounds=1, iterations=1)
+    print_table(
+        ["policy", "trained steps", "considered", "train fraction",
+         "misses removed %"],
+        [[r["policy"], r["trained_steps"], r["considered"],
+          r["train_fraction"], r["misses_removed_pct"]] for r in rows],
+        title="A1 (§5.1) — training-instance sampling on resnet")
+
+    by_policy = {r["policy"]: r for r in rows}
+    always = by_policy["always"]
+    assert always["train_fraction"] == 1.0
+
+    # confidence filtering trains less than always...
+    confidence = by_policy["confidence<0.9"]
+    assert confidence["trained_steps"] < always["trained_steps"]
+    # ...while keeping most of the benefit (the §5.1 hypothesis)
+    assert (confidence["misses_removed_pct"]
+            > 0.7 * always["misses_removed_pct"])
+    # blind decimation gives up more accuracy per saved step than
+    # confidence filtering at a comparable training budget
+    every4 = by_policy["every4"]
+    assert every4["trained_steps"] < always["trained_steps"]

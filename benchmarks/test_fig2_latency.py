@@ -1,0 +1,56 @@
+"""Figure 2: inference and training latency of the prefetch models.
+
+Regenerates both panels from the calibrated cost model (op counts are
+exact; per-op latencies are calibrated once to the paper's i7-8700
+anchors — see DESIGN.md substitution #2), and checks every ordering the
+paper's figure shows.
+"""
+
+from __future__ import annotations
+
+from repro.harness.fig2 import BATCH_SIZES, FUTURE_STEPS, inference_panel, training_panel
+from repro.harness.reporting import format_series
+from repro.nn.costs import PAPER_ANCHORS_US
+
+
+def test_fig2a_inference_latency(benchmark):
+    series = benchmark.pedantic(inference_panel, rounds=1, iterations=1)
+    print()
+    print("Figure 2a — inference latency (us) vs number of future predictions")
+    for s in series:
+        print(" ", format_series(s.label, s.xs, s.latencies_us,
+                                 x_name="future preds", y_name="us"))
+
+    by_label = {s.label: dict(zip(s.xs, s.latencies_us)) for s in series}
+    one = {label: values[1] for label, values in by_label.items()}
+
+    # the paper's anchors at one future prediction
+    assert one["lstm-fp32-1t"] > PAPER_ANCHORS_US["lstm_inference_fp32"]
+    assert one["lstm-int8-1t"] > PAPER_ANCHORS_US["lstm_inference_int8"]
+    assert (PAPER_ANCHORS_US["target_low"] <= one["hebbian-1t"]
+            <= PAPER_ANCHORS_US["target_high"])
+    # threading barely helps the LSTM
+    assert one["lstm-fp32-1t"] / one["lstm-fp32-2t"] < 1.3
+    # everything grows with rollout length
+    for label, values in by_label.items():
+        assert values[FUTURE_STEPS[-1]] > values[1], label
+
+
+def test_fig2b_training_latency(benchmark):
+    series = benchmark.pedantic(training_panel, rounds=1, iterations=1)
+    print()
+    print("Figure 2b — per-example training latency (us) vs batch size")
+    for s in series:
+        print(" ", format_series(s.label, s.xs, s.latencies_us,
+                                 x_name="batch", y_name="us/example"))
+
+    by_label = {s.label: dict(zip(s.xs, s.latencies_us)) for s in series}
+    # paper: >1 ms per training example at batch 1
+    assert (by_label["lstm-train-1t"][1]
+            > PAPER_ANCHORS_US["lstm_training_per_example"])
+    # batching amortizes per-example cost for every family
+    for label, values in by_label.items():
+        assert values[BATCH_SIZES[-1]] < values[1], label
+    # the Hebbian network trains orders of magnitude cheaper
+    assert (by_label["lstm-train-1t"][1] / by_label["hebbian-train-1t"][1]
+            > 30.0)

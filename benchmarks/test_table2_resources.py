@@ -1,0 +1,59 @@
+"""Table 2: resource needs of the Hebbian vs LSTM networks.
+
+Prints measured parameters and op counts next to the paper's published
+values, and benchmarks the real wall-clock of one online step of each
+model (our numpy implementations — supplementary to the op counts, which
+are the hardware-independent result).
+"""
+
+from __future__ import annotations
+
+from repro.harness.models import paper_hebbian_config, paper_lstm_config
+from repro.harness.reporting import print_table
+from repro.harness.tables import table2_rows
+from repro.nn.hebbian import SparseHebbianNetwork
+from repro.nn.lstm import OnlineLSTM
+
+
+def test_table2_resource_needs(benchmark):
+    rows = benchmark.pedantic(table2_rows, rounds=1, iterations=1)
+    print_table(
+        ["model", "params (ours)", "params (paper)",
+         "inference ops (ours)", "inference ops (paper)", "kind",
+         "training ops (ours)", "training ops (paper)"],
+        [[r.model, r.parameters, r.paper_parameters,
+          r.inference_ops, r.paper_inference_ops, r.inference_kind,
+          r.training_ops, r.paper_training_ops]
+         for r in rows],
+        title="Table 2 — resource needs (measured vs paper)")
+
+    lstm, hebbian = rows
+    # the paper's headline ratios
+    assert lstm.parameters / hebbian.parameters >= 3.0
+    assert lstm.inference_ops / hebbian.inference_ops >= 10.0
+    assert lstm.training_ops / hebbian.training_ops >= 10.0
+    # absolute scales match the published configs
+    assert abs(lstm.parameters - 170_000) / 170_000 < 0.05
+    assert abs(hebbian.parameters - 49_000) / 49_000 < 0.05
+
+
+def test_wallclock_hebbian_step(benchmark):
+    model = SparseHebbianNetwork(paper_hebbian_config())
+    model.step(1)
+
+    def step():
+        model.step(2)
+        model.step(1)
+
+    benchmark(step)
+
+
+def test_wallclock_lstm_step(benchmark):
+    model = OnlineLSTM(paper_lstm_config())
+    model.step(1)
+
+    def step():
+        model.step(2)
+        model.step(1)
+
+    benchmark(step)

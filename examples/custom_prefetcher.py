@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Writing your own prefetch policy against the library's interfaces.
+
+Implements a tiny "history Markov" policy from scratch (any object with a
+``name`` and an ``on_miss(event) -> list[pages]`` method is a prefetcher),
+then races it against the library's baselines and the CLS prefetcher on a
+workload that alternates phases — also demonstrating the replay machinery
+keeping the CLS prefetcher sharp when an old phase returns.
+
+Run:  python examples/custom_prefetcher.py
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.baselines import MarkovPrefetcher, NextLinePrefetcher
+from repro.core import CLSPrefetcher, CLSPrefetcherConfig
+from repro.harness.models import experiment_hebbian_config
+from repro.harness.reporting import print_table
+from repro.memsim import MissEvent, SimConfig, baseline_misses, simulate
+from repro.patterns import PatternSpec, pointer_chase, stride
+
+
+class PairHistoryPrefetcher:
+    """Predicts the page that followed the last (prev, cur) page pair.
+
+    A second-order correlation table — about the simplest policy that can
+    track pointer chases, written here exactly as a library user would.
+    """
+
+    name = "pair-history"
+
+    def __init__(self, degree: int = 2):
+        self.degree = degree
+        self._table: dict[tuple[int, int], dict[int, int]] = defaultdict(dict)
+        self._prev: tuple[int, int] | None = None
+
+    def on_miss(self, event: MissEvent) -> list[int]:
+        if self._prev is not None:
+            successors = self._table[self._prev]
+            successors[event.page] = successors.get(event.page, 0) + 1
+            first = self._prev[1]
+            self._prev = (first, event.page)
+        else:
+            self._prev = (event.page, event.page)
+        ranked = sorted(self._table.get(self._prev, {}).items(),
+                        key=lambda kv: kv[1], reverse=True)
+        return [page for page, _ in ranked[: self.degree]]
+
+
+def phased_trace():
+    """pointer-chase -> stride -> pointer-chase (the same chase returns)."""
+    chase = pointer_chase(PatternSpec(n=2_500, working_set=150,
+                                      element_size=4096, seed=7))
+    scan = stride(PatternSpec(n=2_500, working_set=150, element_size=4096,
+                              base=0x9000_0000, seed=8))
+    return chase.concat(scan).concat(chase)
+
+
+def main() -> None:
+    trace = phased_trace()
+    sim_config = SimConfig(memory_fraction=0.4)
+    baseline = baseline_misses(trace, sim_config)
+
+    contenders = [
+        NextLinePrefetcher(degree=2),
+        MarkovPrefetcher(degree=2),
+        PairHistoryPrefetcher(degree=2),
+        CLSPrefetcher(CLSPrefetcherConfig(
+            model="hebbian", vocab_size=512, encoder="page",
+            hebbian=experiment_hebbian_config(512),
+            prefetch_length=2, prefetch_width=2, min_confidence=0.25,
+            replay_policy="full", replay_per_step=2)),
+    ]
+
+    rows = []
+    for prefetcher in contenders:
+        run = simulate(trace, prefetcher, sim_config)
+        rows.append([prefetcher.name, run.demand_misses,
+                     run.percent_misses_removed(baseline),
+                     run.stats.prefetch_accuracy])
+
+    print(f"phased trace: {len(trace)} accesses "
+          f"({trace.footprint_pages()} pages), baseline misses "
+          f"{baseline.demand_misses}")
+    print_table(
+        ["prefetcher", "demand misses", "misses removed %", "accuracy"],
+        rows,
+        title="Custom policy vs library baselines vs CLS prefetcher")
+    print(
+        "\nNote: on a small, perfectly repeating structure, exact-"
+        "memorization tables (markov / pair-history) are hard to beat —\n"
+        "their state grows with the footprint, though, while the CLS "
+        "model's size is fixed (Table 2) and its learned weights survive\n"
+        "phase changes via replay.  That trade is the paper's point, not "
+        "winning this microbenchmark.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""One-shot adaptation via hippocampal recall (Figure 4's fast path).
+
+The workload switches from one pointer structure to a brand-new one
+mid-trace.  Three prefetchers race through it:
+
+- the plain Hebbian prefetcher (the slow "neocortical" learner);
+- the same plus the hippocampal recall memory, which memorizes each
+  transition in ONE shot and answers from it while the slow learner is
+  still consolidating;
+- the LSTM baseline.
+
+The windowed miss-removal curves after the switch show the
+complementary-learning-systems story directly: recall adapts within the
+first window, gradient learners need several windows — and then win
+steady state.  The brain runs both; so does the CLS prefetcher.
+
+Run:  python examples/one_shot_adaptation.py
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.harness.ablations import ablation_adaptation
+from repro.harness.reporting import print_table
+
+
+def bar(value: float, scale: float = 0.8) -> str:
+    return "#" * max(0, int(round(value * scale)))
+
+
+def main() -> None:
+    rows = ablation_adaptation(n_per_phase=3_000, window=600, seed=0)
+    curves: dict[str, list[float]] = defaultdict(list)
+    for row in rows:
+        curves[row["model"]].append(row["misses_removed_pct"])
+
+    print("Windowed % of misses removed after the phase switch "
+          "(600-access windows):\n")
+    n_windows = len(next(iter(curves.values())))
+    for window in range(n_windows):
+        print(f"window {window}:")
+        for model, values in curves.items():
+            print(f"  {model:15s} {values[window]:5.1f}  {bar(values[window])}")
+        print()
+
+    print_table(
+        ["model", "first window", "last window"],
+        [[model, values[0], values[-1]] for model, values in curves.items()],
+        title="Immediate vs consolidated adaptation")
+
+    print("\nThe recall path (a one-shot Willshaw pattern-completion memory)"
+          "\nis already serving useful prefetches in the first window; the"
+          "\ngradient learners need consolidation time, then win steady"
+          "\nstate — Figure 4's fast/slow complementarity.")
+
+
+if __name__ == "__main__":
+    main()

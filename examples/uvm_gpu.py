@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Prefetching for CPU-GPU unified virtual memory (§4, Figure 6 right).
+
+Simulates SIMT streams advancing in lockstep against a shared device
+memory: all far-faults raised in a round are serviced as one batch (the
+UVM driver's behaviour), and a single CPU-side prefetcher observes every
+fault.  The script shows the two §4 design conclusions for this system:
+
+1. isolating the interleaved access streams (per-stream model state in
+   the driver) beats one shared model;
+2. this system is throughput-bound, so *prefetch width* (§5.2) keeps
+   buying speedup — unlike the latency-bound disaggregated rack.
+
+Run:  python examples/uvm_gpu.py
+"""
+
+from __future__ import annotations
+
+from repro.harness.fig6 import Fig6Config, run_uvm
+from repro.harness.reporting import print_table
+
+
+def main() -> None:
+    config = Fig6Config(n_streams=8, accesses_per_stream=2_500, seed=0)
+    comparison = run_uvm(config, widths=(1, 2, 4))
+
+    rows = [
+        ["no prefetch", comparison.baseline.total_time_ns / 1e6,
+         comparison.baseline.total_faults,
+         comparison.baseline.throughput_accesses_per_us, 1.0],
+        ["shared model, width 1",
+         comparison.shared.total_time_ns / 1e6,
+         comparison.shared.total_faults,
+         comparison.shared.throughput_accesses_per_us,
+         comparison.shared.speedup_over(comparison.baseline)],
+    ]
+    for width, result in sorted(comparison.per_stream_by_width.items()):
+        rows.append([f"per-stream model, width {width}",
+                     result.total_time_ns / 1e6,
+                     result.total_faults,
+                     result.throughput_accesses_per_us,
+                     result.speedup_over(comparison.baseline)])
+
+    print_table(
+        ["driver prefetcher", "total time ms", "far faults",
+         "accesses/us", "speedup"],
+        rows,
+        title=f"UVM with {config.n_streams} SIMT streams "
+              "(device memory = 50% of footprint)")
+
+    print("\nWider prefetch output removes more faults per batch — the "
+          "throughput-optimized operating point §4 prescribes for UVM.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no ``wheel`` package, so the
+PEP 517 editable path (which shells out to ``bdist_wheel``) fails.  This
+shim lets ``pip install -e . --no-use-pep517`` (and plain
+``pip install -e .`` on older pips) work offline.  All real metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""repro — reproduction of "Prefetching Using Principles of
+Hippocampal-Neocortical Interaction" (Wu et al., HotOS 2023).
+
+The package builds, from scratch, everything the paper describes:
+
+- ``repro.patterns`` — Table 1 access-pattern generators and synthetic
+  application traces (Figure 5's workloads).
+- ``repro.memsim`` — the paged-memory trace simulator of Figure 1.
+- ``repro.nn`` — the LSTM baseline (§2) and the sparse Hebbian network
+  (§3.1), with exact op counting and the calibrated latency model
+  (Figure 2, Table 2).
+- ``repro.core`` — the CLS prefetcher: hippocampal episodic store,
+  interleaved replay (§3.2), and the §5 policy surface (sampling,
+  length/width, encodings, replay variants, availability).
+- ``repro.baselines`` — classic prefetchers and an oracle bound.
+- ``repro.systems`` — the §4 target systems: disaggregated memory and
+  CPU-GPU UVM.
+- ``repro.harness`` — drivers that regenerate every table and figure.
+
+Quickstart::
+
+    from repro.core import CLSPrefetcher, CLSPrefetcherConfig
+    from repro.memsim import SimConfig, baseline_misses, simulate
+    from repro.patterns import AppSpec, generate_application
+
+    trace = generate_application("pagerank", AppSpec(n=20_000))
+    base = baseline_misses(trace, SimConfig(memory_fraction=0.5))
+    run = simulate(trace, CLSPrefetcher(CLSPrefetcherConfig()),
+                   SimConfig(memory_fraction=0.5))
+    print(f"{run.percent_misses_removed(base):.1f}% of misses removed")
+"""
+
+from . import baselines, core, harness, memsim, nn, patterns, systems
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "baselines",
+    "core",
+    "harness",
+    "memsim",
+    "nn",
+    "patterns",
+    "systems",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Baseline prefetch policies (non-learning comparators + oracle bound)."""
+
+from ..memsim.prefetcher import NullPrefetcher
+from .classic import (
+    MarkovPrefetcher,
+    NextLinePrefetcher,
+    RandomPrefetcher,
+    StridePrefetcher,
+)
+from .leap import LeapPrefetcher
+from .oracle import OracleWindowPrefetcher
+
+__all__ = [
+    "NullPrefetcher",
+    "MarkovPrefetcher",
+    "NextLinePrefetcher",
+    "RandomPrefetcher",
+    "StridePrefetcher",
+    "LeapPrefetcher",
+    "OracleWindowPrefetcher",
+]

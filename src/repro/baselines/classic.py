@@ -1,0 +1,135 @@
+"""Classic non-learning prefetchers.
+
+The paper's framing (§1): "early prefetchers targeted patterns that were
+easy to capture, such as strides, and were sufficient for well-understood
+applications ... systems and applications today are far more complex and
+dynamic, rendering simple approaches ineffective."  These baselines make
+that claim measurable next to the learning prefetchers.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..memsim.events import MissEvent
+
+
+@dataclass
+class NextLinePrefetcher:
+    """Prefetch the next ``degree`` sequential pages after every miss."""
+
+    degree: int = 1
+    name: str = field(default="", repr=False)
+
+    def __post_init__(self) -> None:
+        if self.degree < 1:
+            raise ValueError("degree must be >= 1")
+        if not self.name:
+            self.name = f"nextline{self.degree}"
+
+    def on_miss(self, event: MissEvent) -> list[int]:
+        return [event.page + i for i in range(1, self.degree + 1)]
+
+
+@dataclass
+class StridePrefetcher:
+    """Confidence-counted stride detection, per stream.
+
+    Tracks the last page and last delta per stream id; after ``threshold``
+    consecutive repeats of the same delta it prefetches ``degree`` pages
+    ahead along the stride.
+    """
+
+    degree: int = 2
+    threshold: int = 2
+    name: str = field(default="", repr=False)
+    _state: dict[int, tuple[int, int, int]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.degree < 1 or self.threshold < 1:
+            raise ValueError("degree and threshold must be >= 1")
+        if not self.name:
+            self.name = f"stride{self.degree}"
+
+    def on_miss(self, event: MissEvent) -> list[int]:
+        last_page, last_delta, confidence = self._state.get(
+            event.stream_id, (event.page, 0, 0))
+        delta = event.page - last_page
+        if delta != 0 and delta == last_delta:
+            confidence += 1
+        elif delta != 0:
+            last_delta, confidence = delta, 1
+        self._state[event.stream_id] = (event.page, last_delta, confidence)
+        if confidence >= self.threshold and last_delta != 0:
+            return [event.page + last_delta * i for i in range(1, self.degree + 1)]
+        return []
+
+
+@dataclass
+class MarkovPrefetcher:
+    """First-order correlation (Markov) prefetcher over miss pages.
+
+    Keeps a bounded LRU table page -> successor counts; on a miss it
+    prefetches the ``degree`` most frequent recorded successors.
+    """
+
+    degree: int = 2
+    table_size: int = 4096
+    successors_per_entry: int = 8
+    name: str = field(default="", repr=False)
+    _table: OrderedDict = field(default_factory=OrderedDict, repr=False)
+    _prev_page: int | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.degree < 1 or self.table_size < 1:
+            raise ValueError("degree and table_size must be >= 1")
+        if not self.name:
+            self.name = f"markov{self.degree}"
+
+    def on_miss(self, event: MissEvent) -> list[int]:
+        if self._prev_page is not None:
+            self._record(self._prev_page, event.page)
+        self._prev_page = event.page
+
+        successors = self._table.get(event.page)
+        if not successors:
+            return []
+        self._table.move_to_end(event.page)
+        ranked = sorted(successors.items(), key=lambda kv: kv[1], reverse=True)
+        return [page for page, _count in ranked[: self.degree]]
+
+    def _record(self, prev: int, nxt: int) -> None:
+        entry = self._table.get(prev)
+        if entry is None:
+            if len(self._table) >= self.table_size:
+                self._table.popitem(last=False)
+            entry = self._table[prev] = {}
+        self._table.move_to_end(prev)
+        entry[nxt] = entry.get(nxt, 0) + 1
+        if len(entry) > self.successors_per_entry:
+            weakest = min(entry, key=entry.get)
+            del entry[weakest]
+
+
+@dataclass
+class RandomPrefetcher:
+    """Prefetch random nearby pages — the sanity-check control."""
+
+    degree: int = 1
+    radius: int = 32
+    seed: int = 0
+    name: str = field(default="", repr=False)
+
+    def __post_init__(self) -> None:
+        if self.degree < 1 or self.radius < 1:
+            raise ValueError("degree and radius must be >= 1")
+        if not self.name:
+            self.name = f"random{self.degree}"
+        self._rng = np.random.default_rng(self.seed)
+
+    def on_miss(self, event: MissEvent) -> list[int]:
+        offsets = self._rng.integers(-self.radius, self.radius + 1, size=self.degree)
+        return [max(0, event.page + int(o)) for o in offsets if o != 0]

@@ -1,0 +1,76 @@
+"""A Leap-style majority-delta prefetcher.
+
+Leap (Al Maruf & Chowdhury, ATC'20) is the standard software prefetcher
+for remote/disaggregated memory — the deployment the paper targets in §4.
+Its core idea: keep a small window of recent page deltas; if a majority
+delta exists, prefetch along it with a dynamically-ramped degree
+(doubling on success up to a cap, backing off otherwise).  It generalizes
+stride detection to "mostly strided" streams without any learning, so it
+is the right non-neural yardstick for the disaggregated experiments.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+
+from ..memsim.events import MissEvent
+
+
+@dataclass
+class LeapPrefetcher:
+    """Majority-delta detection with multiplicative degree ramp.
+
+    Attributes:
+        window: Recent deltas considered for the majority vote.
+        max_degree: Upper bound on the prefetch degree ramp.
+        majority_fraction: Fraction of the window a delta must win to
+            count as the majority trend.
+    """
+
+    window: int = 8
+    max_degree: int = 8
+    majority_fraction: float = 0.5
+    name: str = field(default="", repr=False)
+
+    def __post_init__(self) -> None:
+        if self.window < 2:
+            raise ValueError("window must be >= 2")
+        if self.max_degree < 1:
+            raise ValueError("max_degree must be >= 1")
+        if not 0 < self.majority_fraction <= 1:
+            raise ValueError("majority_fraction must be in (0, 1]")
+        if not self.name:
+            self.name = f"leap{self.max_degree}"
+        self._deltas: dict[int, deque[int]] = {}
+        self._last_page: dict[int, int] = {}
+        self._degree: dict[int, int] = {}
+
+    def on_miss(self, event: MissEvent) -> list[int]:
+        stream = event.stream_id
+        history = self._deltas.setdefault(stream, deque(maxlen=self.window))
+        last = self._last_page.get(stream)
+        self._last_page[stream] = event.page
+        if last is not None:
+            delta = event.page - last
+            if delta != 0:
+                history.append(delta)
+        if len(history) < 2:
+            return []
+
+        majority = self._majority(history)
+        if majority is None:
+            self._degree[stream] = 1
+            return []
+
+        # ramp: double the degree while the trend persists
+        degree = min(self.max_degree, self._degree.get(stream, 1) * 2)
+        self._degree[stream] = degree
+        return [event.page + majority * i for i in range(1, degree + 1)
+                if event.page + majority * i >= 0]
+
+    def _majority(self, history: deque[int]) -> int | None:
+        delta, count = Counter(history).most_common(1)[0]
+        if count >= max(2, int(self.majority_fraction * len(history))):
+            return delta
+        return None

@@ -1,0 +1,50 @@
+"""An oracle prefetcher: the upper bound on what learning could achieve.
+
+Given the whole trace ahead of time, on every miss it prefetches the next
+``degree`` distinct future pages.  No realizable prefetcher can remove
+more misses at the same degree and timeliness, so experiment reports use
+it to show how much headroom the learning prefetchers leave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..memsim.events import MissEvent
+from ..patterns.trace import Trace
+
+
+@dataclass
+class OracleWindowPrefetcher:
+    """Future-knowledge prefetcher over a fixed trace.
+
+    Attributes:
+        trace: The trace that will be simulated (must be the same one).
+        degree: Distinct future pages prefetched per miss.
+        page_size: Must match the simulator's page size.
+    """
+
+    trace: Trace
+    degree: int = 2
+    page_size: int = 4096
+    name: str = field(default="", repr=False)
+
+    def __post_init__(self) -> None:
+        if self.degree < 1:
+            raise ValueError("degree must be >= 1")
+        if not self.name:
+            self.name = f"oracle{self.degree}"
+        self._pages = self.trace.pages(self.page_size)
+
+    def on_miss(self, event: MissEvent) -> list[int]:
+        picks: list[int] = []
+        seen = {event.page}
+        i = event.index + 1
+        n = len(self._pages)
+        while i < n and len(picks) < self.degree:
+            page = int(self._pages[i])
+            if page not in seen:
+                seen.add(page)
+                picks.append(page)
+            i += 1
+        return picks

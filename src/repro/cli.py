@@ -1,0 +1,290 @@
+"""Command-line interface.
+
+Three subcommands cover the library's day-to-day uses:
+
+- ``generate`` — synthesize a Table 1 pattern or application trace to a
+  ``.npz`` file;
+- ``simulate`` — replay a trace (generated inline or loaded from disk)
+  against a prefetcher and print the miss/accuracy report;
+- ``experiment`` — regenerate a paper table/figure (same drivers the
+  benchmarks use).
+
+Examples::
+
+    python -m repro generate --pattern pointer_chase --n 8000 -o chase.npz
+    python -m repro simulate --trace chase.npz --model hebbian --length 2
+    python -m repro simulate --app pagerank --n 20000 --model lstm
+    python -m repro experiment table2
+    python -m repro experiment fig5 --n 20000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .baselines import (
+    LeapPrefetcher,
+    MarkovPrefetcher,
+    NextLinePrefetcher,
+    StridePrefetcher,
+)
+from .core.cls_prefetcher import CLSPrefetcher, CLSPrefetcherConfig
+from .harness import fig2, fig5, fig6, tables
+from .harness.export import export_rows_csv
+from .harness.interference import InterferenceConfig, run_interference
+from .harness.models import (
+    experiment_hebbian_config,
+    experiment_lstm,
+    experiment_lstm_config,
+)
+from .harness.reporting import format_series, print_table
+from .memsim.prefetcher import NullPrefetcher
+from .memsim.simulator import SimConfig, baseline_misses, simulate
+from .patterns.applications import ALL_APPLICATIONS, AppSpec, generate_application
+from .patterns.generators import PATTERN_NAMES, PatternSpec, generate
+from .patterns.phases import pattern_pairs
+from .patterns.trace import Trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hippocampal-neocortical prefetching (HotOS'23) toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize a trace to a .npz file")
+    source = gen.add_mutually_exclusive_group(required=True)
+    source.add_argument("--pattern", choices=PATTERN_NAMES)
+    source.add_argument("--app", choices=ALL_APPLICATIONS)
+    gen.add_argument("--n", type=int, default=10_000, help="accesses")
+    gen.add_argument("--working-set", type=int, default=200,
+                     help="elements (pattern traces)")
+    gen.add_argument("--element-size", type=int, default=4096)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("-o", "--out", required=True, help="output .npz path")
+
+    sim = sub.add_parser("simulate", help="replay a trace with a prefetcher")
+    source = sim.add_mutually_exclusive_group(required=True)
+    source.add_argument("--trace", help=".npz trace file")
+    source.add_argument("--pattern", choices=PATTERN_NAMES)
+    source.add_argument("--app", choices=ALL_APPLICATIONS)
+    sim.add_argument("--n", type=int, default=10_000)
+    sim.add_argument("--working-set", type=int, default=200)
+    sim.add_argument("--element-size", type=int, default=4096)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--model",
+                     choices=["hebbian", "lstm", "nextline", "stride",
+                              "markov", "leap", "none"],
+                     default="hebbian")
+    sim.add_argument("--encoder", choices=["delta", "page", "region"],
+                     default="delta")
+    sim.add_argument("--vocab", type=int, default=256)
+    sim.add_argument("--length", type=int, default=2,
+                     help="prefetch length (§5.2)")
+    sim.add_argument("--width", type=int, default=2,
+                     help="prefetch width (§5.2)")
+    sim.add_argument("--mode", choices=["rollout", "direct"],
+                     default="rollout")
+    sim.add_argument("--min-confidence", type=float, default=0.25)
+    sim.add_argument("--memory-fraction", type=float, default=0.5)
+    sim.add_argument("--delay", type=int, default=0,
+                     help="prefetch landing delay in accesses")
+    sim.add_argument("--observe-hits", action="store_true")
+    sim.add_argument("--replay", choices=["full", "ring", "confidence",
+                                          "prototype", "consolidating",
+                                          "generative", "off"],
+                     default="full")
+    sim.add_argument("--recall", action="store_true",
+                     help="enable the Fig. 4 hippocampal recall fast path")
+
+    exp = sub.add_parser("experiment",
+                         help="regenerate a paper table/figure")
+    exp.add_argument("which", choices=["table1", "table2", "fig2", "fig3",
+                                       "fig5", "fig6"])
+    exp.add_argument("--n", type=int, default=20_000,
+                     help="accesses per workload (fig5)")
+    exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument("--csv", help="also write the result rows to a CSV file")
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+def cmd_generate(args: argparse.Namespace) -> int:
+    trace = _build_trace(args)
+    trace.save(args.out)
+    print(f"wrote {args.out}: {trace.name}, {len(trace)} accesses, "
+          f"{trace.footprint_pages()} pages footprint")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    if args.trace:
+        trace = Trace.load(args.trace)
+    else:
+        trace = _build_trace(args)
+    sim_cfg = SimConfig(memory_fraction=args.memory_fraction,
+                        prefetch_delay_accesses=args.delay)
+    baseline = baseline_misses(trace, sim_cfg)
+    prefetcher = _build_prefetcher(args)
+    run = simulate(trace, prefetcher, sim_cfg)
+
+    print(f"trace: {trace.name}, {len(trace)} accesses, "
+          f"{trace.footprint_pages()} pages, memory {run.capacity_pages} pages")
+    print_table(
+        ["prefetcher", "demand misses", "misses removed %", "accuracy",
+         "coverage"],
+        [
+            ["none", baseline.demand_misses, 0.0, 0.0, 0.0],
+            [run.prefetcher_name, run.demand_misses,
+             run.percent_misses_removed(baseline),
+             run.stats.prefetch_accuracy, run.stats.coverage],
+        ])
+    if isinstance(prefetcher, CLSPrefetcher):
+        stats = prefetcher.stats
+        print(f"\ntrained steps: {stats.trained_steps}, replayed pairs: "
+              f"{stats.replayed_pairs}, phases seen: {stats.phases_seen}")
+        if prefetcher.recall_memory is not None:
+            print(f"recall: consulted {prefetcher.recall_stats.consulted}, "
+                  f"answered {prefetcher.recall_stats.answered}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    which = args.which
+    headers: list[str] = []
+    table_rows: list[list] = []
+    title = ""
+    if which == "table1":
+        headers = ["pattern", "distinct_deltas", "dominant_share", "period"]
+        table_rows = [[s.pattern, s.distinct_deltas, s.dominant_delta_share,
+                       s.period if s.period else "-"]
+                      for s in tables.table1_signatures()]
+        title = "Table 1 — pattern signatures"
+    elif which == "table2":
+        headers = ["model", "params", "params_paper", "inference_ops",
+                   "training_ops"]
+        table_rows = [[r.model, r.parameters, r.paper_parameters,
+                       r.inference_ops, r.training_ops]
+                      for r in tables.table2_rows()]
+        title = "Table 2 — resource needs"
+    elif which == "fig2":
+        headers = ["panel", "series", "x", "latency_us"]
+        for panel, series_list in (("inference", fig2.inference_panel()),
+                                   ("training", fig2.training_panel())):
+            for series in series_list:
+                for x, y in zip(series.xs, series.latencies_us):
+                    table_rows.append([panel, series.label, x, y])
+        print("Figure 2a — inference latency (us) vs future predictions")
+        for series in fig2.inference_panel():
+            print(" ", format_series(series.label, series.xs,
+                                     series.latencies_us))
+        print("Figure 2b — per-example training latency (us) vs batch")
+        for series in fig2.training_panel():
+            print(" ", format_series(series.label, series.xs,
+                                     series.latencies_us))
+        title = ""  # already printed as series
+    elif which == "fig3":
+        config = InterferenceConfig(seed=args.seed, probe_len=100,
+                                    probe_every=1000)
+        headers = ["pair", "replay", "conf_A_before", "conf_A_after",
+                   "conf_B_after"]
+        for pattern_a, pattern_b in pattern_pairs():
+            for replay in (False, True):
+                run = run_interference(
+                    lambda v: experiment_lstm(v, seed=args.seed),
+                    pattern_a, pattern_b, replay=replay, config=config)
+                table_rows.append([f"{pattern_a}->{pattern_b}", replay,
+                                   run.summary.conf_a_before,
+                                   run.summary.conf_a_after,
+                                   run.summary.conf_b_after])
+        title = "Figure 3 — interference and replay"
+    elif which == "fig5":
+        config = fig5.Fig5Config(n_accesses=args.n, seed=args.seed)
+        result = fig5.run_fig5(config)
+        headers = ["application", "hebbian_removed_pct", "lstm_removed_pct"]
+        for app in config.applications:
+            per_model = result.for_app(app)
+            table_rows.append([app,
+                               per_model["cls-hebbian"].percent_misses_removed,
+                               per_model["cls-lstm"].percent_misses_removed])
+        title = "Figure 5 — online prefetching"
+    elif which == "fig6":
+        config = fig6.Fig6Config(seed=args.seed)
+        disagg = fig6.run_disaggregated(config)
+        uvm = fig6.run_uvm(config)
+        headers = ["configuration", "speedup"]
+        table_rows = [
+            ["disagg: decentralized hebbian", disagg.hebbian_speedup],
+            ["disagg: decentralized lstm", disagg.lstm_speedup],
+            ["disagg: decentralized leap", disagg.leap_speedup],
+            ["disagg: centralized hebbian", disagg.centralized_speedup],
+            ["uvm: shared w1", uvm.shared.speedup_over(uvm.baseline)],
+        ] + [[f"uvm: per-stream w{w}", r.speedup_over(uvm.baseline)]
+             for w, r in sorted(uvm.per_stream_by_width.items())]
+        title = "Figure 6 — target-system speedups"
+
+    if title:
+        print_table(headers, table_rows, title=title)
+    if args.csv and table_rows:
+        count = export_rows_csv(
+            args.csv, [dict(zip(headers, row)) for row in table_rows])
+        print(f"\nwrote {count} rows to {args.csv}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def _build_trace(args: argparse.Namespace) -> Trace:
+    if getattr(args, "app", None):
+        return generate_application(args.app, AppSpec(n=args.n, seed=args.seed))
+    spec = PatternSpec(n=args.n, working_set=args.working_set,
+                       element_size=args.element_size, seed=args.seed)
+    return generate(args.pattern, spec)
+
+
+def _build_prefetcher(args: argparse.Namespace):
+    if args.model == "none":
+        return NullPrefetcher()
+    if args.model == "nextline":
+        return NextLinePrefetcher(degree=args.width)
+    if args.model == "stride":
+        return StridePrefetcher(degree=args.width)
+    if args.model == "markov":
+        return MarkovPrefetcher(degree=args.width)
+    if args.model == "leap":
+        return LeapPrefetcher(max_degree=max(2, args.width * 2))
+
+    model_cfg = {}
+    if args.model == "hebbian":
+        model_cfg["hebbian"] = experiment_hebbian_config(args.vocab, args.seed)
+    else:
+        model_cfg["lstm"] = experiment_lstm_config(args.vocab, args.seed)
+    return CLSPrefetcher(CLSPrefetcherConfig(
+        model=args.model,
+        vocab_size=args.vocab,
+        encoder=args.encoder,
+        prefetch_length=args.length,
+        prefetch_width=args.width,
+        prediction_mode=args.mode,
+        min_confidence=args.min_confidence,
+        observe_hits=args.observe_hits,
+        replay_policy=None if args.replay == "off" else args.replay,
+        recall=args.recall,
+        seed=args.seed,
+        **model_cfg,
+    ))
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": cmd_generate,
+        "simulate": cmd_simulate,
+        "experiment": cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

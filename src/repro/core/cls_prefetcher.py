@@ -1,0 +1,501 @@
+"""The hippocampal-neocortical prefetcher — the paper's contribution.
+
+:class:`CLSPrefetcher` assembles the CLS architecture of Figure 4 behind
+the :class:`~repro.memsim.prefetcher.Prefetcher` interface:
+
+- a **neocortex** (slow structure learner): either the sparse Hebbian
+  network (§3.1) or the LSTM baseline (§2.1), selected by config;
+- a **hippocampus** (fast episodic store) feeding **interleaved replay**
+  at a reduced learning rate (§3.2, §5.4);
+- the operational policies the paper's research agenda calls for:
+  training-instance sampling (§5.1), prefetch length/width with
+  confidence thresholds (§5.2), pluggable input encodings (§5.3), phase
+  detection for replay grouping (§5.4), and the shadow-copy availability
+  protocol (§5.5).
+
+On every demand miss the prefetcher encodes the miss, optionally trains on
+the newest transition (plus replayed old ones), advances the model's
+recurrent state, and decodes a ``length x width`` rollout of predicted
+classes back into page prefetches.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..memsim.events import MissEvent
+from ..nn.base import SequenceModel
+from ..nn.hebbian import HebbianConfig, SparseHebbianNetwork
+from ..nn.lstm import LSTMConfig, OnlineLSTM
+from .availability import ShadowModelManager
+from .encoding import OOV_CLASS, make_encoder
+from .hippocampus import Episode
+from .history import MissHistory, MissRecord
+from .phase_detect import OnlinePhaseDetector
+from .recall import HippocampalRecall, RecallConfig, RecallStats
+from .replay import ReplayScheduler, make_replay_policy
+from .sampling import BatchAccumulate, make_training_policy
+
+
+@dataclass
+class CLSPrefetcherConfig:
+    """Everything configurable about the CLS prefetcher.
+
+    Attributes:
+        model: "hebbian" (the paper's proposal) or "lstm" (the baseline).
+        vocab_size: Miss-class vocabulary shared by encoder and model.
+        encoder: "delta" (address deltas, §5.3 default) or "page"
+            (unit identity).
+        granularity: Bytes per encoded unit (page size for page-level
+            prefetching; the element size for data-structure experiments).
+        page_size: Page size used to emit prefetch targets.
+        prefetch_length: Steps predicted into the future (§5.2).
+        prefetch_width: Predictions emitted per step (§5.2).
+        prediction_mode: How multi-step predictions are produced (§5.2):
+            "rollout" feeds the model its own top-1 prediction
+            ``prefetch_length`` times (costs one inference per step, and
+            errors compound); "direct" trains the model on lag-L
+            transition pairs from the miss history ("the prefetch length
+            determines a minimum history size") and predicts the miss L
+            steps ahead in a single inference.  Direct mode names absolute
+            units, so it requires the "page" encoder.
+        min_confidence: Candidates below this probability are suppressed
+            (the "highly selective" operating point for network-bound
+            systems, §5.2).
+        min_accuracy: Suppress *all* prefetching while the model's
+            self-monitored accuracy — the EMA of "was the class that
+            actually arrived inside my top-``prefetch_width`` candidate
+            set?" — is below this.  Softmax confidence measures absolute
+            weight consolidation, which stays low under prefetch-feedback
+            non-stationarity even when the model ranks perfectly; realized
+            candidate-set coverage is the calibrated selectivity signal
+            (and is naturally width-aware: a width-4 prefetcher is doing
+            its job if reality lands in its top 4).
+        training: Training-instance policy kind (§5.1): "always",
+            "every_k", "random", "confidence", "batch".
+        training_kwargs: Extra arguments for the training policy.
+        replay_policy: Replay storage/selection kind (§5.4): "full",
+            "ring", "confidence", "prototype", "generative"; None disables
+            replay entirely.
+        replay_kwargs: Extra arguments for the replay policy.
+        replay_per_step: Old episodes replayed per new training step.
+        replay_lr_scale: Replay learning-rate scale (paper: 0.1).
+        phase_detection: Group episodes into phases for replay.
+        observe_hits: Also feed demand *hits* through the encoder/model
+            (training included, prefetching still miss-triggered).  The
+            default miss-only deployment (Figure 1) suffers a feedback
+            loop: successful prefetches remove misses, which changes the
+            inter-miss deltas the model is being trained on.  Watching the
+            full demand stream keeps the input distribution stationary.
+        trigger_on_hits: Also *issue prefetches* on demand hits (prefetch
+            chaining).  Prefetch-on-miss caps miss removal at
+            length/(length+1) because covered accesses stop triggering;
+            chaining keeps the pipeline full.  Requires ``observe_hits``.
+        availability: Run the §5.5 shadow-copy protocol (train a shadow,
+            serve inference from a stable live copy, redeploy on drift).
+        recall: Enable the Figure 4 hippocampal recall fast path: a
+            one-shot pattern-separation/completion memory answers when the
+            neocortex is not yet confident, giving immediate adaptation to
+            brand-new patterns while the slow learner consolidates.
+        recall_config: Optional recall memory override.
+        recall_max_confidence: Consult recall only when the neocortex's
+            top prediction is below this probability.
+        recall_occupancy_reset: Clear the recall memory when its weight
+            density exceeds this (synaptic turnover — a full Willshaw
+            memory answers nothing but ambiguity).
+        hebbian: Optional Hebbian model config override.
+        lstm: Optional LSTM model config override.
+        seed: Seed for model init and replay sampling.
+    """
+
+    model: str = "hebbian"
+    vocab_size: int = 128
+    encoder: str = "delta"
+    granularity: int = 4096
+    page_size: int = 4096
+    prefetch_length: int = 1
+    prefetch_width: int = 1
+    prediction_mode: str = "rollout"
+    min_confidence: float = 0.0
+    min_accuracy: float = 0.0
+    accuracy_ema_alpha: float = 0.02
+    training: str = "always"
+    training_kwargs: dict = field(default_factory=dict)
+    replay_policy: str | None = "full"
+    replay_kwargs: dict = field(default_factory=dict)
+    replay_per_step: int = 1
+    replay_lr_scale: float = 0.1
+    phase_detection: bool = True
+    observe_hits: bool = False
+    trigger_on_hits: bool = False
+    availability: bool = False
+    recall: bool = False
+    recall_config: RecallConfig | None = None
+    recall_max_confidence: float = 0.5
+    recall_occupancy_reset: float = 0.35
+    hebbian: HebbianConfig | None = None
+    lstm: LSTMConfig | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.model not in ("hebbian", "lstm"):
+            raise ValueError("model must be 'hebbian' or 'lstm'")
+        if self.prefetch_length < 1 or self.prefetch_width < 1:
+            raise ValueError("prefetch_length and prefetch_width must be >= 1")
+        if not 0 <= self.min_confidence <= 1:
+            raise ValueError("min_confidence must be in [0, 1]")
+        if not 0 <= self.min_accuracy <= 1:
+            raise ValueError("min_accuracy must be in [0, 1]")
+        if not 0 < self.accuracy_ema_alpha <= 1:
+            raise ValueError("accuracy_ema_alpha must be in (0, 1]")
+        if self.prediction_mode not in ("rollout", "direct"):
+            raise ValueError("prediction_mode must be 'rollout' or 'direct'")
+        if self.prediction_mode == "direct" and self.encoder != "page":
+            raise ValueError("direct prediction requires the 'page' encoder "
+                             "(lag-L targets name absolute units)")
+        if self.trigger_on_hits and not self.observe_hits:
+            raise ValueError("trigger_on_hits requires observe_hits")
+        if self.page_size <= 0 or self.page_size & (self.page_size - 1):
+            raise ValueError("page_size must be a positive power of two")
+
+    def build_model(self) -> SequenceModel:
+        if self.model == "hebbian":
+            cfg = self.hebbian or HebbianConfig(vocab_size=self.vocab_size,
+                                                seed=self.seed)
+            if cfg.vocab_size != self.vocab_size:
+                raise ValueError("hebbian config vocab_size mismatch")
+            return SparseHebbianNetwork(cfg)
+        cfg = self.lstm or LSTMConfig(vocab_size=self.vocab_size, seed=self.seed)
+        if cfg.vocab_size != self.vocab_size:
+            raise ValueError("lstm config vocab_size mismatch")
+        return OnlineLSTM(cfg)
+
+
+@dataclass
+class CLSPrefetcherStats:
+    """Operational counters for one prefetcher lifetime."""
+
+    misses_seen: int = 0
+    trained_steps: int = 0
+    replayed_pairs: int = 0
+    prefetches_emitted: int = 0
+    suppressed_low_confidence: int = 0
+    redeploys: int = 0
+    phases_seen: int = 0
+
+
+class CLSPrefetcher:
+    """Online CLS prefetcher (implements the memsim ``Prefetcher`` protocol)."""
+
+    #: Phase features: address regions of 2**12 pages, hashed into this
+    #: many histogram bins for the phase detector.
+    _PHASE_FEATURE_BINS = 256
+    _PHASE_REGION_BITS = 12
+
+    def __init__(self, config: CLSPrefetcherConfig = CLSPrefetcherConfig()):
+        self.config = config
+        self.name = f"cls-{config.model}"
+        self.encoder = make_encoder(config.encoder, config.vocab_size,
+                                    config.granularity)
+        self.model: SequenceModel = config.build_model()
+        self.history = MissHistory(capacity=max(16, config.prefetch_length + 2))
+        self.training_policy = make_training_policy(config.training,
+                                                    **config.training_kwargs)
+        self.scheduler: ReplayScheduler | None = None
+        if config.replay_policy is not None:
+            policy = make_replay_policy(config.replay_policy, **config.replay_kwargs)
+            self.scheduler = ReplayScheduler(policy=policy,
+                                             per_step=config.replay_per_step,
+                                             lr_scale=config.replay_lr_scale,
+                                             seed=config.seed)
+        self.phase_detector: OnlinePhaseDetector | None = None
+        if config.phase_detection:
+            # The detector clusters histograms of a *phase-stable* feature.
+            # Encoded classes are not one: over a large working set every
+            # sliding window holds a different subset of classes, so
+            # within-phase windows look as dissimilar as cross-phase ones
+            # and the centroid drifts straight through switches.  Address
+            # regions (which data structure is being touched) are stable
+            # within a phase and distinct across phases.
+            self.phase_detector = OnlinePhaseDetector(
+                vocab_size=self._PHASE_FEATURE_BINS)
+        self.manager: ShadowModelManager | None = None
+        if config.availability:
+            self.manager = ShadowModelManager(self.model)
+        self.recall_memory: HippocampalRecall | None = None
+        self.recall_stats = RecallStats()
+        if config.recall:
+            recall_cfg = config.recall_config or RecallConfig(
+                vocab_size=config.vocab_size, seed=config.seed)
+            if recall_cfg.vocab_size != config.vocab_size:
+                raise ValueError("recall config vocab_size mismatch")
+            self.recall_memory = HippocampalRecall(recall_cfg)
+        self.stats = CLSPrefetcherStats()
+        self._page_shift = config.page_size.bit_length() - 1
+        self._prev_class: int | None = None
+        self._last_probs: np.ndarray | None = None
+        # Direct mode scores the observation against the prediction made L
+        # steps earlier, so keep the last L probability vectors.
+        self._probs_history: deque[np.ndarray] = deque(
+            maxlen=config.prefetch_length)
+        # Self-monitored top-1 accuracy (starts pessimistic: no prefetching
+        # until the model has demonstrated it tracks the stream).
+        self.accuracy_ema: float = 0.0
+        self._hinted_phase: int | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def _live(self) -> SequenceModel:
+        return self.manager.live if self.manager is not None else self.model
+
+    def on_miss(self, event: MissEvent) -> list[int]:
+        """Observe a demand miss; return pages to prefetch."""
+        self.stats.misses_seen += 1
+        class_id = self._ingest(event.address, event.timestamp)
+        if class_id is None:
+            return []
+        return self._predict(event)
+
+    def on_access(self, event) -> list[int] | None:
+        """Optionally observe demand hits too (``observe_hits``).
+
+        Misses are skipped here — ``on_miss`` already ingested them.  With
+        ``trigger_on_hits``, hits also produce prefetches (chaining).
+        """
+        if not self.config.observe_hits or not event.hit:
+            return None
+        class_id = self._ingest(event.address, event.timestamp)
+        if class_id is None or not self.config.trigger_on_hits:
+            return None
+        return self._predict(MissEvent(
+            index=event.index, address=event.address, page=event.page,
+            stream_id=event.stream_id, timestamp=event.timestamp))
+
+    def _ingest(self, address: int, timestamp: int) -> int | None:
+        """Encode one observation and run the learning pipeline on it."""
+        class_id = self.encoder.observe(address)
+        if class_id is None:
+            return None
+
+        phase = -1
+        if self._hinted_phase is not None:
+            phase = self._hinted_phase
+        elif self.phase_detector is not None:
+            region = address >> self._page_shift >> self._PHASE_REGION_BITS
+            phase = self.phase_detector.observe(
+                region % self._PHASE_FEATURE_BINS)
+            self.stats.phases_seen = self.phase_detector.n_phases
+
+        direct = self.config.prediction_mode == "direct"
+        if direct:
+            # Score against the prediction made prefetch_length steps ago.
+            full = len(self._probs_history) == self.config.prefetch_length
+            scored_probs = self._probs_history[0] if full else None
+            confidence = (float(scored_probs[class_id])
+                          if scored_probs is not None else 0.0)
+            transition = self._direct_pair(class_id)
+        else:
+            scored_probs = self._last_probs
+            confidence = (float(scored_probs[class_id])
+                          if scored_probs is not None else 0.0)
+            transition = (None if self._prev_class is None
+                          else (self._prev_class, class_id))
+
+        if scored_probs is not None:
+            width = self.config.prefetch_width
+            top = np.argpartition(scored_probs, -width)[-width:]
+            covered = class_id in top
+            alpha = self.config.accuracy_ema_alpha
+            self.accuracy_ema = ((1 - alpha) * self.accuracy_ema
+                                 + alpha * float(covered))
+        train = (transition is not None
+                 and self.training_policy.should_train(confidence))
+
+        # §5.1 batched training: accumulate transitions and apply them as
+        # one true batch update when full (instead of per-sample steps).
+        if isinstance(self.training_policy, BatchAccumulate):
+            if transition is not None:
+                pending = self.training_policy.offer(*transition)
+                if pending:
+                    trainer = (self.manager.shadow if self.manager is not None
+                               else self.model)
+                    trainer.train_pairs(pending)
+                    self.stats.trained_steps += len(pending)
+                    if self.scheduler is not None:
+                        self.stats.replayed_pairs += self.scheduler.step(
+                            trainer,
+                            current_phase=phase if phase >= 0 else None)
+            train = False  # the batch path owns training
+
+        if transition is not None and self.scheduler is not None:
+            self.scheduler.record(Episode(
+                input_class=transition[0],
+                target_class=transition[1],
+                phase_id=phase,
+                confidence=confidence,
+                timestamp=timestamp,
+            ))
+
+        if self.recall_memory is not None and transition is not None:
+            if self.recall_memory.occupancy() > self.config.recall_occupancy_reset:
+                recall_cfg = self.recall_memory.config
+                self.recall_memory = HippocampalRecall(recall_cfg)
+            self.recall_memory.store(*transition)
+
+        self._learn_and_advance(class_id, train, phase, transition)
+        if direct and self._last_probs is not None:
+            self._probs_history.append(self._last_probs)
+        self.history.push(MissRecord(class_id, address, timestamp))
+        self._prev_class = class_id
+        return class_id
+
+    def _direct_pair(self, class_id: int) -> tuple[int, int] | None:
+        """The lag-L training pair (class at t-L, class at t), if the miss
+        history is deep enough (§5.2: "the prefetch length determines a
+        minimum history size")."""
+        lag = self.config.prefetch_length
+        if len(self.history) < lag:
+            return None
+        past = self.history.last(lag)[0]
+        return past.class_id, class_id
+
+    # ------------------------------------------------------------------
+    def _learn_and_advance(self, class_id: int, train: bool, phase: int,
+                           transition: tuple[int, int] | None) -> None:
+        # phase -1 means "no phase information": replay everything rather
+        # than excluding the (only) phase, which would disable replay.
+        exclude = phase if phase >= 0 else None
+        direct = self.config.prediction_mode == "direct"
+
+        if self.manager is None:
+            if direct:
+                if train and transition is not None:
+                    self.model.train_pair(*transition)
+                    self.stats.trained_steps += 1
+                    if self.scheduler is not None:
+                        self.stats.replayed_pairs += self.scheduler.step(
+                            self.model, current_phase=exclude)
+                self._last_probs = self.model.step(class_id, train=False)
+            else:
+                self._last_probs = self.model.step(class_id, train=train)
+                if train:
+                    self.stats.trained_steps += 1
+                    if self.scheduler is not None:
+                        self.stats.replayed_pairs += self.scheduler.step(
+                            self.model, current_phase=exclude)
+            return
+
+        # Availability protocol (§5.5): shadow trains, live serves.
+        if train and transition is not None:
+            self.manager.train_shadow(*transition)
+            self.stats.trained_steps += 1
+            if self.scheduler is not None:
+                self.stats.replayed_pairs += self.scheduler.step(
+                    self.manager.shadow, current_phase=exclude)
+        if self._last_probs is not None:
+            self.manager.note_confidence(float(self._last_probs[class_id]))
+        if self.manager.should_redeploy():
+            self.manager.redeploy()
+            self.manager.live.reset_state()  # state re-warms within a few misses
+            self.stats.redeploys = self.manager.redeploys
+        self._last_probs = self.manager.live.step(class_id, train=False)
+
+    def _predict(self, event: MissEvent) -> list[int]:
+        if (self.config.min_accuracy > 0
+                and self.accuracy_ema < self.config.min_accuracy):
+            self.stats.suppressed_low_confidence += 1
+            return []
+        if self.config.prediction_mode == "direct":
+            return self._predict_direct(event)
+        rollout = self._live.predict_rollout(width=self.config.prefetch_width,
+                                             length=self.config.prefetch_length)
+        pages: list[int] = []
+        seen: set[int] = set()
+        base = event.address
+
+        # Figure 4's recall path: when the neocortex is not yet confident,
+        # ask the one-shot hippocampal memory first.
+        if (self.recall_memory is not None and self._prev_class is not None
+                and (not rollout
+                     or rollout[0][0][1] < self.config.recall_max_confidence)):
+            self.recall_stats.consulted += 1
+            recalled = self.recall_memory.recall(self._prev_class)
+            if recalled is not None:
+                self.recall_stats.answered += 1
+                if rollout and recalled != rollout[0][0][0]:
+                    self.recall_stats.overrode_neocortex += 1
+                address = self.encoder.decode(recalled, base)
+                if address is not None:
+                    page = address >> self._page_shift
+                    if page != event.page:
+                        seen.add(page)
+                        pages.append(page)
+        for candidates in rollout:
+            for candidate_class, probability in candidates:
+                if probability < self.config.min_confidence:
+                    self.stats.suppressed_low_confidence += 1
+                    continue
+                if candidate_class == OOV_CLASS:
+                    continue
+                address = self.encoder.decode(candidate_class, base)
+                if address is None:
+                    continue
+                page = address >> self._page_shift
+                if page != event.page and page not in seen:
+                    seen.add(page)
+                    pages.append(page)
+            # The rollout path follows the top-1 prediction at each step.
+            top_class = candidates[0][0]
+            next_base = self.encoder.decode(top_class, base)
+            if next_base is None:
+                break
+            base = next_base
+        self.stats.prefetches_emitted += len(pages)
+        return pages
+
+    def _predict_direct(self, event: MissEvent) -> list[int]:
+        """One inference names the top-w units expected L misses ahead."""
+        if self._last_probs is None:
+            return []
+        pages: list[int] = []
+        order = np.argsort(self._last_probs)[::-1][: self.config.prefetch_width]
+        for candidate_class in order:
+            probability = float(self._last_probs[candidate_class])
+            if probability < self.config.min_confidence:
+                self.stats.suppressed_low_confidence += 1
+                continue
+            if candidate_class == OOV_CLASS:
+                continue
+            address = self.encoder.decode(int(candidate_class), event.address)
+            if address is None:
+                continue
+            page = address >> self._page_shift
+            if page != event.page and page not in pages:
+                pages.append(page)
+        self.stats.prefetches_emitted += len(pages)
+        return pages
+
+    # ------------------------------------------------------------------
+    def hint_phase(self, phase_id: int | None) -> None:
+        """Application-directed phase hint (§5.4).
+
+        "This could motivate an interface for application developers to
+        directly tune replay parameters, or to indirectly indicate phase
+        behavior and timings."  A hinted phase overrides the online
+        detector for episode grouping and replay exclusion until cleared
+        (``hint_phase(None)``).
+        """
+        if phase_id is not None and phase_id < 0:
+            raise ValueError("phase_id must be non-negative (or None to clear)")
+        self._hinted_phase = phase_id
+
+    def reset_stream(self) -> None:
+        """Forget stream position (e.g., between traces) but keep learning."""
+        self.encoder.reset_stream()
+        self._live.reset_state()
+        self.history.clear()
+        self._prev_class = None
+        self._last_probs = None

@@ -1,0 +1,164 @@
+"""The hippocampal store (Figure 4's fast learner).
+
+CLS theory's hippocampus does three things the paper leans on:
+
+1. **Episodic storage** — quickly memorize experiences (here: encoded miss
+   transitions) so they can be replayed into the slow learner later
+   (§3.2).  :class:`EpisodicStore` holds those episodes, grouped by phase.
+2. **Pattern separation** — store similar experiences under nearly
+   orthogonal sparse codes so they do not overwrite one another [35, 36].
+3. **Pattern completion** — recall a whole stored association from a
+   partial or noisy cue.  :class:`SparseAssociativeMemory` implements both
+   over k-sparse binary codes with a Willshaw-style binary weight matrix.
+
+The paper deliberately defers a resource-bounded hippocampus ("we will
+focus on showing the benefits of replay ... without resource limitations
+on the hippocampal storage"), so the default store is unbounded; bounded
+variants live in ``repro.core.replay``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Episode:
+    """One stored miss transition.
+
+    Attributes:
+        input_class: Encoded class of the earlier miss.
+        target_class: Encoded class of the following miss.
+        phase_id: Phase the transition was observed in (-1 = unknown).
+        confidence: Model confidence on the target when stored (drives the
+            confidence-filtered policies of §5.1/§5.4).
+        timestamp: Logical time of the target miss.
+    """
+
+    input_class: int
+    target_class: int
+    phase_id: int = -1
+    confidence: float = 0.0
+    timestamp: int = 0
+
+
+@dataclass
+class EpisodicStore:
+    """Episode storage, unbounded by default, FIFO-bounded when capped.
+
+    Selection must stay O(1)-ish per miss (replay runs inside the miss
+    path), so sampling with a phase exclusion uses bounded rejection
+    sampling rather than materializing filtered pools.
+    """
+
+    capacity: int | None = None
+    stored_total: int = 0
+    evicted_total: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity is not None and self.capacity <= 0:
+            raise ValueError("capacity must be positive (or None for unbounded)")
+        self._episodes: deque[Episode] | list[Episode]
+        if self.capacity is None:
+            self._episodes = []
+        else:
+            self._episodes = deque(maxlen=self.capacity)
+
+    def __len__(self) -> int:
+        return len(self._episodes)
+
+    def store(self, episode: Episode) -> None:
+        if self.capacity is not None and len(self._episodes) == self.capacity:
+            self.evicted_total += 1
+        self._episodes.append(episode)
+        self.stored_total += 1
+
+    def episodes(self, phase_id: int | None = None) -> list[Episode]:
+        if phase_id is None:
+            return list(self._episodes)
+        return [e for e in self._episodes if e.phase_id == phase_id]
+
+    def phases(self) -> list[int]:
+        return sorted({e.phase_id for e in self._episodes})
+
+    def sample(self, rng: np.random.Generator, n: int,
+               exclude_phase: int | None = None,
+               max_attempts_per_pick: int = 8) -> list[Episode]:
+        """Sample up to ``n`` episodes uniformly, rejecting one phase.
+
+        Rejection attempts are bounded, so when nearly everything stored
+        belongs to the excluded phase the call returns fewer episodes
+        instead of stalling the miss path.
+        """
+        size = len(self._episodes)
+        if size == 0 or n <= 0:
+            return []
+        out: list[Episode] = []
+        attempts = n * max_attempts_per_pick
+        draws = rng.integers(0, size, size=attempts)
+        for idx in draws:
+            episode = self._episodes[int(idx)]
+            if exclude_phase is None or episode.phase_id != exclude_phase:
+                out.append(episode)
+                if len(out) == n:
+                    break
+        return out
+
+
+class SparseAssociativeMemory:
+    """Willshaw-style hetero-associative memory over k-sparse codes.
+
+    Keys and values are sets of active unit indices (k-sparse binary
+    vectors).  ``store`` ORs the outer product into a binary weight matrix;
+    ``complete`` recalls the value units whose support from the cue clears
+    a threshold — recovering the full stored value from a partial cue
+    (pattern completion), while the sparse random codes keep distinct
+    memories from colliding (pattern separation).
+    """
+
+    def __init__(self, key_dim: int, value_dim: int, value_k: int,
+                 threshold_fraction: float = 0.5):
+        if min(key_dim, value_dim, value_k) <= 0:
+            raise ValueError("dimensions must be positive")
+        if not 0 < threshold_fraction <= 1:
+            raise ValueError("threshold_fraction must be in (0, 1]")
+        self.key_dim = key_dim
+        self.value_dim = value_dim
+        self.value_k = value_k
+        self.threshold_fraction = threshold_fraction
+        self.weights = np.zeros((key_dim, value_dim), dtype=bool)
+        self.stored = 0
+
+    def store(self, key_active: np.ndarray, value_active: np.ndarray) -> None:
+        key_active = np.asarray(key_active, dtype=np.int64)
+        value_active = np.asarray(value_active, dtype=np.int64)
+        self._check(key_active, self.key_dim, "key")
+        self._check(value_active, self.value_dim, "value")
+        self.weights[np.ix_(key_active, value_active)] = True
+        self.stored += 1
+
+    def complete(self, cue_active: np.ndarray) -> np.ndarray:
+        """Recall the value code for a (possibly partial) key cue."""
+        cue_active = np.asarray(cue_active, dtype=np.int64)
+        self._check(cue_active, self.key_dim, "cue")
+        if cue_active.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        support = self.weights[cue_active].sum(axis=0)
+        threshold = self.threshold_fraction * cue_active.size
+        candidates = np.flatnonzero(support >= threshold)
+        if candidates.size <= self.value_k:
+            return candidates
+        order = np.argsort(support[candidates])[::-1]
+        return np.sort(candidates[order[: self.value_k]])
+
+    def density(self) -> float:
+        """Fraction of weights set — the memory's fill level."""
+        return float(self.weights.mean())
+
+    @staticmethod
+    def _check(active: np.ndarray, dim: int, label: str) -> None:
+        if active.size and (active.min() < 0 or active.max() >= dim):
+            raise ValueError(f"{label} indices out of range [0, {dim})")

@@ -1,0 +1,95 @@
+"""Prefetching and continual-learning metrics.
+
+Collects the quantities the paper reports: Figure 3's per-step confidence
+curves and interference summaries, and Figure 5's percent-misses-removed,
+plus the accuracy/coverage/timeliness vocabulary of §5.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..memsim.simulator import SimResult
+
+
+@dataclass
+class ConfidenceCurve:
+    """Per-training-step confidence on a fixed probe sequence (Figure 3)."""
+
+    label: str
+    steps: list[int] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def append(self, step: int, value: float) -> None:
+        self.steps.append(step)
+        self.values.append(value)
+
+    def final(self) -> float:
+        return self.values[-1] if self.values else 0.0
+
+    def minimum(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self.steps), np.asarray(self.values)
+
+
+@dataclass(frozen=True)
+class InterferenceSummary:
+    """How badly pattern A was forgotten while learning pattern B.
+
+    Attributes:
+        pattern_a: Name of the first-learned pattern.
+        pattern_b: Name of the pattern learned second.
+        conf_a_before: Confidence on A after learning A (should be ~1).
+        conf_a_after: Confidence on A after learning B.
+        conf_b_after: Confidence on B after learning B.
+        replay: Whether interleaved replay was active.
+    """
+
+    pattern_a: str
+    pattern_b: str
+    conf_a_before: float
+    conf_a_after: float
+    conf_b_after: float
+    replay: bool
+
+    @property
+    def forgetting(self) -> float:
+        """Confidence lost on the old pattern (the Figure 3 red-curve drop)."""
+        return self.conf_a_before - self.conf_a_after
+
+
+@dataclass(frozen=True)
+class PrefetchSummary:
+    """One Figure 5 bar: a model's online prefetching outcome on a trace."""
+
+    trace_name: str
+    prefetcher_name: str
+    misses_baseline: int
+    misses_with_prefetch: int
+    prefetch_accuracy: float
+    coverage: float
+
+    @property
+    def percent_misses_removed(self) -> float:
+        if self.misses_baseline == 0:
+            return 0.0
+        return 100.0 * (self.misses_baseline - self.misses_with_prefetch) / self.misses_baseline
+
+
+def summarize_prefetch(baseline: SimResult, run: SimResult) -> PrefetchSummary:
+    """Build the Figure 5 metric from a (baseline, prefetcher) run pair."""
+    if baseline.trace_name != run.trace_name:
+        raise ValueError(
+            f"baseline trace {baseline.trace_name!r} != run trace {run.trace_name!r}")
+    return PrefetchSummary(
+        trace_name=run.trace_name,
+        prefetcher_name=run.prefetcher_name,
+        misses_baseline=baseline.demand_misses,
+        misses_with_prefetch=run.demand_misses,
+        prefetch_accuracy=run.stats.prefetch_accuracy,
+        coverage=run.stats.coverage,
+    )

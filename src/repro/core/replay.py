@@ -1,0 +1,329 @@
+"""Interleaved replay (§3.2) and its storage/selection variants (§5.4).
+
+The paper's protocol: after each training/inference step on the *new*
+pattern, retrain the network on stored examples of *old* patterns with a
+0.1x smaller learning rate.  That interleaving is what prevents
+catastrophic interference (Figure 3 d-f).
+
+§5.4 lays out the design space for making replay affordable; each point in
+it is a :class:`ReplayPolicy` here:
+
+- :class:`FullReplay` — store everything, sample uniformly (the paper's
+  experimental setting: "we assumed that we could store all past
+  examples").
+- :class:`RingBufferReplay` — fixed-size buffer, oldest evicted.
+- :class:`ConfidenceFilteredReplay` — only store examples the model was
+  *unsure* about; well-learned cases carry little information.
+- :class:`PrototypeReplay` — "average similar examples, producing single
+  representative cases": dedupe transitions, weight by frequency.
+- :class:`GenerativeReplay` — no storage at all: replay sequences the
+  model itself generates (hindsight/simulation replay), trading compute
+  for memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from ..nn.base import SequenceModel
+from .hippocampus import Episode, EpisodicStore
+
+#: The paper's replay learning-rate scale (§3.2: "0.1x smaller").
+REPLAY_LR_SCALE = 0.1
+
+
+class ReplayPolicy(Protocol):
+    """Decides what enters hippocampal storage and what gets replayed."""
+
+    name: str
+
+    def record(self, episode: Episode) -> None:
+        """Offer a new episode for storage."""
+        ...
+
+    def select(self, rng: np.random.Generator, batch: int,
+               exclude_phase: int | None = None) -> list[Episode]:
+        """Pick up to ``batch`` episodes to replay.  ``exclude_phase``
+        skips the phase currently being learned (replaying the current
+        pattern is ordinary training, not interleaving)."""
+        ...
+
+    def storage_size(self) -> int:
+        """Episodes currently held (the §5.4 storage-cost axis)."""
+        ...
+
+
+@dataclass
+class FullReplay:
+    """Store every episode; sample uniformly from old phases."""
+
+    name: str = "full"
+    store: EpisodicStore = field(default_factory=EpisodicStore)
+
+    def record(self, episode: Episode) -> None:
+        self.store.store(episode)
+
+    def select(self, rng: np.random.Generator, batch: int,
+               exclude_phase: int | None = None) -> list[Episode]:
+        return self.store.sample(rng, batch, exclude_phase=exclude_phase)
+
+    def storage_size(self) -> int:
+        return len(self.store)
+
+
+@dataclass
+class RingBufferReplay:
+    """Fixed-capacity buffer; §5.4 warns it "could lose important
+    information as entries are evicted" — the ablation quantifies that."""
+
+    capacity: int = 256
+    name: str = "ring"
+    store: EpisodicStore = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.store = EpisodicStore(capacity=self.capacity)
+
+    def record(self, episode: Episode) -> None:
+        self.store.store(episode)
+
+    def select(self, rng: np.random.Generator, batch: int,
+               exclude_phase: int | None = None) -> list[Episode]:
+        return self.store.sample(rng, batch, exclude_phase=exclude_phase)
+
+    def storage_size(self) -> int:
+        return len(self.store)
+
+
+@dataclass
+class ConfidenceFilteredReplay:
+    """Store only low-confidence (information-carrying) episodes (§5.4).
+
+    Attributes:
+        confidence_threshold: Episodes the model already predicted with at
+            least this confidence are not stored — they are consolidated.
+    """
+
+    confidence_threshold: float = 0.9
+    name: str = "confidence"
+    store: EpisodicStore = field(default_factory=EpisodicStore)
+
+    def record(self, episode: Episode) -> None:
+        if episode.confidence < self.confidence_threshold:
+            self.store.store(episode)
+
+    def select(self, rng: np.random.Generator, batch: int,
+               exclude_phase: int | None = None) -> list[Episode]:
+        return self.store.sample(rng, batch, exclude_phase=exclude_phase)
+
+    def storage_size(self) -> int:
+        return len(self.store)
+
+
+@dataclass
+class PrototypeReplay:
+    """Average similar examples into single representative cases (§5.4).
+
+    Transitions are exact duplicates of one another in our encoded space,
+    so "averaging" is deduplication with a frequency weight; selection
+    samples proportional to frequency so replay pressure mirrors the
+    original distribution at a fraction of the storage.
+    """
+
+    name: str = "prototype"
+    _counts: dict[tuple[int, int, int], int] = field(default_factory=dict, repr=False)
+    _meta: dict[tuple[int, int, int], Episode] = field(default_factory=dict, repr=False)
+
+    def record(self, episode: Episode) -> None:
+        key = (episode.input_class, episode.target_class, episode.phase_id)
+        self._counts[key] = self._counts.get(key, 0) + 1
+        self._meta.setdefault(key, episode)
+
+    def select(self, rng: np.random.Generator, batch: int,
+               exclude_phase: int | None = None) -> list[Episode]:
+        keys = [k for k in self._counts
+                if exclude_phase is None or k[2] != exclude_phase]
+        if not keys:
+            return []
+        weights = np.array([self._counts[k] for k in keys], dtype=np.float64)
+        weights /= weights.sum()
+        picks = rng.choice(len(keys), size=batch, p=weights)
+        return [self._meta[keys[int(i)]] for i in picks]
+
+    def storage_size(self) -> int:
+        return len(self._counts)
+
+
+@dataclass
+class ConsolidatingReplay:
+    """Free episodes once replay has consolidated them (§5.4).
+
+    "A more principled approach could save space by ... freeing entries
+    that have already been consolidated due to replay, thus not needed
+    further learning."  Episodes whose pre-update model confidence at
+    replay time reaches ``consolidated_above`` are discarded from storage;
+    the store shrinks as the neocortex absorbs its contents.
+    """
+
+    consolidated_above: float = 0.9
+    name: str = "consolidating"
+    consolidated_total: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.consolidated_above <= 1:
+            raise ValueError("consolidated_above must be in (0, 1]")
+        self._episodes: list[Episode] = []
+
+    def record(self, episode: Episode) -> None:
+        self._episodes.append(episode)
+
+    def select(self, rng: np.random.Generator, batch: int,
+               exclude_phase: int | None = None) -> list[Episode]:
+        pool_indices = [i for i, e in enumerate(self._episodes)
+                        if exclude_phase is None or e.phase_id != exclude_phase]
+        if not pool_indices:
+            return []
+        picks = rng.integers(0, len(pool_indices), size=batch)
+        return [self._episodes[pool_indices[int(i)]] for i in picks]
+
+    def on_replayed(self, episode: Episode, confidence: float) -> None:
+        """Scheduler feedback: free the episode if it is consolidated."""
+        if confidence >= self.consolidated_above:
+            try:
+                self._episodes.remove(episode)
+                self.consolidated_total += 1
+            except ValueError:
+                pass  # already freed by an earlier replay of a duplicate
+
+    def storage_size(self) -> int:
+        return len(self._episodes)
+
+
+@dataclass
+class GenerativeReplay:
+    """Hindsight/simulation replay (§5.4): zero storage.
+
+    Replays sequences the model itself generates: roll the model forward
+    from a seed class it has seen, and train on its own (confident)
+    predictions, reinforcing existing behaviour instead of recalling
+    stored episodes.  Seed classes are the only state kept (one int per
+    distinct class, not per example).
+    """
+
+    min_confidence: float = 0.5
+    rollout_length: int = 4
+    name: str = "generative"
+    _seed_classes: dict[int, int] = field(default_factory=dict, repr=False)
+
+    def record(self, episode: Episode) -> None:
+        self._seed_classes[episode.input_class] = episode.phase_id
+
+    def select(self, rng: np.random.Generator, batch: int,
+               exclude_phase: int | None = None) -> list[Episode]:
+        """Generative replay has no stored episodes to select."""
+        del rng, batch, exclude_phase
+        return []
+
+    def generate(self, model: SequenceModel, rng: np.random.Generator,
+                 batch: int, exclude_phase: int | None = None
+                 ) -> list[tuple[int, int]]:
+        """Produce (input, target) pairs from the model's own rollouts."""
+        seeds = [c for c, p in self._seed_classes.items()
+                 if exclude_phase is None or p != exclude_phase]
+        if not seeds:
+            return []
+        pairs: list[tuple[int, int]] = []
+        for _ in range(batch):
+            seed = seeds[int(rng.integers(0, len(seeds)))]
+            probe = model.clone()
+            probe.reset_state()
+            current = seed
+            for _ in range(self.rollout_length):
+                probs = probe.step(current, train=False)
+                nxt = int(np.argmax(probs))
+                if probs[nxt] < self.min_confidence:
+                    break
+                pairs.append((current, nxt))
+                current = nxt
+        return pairs
+
+    def storage_size(self) -> int:
+        return len(self._seed_classes)
+
+
+@dataclass
+class ReplayScheduler:
+    """Drives interleaved replay around ordinary training (§3.2).
+
+    After every new-pattern training step, call :meth:`step`: the scheduler
+    asks the policy for old episodes and retrains the model on them at
+    ``lr_scale`` (0.1x by default, the paper's setting).
+
+    Attributes:
+        policy: Storage/selection policy.
+        per_step: Episodes replayed per new training step.
+        lr_scale: Replay learning-rate scale.
+        seed: Sampling seed.
+    """
+
+    policy: ReplayPolicy
+    per_step: int = 1
+    lr_scale: float = REPLAY_LR_SCALE
+    seed: int = 0
+    replayed_total: int = 0
+
+    def __post_init__(self) -> None:
+        if self.per_step < 0:
+            raise ValueError("per_step must be >= 0")
+        self._rng = np.random.default_rng(self.seed)
+
+    def record(self, episode: Episode) -> None:
+        self.policy.record(episode)
+
+    def step(self, model: SequenceModel, current_phase: int | None = None) -> int:
+        """Run one interleaving round; returns the number of replayed pairs."""
+        if self.per_step == 0:
+            return 0
+        count = 0
+        if isinstance(self.policy, GenerativeReplay):
+            pairs = self.policy.generate(model, self._rng, self.per_step,
+                                         exclude_phase=current_phase)
+            for input_class, target_class in pairs:
+                model.train_pair(input_class, target_class, lr_scale=self.lr_scale)
+                count += 1
+        else:
+            episodes = self.policy.select(self._rng, self.per_step,
+                                          exclude_phase=current_phase)
+            on_replayed = getattr(self.policy, "on_replayed", None)
+            for episode in episodes:
+                confidence = model.train_pair(episode.input_class,
+                                              episode.target_class,
+                                              lr_scale=self.lr_scale)
+                if on_replayed is not None:
+                    on_replayed(episode, confidence)
+                count += 1
+        self.replayed_total += count
+        return count
+
+
+def make_replay_policy(kind: str, **kwargs) -> ReplayPolicy:
+    """Factory over the §5.4 design space."""
+    policies = {
+        "full": FullReplay,
+        "ring": RingBufferReplay,
+        "confidence": ConfidenceFilteredReplay,
+        "prototype": PrototypeReplay,
+        "consolidating": ConsolidatingReplay,
+        "generative": GenerativeReplay,
+    }
+    try:
+        factory = policies[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown replay policy {kind!r}; expected one of {sorted(policies)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,181 @@
+"""Training-instance selection (§5.1).
+
+"Training on every prefetch inference ... can be unnecessary and
+resource-consuming, especially because training is more expensive than
+inference."  The paper sketches the alternatives; each is a policy here:
+
+- :class:`TrainAlways` — the paper's experimental setting (§3.1).
+- :class:`TrainEveryK` — simple decimation.
+- :class:`RandomSampling` — train on a random subset; §5.1 warns this "may
+  miss cases that are critical".
+- :class:`ConfidenceFiltered` — "use confidence measures from the model to
+  filter less-information carrying samples, or to avoid training on
+  well-learned cases".
+- :class:`BatchAccumulate` — train on a batch of samples at once.
+
+A policy sees the model's pre-update confidence on the observed miss and
+answers whether (and how) to spend a training step on it.  All policies
+count decisions so experiments can report training cost alongside
+accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+
+class TrainingPolicy(Protocol):
+    """Decides whether to train on an observed transition."""
+
+    name: str
+    considered: int
+    trained: int
+
+    def should_train(self, confidence: float) -> bool:
+        """``confidence`` is the model's pre-update probability of the
+        observed miss class (0 when unavailable)."""
+        ...
+
+
+@dataclass
+class TrainAlways:
+    name: str = "always"
+    considered: int = 0
+    trained: int = 0
+
+    def should_train(self, confidence: float) -> bool:
+        del confidence
+        self.considered += 1
+        self.trained += 1
+        return True
+
+
+@dataclass
+class TrainEveryK:
+    k: int = 4
+    name: str = field(default="", repr=False)
+    considered: int = 0
+    trained: int = 0
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if not self.name:
+            self.name = f"every{self.k}"
+
+    def should_train(self, confidence: float) -> bool:
+        del confidence
+        self.considered += 1
+        if self.considered % self.k == 0:
+            self.trained += 1
+            return True
+        return False
+
+
+@dataclass
+class RandomSampling:
+    probability: float = 0.25
+    seed: int = 0
+    name: str = field(default="", repr=False)
+    considered: int = 0
+    trained: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.probability <= 1:
+            raise ValueError("probability must be in [0, 1]")
+        if not self.name:
+            self.name = f"random{self.probability:g}"
+        self._rng = np.random.default_rng(self.seed)
+
+    def should_train(self, confidence: float) -> bool:
+        del confidence
+        self.considered += 1
+        if self._rng.random() < self.probability:
+            self.trained += 1
+            return True
+        return False
+
+
+@dataclass
+class ConfidenceFiltered:
+    """Skip training on transitions the model already predicts well.
+
+    Attributes:
+        skip_above: Confidence above which a sample is considered
+            well-learned and skipped (§5.1).
+    """
+
+    skip_above: float = 0.9
+    name: str = field(default="", repr=False)
+    considered: int = 0
+    trained: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.skip_above <= 1:
+            raise ValueError("skip_above must be in (0, 1]")
+        if not self.name:
+            self.name = f"confidence<{self.skip_above:g}"
+
+    def should_train(self, confidence: float) -> bool:
+        self.considered += 1
+        if confidence < self.skip_above:
+            self.trained += 1
+            return True
+        return False
+
+
+@dataclass
+class BatchAccumulate:
+    """Defer training until a batch of samples accumulates (§5.1).
+
+    ``should_train`` answers True once per ``batch_size`` offers; callers
+    that support true batched updates can drain :attr:`pending` instead.
+    """
+
+    batch_size: int = 8
+    name: str = field(default="", repr=False)
+    considered: int = 0
+    trained: int = 0
+    pending: list[tuple[int, int]] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if not self.name:
+            self.name = f"batch{self.batch_size}"
+
+    def should_train(self, confidence: float) -> bool:
+        del confidence
+        self.considered += 1
+        if self.considered % self.batch_size == 0:
+            self.trained += 1
+            return True
+        return False
+
+    def offer(self, input_class: int, target_class: int) -> list[tuple[int, int]]:
+        """Queue a transition; returns the batch to train on when full."""
+        self.pending.append((input_class, target_class))
+        if len(self.pending) >= self.batch_size:
+            batch, self.pending = self.pending, []
+            return batch
+        return []
+
+
+def make_training_policy(kind: str, **kwargs) -> TrainingPolicy:
+    policies = {
+        "always": TrainAlways,
+        "every_k": TrainEveryK,
+        "random": RandomSampling,
+        "confidence": ConfidenceFiltered,
+        "batch": BatchAccumulate,
+    }
+    try:
+        factory = policies[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown training policy {kind!r}; expected one of {sorted(policies)}"
+        ) from None
+    return factory(**kwargs)

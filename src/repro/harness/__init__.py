@@ -1,0 +1,95 @@
+"""Experiment drivers regenerating every paper table/figure + ablations."""
+
+from .ablations import (
+    ablation_adaptation,
+    ablation_availability,
+    ablation_encoding,
+    ablation_length_width,
+    ablation_noise_robustness,
+    ablation_prediction_mode,
+    ablation_replay,
+    ablation_sampling,
+    ablation_sparsity,
+)
+from .fig2 import BATCH_SIZES, FUTURE_STEPS, LatencySeries, inference_panel, training_panel
+from .fig5 import Fig5Config, Fig5Result, make_model_prefetcher, run_fig5
+from .fig6 import (
+    DisaggComparison,
+    Fig6Config,
+    UVMComparison,
+    run_disaggregated,
+    run_uvm,
+)
+from .interference import (
+    InterferenceConfig,
+    InterferenceRun,
+    pattern_class_sequences,
+    run_interference,
+)
+from .models import (
+    experiment_hebbian,
+    experiment_hebbian_config,
+    experiment_lstm,
+    experiment_lstm_config,
+    paper_hebbian_config,
+    paper_lstm_config,
+)
+from .export import export_rows_csv
+from .reporting import format_series, format_table, print_table
+from .variance import VarianceRow, fig5_seed_sweep
+from .tables import (
+    PAPER_TABLE2,
+    PatternSignature,
+    ResourceRow,
+    pattern_signature,
+    table1_signatures,
+    table2_rows,
+)
+
+__all__ = [
+    "ablation_adaptation",
+    "ablation_availability",
+    "ablation_prediction_mode",
+    "ablation_encoding",
+    "ablation_length_width",
+    "ablation_noise_robustness",
+    "ablation_replay",
+    "ablation_sampling",
+    "ablation_sparsity",
+    "BATCH_SIZES",
+    "FUTURE_STEPS",
+    "LatencySeries",
+    "inference_panel",
+    "training_panel",
+    "Fig5Config",
+    "Fig5Result",
+    "make_model_prefetcher",
+    "run_fig5",
+    "DisaggComparison",
+    "Fig6Config",
+    "UVMComparison",
+    "run_disaggregated",
+    "run_uvm",
+    "InterferenceConfig",
+    "InterferenceRun",
+    "pattern_class_sequences",
+    "run_interference",
+    "experiment_hebbian",
+    "experiment_hebbian_config",
+    "experiment_lstm",
+    "experiment_lstm_config",
+    "paper_hebbian_config",
+    "paper_lstm_config",
+    "export_rows_csv",
+    "format_series",
+    "format_table",
+    "print_table",
+    "VarianceRow",
+    "fig5_seed_sweep",
+    "PAPER_TABLE2",
+    "PatternSignature",
+    "ResourceRow",
+    "pattern_signature",
+    "table1_signatures",
+    "table2_rows",
+]

@@ -1,0 +1,362 @@
+"""Ablations over the §5 research-agenda design choices (A1-A6 in DESIGN.md).
+
+Each function runs one controlled comparison and returns plain row dicts;
+the corresponding benchmark prints them.  These are the measurable
+versions of the paper's open questions:
+
+- A1 training-instance sampling (§5.1)
+- A2 prefetch length/width vs timeliness (§5.2)
+- A3 input encodings, incl. the memcached/cachebench negative result (§5.3)
+- A4 replay storage/selection variants (§5.4)
+- A5 availability protocol + weight-noise robustness (§5.5)
+- A6 Hebbian sparsity sweep (§3.1's efficiency knobs)
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ..core.availability import weight_noise_robustness
+from ..core.cls_prefetcher import CLSPrefetcher, CLSPrefetcherConfig
+from ..memsim.prefetcher import NullPrefetcher
+from ..memsim.simulator import SimConfig, baseline_misses, simulate
+from ..nn.costs import hebbian_inference_ops, hebbian_parameter_count
+from ..nn.hebbian import HebbianConfig, SparseHebbianNetwork
+from ..patterns.applications import AppSpec, generate_application
+from ..patterns.generators import PatternSpec, pointer_chase, stride
+from ..patterns.trace import interleave
+from .interference import InterferenceConfig, run_interference
+from .models import (
+    experiment_hebbian,
+    experiment_hebbian_config,
+    experiment_lstm,
+)
+
+VOCAB = 192
+
+
+def _hebbian_cls(seed: int = 0, **overrides) -> CLSPrefetcher:
+    config = CLSPrefetcherConfig(
+        model="hebbian",
+        vocab_size=VOCAB,
+        hebbian=experiment_hebbian_config(VOCAB, seed),
+        seed=seed,
+        **overrides,
+    )
+    return CLSPrefetcher(config)
+
+
+# ----------------------------------------------------------------------
+# A1: training-instance sampling (§5.1)
+# ----------------------------------------------------------------------
+def ablation_sampling(n_accesses: int = 15_000, seed: int = 0) -> list[dict]:
+    # resnet's regular stream + demand-stream observation keep the input
+    # distribution stationary, so model confidence saturates on learned
+    # transitions and the confidence-filtered policy has real skips to make
+    # (under miss-only observation, prefetch feedback keeps confidence low
+    # everywhere and the filter degenerates to train-always).
+    trace = generate_application("resnet", AppSpec(n=n_accesses, seed=seed))
+    sim_cfg = SimConfig(memory_fraction=0.5)
+    baseline = baseline_misses(trace, sim_cfg)
+
+    policies = [
+        ("always", {}),
+        ("every_k", {"k": 4}),
+        ("random", {"probability": 0.25, "seed": seed}),
+        ("confidence", {"skip_above": 0.9}),
+    ]
+    rows = []
+    for kind, kwargs in policies:
+        prefetcher = _hebbian_cls(seed=seed, training=kind,
+                                  training_kwargs=kwargs, observe_hits=True)
+        run = simulate(trace, prefetcher, sim_cfg)
+        rows.append({
+            "policy": prefetcher.training_policy.name,
+            "trained_steps": prefetcher.training_policy.trained,
+            "considered": prefetcher.training_policy.considered,
+            "train_fraction": (prefetcher.training_policy.trained
+                               / max(1, prefetcher.training_policy.considered)),
+            "misses_removed_pct": run.percent_misses_removed(baseline),
+        })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# A2: prefetch length/width and timeliness (§5.2)
+# ----------------------------------------------------------------------
+def ablation_length_width(n_accesses: int = 12_000, seed: int = 0,
+                          lengths: tuple[int, ...] = (1, 2, 4),
+                          widths: tuple[int, ...] = (1, 2, 4),
+                          delays: tuple[int, ...] = (0, 4)) -> list[dict]:
+    spec = PatternSpec(n=n_accesses, working_set=400, element_size=4096, seed=seed)
+    trace = pointer_chase(spec)
+    rows = []
+    for delay in delays:
+        sim_cfg = SimConfig(memory_fraction=0.5, prefetch_delay_accesses=delay)
+        baseline = baseline_misses(trace, sim_cfg)
+        for length in lengths:
+            for width in widths:
+                prefetcher = _hebbian_cls(seed=seed, prefetch_length=length,
+                                          prefetch_width=width)
+                run = simulate(trace, prefetcher, sim_cfg)
+                rows.append({
+                    "delay_accesses": delay,
+                    "length": length,
+                    "width": width,
+                    "misses_removed_pct": run.percent_misses_removed(baseline),
+                    "prefetch_accuracy": run.stats.prefetch_accuracy,
+                })
+    return rows
+
+
+def ablation_prediction_mode(n_accesses: int = 8_000, seed: int = 5,
+                             delays: tuple[int, ...] = (0, 6)) -> list[dict]:
+    """§5.2's two ways to predict L steps ahead, under landing delay.
+
+    Rollout re-feeds the model its own prediction L times (L inferences,
+    compounding error, horizon limited by inference cost); direct lag-L
+    training predicts the miss L steps ahead in ONE inference.  With
+    prefetch chaining (also triggering on hits), direct mode's coverage
+    becomes delay-immune up to L.
+    """
+    trace = pointer_chase(PatternSpec(n=n_accesses, working_set=300,
+                                      element_size=4096, seed=seed))
+    configs = [
+        ("rollout L=4", dict(prediction_mode="rollout", prefetch_length=4)),
+        ("direct L=6", dict(prediction_mode="direct", prefetch_length=6)),
+        ("direct L=6 + chain", dict(prediction_mode="direct", prefetch_length=6,
+                                    observe_hits=True, trigger_on_hits=True)),
+    ]
+    rows = []
+    for delay in delays:
+        sim_cfg = SimConfig(memory_fraction=0.5, prefetch_delay_accesses=delay)
+        baseline = baseline_misses(trace, sim_cfg)
+        for label, overrides in configs:
+            prefetcher = CLSPrefetcher(CLSPrefetcherConfig(
+                model="hebbian", vocab_size=512, encoder="page",
+                hebbian=experiment_hebbian_config(512, seed),
+                prefetch_width=2, min_confidence=0.25, seed=seed,
+                **overrides))
+            run = simulate(trace, prefetcher, sim_cfg)
+            inferences_per_trigger = (overrides["prefetch_length"]
+                                      if overrides["prediction_mode"] == "rollout"
+                                      else 1)
+            rows.append({
+                "delay_accesses": delay,
+                "mode": label,
+                "misses_removed_pct": run.percent_misses_removed(baseline),
+                "prefetch_accuracy": run.stats.prefetch_accuracy,
+                "inferences_per_trigger": inferences_per_trigger,
+            })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# A3: input encodings (§5.3)
+# ----------------------------------------------------------------------
+def _interleaved_strides(n_accesses: int, seed: int):
+    """One thread walking two independent arrays: interleaved strided
+    streams whose combined delta sequence is cross-structure garbage."""
+    half = n_accesses // 2
+    a = stride(PatternSpec(n=half, working_set=300, element_size=4096,
+                           base=0x1000_0000, seed=seed + 1))
+    b = stride(PatternSpec(n=half, working_set=300, element_size=4096,
+                           base=0x8000_0000, seed=seed + 2), stride_elements=2)
+    return interleave([a, b], seed=seed + 3, name="interleaved_strides")
+
+
+def ablation_encoding(n_accesses: int = 12_000, seed: int = 0) -> list[dict]:
+    workloads = {
+        "pointer_chase": pointer_chase(PatternSpec(n=n_accesses, working_set=300,
+                                                   element_size=4096, seed=seed)),
+        "interleaved_strides": _interleaved_strides(n_accesses, seed),
+        # graph500 needs several whole BFS passes to become learnable
+        "graph500": generate_application("graph500",
+                                         AppSpec(n=2 * n_accesses, seed=seed)),
+        "memcached": generate_application("memcached", AppSpec(n=n_accesses, seed=seed)),
+        "cachebench": generate_application("cachebench", AppSpec(n=n_accesses, seed=seed)),
+    }
+    sim_cfg = SimConfig(memory_fraction=0.5)
+    rows = []
+    for name, trace in workloads.items():
+        baseline = baseline_misses(trace, sim_cfg)
+        for encoder in ("delta", "page", "region"):
+            # the interleaved case needs demand-stream observation so the
+            # encoders see the structure interleaving, not its miss shadow
+            observe_hits = name == "interleaved_strides"
+            prefetcher = _hebbian_cls(seed=seed, encoder=encoder,
+                                      prefetch_length=2, prefetch_width=2,
+                                      min_confidence=0.25,
+                                      observe_hits=observe_hits)
+            run = simulate(trace, prefetcher, sim_cfg)
+            rows.append({
+                "workload": name,
+                "encoder": encoder,
+                "misses_removed_pct": run.percent_misses_removed(baseline),
+                "prefetch_accuracy": run.stats.prefetch_accuracy,
+            })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# A10: adaptation speed after a phase switch
+# ----------------------------------------------------------------------
+def ablation_adaptation(n_per_phase: int = 3_000, window: int = 600,
+                        seed: int = 0) -> list[dict]:
+    """How fast each learner recovers when the access pattern changes.
+
+    The paper's motivation (§1): "a prefetcher's ability to adapt to new
+    access patterns as they emerge is becoming more crucial than ever."
+    We switch from one pointer structure to a different one mid-trace and
+    measure windowed miss removal after the switch.  The hippocampal
+    recall path (A8) is the one-shot mechanism built for exactly this.
+    """
+    phase_a = pointer_chase(PatternSpec(n=n_per_phase, working_set=250,
+                                        element_size=4096, seed=seed))
+    phase_b = pointer_chase(PatternSpec(n=n_per_phase, working_set=250,
+                                        element_size=4096,
+                                        base=0x9000_0000, seed=seed + 1))
+    trace = phase_a.concat(phase_b)
+    # memory must be smaller than one phase's working set (250 pages of the
+    # 500-page total) or the new phase simply fits and nothing misses
+    sim_cfg = SimConfig(memory_fraction=0.3)
+    baseline = simulate(trace, NullPrefetcher(), sim_cfg,
+                        record_miss_indices=True)
+
+    def windowed_misses(indices: list[int]) -> list[int]:
+        counts = []
+        for start in range(n_per_phase, 2 * n_per_phase, window):
+            counts.append(sum(1 for i in indices if start <= i < start + window))
+        return counts
+
+    base_windows = windowed_misses(baseline.miss_indices)
+
+    contenders = {
+        "hebbian": dict(model="hebbian"),
+        "hebbian+recall": dict(model="hebbian", recall=True),
+        "lstm": dict(model="lstm"),
+    }
+    rows = []
+    for label, overrides in contenders.items():
+        model = overrides.pop("model")
+        if model == "hebbian":
+            extra = {"hebbian": experiment_hebbian_config(512, seed)}
+        else:
+            from .models import experiment_lstm_config
+            extra = {"lstm": experiment_lstm_config(512, seed)}
+        prefetcher = CLSPrefetcher(CLSPrefetcherConfig(
+            model=model, vocab_size=512, encoder="page",
+            prefetch_length=2, prefetch_width=2, min_confidence=0.25,
+            seed=seed, **extra, **overrides))
+        run = simulate(trace, prefetcher, sim_cfg, record_miss_indices=True)
+        for w_index, (base_count, run_count) in enumerate(
+                zip(base_windows, windowed_misses(run.miss_indices))):
+            removed = (100.0 * (base_count - run_count) / base_count
+                       if base_count else 0.0)
+            rows.append({"model": label, "window": w_index,
+                         "misses_removed_pct": removed})
+    return rows
+
+
+# ----------------------------------------------------------------------
+# A4: replay variants (§5.4)
+# ----------------------------------------------------------------------
+def ablation_replay(seed: int = 0) -> list[dict]:
+    config = InterferenceConfig(probe_len=80, probe_every=1000, seed=seed)
+    variants: list[tuple[str | None, dict]] = [
+        (None, {}),
+        ("full", {}),
+        ("ring", {"capacity": 128}),
+        ("confidence", {"confidence_threshold": 0.9}),
+        ("prototype", {}),
+        ("consolidating", {"consolidated_above": 0.9}),
+        ("generative", {"min_confidence": 0.5, "rollout_length": 4}),
+    ]
+    rows = []
+    for kind, kwargs in variants:
+        cfg = replace(config, replay_policy=kind or "full", replay_kwargs=kwargs)
+        run = run_interference(
+            lambda v: experiment_lstm(v, seed=seed),
+            "stride", "pointer_chase",
+            replay=kind is not None,
+            config=cfg,
+        )
+        rows.append({
+            "replay": kind or "none",
+            "conf_A_before": run.summary.conf_a_before,
+            "conf_A_after": run.summary.conf_a_after,
+            "conf_B_after": run.summary.conf_b_after,
+            "forgetting": run.summary.forgetting,
+            "replayed_pairs": run.replayed_pairs,
+        })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# A5: availability (§5.5)
+# ----------------------------------------------------------------------
+def ablation_availability(n_accesses: int = 12_000, seed: int = 0) -> list[dict]:
+    trace = generate_application("mcf", AppSpec(n=n_accesses, seed=seed))
+    sim_cfg = SimConfig(memory_fraction=0.5)
+    baseline = baseline_misses(trace, sim_cfg)
+    rows = []
+    for availability in (False, True):
+        prefetcher = _hebbian_cls(seed=seed, availability=availability)
+        run = simulate(trace, prefetcher, sim_cfg)
+        rows.append({
+            "protocol": "shadow-copy" if availability else "train-in-place",
+            "misses_removed_pct": run.percent_misses_removed(baseline),
+            "redeploys": prefetcher.stats.redeploys,
+        })
+    return rows
+
+
+def ablation_noise_robustness(seed: int = 0) -> list[dict]:
+    """§5.5's conjecture: small weight perturbations barely move outputs."""
+    cycle = list(np.random.default_rng(seed).permutation(40)) * 25
+    rows = []
+    for family, model in (("hebbian", experiment_hebbian(64, seed)),
+                          ("lstm", experiment_lstm(64, seed))):
+        for class_id in cycle:
+            model.step(int(class_id) % 64, train=True)
+        probe = [int(c) % 64 for c in cycle[:80]]
+        curve = weight_noise_robustness(model, probe, seed=seed)
+        for sigma, confidence in curve.items():
+            rows.append({"model": family, "sigma": sigma, "confidence": confidence})
+    return rows
+
+
+# ----------------------------------------------------------------------
+# A6: Hebbian sparsity sweep (§3.1)
+# ----------------------------------------------------------------------
+def ablation_sparsity(seed: int = 0,
+                      connectivities: tuple[float, ...] = (0.05, 0.125, 0.25),
+                      activations: tuple[float, ...] = (0.05, 0.10, 0.25)
+                      ) -> list[dict]:
+    rng = np.random.default_rng(seed)
+    cycle = [int(c) for c in rng.permutation(60)] * 12
+    probe = cycle[:120]
+    rows = []
+    for conn in connectivities:
+        for act in activations:
+            # stationary sequence learning: use the HebbianConfig defaults
+            # (the deployment-tuned experiment config trades learning speed
+            # for inertia, which is off-topic for this sweep)
+            cfg = HebbianConfig(vocab_size=128, hidden_dim=500,
+                                connectivity_in=conn, connectivity_out=conn,
+                                connectivity_rec=0.017,
+                                activation_fraction=act, seed=seed)
+            model = SparseHebbianNetwork(cfg)
+            for class_id in cycle:
+                model.step(class_id, train=True)
+            ops = hebbian_inference_ops(cfg)
+            rows.append({
+                "connectivity": conn,
+                "activation": act,
+                "confidence": model.evaluate_sequence(probe),
+                "parameters": hebbian_parameter_count(cfg),
+                "inference_int_ops": ops.int_ops,
+            })
+    return rows

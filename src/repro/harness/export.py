@@ -1,0 +1,51 @@
+"""CSV export for experiment results.
+
+Every harness driver returns either row-dicts or small dataclasses; this
+module flattens both into CSV files so results can be plotted or diffed
+outside Python without any extra dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+from pathlib import Path
+from typing import Any, Iterable
+
+
+def _as_dict(row: Any) -> dict:
+    if isinstance(row, dict):
+        return row
+    if dataclasses.is_dataclass(row) and not isinstance(row, type):
+        return dataclasses.asdict(row)
+    raise TypeError(f"cannot export row of type {type(row).__name__}")
+
+
+def export_rows_csv(path: str | Path, rows: Iterable[Any]) -> int:
+    """Write rows (dicts or dataclasses) to ``path``; returns row count.
+
+    The header is the union of keys across rows, in first-seen order, so
+    heterogeneous row sets export without data loss.
+    """
+    dict_rows = [_as_dict(row) for row in rows]
+    if not dict_rows:
+        raise ValueError("nothing to export")
+    fieldnames: list[str] = []
+    for row in dict_rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in dict_rows:
+            writer.writerow({k: _csv_value(row.get(k)) for k in fieldnames})
+    return len(dict_rows)
+
+
+def _csv_value(value: Any) -> Any:
+    if isinstance(value, (tuple, list)):
+        return ";".join(str(v) for v in value)
+    return value

@@ -1,0 +1,92 @@
+"""Figure 2: inference and training latency of the prefetch models.
+
+The paper's figure has two panels, measured on an i7-8700:
+
+- (a) inference time vs the number of future predictions, for the LSTM
+  with one and two threads and with INT8 quantization — all well above the
+  1-10 us deployment target — plus the Hebbian network, proportionately
+  lower per its op counts;
+- (b) per-example training time vs batch size, same families.
+
+We regenerate both panels from the calibrated cost model
+(`repro.nn.costs`), which converts *exactly counted* ops into
+microseconds.  See DESIGN.md substitution #2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nn.costs import (
+    DEFAULT_LATENCY_MODEL,
+    LatencyModel,
+    hebbian_inference_ops,
+    hebbian_training_ops,
+    lstm_inference_ops,
+    lstm_training_ops,
+)
+from .models import paper_hebbian_config, paper_lstm_config
+
+FUTURE_STEPS = (1, 2, 4, 8, 16)
+BATCH_SIZES = (1, 4, 16, 64)
+
+
+@dataclass(frozen=True)
+class LatencySeries:
+    """One Figure 2 line: latency (us) across an x sweep."""
+
+    label: str
+    xs: tuple[int, ...]
+    latencies_us: tuple[float, ...]
+
+
+def inference_panel(model: LatencyModel = DEFAULT_LATENCY_MODEL,
+                    future_steps: tuple[int, ...] = FUTURE_STEPS
+                    ) -> list[LatencySeries]:
+    """Figure 2a: inference latency vs number of future predictions."""
+    lstm_cfg = paper_lstm_config()
+    hebb_cfg = paper_hebbian_config()
+    series = []
+    series.append(LatencySeries(
+        label="lstm-fp32-1t", xs=future_steps,
+        latencies_us=tuple(model.inference_us(lstm_inference_ops(lstm_cfg, n), 1, "lstm")
+                           for n in future_steps)))
+    series.append(LatencySeries(
+        label="lstm-fp32-2t", xs=future_steps,
+        latencies_us=tuple(model.inference_us(lstm_inference_ops(lstm_cfg, n), 2, "lstm")
+                           for n in future_steps)))
+    series.append(LatencySeries(
+        label="lstm-int8-1t", xs=future_steps,
+        latencies_us=tuple(
+            model.inference_us(lstm_inference_ops(lstm_cfg, n, quantized=True), 1, "lstm")
+            for n in future_steps)))
+    series.append(LatencySeries(
+        label="hebbian-1t", xs=future_steps,
+        latencies_us=tuple(model.inference_us(hebbian_inference_ops(hebb_cfg, n), 1, "hebbian")
+                           for n in future_steps)))
+    return series
+
+
+def training_panel(model: LatencyModel = DEFAULT_LATENCY_MODEL,
+                   batch_sizes: tuple[int, ...] = BATCH_SIZES
+                   ) -> list[LatencySeries]:
+    """Figure 2b: per-example training latency vs batch size."""
+    lstm_cfg = paper_lstm_config()
+    hebb_cfg = paper_hebbian_config()
+
+    def per_example(ops_fn, family: str, threads: int) -> tuple[float, ...]:
+        out = []
+        for b in batch_sizes:
+            total = model.training_us(ops_fn(b), threads=threads, family=family,
+                                      batch_size=b)
+            out.append(total / b)
+        return tuple(out)
+
+    return [
+        LatencySeries("lstm-train-1t", batch_sizes,
+                      per_example(lambda b: lstm_training_ops(lstm_cfg, b), "lstm", 1)),
+        LatencySeries("lstm-train-2t", batch_sizes,
+                      per_example(lambda b: lstm_training_ops(lstm_cfg, b), "lstm", 2)),
+        LatencySeries("hebbian-train-1t", batch_sizes,
+                      per_example(lambda b: hebbian_training_ops(hebb_cfg, b), "hebbian", 1)),
+    ]

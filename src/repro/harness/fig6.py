@@ -1,0 +1,281 @@
+"""Figure 6 / §4: the two target systems and their design-space claims.
+
+The paper makes qualitative arguments about each deployment; this harness
+turns them into measured comparisons:
+
+1. **Disaggregated** (latency-bound, decentralized).  Timeliness is
+   derived from each model's *modeled inference latency* (Figure 2) and
+   the baseline's stall-inclusive access gap: the Hebbian network's
+   few-microsecond inference yields a landing delay the §5.2
+   length/width co-design can cover, while the LSTM's >150 us inference
+   pushes its prefetches hopelessly late — the paper's deployability
+   argument, measured.  Placement is compared too: per-node decentralized
+   prefetchers (clean streams) vs one switch-centralized model fed the
+   interleaved miss stream.
+2. **UVM** (throughput-bound, centralized).  The driver-side prefetcher
+   sees SIMT fault batches; isolating streams (per-stream demux) beats a
+   single shared model, and wider prefetch output buys throughput, as §4
+   argues for throughput-bound environments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..baselines.leap import LeapPrefetcher
+from ..core.cls_prefetcher import CLSPrefetcher, CLSPrefetcherConfig
+from ..nn.costs import DEFAULT_LATENCY_MODEL, hebbian_inference_ops, lstm_inference_ops
+from ..patterns.applications import AppSpec, generate_application
+from ..patterns.generators import PatternSpec, stride
+from ..systems.disaggregated import DisaggregatedSystem, DisaggResult
+from ..systems.driver import PerStreamPrefetcher, SharedStreamPrefetcher
+from ..systems.latency import DISAGGREGATED_FABRIC
+from ..systems.uvm import UVMResult, UVMSystem
+from .models import (
+    experiment_hebbian_config,
+    experiment_lstm_config,
+    paper_hebbian_config,
+    paper_lstm_config,
+)
+
+
+@dataclass
+class Fig6Config:
+    """Knobs for both target-system experiments."""
+
+    n_nodes: int = 4
+    node_apps: tuple[str, ...] = ("resnet", "pagerank", "mcf", "graph500")
+    accesses_per_node: int = 8_000
+    n_streams: int = 8
+    accesses_per_stream: int = 3_000
+    memory_fraction: float = 0.5
+    vocab_size: int = 192
+    prefetch_length: int = 12
+    prefetch_width: int = 4
+    # Selectivity comes from self-monitored accuracy rather than softmax
+    # confidence: under prefetch feedback the model ranks well long before
+    # its weights consolidate, so absolute probabilities stay flat.
+    min_confidence: float = 0.0
+    min_accuracy: float = 0.5
+    seed: int = 0
+
+
+def _cls_prefetcher(model: str, config: Fig6Config) -> CLSPrefetcher:
+    if model == "hebbian":
+        extra = {"hebbian": experiment_hebbian_config(config.vocab_size, config.seed)}
+    else:
+        extra = {"lstm": experiment_lstm_config(config.vocab_size, config.seed)}
+    return CLSPrefetcher(CLSPrefetcherConfig(
+        model=model,
+        vocab_size=config.vocab_size,
+        prefetch_length=config.prefetch_length,
+        prefetch_width=config.prefetch_width,
+        min_confidence=config.min_confidence,
+        min_accuracy=config.min_accuracy,
+        seed=config.seed,
+        **extra,
+    ))
+
+
+def modeled_inference_ns(model: str) -> int:
+    """Modeled single-inference latency (ns) at Table 2 scale."""
+    if model == "hebbian":
+        us = DEFAULT_LATENCY_MODEL.inference_us(
+            hebbian_inference_ops(paper_hebbian_config()), family="hebbian")
+    else:
+        us = DEFAULT_LATENCY_MODEL.inference_us(
+            lstm_inference_ops(paper_lstm_config()), family="lstm")
+    return int(us * 1000)
+
+
+@dataclass
+class DisaggComparison:
+    baseline: DisaggResult
+    decentralized_hebbian: DisaggResult
+    decentralized_lstm: DisaggResult
+    decentralized_leap: DisaggResult
+    centralized_hebbian: DisaggResult
+    hebbian_delay_accesses: int
+    lstm_delay_accesses: int
+
+    @property
+    def hebbian_speedup(self) -> float:
+        return self.decentralized_hebbian.speedup_over(self.baseline)
+
+    @property
+    def lstm_speedup(self) -> float:
+        return self.decentralized_lstm.speedup_over(self.baseline)
+
+    @property
+    def leap_speedup(self) -> float:
+        return self.decentralized_leap.speedup_over(self.baseline)
+
+    @property
+    def centralized_speedup(self) -> float:
+        return self.centralized_hebbian.speedup_over(self.baseline)
+
+
+def run_disaggregated(config: Fig6Config = Fig6Config()) -> DisaggComparison:
+    """§4 disaggregated experiment: timeliness + placement."""
+    traces = []
+    for node in range(config.n_nodes):
+        app = config.node_apps[node % len(config.node_apps)]
+        traces.append(generate_application(
+            app, AppSpec(n=config.accesses_per_node, seed=config.seed + node)))
+
+    probe = DisaggregatedSystem(node_traces=traces,
+                                memory_fraction=config.memory_fraction,
+                                prefetch_delay_accesses=0)
+    baseline = probe.run_no_prefetch()
+    gap_ns = max(1.0, baseline.mean_access_ns)
+
+    fabric = DISAGGREGATED_FABRIC
+    hebbian_delay = fabric.delay_accesses(gap_ns, modeled_inference_ns("hebbian"))
+    lstm_delay = fabric.delay_accesses(gap_ns, modeled_inference_ns("lstm"))
+
+    def system(delay: int) -> DisaggregatedSystem:
+        return DisaggregatedSystem(node_traces=traces,
+                                   memory_fraction=config.memory_fraction,
+                                   prefetch_delay_accesses=delay)
+
+    decentralized_hebbian = system(hebbian_delay).run_decentralized(
+        lambda: _cls_prefetcher("hebbian", config))
+    decentralized_lstm = system(lstm_delay).run_decentralized(
+        lambda: _cls_prefetcher("lstm", config))
+    # Leap is a table lookup (sub-microsecond): give it the small delay.
+    decentralized_leap = system(min(2, hebbian_delay)).run_decentralized(
+        lambda: LeapPrefetcher(max_degree=config.prefetch_width * 2))
+    centralized_hebbian = system(hebbian_delay).run_centralized(
+        lambda: SharedStreamPrefetcher(_cls_prefetcher("hebbian", config)))
+
+    return DisaggComparison(
+        baseline=baseline,
+        decentralized_hebbian=decentralized_hebbian,
+        decentralized_lstm=decentralized_lstm,
+        decentralized_leap=decentralized_leap,
+        centralized_hebbian=centralized_hebbian,
+        hebbian_delay_accesses=hebbian_delay,
+        lstm_delay_accesses=lstm_delay,
+    )
+
+
+@dataclass
+class IrregularNodeComparison:
+    """Hebbian vs Leap on a pointer-chasing node (no majority delta)."""
+
+    baseline: DisaggResult
+    hebbian: DisaggResult
+    leap: DisaggResult
+
+    @property
+    def hebbian_speedup(self) -> float:
+        return self.hebbian.speedup_over(self.baseline)
+
+    @property
+    def leap_speedup(self) -> float:
+        return self.leap.speedup_over(self.baseline)
+
+
+def run_irregular_node(config: Fig6Config = Fig6Config()) -> IrregularNodeComparison:
+    """The workload §1 motivates: a node traversing pointer structures.
+
+    A fixed linked traversal has *no* majority delta for Leap to vote on,
+    but is perfectly learnable — the case where paying for a model (even
+    with its larger landing delay) beats the table heuristic.
+    """
+    from ..patterns.generators import PatternSpec, pointer_chase
+
+    trace = pointer_chase(PatternSpec(n=config.accesses_per_node,
+                                      working_set=300, element_size=4096,
+                                      seed=config.seed))
+
+    def system(delay: int) -> DisaggregatedSystem:
+        return DisaggregatedSystem(node_traces=[trace],
+                                   memory_fraction=config.memory_fraction,
+                                   prefetch_delay_accesses=delay)
+
+    baseline = system(0).run_no_prefetch()
+    gap_ns = max(1.0, baseline.mean_access_ns)
+    hebbian_delay = DISAGGREGATED_FABRIC.delay_accesses(
+        gap_ns, modeled_inference_ns("hebbian"))
+    hebbian = system(hebbian_delay).run_decentralized(
+        lambda: _cls_prefetcher("hebbian", config))
+    leap = system(min(2, hebbian_delay)).run_decentralized(
+        lambda: LeapPrefetcher(max_degree=config.prefetch_width * 2))
+    return IrregularNodeComparison(baseline=baseline, hebbian=hebbian,
+                                   leap=leap)
+
+
+@dataclass
+class UVMComparison:
+    baseline: UVMResult
+    shared: UVMResult
+    per_stream_by_width: dict[int, UVMResult] = field(default_factory=dict)
+
+
+def _uvm_stream_traces(config: Fig6Config) -> list:
+    """SIMT-like streaming with warp divergence.
+
+    Each stream (SM) walks three tensor tiles in its own region; which
+    tile issues next varies (warp scheduling), so at any point the next
+    page is one of ~three candidates.  That is exactly the structure where
+    prefetch *width* (§5.2) pays: top-w prediction covers the candidate
+    set even though no single rollout path can.
+    """
+    from ..patterns.trace import interleave
+
+    traces = []
+    per_tile = max(64, config.accesses_per_stream // 3)
+    for sid in range(config.n_streams):
+        base = 0x1_0000_0000 + sid * 0x1000_0000
+        tiles = []
+        for tile_id in range(3):
+            spec = PatternSpec(n=per_tile,
+                               element_size=4096,
+                               working_set=max(48, per_tile // 4),
+                               base=base + tile_id * 0x100_0000,
+                               seed=config.seed + sid * 3 + tile_id)
+            tiles.append(stride(spec, stride_elements=1 + tile_id))
+        merged = interleave(tiles, seed=config.seed + sid,
+                            name=f"uvm-stream{sid}")
+        traces.append(merged)
+    return traces
+
+
+def run_uvm(config: Fig6Config = Fig6Config(),
+            widths: tuple[int, ...] = (1, 2, 4)) -> UVMComparison:
+    """§4 UVM experiment: stream isolation + prefetch-width sweep."""
+    traces = _uvm_stream_traces(config)
+    system = UVMSystem(stream_traces=traces,
+                       memory_fraction=config.memory_fraction)
+    baseline = system.run_no_prefetch()
+
+    def uvm_prefetcher(width: int) -> CLSPrefetcher:
+        # short length, varying width: the branchy SIMT streams reward
+        # covering the candidate set, not deep greedy rollout
+        cfg = Fig6Config(**{**config.__dict__, "prefetch_width": width,
+                            "prefetch_length": 2})
+        return _cls_prefetcher("hebbian", cfg)
+
+    shared = system.run(SharedStreamPrefetcher(uvm_prefetcher(1)))
+    per_stream = {}
+    for width in widths:
+        prefetcher = PerStreamPrefetcher(
+            factory=lambda w=width: uvm_prefetcher(w),
+            name=f"per-stream-w{width}")
+        per_stream[width] = system.run(prefetcher)
+    return UVMComparison(baseline=baseline, shared=shared,
+                         per_stream_by_width=per_stream)
+
+
+def required_prefetch_length(model: str, gap_ns: float,
+                             mean_accesses_per_miss: float = 7.0) -> int:
+    """How many misses ahead a model must predict to be timely (§5.2).
+
+    length >= landing_delay / accesses-between-misses.  For the Hebbian
+    network this is single digits; for the LSTM it is ~an order of
+    magnitude more than any rollout can sustain — the co-design argument.
+    """
+    delay = DISAGGREGATED_FABRIC.delay_accesses(gap_ns, modeled_inference_ns(model))
+    return max(1, math.ceil(delay / max(1.0, mean_accesses_per_miss)))

@@ -1,0 +1,160 @@
+"""The Figure 3 experiment: catastrophic interference and its replay cure.
+
+Protocol (§2.2, §3.2): train the model online on pattern A's 1000-access
+trace until it is confident, then train on pattern B's trace; monitor the
+model's confidence (probability assigned to the correct next access) on
+both patterns throughout.  Without replay, confidence on A collapses while
+B is learned (Figure 3 a-c).  With interleaved replay — retraining on A's
+stored examples at a 0.1x learning rate after each step on B — A's
+confidence survives (Figure 3 d-f).
+
+The experiment runs at data-structure granularity ("to avoid confounding
+effects possible in page-level prefetching"), on class sequences produced
+by the shared delta encoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.encoding import DeltaVocabEncoder, classify_addresses
+from ..core.hippocampus import Episode
+from ..core.metrics import ConfidenceCurve, InterferenceSummary
+from ..core.replay import ReplayScheduler, make_replay_policy
+from ..nn.base import SequenceModel
+from ..patterns.generators import PatternSpec, generate
+
+ModelFactory = Callable[[int], SequenceModel]  # vocab_size -> model
+
+
+@dataclass
+class InterferenceRun:
+    """Everything one Figure 3 panel needs."""
+
+    pattern_a: str
+    pattern_b: str
+    replay: bool
+    curve_a: ConfidenceCurve
+    curve_b: ConfidenceCurve
+    summary: InterferenceSummary
+    replayed_pairs: int = 0
+
+
+@dataclass
+class InterferenceConfig:
+    """Experiment knobs (defaults follow the paper).
+
+    Attributes:
+        n_accesses: Accesses per pattern trace (paper: 1000).
+        working_set: Elements per pattern structure.
+        probe_len: Transitions scored per confidence probe.
+        probe_every: Training steps between confidence probes.
+        replay_policy: Replay policy kind for the replay arm.
+        replay_kwargs: Extra arguments for the replay policy.
+        replay_per_step: Replayed pairs per new training step.
+        replay_lr_scale: Replay learning-rate scale (paper: 0.1).
+        vocab_size: Shared encoder/model vocabulary.
+        element_size: Bytes per element in the generated patterns.
+        seed: Trace-generation seed.
+    """
+
+    n_accesses: int = 1000
+    working_set: int = 50
+    probe_len: int = 120
+    probe_every: int = 50
+    replay_policy: str = "full"
+    replay_kwargs: dict = field(default_factory=dict)
+    replay_per_step: int = 1
+    replay_lr_scale: float = 0.1
+    vocab_size: int = 128
+    element_size: int = 64
+    seed: int = 0
+
+
+def pattern_class_sequences(pattern_a: str, pattern_b: str,
+                            config: InterferenceConfig
+                            ) -> tuple[list[int], list[int]]:
+    """Encode both patterns' traces into one shared class space."""
+    spec_a = PatternSpec(n=config.n_accesses, working_set=config.working_set,
+                         element_size=config.element_size, seed=config.seed)
+    spec_b = PatternSpec(n=config.n_accesses, working_set=config.working_set,
+                         element_size=config.element_size,
+                         base=spec_a.base + 0x1000_0000, seed=config.seed + 1)
+    trace_a = generate(pattern_a, spec_a)
+    trace_b = generate(pattern_b, spec_b)
+
+    encoder = DeltaVocabEncoder(vocab_size=config.vocab_size,
+                                granularity=config.element_size)
+    seq_a = classify_addresses(encoder, trace_a.addresses)
+    encoder.reset_stream()  # the phase switch is a stream boundary
+    seq_b = classify_addresses(encoder, trace_b.addresses)
+    return seq_a, seq_b
+
+
+def run_interference(model_factory: ModelFactory, pattern_a: str, pattern_b: str,
+                     replay: bool,
+                     config: InterferenceConfig = InterferenceConfig()
+                     ) -> InterferenceRun:
+    """Run one Figure 3 panel; returns both confidence curves + summary."""
+    seq_a, seq_b = pattern_class_sequences(pattern_a, pattern_b, config)
+    probe_a = seq_a[: config.probe_len + 1]
+    probe_b = seq_b[: config.probe_len + 1]
+
+    model = model_factory(config.vocab_size)
+    curve_a = ConfidenceCurve(label=f"{pattern_a} (old)")
+    curve_b = ConfidenceCurve(label=f"{pattern_b} (new)")
+
+    scheduler: ReplayScheduler | None = None
+    if replay:
+        policy = make_replay_policy(config.replay_policy, **config.replay_kwargs)
+        scheduler = ReplayScheduler(policy=policy,
+                                    per_step=config.replay_per_step,
+                                    lr_scale=config.replay_lr_scale,
+                                    seed=config.seed)
+
+    step = 0
+    # Phase 1: learn pattern A online.
+    model.reset_state()
+    for i, class_id in enumerate(seq_a):
+        model.step(class_id, train=True)
+        if scheduler is not None and i > 0:
+            scheduler.record(Episode(input_class=seq_a[i - 1], target_class=class_id,
+                                     phase_id=0))
+        step += 1
+        if step % config.probe_every == 0:
+            curve_a.append(step, model.evaluate_sequence(probe_a))
+
+    conf_a_before = model.evaluate_sequence(probe_a)
+    curve_a.append(step, conf_a_before)
+
+    # Phase 2: learn pattern B online, optionally with interleaved replay.
+    model.reset_state()
+    replayed = 0
+    for i, class_id in enumerate(seq_b):
+        model.step(class_id, train=True)
+        if scheduler is not None:
+            if i > 0:
+                scheduler.record(Episode(input_class=seq_b[i - 1],
+                                         target_class=class_id, phase_id=1))
+            replayed += scheduler.step(model, current_phase=1)
+        step += 1
+        if step % config.probe_every == 0:
+            curve_a.append(step, model.evaluate_sequence(probe_a))
+            curve_b.append(step, model.evaluate_sequence(probe_b))
+
+    conf_a_after = model.evaluate_sequence(probe_a)
+    conf_b_after = model.evaluate_sequence(probe_b)
+    curve_a.append(step, conf_a_after)
+    curve_b.append(step, conf_b_after)
+
+    summary = InterferenceSummary(
+        pattern_a=pattern_a, pattern_b=pattern_b,
+        conf_a_before=conf_a_before,
+        conf_a_after=conf_a_after,
+        conf_b_after=conf_b_after,
+        replay=replay,
+    )
+    return InterferenceRun(pattern_a=pattern_a, pattern_b=pattern_b, replay=replay,
+                           curve_a=curve_a, curve_b=curve_b, summary=summary,
+                           replayed_pairs=replayed)

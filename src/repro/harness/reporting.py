@@ -1,0 +1,56 @@
+"""Plain-text reporting for experiment harnesses.
+
+Every benchmark prints the rows/series the corresponding paper table or
+figure reports, via these helpers, so outputs are uniform and greppable in
+``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Fixed-width text table; floats rendered with 3 significant decimals."""
+    rendered = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                title: str | None = None) -> None:
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+def format_series(label: str, xs: Sequence[object], ys: Sequence[float],
+                  x_name: str = "x", y_name: str = "y") -> str:
+    """One figure series as aligned (x, y) pairs."""
+    pairs = "  ".join(f"({_cell(x)}, {_cell(y)})" for x, y in zip(xs, ys))
+    return f"{label} [{x_name} -> {y_name}]: {pairs}"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

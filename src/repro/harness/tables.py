@@ -1,0 +1,131 @@
+"""Table 1 and Table 2 regenerators.
+
+Table 1 is descriptive (the five access patterns); its "reproduction" is a
+statistical signature of each generator proving the behaviour column:
+stride has one delta, pointer chase has a pseudorandom periodic walk, the
+indirect patterns alternate a regular and an irregular stream, and
+pointer-offset interleaves field offsets into a chase.
+
+Table 2 compares the resource needs of the two networks: parameters and
+per-invocation op counts for inference and training.  We regenerate it
+from our model configurations and report the paper's published values
+alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.costs import (
+    hebbian_inference_ops,
+    hebbian_parameter_count,
+    hebbian_training_ops,
+    lstm_inference_ops,
+    lstm_training_ops,
+)
+from ..patterns.generators import PATTERN_NAMES, PatternSpec, generate
+from .models import paper_hebbian_config, paper_lstm_config
+
+
+@dataclass(frozen=True)
+class PatternSignature:
+    """Statistical fingerprint of one Table 1 generator."""
+
+    pattern: str
+    n_accesses: int
+    distinct_deltas: int
+    dominant_delta_share: float  # fraction of deltas equal to the mode
+    period: int | None           # autocorrelation period of the address walk
+    footprint_bytes: int
+
+
+def pattern_signature(pattern: str, spec: PatternSpec = PatternSpec()) -> PatternSignature:
+    trace = generate(pattern, spec)
+    deltas = trace.deltas()
+    values, counts = np.unique(deltas, return_counts=True)
+    dominant = float(counts.max() / counts.sum()) if counts.size else 0.0
+    return PatternSignature(
+        pattern=pattern,
+        n_accesses=len(trace),
+        distinct_deltas=int(values.size),
+        dominant_delta_share=dominant,
+        period=_detect_period(trace.addresses),
+        footprint_bytes=trace.footprint_bytes(page_size=spec.element_size
+                                              if _pow2(spec.element_size) else 4096),
+    )
+
+
+def table1_signatures(spec: PatternSpec = PatternSpec()) -> list[PatternSignature]:
+    return [pattern_signature(name, spec) for name in PATTERN_NAMES]
+
+
+def _detect_period(addresses: np.ndarray, max_period: int = 512) -> int | None:
+    """Smallest p with addresses[i] == addresses[i+p] for all i (if any)."""
+    n = len(addresses)
+    for p in range(1, min(max_period, n // 2) + 1):
+        if np.array_equal(addresses[: n - p], addresses[p:]):
+            return p
+    return None
+
+
+def _pow2(x: int) -> bool:
+    return x > 0 and not x & (x - 1)
+
+
+# ----------------------------------------------------------------------
+# Table 2
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ResourceRow:
+    """One Table 2 row."""
+
+    model: str
+    parameters: int
+    inference_ops: int
+    inference_kind: str   # "FP" or "INT"
+    training_ops: int
+    paper_parameters: int
+    paper_inference_ops: int
+    paper_training_ops: int
+
+
+#: Paper's Table 2, verbatim.
+PAPER_TABLE2 = {
+    "lstm": {"parameters": 170_000, "inference_ops": 170_000,
+             "training_ops": 400_000},
+    "hebbian": {"parameters": 49_000, "inference_ops": 14_000,
+                "training_ops": 64_000},
+}
+
+
+def table2_rows() -> list[ResourceRow]:
+    lstm_cfg = paper_lstm_config()
+    hebb_cfg = paper_hebbian_config()
+    lstm_inf = lstm_inference_ops(lstm_cfg)
+    lstm_train = lstm_training_ops(lstm_cfg)
+    hebb_inf = hebbian_inference_ops(hebb_cfg)
+    hebb_train = hebbian_training_ops(hebb_cfg)
+    return [
+        ResourceRow(
+            model="lstm",
+            parameters=lstm_cfg.parameter_count,
+            inference_ops=lstm_inf.fp_ops + lstm_inf.transcendental_ops,
+            inference_kind="FP",
+            training_ops=lstm_train.fp_ops + lstm_train.transcendental_ops,
+            paper_parameters=PAPER_TABLE2["lstm"]["parameters"],
+            paper_inference_ops=PAPER_TABLE2["lstm"]["inference_ops"],
+            paper_training_ops=PAPER_TABLE2["lstm"]["training_ops"],
+        ),
+        ResourceRow(
+            model="hebbian",
+            parameters=hebbian_parameter_count(hebb_cfg),
+            inference_ops=hebb_inf.int_ops,
+            inference_kind="INT",
+            training_ops=hebb_train.int_ops,
+            paper_parameters=PAPER_TABLE2["hebbian"]["parameters"],
+            paper_inference_ops=PAPER_TABLE2["hebbian"]["inference_ops"],
+            paper_training_ops=PAPER_TABLE2["hebbian"]["training_ops"],
+        ),
+    ]

@@ -1,0 +1,58 @@
+"""Seed-sweep variance for the headline comparison.
+
+Single-seed results can flatter either model; this driver reruns the
+Figure 5 protocol across seeds (new traces *and* new weight
+initializations per seed) and reports mean +- std per (application,
+model), so the comparability claim is a distribution statement rather
+than a point estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .fig5 import Fig5Config, run_fig5
+
+
+@dataclass(frozen=True)
+class VarianceRow:
+    """Mean/std of % misses removed across seeds."""
+
+    application: str
+    model: str
+    mean: float
+    std: float
+    per_seed: tuple[float, ...]
+
+    @property
+    def worst(self) -> float:
+        return min(self.per_seed)
+
+
+def fig5_seed_sweep(seeds: tuple[int, ...] = (0, 1, 2),
+                    config: Fig5Config = Fig5Config(n_accesses=10_000),
+                    models: tuple[str, ...] = ("hebbian", "lstm")
+                    ) -> list[VarianceRow]:
+    """Run Figure 5 once per seed; aggregate % misses removed."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    samples: dict[tuple[str, str], list[float]] = {}
+    for seed in seeds:
+        result = run_fig5(replace(config, seed=seed), models=models)
+        for row in result.rows:
+            key = (row.trace_name, row.prefetcher_name)
+            samples.setdefault(key, []).append(row.percent_misses_removed)
+
+    rows = []
+    for (application, model), values in sorted(samples.items()):
+        arr = np.asarray(values)
+        rows.append(VarianceRow(
+            application=application,
+            model=model,
+            mean=float(arr.mean()),
+            std=float(arr.std()),
+            per_seed=tuple(float(v) for v in arr),
+        ))
+    return rows

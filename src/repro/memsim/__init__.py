@@ -1,0 +1,25 @@
+"""Paged-memory simulation substrate (Figure 1's deployment loop)."""
+
+from .events import AccessEvent, MissEvent
+from .pagecache import HIT, MISS, PREFETCH_HIT, CacheStats, PageCache
+from .prefetch_queue import PrefetchQueue
+from .prefetcher import AccessAwarePrefetcher, NullPrefetcher, Prefetcher
+from .simulator import SimConfig, SimResult, baseline_misses, simulate
+
+__all__ = [
+    "AccessEvent",
+    "MissEvent",
+    "HIT",
+    "MISS",
+    "PREFETCH_HIT",
+    "CacheStats",
+    "PageCache",
+    "PrefetchQueue",
+    "AccessAwarePrefetcher",
+    "NullPrefetcher",
+    "Prefetcher",
+    "SimConfig",
+    "SimResult",
+    "baseline_misses",
+    "simulate",
+]

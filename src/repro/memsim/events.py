@@ -1,0 +1,36 @@
+"""Events exchanged between the memory simulator and prefetchers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MissEvent:
+    """A demand miss observed by the memory system (Figure 1's input).
+
+    Attributes:
+        index: Position of the access in the trace.
+        address: Byte address that missed.
+        page: Page number (address >> page_shift).
+        stream_id: Issuing stream (process/thread/SM).
+        timestamp: Logical nanosecond time of the access.
+    """
+
+    index: int
+    address: int
+    page: int
+    stream_id: int
+    timestamp: int
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """Any access (hit or miss), for prefetchers that watch the full stream."""
+
+    index: int
+    address: int
+    page: int
+    stream_id: int
+    timestamp: int
+    hit: bool

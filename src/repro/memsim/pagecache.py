@@ -1,0 +1,156 @@
+"""A fixed-capacity paged memory with LRU replacement and prefetch tracking.
+
+This is the "local/fast memory" of Figure 1: demand accesses either hit or
+miss; on a miss the page is filled from slow memory; a prefetcher may
+insert pages ahead of demand.  The cache distinguishes prefetched pages
+that have not yet been demanded, so it can account prefetch *accuracy*
+(issued prefetches that were used) and *pollution* (prefetches evicted
+unused, and demand pages evicted by prefetches).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+#: Result codes from :meth:`PageCache.access`.
+HIT = "hit"
+MISS = "miss"
+PREFETCH_HIT = "prefetch_hit"
+
+
+@dataclass
+class CacheStats:
+    """Raw counters maintained by :class:`PageCache`."""
+
+    accesses: int = 0
+    hits: int = 0
+    demand_misses: int = 0
+    prefetch_hits: int = 0
+    prefetches_issued: int = 0
+    prefetches_redundant: int = 0
+    prefetches_evicted_unused: int = 0
+    demand_evictions_by_prefetch: int = 0
+    writebacks: int = 0
+
+    @property
+    def prefetches_useful(self) -> int:
+        return self.prefetch_hits
+
+    @property
+    def miss_rate(self) -> float:
+        return self.demand_misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Fraction of issued prefetches that were demanded before eviction."""
+        issued = self.prefetches_issued - self.prefetches_redundant
+        return self.prefetch_hits / issued if issued else 0.0
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of would-be misses the prefetcher converted to hits."""
+        would_miss = self.demand_misses + self.prefetch_hits
+        return self.prefetch_hits / would_miss if would_miss else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "demand_misses": self.demand_misses,
+            "prefetch_hits": self.prefetch_hits,
+            "prefetches_issued": self.prefetches_issued,
+            "prefetches_redundant": self.prefetches_redundant,
+            "prefetches_evicted_unused": self.prefetches_evicted_unused,
+            "demand_evictions_by_prefetch": self.demand_evictions_by_prefetch,
+            "writebacks": self.writebacks,
+            "miss_rate": self.miss_rate,
+            "prefetch_accuracy": self.prefetch_accuracy,
+            "coverage": self.coverage,
+        }
+
+
+@dataclass
+class PageCache:
+    """LRU page cache.
+
+    Attributes:
+        capacity_pages: Maximum number of resident pages (> 0).
+        stats: Counter block, updated in place.
+    """
+
+    capacity_pages: int
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity_pages <= 0:
+            raise ValueError("capacity_pages must be positive")
+        # page -> [is_undemanded_prefetch, is_dirty]
+        self._resident: OrderedDict[int, list[bool]] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._resident
+
+    def access(self, page: int, store: bool = False) -> str:
+        """A demand access: returns ``HIT``, ``PREFETCH_HIT`` or ``MISS``.
+
+        On a miss the caller is expected to call :meth:`fill`; the cache does
+        not auto-fill so simulators can model fill latency explicitly.
+        ``store`` marks the page dirty so its eventual eviction costs a
+        writeback to slow memory.
+        """
+        self.stats.accesses += 1
+        entry = self._resident.get(page)
+        if entry is not None:
+            was_prefetch = entry[0]
+            entry[0] = False
+            entry[1] = entry[1] or store
+            self._resident.move_to_end(page)
+            self.stats.hits += 1
+            if was_prefetch:
+                self.stats.prefetch_hits += 1
+                return PREFETCH_HIT
+            return HIT
+        self.stats.demand_misses += 1
+        return MISS
+
+    def fill(self, page: int, store: bool = False) -> None:
+        """Install a page on demand (after a miss)."""
+        entry = self._resident.get(page)
+        if entry is not None:
+            entry[0] = False
+            entry[1] = entry[1] or store
+            self._resident.move_to_end(page)
+            return
+        self._evict_for(1, by_prefetch=False)
+        self._resident[page] = [False, store]
+
+    def insert_prefetch(self, page: int) -> bool:
+        """Install a prefetched page.  Returns False if it was redundant."""
+        self.stats.prefetches_issued += 1
+        if page in self._resident:
+            self.stats.prefetches_redundant += 1
+            self._resident.move_to_end(page)
+            return False
+        self._evict_for(1, by_prefetch=True)
+        self._resident[page] = [True, False]
+        return True
+
+    def resident_pages(self) -> list[int]:
+        return list(self._resident)
+
+    def dirty_pages(self) -> int:
+        return sum(1 for entry in self._resident.values() if entry[1])
+
+    def _evict_for(self, count: int, by_prefetch: bool) -> None:
+        while len(self._resident) + count > self.capacity_pages:
+            _victim, (was_prefetch, dirty) = self._resident.popitem(last=False)
+            if dirty:
+                self.stats.writebacks += 1
+            if was_prefetch:
+                self.stats.prefetches_evicted_unused += 1
+            elif by_prefetch:
+                self.stats.demand_evictions_by_prefetch += 1

@@ -1,0 +1,50 @@
+"""In-flight prefetch modelling (timeliness, §5.2).
+
+A prefetch is not useful the instant the model predicts it: the prediction
+takes inference time, and the data takes transfer time.  The paper's §5.2
+observes that when the time between misses is smaller than the inference
+latency, "even a perfect model will always prefetch too late."
+
+We model this with a landing delay measured in *accesses*: a prefetch
+issued at access ``i`` becomes resident only once the simulator reaches
+access ``i + delay``.  Harnesses derive ``delay`` from the model's modeled
+latency and the trace's inter-access gap (see ``repro.nn.costs``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PrefetchQueue:
+    """Min-heap of (landing_index, sequence, page) in-flight prefetches."""
+
+    delay_accesses: int = 0
+    _heap: list[tuple[int, int, int]] = field(default_factory=list)
+    _seq: int = 0
+
+    def __post_init__(self) -> None:
+        if self.delay_accesses < 0:
+            raise ValueError("delay_accesses must be >= 0")
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def issue(self, page: int, at_index: int) -> None:
+        """Issue a prefetch at access ``at_index``."""
+        heapq.heappush(self._heap, (at_index + self.delay_accesses, self._seq, page))
+        self._seq += 1
+
+    def landed(self, now_index: int) -> list[int]:
+        """Pop every prefetch whose landing index is <= ``now_index``."""
+        out: list[int] = []
+        while self._heap and self._heap[0][0] <= now_index:
+            out.append(heapq.heappop(self._heap)[2])
+        return out
+
+    def drain(self) -> list[int]:
+        out = [page for _, _, page in sorted(self._heap)]
+        self._heap.clear()
+        return out

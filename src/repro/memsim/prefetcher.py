@@ -1,0 +1,46 @@
+"""The prefetcher interface every policy in this repository implements."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from .events import AccessEvent, MissEvent
+
+
+@runtime_checkable
+class Prefetcher(Protocol):
+    """A prefetch policy driven by the memory system's miss stream.
+
+    The simulator calls :meth:`on_miss` for every demand miss (Figure 1's
+    deployment: the miss history feeds the model, the model's predictions
+    become prefetch requests).  Implementations return the *pages* to
+    prefetch; the simulator handles queueing, timeliness, and insertion.
+    """
+
+    name: str
+
+    def on_miss(self, event: MissEvent) -> list[int]:
+        """React to a demand miss; return pages to prefetch (may be empty)."""
+        ...
+
+
+class AccessAwarePrefetcher(Prefetcher, Protocol):
+    """Optional extension for policies that also observe hits.
+
+    ``on_access`` may return pages to prefetch (prefetch chaining: real
+    prefetchers keep the pipeline full by also triggering on prefetched
+    hits); returning None issues nothing.
+    """
+
+    def on_access(self, event: AccessEvent) -> list[int] | None:
+        ...
+
+
+class NullPrefetcher:
+    """The no-prefetching baseline (Figure 5's denominator)."""
+
+    name = "none"
+
+    def on_miss(self, event: MissEvent) -> list[int]:
+        del event
+        return []

@@ -1,0 +1,146 @@
+"""Trace-driven memory simulation (Figure 1's deployment loop).
+
+``simulate`` replays a trace against a :class:`~repro.memsim.pagecache.PageCache`
+sized as a fraction of the trace footprint (Figure 5 uses 50%), feeding
+every demand miss to a prefetcher and installing its predictions after a
+configurable timeliness delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..patterns.trace import Trace
+from .events import AccessEvent, MissEvent
+from .pagecache import MISS, CacheStats, PageCache
+from .prefetch_queue import PrefetchQueue
+from .prefetcher import Prefetcher
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Simulation parameters.
+
+    Attributes:
+        page_size: Bytes per page (power of two).
+        memory_fraction: Cache capacity as a fraction of the trace's page
+            footprint; ignored when ``capacity_pages`` is given.  The paper's
+            Figure 5 setup is 0.5.
+        capacity_pages: Explicit capacity override.
+        prefetch_delay_accesses: Accesses between issuing a prefetch and it
+            becoming resident (timeliness, §5.2).  0 = ideal.
+        max_prefetches_per_miss: Safety cap on a policy's output width.
+    """
+
+    page_size: int = 4096
+    memory_fraction: float = 0.5
+    capacity_pages: int | None = None
+    prefetch_delay_accesses: int = 0
+    max_prefetches_per_miss: int = 64
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0 or self.page_size & (self.page_size - 1):
+            raise ValueError("page_size must be a positive power of two")
+        if not 0 < self.memory_fraction <= 1 and self.capacity_pages is None:
+            raise ValueError("memory_fraction must be in (0, 1]")
+        if self.capacity_pages is not None and self.capacity_pages <= 0:
+            raise ValueError("capacity_pages must be positive")
+
+    def resolve_capacity(self, trace: Trace) -> int:
+        if self.capacity_pages is not None:
+            return self.capacity_pages
+        footprint = trace.footprint_pages(self.page_size)
+        return max(1, int(footprint * self.memory_fraction))
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation run."""
+
+    trace_name: str
+    prefetcher_name: str
+    capacity_pages: int
+    stats: CacheStats
+    config: SimConfig
+    miss_indices: list[int] = field(default_factory=list, repr=False)
+
+    @property
+    def demand_misses(self) -> int:
+        return self.stats.demand_misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.stats.miss_rate
+
+    def percent_misses_removed(self, baseline: "SimResult") -> float:
+        """Figure 5's metric: % of baseline misses this run eliminated."""
+        if baseline.demand_misses == 0:
+            return 0.0
+        removed = baseline.demand_misses - self.demand_misses
+        return 100.0 * removed / baseline.demand_misses
+
+
+def simulate(trace: Trace, prefetcher: Prefetcher,
+             config: SimConfig = SimConfig(),
+             record_miss_indices: bool = False) -> SimResult:
+    """Replay ``trace`` through a page cache attached to ``prefetcher``."""
+    capacity = config.resolve_capacity(trace)
+    cache = PageCache(capacity_pages=capacity)
+    queue = PrefetchQueue(delay_accesses=config.prefetch_delay_accesses)
+    pages = trace.pages(config.page_size)
+    kinds = trace.kinds
+    on_access = getattr(prefetcher, "on_access", None)
+    miss_indices: list[int] = []
+
+    for i in range(len(trace)):
+        for landed_page in queue.landed(i):
+            cache.insert_prefetch(landed_page)
+
+        page = int(pages[i])
+        store = bool(kinds[i])  # KIND_STORE marks the page dirty
+        outcome = cache.access(page, store=store)
+        hit = outcome != MISS
+        if not hit:
+            cache.fill(page, store=store)
+            event = MissEvent(
+                index=i,
+                address=int(trace.addresses[i]),
+                page=page,
+                stream_id=int(trace.stream_ids[i]),
+                timestamp=int(trace.timestamps[i]),
+            )
+            if record_miss_indices:
+                miss_indices.append(i)
+            predictions = prefetcher.on_miss(event)
+            for predicted in predictions[: config.max_prefetches_per_miss]:
+                if predicted != page:
+                    queue.issue(int(predicted), i)
+        if on_access is not None:
+            chained = on_access(AccessEvent(
+                index=i,
+                address=int(trace.addresses[i]),
+                page=page,
+                stream_id=int(trace.stream_ids[i]),
+                timestamp=int(trace.timestamps[i]),
+                hit=hit,
+            ))
+            if chained:
+                for predicted in chained[: config.max_prefetches_per_miss]:
+                    if predicted != page:
+                        queue.issue(int(predicted), i)
+
+    return SimResult(
+        trace_name=trace.name,
+        prefetcher_name=prefetcher.name,
+        capacity_pages=capacity,
+        stats=cache.stats,
+        config=config,
+        miss_indices=miss_indices,
+    )
+
+
+def baseline_misses(trace: Trace, config: SimConfig = SimConfig()) -> SimResult:
+    """Run the no-prefetch baseline (Figure 5's denominator)."""
+    from .prefetcher import NullPrefetcher
+
+    return simulate(trace, NullPrefetcher(), config)

@@ -1,0 +1,45 @@
+"""Neural substrates: the LSTM baseline and the sparse Hebbian network."""
+
+from .base import SequenceModel, evaluate_sequence_probs
+from .costs import (
+    DEFAULT_LATENCY_MODEL,
+    PAPER_ANCHORS_US,
+    LatencyModel,
+    OpCount,
+    hebbian_inference_ops,
+    hebbian_parameter_count,
+    hebbian_training_ops,
+    lstm_inference_ops,
+    lstm_training_ops,
+)
+from .hebbian import HebbianConfig, SparseHebbianNetwork
+from .layers import SGD, cross_entropy, glorot, sigmoid, softmax
+from .lstm import LSTM, LSTMConfig, OnlineLSTM
+from .quantization import QuantizedTensor, quantization_error, quantize_lstm
+
+__all__ = [
+    "SequenceModel",
+    "evaluate_sequence_probs",
+    "DEFAULT_LATENCY_MODEL",
+    "PAPER_ANCHORS_US",
+    "LatencyModel",
+    "OpCount",
+    "hebbian_inference_ops",
+    "hebbian_parameter_count",
+    "hebbian_training_ops",
+    "lstm_inference_ops",
+    "lstm_training_ops",
+    "HebbianConfig",
+    "SparseHebbianNetwork",
+    "SGD",
+    "cross_entropy",
+    "glorot",
+    "sigmoid",
+    "softmax",
+    "LSTM",
+    "LSTMConfig",
+    "OnlineLSTM",
+    "QuantizedTensor",
+    "quantization_error",
+    "quantize_lstm",
+]

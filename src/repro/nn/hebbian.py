@@ -1,0 +1,338 @@
+"""The sparse Hebbian prefetch network (§3.1).
+
+The paper's prototype: a single hidden layer of 1000 neurons with 12.5%
+connectivity between layers and 10% activation sparsity (k-winner-take-all),
+plus a recurrent state for sequence memory.  Learning uses the Hebbian rule
+of Eq. 1 — for an active (clamped-to-target) output neuron, weights from
+active inputs are increased and weights from inactive inputs decreased:
+
+    dw_ij = (y_j != 0) * [ (x_i != 0) - (x_i == 0) ]
+
+Mapped onto prefetching:
+
+- The *input* is the one-hot encoded miss class (vocabulary shared with the
+  LSTM baseline).
+- A fixed sparse binary projection (the dentate-gyrus analogue: pattern
+  separation) plus a sparse recurrent loop produce the hidden
+  pre-activation; k-WTA keeps the top 10%.
+- The *readout* weights to the class vocabulary are learned with Eq. 1,
+  clamping the output layer to the observed next class.  An optional
+  error-driven term also depresses a wrongly predicted class, which
+  sharpens convergence without changing the rule's cost profile.
+
+All learned updates touch only masked (connected) weights, and inference
+touches only *active* units — this is where the order-of-magnitude op
+advantage over the LSTM (Table 2) comes from.
+
+Default configuration: vocab 128, hidden 1000, 12.5% in/out connectivity,
+1.7% recurrent connectivity — 49k connected weights, the paper's Table 2
+figure for the Hebbian network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import evaluate_sequence_probs
+from .layers import softmax
+
+
+@dataclass(frozen=True)
+class HebbianConfig:
+    """Sparse Hebbian network hyperparameters.
+
+    Attributes:
+        vocab_size: Number of miss classes.
+        hidden_dim: Hidden-layer width (paper: 1000).
+        connectivity_in: Input->hidden connection density (paper: 12.5%).
+        connectivity_rec: Hidden->hidden recurrent density.
+        connectivity_out: Hidden->output density (paper: 12.5%).
+        activation_fraction: Fraction of hidden units active (paper: 10%).
+        lr: Readout learning-rate (units of weight per update).
+        negative_scale: Scale of Eq. 1's depression term (the "-1" applied
+            to inactive-but-connected inputs of the clamped target).  At
+            1.0 (the paper's rule) a target reached from several different
+            contexts — e.g. interleaved streams — has its potentiation and
+            depression cancel and never consolidates; real synapses weight
+            LTD below LTP for the same reason.  0.25 keeps the
+            decorrelation benefit while letting multi-context targets
+            saturate.
+        weight_max: Readout weights are clipped to [-weight_max, weight_max];
+            bounds the scores so confidence stays meaningful and forgetting
+            is possible at all.
+        recurrent_strength: Scale of the (normalized) recurrent contribution
+            to the hidden pre-activation.
+        input_gain: Weight of the feed-forward input drive.  Kept above the
+            recurrent ceiling so the active set always lies inside the
+            input's connected units — the input selects the *support*,
+            recurrent context selects the winners within it.  This is what
+            makes hidden codes for the same class overlap heavily across
+            contexts (pattern completion) while codes for different classes
+            stay nearly disjoint (pattern separation).
+        punish_wrong: Apply the error-driven depression of a wrong argmax.
+        plastic_hidden: Also adapt input/recurrent weights Hebbian-style
+            (off by default: the paper's prototype learns the readout).
+        input_mode: "onehot" (one input unit per class — input weights grow
+            with the vocabulary) or "signature" (each class activates
+            ``signature_k`` of ``signature_dim`` input units via fixed
+            random hashing).  §5.3 observes that one-hot/embedding input
+            layers grow linearly with the address vocabulary; signature
+            codes fix the input layer's size regardless of vocabulary,
+            at the cost of rare hash collisions and weaker accuracy.
+            Pair signature mode with a small ``recurrent_strength``
+            (<= 0.1): the signature drive is continuous rather than a hard
+            support set, so a strong recurrent term destabilizes the
+            winner set instead of merely reordering it.
+        signature_dim: Input units in signature mode.
+        signature_k: Active input units per class in signature mode.
+        seed: Mask/initialization seed.
+    """
+
+    vocab_size: int = 128
+    hidden_dim: int = 1000
+    connectivity_in: float = 0.125
+    connectivity_rec: float = 0.017
+    connectivity_out: float = 0.125
+    activation_fraction: float = 0.10
+    lr: float = 1.0
+    negative_scale: float = 1.0
+    weight_max: float = 8.0
+    recurrent_strength: float = 0.5
+    input_gain: float = 2.0
+    punish_wrong: bool = True
+    plastic_hidden: bool = False
+    input_mode: str = "onehot"
+    signature_dim: int = 256
+    signature_k: int = 8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.input_mode not in ("onehot", "signature"):
+            raise ValueError("input_mode must be 'onehot' or 'signature'")
+        if self.input_mode == "signature":
+            if self.signature_k <= 0 or self.signature_k > self.signature_dim:
+                raise ValueError("signature_k must be in [1, signature_dim]")
+        if not 0 < self.activation_fraction <= 1:
+            raise ValueError("activation_fraction must be in (0, 1]")
+        for density in (self.connectivity_in, self.connectivity_rec,
+                        self.connectivity_out):
+            if not 0 < density <= 1:
+                raise ValueError("connectivity must be in (0, 1]")
+        if min(self.vocab_size, self.hidden_dim) <= 0:
+            raise ValueError("dimensions must be positive")
+
+    @property
+    def k_winners(self) -> int:
+        return max(1, int(round(self.hidden_dim * self.activation_fraction)))
+
+
+class SparseHebbianNetwork:
+    """Online sparse Hebbian sequence model (implements ``SequenceModel``)."""
+
+    def __init__(self, config: HebbianConfig = HebbianConfig()):
+        self.config = config
+        self.vocab_size = config.vocab_size
+        rng = np.random.default_rng(config.seed)
+        v, n = config.vocab_size, config.hidden_dim
+        if config.input_mode == "signature":
+            # Fixed k-of-D random codes: the input layer's width is
+            # signature_dim regardless of the vocabulary size (§5.3).
+            in_rows = config.signature_dim
+            self._signatures = np.stack([
+                rng.choice(in_rows, size=config.signature_k, replace=False)
+                for _ in range(v)])
+        else:
+            in_rows = v
+            self._signatures = None
+        self.mask_in = rng.random((in_rows, n)) < config.connectivity_in
+        self.mask_rec = rng.random((n, n)) < config.connectivity_rec
+        self.mask_out = rng.random((n, v)) < config.connectivity_out
+        self.w_in = self.mask_in.astype(np.float64)
+        if self._signatures is not None:
+            # Per-unit standardization of the signature drive.  Raw hit
+            # counts are proportional to a unit's in-degree, so hub units
+            # would win the k-WTA under *every* signature and pattern
+            # separation would collapse; z-scoring the hits makes the
+            # winners signature-specific.
+            degree = self.mask_in.sum(axis=0).astype(np.float64)
+            p = config.signature_k / config.signature_dim
+            self._sig_mu = degree * p
+            self._sig_sigma = np.sqrt(np.maximum(degree * p * (1 - p), 1e-6))
+        self.w_rec = self.mask_rec.astype(np.float64)
+        self.w_out = np.zeros((n, v))
+        # Fixed per-unit jitter breaks k-WTA ties deterministically.
+        self._tiebreak = rng.uniform(0.0, 1e-3, size=n)
+        # Readout scores span roughly +-k * connectivity_out * weight_max at
+        # convergence; this temperature maps that span to +-8 logits so the
+        # softmax confidence saturates near 1 for a well-learned class.
+        score_span = config.k_winners * config.connectivity_out * config.weight_max
+        self._temperature = max(0.25, score_span / 8.0)
+
+        self._prev_class: int | None = None
+        self._prev_active: np.ndarray | None = None
+        self._prev_pred: int | None = None
+        self._last_scores: np.ndarray | None = None
+        self._last_active: np.ndarray | None = None
+        self.train_steps = 0
+
+    # ------------------------------------------------------------------
+    # Forward pieces
+    # ------------------------------------------------------------------
+    def hidden_code(self, input_class: int,
+                    prev_active: np.ndarray | None = None) -> np.ndarray:
+        """k-WTA hidden activation (indices) for an input in a context."""
+        if self._signatures is not None:
+            hits = self.w_in[self._signatures[input_class]].sum(axis=0)
+            # standardized overlap: signature-specific, hub-neutral; scaled
+            # so the strongest winners sit around input_gain like one-hot
+            z = (hits - self._sig_mu) / self._sig_sigma
+            pre = (self.config.input_gain / 3.0) * z
+        else:
+            pre = self.config.input_gain * self.w_in[input_class]
+        if prev_active is not None and prev_active.size:
+            # Normalize by the expected number of recurrent hits per unit so
+            # the recurrent term peaks around ``recurrent_strength`` and can
+            # order units within the input's support without overriding it.
+            expected_hits = max(1.0, prev_active.size
+                                * self.config.hidden_dim * self.config.connectivity_rec
+                                / self.config.hidden_dim)
+            pre = pre + (self.config.recurrent_strength / expected_hits
+                         ) * self.w_rec[prev_active].sum(axis=0)
+        pre = pre + self._tiebreak
+        k = self.config.k_winners
+        return np.argpartition(pre, -k)[-k:]
+
+    def readout(self, active: np.ndarray) -> np.ndarray:
+        """Class scores from an active hidden set."""
+        return self.w_out[active].sum(axis=0)
+
+    def probabilities(self, scores: np.ndarray) -> np.ndarray:
+        return softmax(scores / self._temperature)
+
+    # ------------------------------------------------------------------
+    # SequenceModel interface
+    # ------------------------------------------------------------------
+    def step(self, input_class: int, train: bool = True,
+             lr_scale: float = 1.0) -> np.ndarray:
+        self._check_class(input_class)
+        if train and self._prev_active is not None:
+            self._learn(self._prev_active, input_class, self._prev_pred, lr_scale)
+            if self.config.plastic_hidden and self._prev_class is not None:
+                self._adapt_hidden(self._prev_class, self._prev_active, lr_scale)
+            self.train_steps += 1
+
+        active = self.hidden_code(input_class, self._prev_active)
+        scores = self.readout(active)
+        probs = self.probabilities(scores)
+
+        self._prev_class = input_class
+        self._prev_active = active
+        self._prev_pred = int(np.argmax(scores))
+        self._last_scores = scores
+        self._last_active = active
+        return probs
+
+    def train_pair(self, input_class: int, target_class: int,
+                   lr_scale: float = 1.0) -> float:
+        self._check_class(input_class)
+        self._check_class(target_class)
+        active = self.hidden_code(input_class, prev_active=None)
+        scores = self.readout(active)
+        confidence = float(self.probabilities(scores)[target_class])
+        self._learn(active, target_class, int(np.argmax(scores)), lr_scale)
+        if self.config.plastic_hidden:
+            self._adapt_hidden(input_class, active, lr_scale)
+        return confidence
+
+    def train_pairs(self, pairs: list[tuple[int, int]],
+                    lr_scale: float = 1.0) -> None:
+        """Batched training: Eq. 1 updates are local, so a batch is just
+        the sequence of per-pair updates (§5.1's batching only amortizes
+        dispatch for this model; it changes nothing semantically)."""
+        for input_class, target_class in pairs:
+            self.train_pair(input_class, target_class, lr_scale=lr_scale)
+
+    def predict_rollout(self, width: int = 1, length: int = 1
+                        ) -> list[list[tuple[int, float]]]:
+        if self._last_scores is None:
+            return []
+        out: list[list[tuple[int, float]]] = []
+        scores = self._last_scores
+        active = self._last_active
+        for _ in range(length):
+            probs = self.probabilities(scores)
+            top = np.argsort(probs)[::-1][:width]
+            out.append([(int(k), float(probs[k])) for k in top])
+            active = self.hidden_code(int(top[0]), active)
+            scores = self.readout(active)
+        return out
+
+    def reset_state(self) -> None:
+        self._prev_class = None
+        self._prev_active = None
+        self._prev_pred = None
+        self._last_scores = None
+        self._last_active = None
+
+    def clone(self) -> "SparseHebbianNetwork":
+        twin = SparseHebbianNetwork(self.config)
+        twin.w_in = self.w_in.copy()
+        twin.w_rec = self.w_rec.copy()
+        twin.w_out = self.w_out.copy()
+        twin._prev_class = self._prev_class
+        twin._prev_pred = self._prev_pred
+        for src, attr in ((self._prev_active, "_prev_active"),
+                          (self._last_scores, "_last_scores"),
+                          (self._last_active, "_last_active")):
+            setattr(twin, attr, None if src is None else src.copy())
+        twin.train_steps = self.train_steps
+        return twin
+
+    def evaluate_sequence(self, classes: list[int]) -> float:
+        probs = evaluate_sequence_probs(self, classes)
+        return float(probs.mean()) if probs.size else 0.0
+
+    # ------------------------------------------------------------------
+    # Learning rules
+    # ------------------------------------------------------------------
+    def _learn(self, active: np.ndarray, target: int, predicted: int | None,
+               lr_scale: float) -> None:
+        """Eq. 1 with the output clamped to the observed next class."""
+        lr = self.config.lr * lr_scale
+        connected = self.mask_out[:, target]
+        delta = np.where(connected, -lr * self.config.negative_scale, 0.0)
+        active_connected = active[connected[active]]
+        delta[active_connected] = lr
+        column = self.w_out[:, target] + delta
+        np.clip(column, -self.config.weight_max, self.config.weight_max, out=column)
+        self.w_out[:, target] = column
+
+        if self.config.punish_wrong and predicted is not None and predicted != target:
+            wrong = active[self.mask_out[active, predicted]]
+            self.w_out[wrong, predicted] = np.maximum(
+                self.w_out[wrong, predicted] - lr, -self.config.weight_max)
+
+    def _adapt_hidden(self, input_class: int, active: np.ndarray,
+                      lr_scale: float) -> None:
+        """Optional Hebbian strengthening of the hidden projection."""
+        lr = 0.01 * self.config.lr * lr_scale
+        rows = (self._signatures[input_class] if self._signatures is not None
+                else np.array([input_class]))
+        for row in rows:
+            connected = active[self.mask_in[row, active]]
+            self.w_in[row, connected] = np.minimum(
+                self.w_in[row, connected] + lr, 2.0)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def parameter_count(self) -> int:
+        """Connected weights across all three projections (Table 2)."""
+        return int(self.mask_in.sum() + self.mask_rec.sum() + self.mask_out.sum())
+
+    def _check_class(self, class_id: int) -> None:
+        if not 0 <= class_id < self.vocab_size:
+            raise ValueError(f"class {class_id} outside vocab [0, {self.vocab_size})")

@@ -1,0 +1,69 @@
+"""Small neural-network building blocks (numpy, from scratch).
+
+Everything the LSTM prefetcher (§2.1) needs: parameter initialization,
+softmax/cross-entropy, and a plain SGD optimizer with gradient clipping.
+No autograd — gradients are derived by hand in ``lstm.py`` and verified
+numerically in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def glorot(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def cross_entropy(probs: np.ndarray, targets: np.ndarray) -> float:
+    """Mean cross-entropy of row-wise ``probs`` against integer ``targets``."""
+    probs = np.atleast_2d(probs)
+    targets = np.atleast_1d(targets)
+    picked = probs[np.arange(len(targets)), targets]
+    return float(-np.log(np.clip(picked, 1e-12, None)).mean())
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+
+@dataclass
+class SGD:
+    """Vanilla SGD with global-norm gradient clipping.
+
+    Attributes:
+        lr: Learning rate.
+        clip_norm: Maximum global gradient L2 norm (0 disables clipping).
+    """
+
+    lr: float = 0.1
+    clip_norm: float = 5.0
+    steps: int = field(default=0, init=False)
+
+    def apply(self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray],
+              lr_scale: float = 1.0) -> None:
+        """Update ``params`` in place from ``grads``.
+
+        ``lr_scale`` supports the paper's replay protocol (§3.2), which
+        retrains old examples at a 0.1× smaller learning rate.
+        """
+        if self.clip_norm > 0:
+            total = np.sqrt(sum(float((g * g).sum()) for g in grads.values()))
+            if total > self.clip_norm:
+                scale = self.clip_norm / (total + 1e-12)
+                grads = {k: g * scale for k, g in grads.items()}
+        step = self.lr * lr_scale
+        for key, grad in grads.items():
+            params[key] -= step * grad
+        self.steps += 1

@@ -1,0 +1,59 @@
+"""Parameter quantization (the INT8 arm of Figure 2).
+
+The paper quantizes the LSTM's FP32 parameters to INT8 for inference [29]
+and still measures >60 us latency.  We reproduce both halves of that
+observation: the *accuracy* effect by round-tripping weights through a
+symmetric per-tensor INT8 grid, and the *latency* effect in the cost model
+(`repro.nn.costs` prices quantized MACs as integer ops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .lstm import OnlineLSTM
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """A symmetric per-tensor INT8 quantization of a float array."""
+
+    q: np.ndarray     # int8 values
+    scale: float      # float = q * scale
+
+    @classmethod
+    def quantize(cls, values: np.ndarray, bits: int = 8) -> "QuantizedTensor":
+        if bits < 2 or bits > 16:
+            raise ValueError("bits must be in [2, 16]")
+        qmax = 2 ** (bits - 1) - 1
+        max_abs = float(np.abs(values).max())
+        scale = max_abs / qmax if max_abs > 0 else 1.0
+        q = np.clip(np.round(values / scale), -qmax - 1, qmax).astype(np.int16)
+        return cls(q=q, scale=scale)
+
+    def dequantize(self) -> np.ndarray:
+        return self.q.astype(np.float64) * self.scale
+
+
+def quantization_error(values: np.ndarray, bits: int = 8) -> float:
+    """Relative L2 error introduced by quantizing ``values``."""
+    qt = QuantizedTensor.quantize(values, bits)
+    norm = float(np.linalg.norm(values))
+    if norm == 0:
+        return 0.0
+    return float(np.linalg.norm(qt.dequantize() - values)) / norm
+
+
+def quantize_lstm(model: OnlineLSTM, bits: int = 8) -> OnlineLSTM:
+    """An inference-equivalent copy with weights snapped to the INT grid.
+
+    The returned model is a normal :class:`OnlineLSTM` (so every evaluation
+    path works unchanged); callers treat it as inference-only, matching the
+    paper's quantized-inference setup.
+    """
+    twin = model.clone()
+    for key, values in twin.net.params.items():
+        twin.net.params[key] = QuantizedTensor.quantize(values, bits).dequantize()
+    return twin

@@ -1,0 +1,58 @@
+"""Access-pattern and trace substrates (Table 1, Figure 5 workloads)."""
+
+from .trace import KIND_LOAD, KIND_STORE, MemoryAccess, Trace, interleave
+from .generators import (
+    PATTERN_NAMES,
+    PatternSpec,
+    generate,
+    indirect_index,
+    indirect_stride,
+    pointer_chase,
+    pointer_offset,
+    stride,
+)
+from .applications import (
+    ALL_APPLICATIONS,
+    FIG5_APPLICATIONS,
+    HARD_APPLICATIONS,
+    AppSpec,
+    cachebench,
+    generate_application,
+    graph500,
+    mcf,
+    memcached,
+    pagerank_graphchi,
+    resnet_training,
+)
+from .phases import Phase, PhasedTrace, build_phased_trace, pattern_pairs
+
+__all__ = [
+    "KIND_LOAD",
+    "KIND_STORE",
+    "MemoryAccess",
+    "Trace",
+    "interleave",
+    "PATTERN_NAMES",
+    "PatternSpec",
+    "generate",
+    "stride",
+    "pointer_chase",
+    "indirect_stride",
+    "indirect_index",
+    "pointer_offset",
+    "ALL_APPLICATIONS",
+    "FIG5_APPLICATIONS",
+    "HARD_APPLICATIONS",
+    "AppSpec",
+    "generate_application",
+    "resnet_training",
+    "pagerank_graphchi",
+    "mcf",
+    "graph500",
+    "memcached",
+    "cachebench",
+    "Phase",
+    "PhasedTrace",
+    "build_phased_trace",
+    "pattern_pairs",
+]

@@ -1,0 +1,405 @@
+"""Application-like trace synthesizers.
+
+The paper evaluates online prefetching (Figure 5) on traces of four real
+applications — TensorFlow training ResNet-50, PageRank on GraphChi, SPEC
+mcf, and graph500 — and reports a negative result (§5.3) on memcached and
+cachebench.  Those traces (2 billion accesses each, collected on real
+hardware) are not released, so this module synthesizes traces that
+reproduce each application's *dominant access structure*, which is what an
+online learner can or cannot exploit:
+
+- ``resnet_training``: epoch-repeated tiled streaming over inputs plus hot,
+  repeatedly-touched parameter regions.
+- ``pagerank_graphchi``: per-shard sequential edge streaming with
+  vertex-value reads indexed by a fixed graph, repeated across iterations.
+- ``mcf``: alternating sequential arc-array scans and pointer-network
+  traversals with node-field offsets (network simplex flavour).
+- ``graph500``: repeated BFS over a fixed RMAT-style graph — sequential
+  adjacency reads per vertex, pseudorandom-but-fixed frontier order.
+- ``memcached`` / ``cachebench``: hash-bucket + item-chain lookups driven by
+  fresh random key draws every step; by construction there is almost no
+  sequence structure for an address-delta learner to find (§5.3).
+
+All generators are deterministic for a fixed seed and scale linearly with
+``n``, so the paper's 2B-access scale is only a parameter away (documented
+substitution #1 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .trace import Trace
+
+#: Figure 5 application set, in paper order.
+FIG5_APPLICATIONS = ("resnet", "pagerank", "mcf", "graph500")
+
+#: §5.3 pointer-based caching applications where delta learning fails.
+HARD_APPLICATIONS = ("memcached", "cachebench")
+
+ALL_APPLICATIONS = FIG5_APPLICATIONS + HARD_APPLICATIONS
+
+_KB = 1024
+_MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Shared knobs for application synthesizers.
+
+    Attributes:
+        n: Total number of accesses to emit (generators may emit up to a few
+            accesses fewer to keep inner loops whole).
+        seed: RNG seed; fixes the synthetic data-structure layout.
+        scale: Working-set scale factor.  1.0 gives footprints of a few
+            thousand 4 KiB pages — large enough for a 50%-of-footprint
+            memory (Figure 5's setup) to produce a meaningful miss stream,
+            small enough for fast tests.
+    """
+
+    n: int = 100_000
+    seed: int = 0
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError("n must be positive")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+    def scaled(self, value: int, minimum: int = 1) -> int:
+        return max(minimum, int(value * self.scale))
+
+
+def resnet_training(spec: AppSpec = AppSpec()) -> Trace:
+    """TensorFlow/ResNet-50-like training loop.
+
+    Structure per step: stream one input batch tile-by-tile (sequential,
+    constant stride), touch the hot parameter region (same addresses every
+    step), and stream an activation buffer.  Steps repeat over a bounded
+    number of distinct batches, modelling epoch re-reads of a dataset.
+    """
+    rng = np.random.default_rng(spec.seed)
+    input_base = 0x1000_0000
+    param_base = 0x4000_0000
+    act_base = 0x6000_0000
+
+    n_batches = spec.scaled(16, 2)
+    batch_bytes = spec.scaled(512 * _KB, 64 * _KB)
+    tile = 4 * _KB
+    tiles_per_batch = batch_bytes // tile
+    param_pages = spec.scaled(96, 8)
+    act_pages = spec.scaled(48, 4)
+
+    # Hot parameter pages are touched in a fixed (layer) order each step.
+    param_order = rng.permutation(param_pages).astype(np.int64)
+
+    chunks: list[np.ndarray] = []
+    kind_chunks: list[np.ndarray] = []
+    total = 0
+    batch = 0
+    while total < spec.n:
+        b = batch % n_batches
+        batch += 1
+        seq = input_base + b * batch_bytes + np.arange(tiles_per_batch, dtype=np.int64) * tile
+        params = param_base + param_order * 4096
+        acts = act_base + np.arange(act_pages, dtype=np.int64) * 4096
+        step = np.concatenate([seq, params, acts])
+        kinds = np.zeros(len(step), dtype=np.uint8)
+        kinds[len(seq) + len(params):] = 1  # activation buffer is written
+        chunks.append(step)
+        kind_chunks.append(kinds)
+        total += len(step)
+    addresses = np.concatenate(chunks)[: spec.n]
+    kinds = np.concatenate(kind_chunks)[: spec.n]
+    return Trace(
+        name="resnet",
+        addresses=addresses,
+        kinds=kinds,
+        metadata={"app": "resnet", "n_batches": n_batches, "seed": spec.seed},
+    )
+
+
+def pagerank_graphchi(spec: AppSpec = AppSpec()) -> Trace:
+    """GraphChi-style PageRank: shard-sequential edges + indexed vertex reads.
+
+    The graph is fixed at construction; every iteration replays the same
+    shard order and the same per-edge vertex indices, so the pseudorandom
+    vertex-access subsequences repeat across iterations — the learnable
+    structure the paper relies on.
+    """
+    rng = np.random.default_rng(spec.seed)
+    edge_base = 0x2000_0000
+    vertex_base = 0x5000_0000
+
+    n_shards = spec.scaled(8, 2)
+    edges_per_shard = spec.scaled(512, 64)
+    n_vertices = spec.scaled(2048, 128)
+    # Edge records and vertex values are padded structs; the sizes keep the
+    # page-level footprint large enough that a 50%-of-footprint memory
+    # (Figure 5's setup) produces a meaningful miss stream.
+    edge_bytes = 64
+    vertex_bytes = 64
+
+    # Fixed edge targets per shard (skewed like a power-law graph).
+    targets = (rng.pareto(1.3, size=(n_shards, edges_per_shard)) * n_vertices * 0.05)
+    targets = np.minimum(targets.astype(np.int64), n_vertices - 1)
+
+    per_iter = n_shards * edges_per_shard * 2
+    chunks: list[np.ndarray] = []
+    total = 0
+    while total < spec.n:
+        for s in range(n_shards):
+            edge_addr = (edge_base + s * edges_per_shard * edge_bytes
+                         + np.arange(edges_per_shard, dtype=np.int64) * edge_bytes)
+            vert_addr = vertex_base + targets[s] * vertex_bytes
+            step = np.empty(edges_per_shard * 2, dtype=np.int64)
+            step[0::2] = edge_addr
+            step[1::2] = vert_addr
+            chunks.append(step)
+        total += per_iter
+    addresses = np.concatenate(chunks)[: spec.n]
+    kinds = np.zeros(len(addresses), dtype=np.uint8)
+    kinds[1::2] = 1  # vertex rank accumulation is a read-modify-write
+    return Trace(
+        name="pagerank",
+        addresses=addresses,
+        kinds=kinds,
+        metadata={"app": "pagerank", "n_shards": n_shards, "n_vertices": n_vertices,
+                  "seed": spec.seed},
+    )
+
+
+def mcf(spec: AppSpec = AppSpec()) -> Trace:
+    """SPEC mcf-like network simplex: arc scans + node pointer traversals.
+
+    Alternates a sequential scan over the arc array (pricing) with a
+    pointer walk over a fixed spanning-tree order of nodes, touching two
+    fields per node (cost/parent).  Both phases repeat each outer iteration.
+    """
+    rng = np.random.default_rng(spec.seed)
+    arc_base = 0x3000_0000
+    node_base = 0x7000_0000
+
+    n_arcs = spec.scaled(4096, 256)
+    n_nodes = spec.scaled(1024, 64)
+    arc_bytes = 64
+    node_bytes = 128
+
+    tree_order = rng.permutation(n_nodes).astype(np.int64)
+    node_addr = node_base + tree_order * node_bytes
+    node_walk = np.empty(n_nodes * 2, dtype=np.int64)
+    node_walk[0::2] = node_addr
+    node_walk[1::2] = node_addr + 64  # second cache line of the node struct
+
+    arc_scan = arc_base + np.arange(n_arcs, dtype=np.int64) * arc_bytes
+
+    node_kinds = np.zeros(len(node_walk), dtype=np.uint8)
+    node_kinds[1::2] = 1  # the second node field (flow/parent) is updated
+
+    per_iter = len(arc_scan) + len(node_walk)
+    chunks: list[np.ndarray] = []
+    kind_chunks: list[np.ndarray] = []
+    total = 0
+    while total < spec.n:
+        chunks.append(arc_scan)
+        kind_chunks.append(np.zeros(len(arc_scan), dtype=np.uint8))
+        chunks.append(node_walk)
+        kind_chunks.append(node_kinds)
+        total += per_iter
+    addresses = np.concatenate(chunks)[: spec.n]
+    kinds = np.concatenate(kind_chunks)[: spec.n]
+    return Trace(
+        name="mcf",
+        addresses=addresses,
+        kinds=kinds,
+        metadata={"app": "mcf", "n_arcs": n_arcs, "n_nodes": n_nodes, "seed": spec.seed},
+    )
+
+
+def graph500(spec: AppSpec = AppSpec()) -> Trace:
+    """graph500-like repeated BFS over a fixed RMAT-style graph.
+
+    Builds a small RMAT graph (skewed degrees), runs BFS from a fixed
+    source, and replays the resulting visit order: for each visited vertex,
+    one vertex-array read then a sequential sweep of its adjacency list.
+    Successive BFS runs repeat the same order (fixed graph, fixed source).
+    """
+    rng = np.random.default_rng(spec.seed)
+    n_vertices = spec.scaled(256, 64)
+    avg_degree = 8
+    vertex_base = 0x8000_0000
+    edge_base = 0x9000_0000
+    # Padded records (see pagerank note): keeps the page footprint large
+    # enough for the 50%-of-footprint memory setup.
+    vertex_bytes = 4096
+    edge_bytes = 128
+
+    src, dst = _rmat_edges(n_vertices, n_vertices * avg_degree, rng)
+    order = np.argsort(src, kind="stable")
+    src, dst = src[order], dst[order]
+    degrees = np.bincount(src, minlength=n_vertices)
+    offsets = np.concatenate([[0], np.cumsum(degrees)])
+
+    visit_order = _bfs_order(n_vertices, src, dst, offsets, source=0)
+
+    # One BFS pass: for each visited vertex, vertex read + adjacency sweep.
+    pieces = []
+    for v in visit_order:
+        pieces.append(np.array([vertex_base + v * vertex_bytes], dtype=np.int64))
+        lo, hi = int(offsets[v]), int(offsets[v + 1])
+        if hi > lo:
+            pieces.append(edge_base + np.arange(lo, hi, dtype=np.int64) * edge_bytes)
+    one_pass = np.concatenate(pieces)
+
+    reps = max(1, -(-spec.n // len(one_pass)))
+    addresses = np.tile(one_pass, reps)[: spec.n]
+    return Trace(
+        name="graph500",
+        addresses=addresses,
+        metadata={"app": "graph500", "n_vertices": n_vertices, "seed": spec.seed},
+    )
+
+
+def memcached(spec: AppSpec = AppSpec(), zipf_s: float = 1.1) -> Trace:
+    """memcached-like GET storm: hash bucket probe then item-chain walk.
+
+    Keys are drawn fresh from a Zipf distribution each access, so while the
+    *objects* are fixed, the sequence order is random: consecutive-address
+    deltas carry almost no information (§5.3's negative result).
+    """
+    rng = np.random.default_rng(spec.seed)
+    n_keys = spec.scaled(8192, 512)
+    bucket_base = 0xA000_0000
+    item_base = 0xB000_0000
+    n_buckets = n_keys  # load factor 1
+    item_bytes = 128
+
+    key_bucket = rng.permutation(n_buckets).astype(np.int64)  # fixed hash
+    key_item = rng.permutation(n_keys).astype(np.int64)       # fixed heap layout
+    chain_len = rng.integers(1, 4, size=n_keys)
+
+    # Oversample lookups so truncation to exactly n accesses always succeeds.
+    lookups = max(1, spec.n // 2 + 8)
+    keys = _zipf(rng, zipf_s, n_keys, lookups)
+
+    pieces = []
+    total = 0
+    for k in keys:
+        bucket = bucket_base + key_bucket[k] * 8
+        item = item_base + key_item[k] * item_bytes
+        chain = item + np.arange(chain_len[k], dtype=np.int64) * item_bytes * n_keys // 4
+        pieces.append(np.concatenate([[bucket], chain]))
+        total += 1 + chain_len[k]
+        if total >= spec.n:
+            break
+    addresses = np.concatenate(pieces)[: spec.n]
+    if len(addresses) < spec.n:
+        raise AssertionError("memcached generator under-produced; widen oversampling")
+    return Trace(
+        name="memcached",
+        addresses=addresses,
+        metadata={"app": "memcached", "n_keys": n_keys, "zipf_s": zipf_s, "seed": spec.seed},
+    )
+
+
+def cachebench(spec: AppSpec = AppSpec()) -> Trace:
+    """CacheLib cachebench-like mix: uniform random lookups + rare scans."""
+    rng = np.random.default_rng(spec.seed)
+    n_items = spec.scaled(16384, 1024)
+    item_base = 0xC000_0000
+    item_bytes = 256
+
+    layout = rng.permutation(n_items).astype(np.int64)
+    pieces = []
+    total = 0
+    while total < spec.n:
+        if rng.random() < 0.02:  # occasional utility scan
+            start = int(rng.integers(0, n_items - 64))
+            burst = item_base + layout[start:start + 64] * item_bytes
+        else:
+            burst = item_base + layout[rng.integers(0, n_items, size=8)] * item_bytes
+        pieces.append(burst)
+        total += len(burst)
+    addresses = np.concatenate(pieces)[: spec.n]
+    return Trace(
+        name="cachebench",
+        addresses=addresses,
+        metadata={"app": "cachebench", "n_items": n_items, "seed": spec.seed},
+    )
+
+
+def generate_application(app: str, spec: AppSpec = AppSpec(), **kwargs) -> Trace:
+    """Generate an application trace by name (see ``ALL_APPLICATIONS``)."""
+    try:
+        factory = _FACTORIES[app]
+    except KeyError:
+        raise ValueError(
+            f"unknown application {app!r}; expected one of {ALL_APPLICATIONS}"
+        ) from None
+    return factory(spec, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Graph helpers
+# ----------------------------------------------------------------------
+def _rmat_edges(n_vertices: int, n_edges: int,
+                rng: np.random.Generator,
+                probs: tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05),
+                ) -> tuple[np.ndarray, np.ndarray]:
+    """Kronecker/RMAT-style edge list with skewed degree distribution."""
+    levels = max(1, int(np.ceil(np.log2(max(2, n_vertices)))))
+    a, b, c, _d = probs
+    src = np.zeros(n_edges, dtype=np.int64)
+    dst = np.zeros(n_edges, dtype=np.int64)
+    for _ in range(levels):
+        r = rng.random(n_edges)
+        right = (r >= a) & (r < a + b)
+        down = (r >= a + b) & (r < a + b + c)
+        diag = r >= a + b + c
+        src = src * 2 + (down | diag)
+        dst = dst * 2 + (right | diag)
+    src %= n_vertices
+    dst %= n_vertices
+    return src, dst
+
+
+def _bfs_order(n_vertices: int, src: np.ndarray, dst: np.ndarray,
+               offsets: np.ndarray, source: int) -> list[int]:
+    """BFS visit order over a CSR graph; unreached vertices are skipped."""
+    visited = np.zeros(n_vertices, dtype=bool)
+    visited[source] = True
+    order = [source]
+    frontier = [source]
+    while frontier:
+        nxt: list[int] = []
+        for v in frontier:
+            lo, hi = int(offsets[v]), int(offsets[v + 1])
+            for u in dst[lo:hi]:
+                u = int(u)
+                if not visited[u]:
+                    visited[u] = True
+                    nxt.append(u)
+                    order.append(u)
+        frontier = nxt
+    return order
+
+
+def _zipf(rng: np.random.Generator, s: float, n: int, size: int) -> np.ndarray:
+    """Bounded Zipf(s) draws over [0, n) via inverse-CDF sampling."""
+    weights = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), s)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    return np.searchsorted(cdf, rng.random(size)).astype(np.int64)
+
+
+_FACTORIES = {
+    "resnet": resnet_training,
+    "pagerank": pagerank_graphchi,
+    "mcf": mcf,
+    "graph500": graph500,
+    "memcached": memcached,
+    "cachebench": cachebench,
+}

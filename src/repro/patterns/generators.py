@@ -1,0 +1,208 @@
+"""Synthetic generators for the Table 1 memory access patterns.
+
+The paper evaluates online learning on five data-structure-level patterns
+(Table 1, adapted from Ayers et al. [10]):
+
+==================  ==========  ================================================
+Pattern             Code        Behaviour
+==================  ==========  ================================================
+Stride              ``a[i]``    regular delta (streaming / array traversal)
+Pointer chase       ``*ptr``    pseudorandom walk over a fixed linked structure
+Indirect stride     ``*(a[i])`` strided reads of a pointer array, dereferencing
+                                each pointer
+Indirect index      ``b[a[i]]`` strided reads of an index array, then indexed
+                                reads into a second array
+Pointer offset      ``*ptr``,   pointer chase where each node's fields at fixed
+                    ``*(ptr+i)``  offsets are also touched
+==================  ==========  ================================================
+
+Every generator is deterministic for a fixed seed and produces a
+:class:`~repro.patterns.trace.Trace`.  The underlying data structures
+(linked lists, pointer arrays) are fixed at construction, so repeating a
+traversal repeats the same address sequence — which is what makes these
+patterns *learnable* by an online model, and what makes forgetting them
+costly (§2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .trace import Trace
+
+#: Names of all Table 1 patterns, in paper order.
+PATTERN_NAMES = (
+    "stride",
+    "pointer_chase",
+    "indirect_stride",
+    "indirect_index",
+    "pointer_offset",
+)
+
+_DEFAULT_BASE = 0x10_0000  # keep addresses away from 0 so deltas are honest
+
+
+@dataclass(frozen=True)
+class PatternSpec:
+    """Shared knobs for all Table 1 generators.
+
+    Attributes:
+        n: Number of accesses to emit.
+        element_size: Bytes per element; deltas are multiples of this.
+        working_set: Number of distinct elements in the traversed structure.
+            The traversal wraps around, so the same addresses repeat every
+            ``working_set`` steps (every ``working_set`` nodes for chases).
+        base: Base byte address of the primary structure.
+        seed: RNG seed for any pseudorandom layout.
+    """
+
+    n: int = 1000
+    element_size: int = 64
+    working_set: int = 100
+    base: int = _DEFAULT_BASE
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError("n must be positive")
+        if self.element_size <= 0:
+            raise ValueError("element_size must be positive")
+        if self.working_set <= 0:
+            raise ValueError("working_set must be positive")
+
+
+def stride(spec: PatternSpec = PatternSpec(), stride_elements: int = 1) -> Trace:
+    """``a[i]``: accesses at a constant delta, wrapping over the working set."""
+    idx = (np.arange(spec.n, dtype=np.int64) * stride_elements) % spec.working_set
+    addresses = spec.base + idx * spec.element_size
+    return Trace(
+        name="stride",
+        addresses=addresses,
+        metadata={"pattern": "stride", "stride_elements": stride_elements, **_meta(spec)},
+    )
+
+
+def pointer_chase(spec: PatternSpec = PatternSpec()) -> Trace:
+    """``*ptr``: repeated traversal of a fixed pseudorandom linked list.
+
+    The list is a random Hamiltonian cycle over ``working_set`` nodes, so the
+    address sequence is pseudorandom but periodic with period ``working_set``.
+    """
+    order = _node_cycle(spec)
+    idx = order[np.arange(spec.n, dtype=np.int64) % spec.working_set]
+    addresses = spec.base + idx * spec.element_size
+    return Trace(
+        name="pointer_chase",
+        addresses=addresses,
+        metadata={"pattern": "pointer_chase", **_meta(spec)},
+    )
+
+
+def indirect_stride(spec: PatternSpec = PatternSpec(), stride_elements: int = 1) -> Trace:
+    """``*(a[i])``: strided pointer-array reads, each followed by its target.
+
+    Even positions in the trace walk the pointer array ``a`` at a regular
+    delta; odd positions dereference the (fixed, pseudorandom) pointer stored
+    there.  Emits ``n`` accesses total.
+    """
+    rng = np.random.default_rng(spec.seed)
+    # Fixed pointer targets, one per array slot, in a disjoint region.
+    target_base = spec.base + 2 * spec.working_set * spec.element_size
+    targets = rng.permutation(spec.working_set).astype(np.int64)
+
+    pairs = (spec.n + 1) // 2
+    slot = (np.arange(pairs, dtype=np.int64) * stride_elements) % spec.working_set
+    array_addr = spec.base + slot * 8  # pointer slots are 8 bytes
+    target_addr = target_base + targets[slot] * spec.element_size
+
+    addresses = np.empty(pairs * 2, dtype=np.int64)
+    addresses[0::2] = array_addr
+    addresses[1::2] = target_addr
+    return Trace(
+        name="indirect_stride",
+        addresses=addresses[: spec.n],
+        metadata={"pattern": "indirect_stride", "stride_elements": stride_elements,
+                  **_meta(spec)},
+    )
+
+
+def indirect_index(spec: PatternSpec = PatternSpec(), stride_elements: int = 1) -> Trace:
+    """``b[a[i]]``: strided index-array reads, then indexed reads of ``b``.
+
+    ``a`` holds a fixed pseudorandom permutation of indices into ``b``; the
+    trace alternates the strided read of ``a[i]`` with the dependent read of
+    ``b[a[i]]``.
+    """
+    rng = np.random.default_rng(spec.seed + 1)
+    b_base = spec.base + 2 * spec.working_set * 8
+    indices = rng.permutation(spec.working_set).astype(np.int64)
+
+    pairs = (spec.n + 1) // 2
+    slot = (np.arange(pairs, dtype=np.int64) * stride_elements) % spec.working_set
+    a_addr = spec.base + slot * 8
+    b_addr = b_base + indices[slot] * spec.element_size
+
+    addresses = np.empty(pairs * 2, dtype=np.int64)
+    addresses[0::2] = a_addr
+    addresses[1::2] = b_addr
+    return Trace(
+        name="indirect_index",
+        addresses=addresses[: spec.n],
+        metadata={"pattern": "indirect_index", "stride_elements": stride_elements,
+                  **_meta(spec)},
+    )
+
+
+def pointer_offset(spec: PatternSpec = PatternSpec(), offsets: tuple[int, ...] = (0, 16, 32)) -> Trace:
+    """``*ptr`` then ``*(ptr+i)``: pointer chase touching fields of each node."""
+    if not offsets:
+        raise ValueError("offsets must be non-empty")
+    order = _node_cycle(spec)
+    per_node = len(offsets)
+    nodes_needed = (spec.n + per_node - 1) // per_node
+    idx = order[np.arange(nodes_needed, dtype=np.int64) % spec.working_set]
+    node_addr = spec.base + idx * spec.element_size
+
+    addresses = (node_addr[:, None] + np.asarray(offsets, dtype=np.int64)[None, :]).ravel()
+    return Trace(
+        name="pointer_offset",
+        addresses=addresses[: spec.n],
+        metadata={"pattern": "pointer_offset", "offsets": list(offsets), **_meta(spec)},
+    )
+
+
+def generate(pattern: str, spec: PatternSpec = PatternSpec(), **kwargs) -> Trace:
+    """Generate a Table 1 pattern by name."""
+    try:
+        factory = _FACTORIES[pattern]
+    except KeyError:
+        raise ValueError(
+            f"unknown pattern {pattern!r}; expected one of {PATTERN_NAMES}"
+        ) from None
+    return factory(spec, **kwargs)
+
+
+def _node_cycle(spec: PatternSpec) -> np.ndarray:
+    """A random Hamiltonian cycle's visit order over the working set."""
+    rng = np.random.default_rng(spec.seed)
+    return rng.permutation(spec.working_set).astype(np.int64)
+
+
+def _meta(spec: PatternSpec) -> dict:
+    return {
+        "n": spec.n,
+        "element_size": spec.element_size,
+        "working_set": spec.working_set,
+        "seed": spec.seed,
+    }
+
+
+_FACTORIES = {
+    "stride": stride,
+    "pointer_chase": pointer_chase,
+    "indirect_stride": indirect_stride,
+    "indirect_index": indirect_index,
+    "pointer_offset": pointer_offset,
+}

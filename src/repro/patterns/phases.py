@@ -1,0 +1,100 @@
+"""Multi-phase trace composition.
+
+The interference experiments (§2.2, Figure 3) present an online learner
+with one access pattern, then switch to a different one, and optionally
+return to the first.  This module builds such phased traces and keeps
+per-phase boundaries so experiments can score each phase separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import generators
+from .generators import PatternSpec
+from .trace import Trace
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One phase of a phased trace.
+
+    Attributes:
+        pattern: Table 1 pattern name (see ``generators.PATTERN_NAMES``).
+        n: Number of accesses in the phase.
+        spec_overrides: PatternSpec fields to override for this phase.
+    """
+
+    pattern: str
+    n: int = 1000
+    spec_overrides: dict = field(default_factory=dict)
+
+
+@dataclass
+class PhasedTrace:
+    """A trace plus the [start, stop) boundary of each phase."""
+
+    trace: Trace
+    boundaries: list[tuple[int, int]]
+    phases: list[Phase]
+
+    def phase_slice(self, index: int) -> Trace:
+        start, stop = self.boundaries[index]
+        return self.trace.slice(start, stop, name=self.phases[index].pattern)
+
+    def phase_of(self, access_index: int) -> int:
+        for i, (start, stop) in enumerate(self.boundaries):
+            if start <= access_index < stop:
+                return i
+        raise IndexError(access_index)
+
+
+def build_phased_trace(phases: list[Phase], base_spec: PatternSpec = PatternSpec(),
+                       seed: int = 0) -> PhasedTrace:
+    """Concatenate pattern phases into one trace with recorded boundaries.
+
+    Each phase gets a distinct base address region (offset by phase index)
+    so patterns do not collide in memory — matching how distinct application
+    phases touch distinct structures.
+    """
+    if not phases:
+        raise ValueError("need at least one phase")
+    traces: list[Trace] = []
+    boundaries: list[tuple[int, int]] = []
+    cursor = 0
+    for i, phase in enumerate(phases):
+        overrides = dict(phase.spec_overrides)
+        overrides.setdefault("n", phase.n)
+        overrides.setdefault("seed", seed + i)
+        overrides.setdefault("base", base_spec.base + i * 0x1000_0000)
+        spec = PatternSpec(
+            n=overrides.pop("n"),
+            element_size=overrides.pop("element_size", base_spec.element_size),
+            working_set=overrides.pop("working_set", base_spec.working_set),
+            base=overrides.pop("base"),
+            seed=overrides.pop("seed"),
+        )
+        traces.append(generators.generate(phase.pattern, spec, **overrides))
+        boundaries.append((cursor, cursor + len(traces[-1])))
+        cursor += len(traces[-1])
+
+    combined = traces[0]
+    for t in traces[1:]:
+        combined = combined.concat(t)
+    combined.name = "+".join(p.pattern for p in phases)
+    return PhasedTrace(trace=combined, boundaries=boundaries, phases=list(phases))
+
+
+def pattern_pairs(seed: int = 0) -> list[tuple[str, str]]:
+    """The pattern pairs used for the Figure 3 interference study.
+
+    The paper selects "different pairs of patterns" from Table 1; we use
+    three representative pairs mixing regular and irregular patterns, which
+    matches the three panel pairs (a–c)/(d–f) in Figure 3.
+    """
+    del seed  # fixed set, kept for signature stability
+    return [
+        ("stride", "pointer_chase"),
+        ("indirect_index", "stride"),
+        ("pointer_chase", "indirect_stride"),
+    ]

@@ -1,0 +1,16 @@
+"""Target-system simulators for the §4 deployments (Figure 6)."""
+
+from .disaggregated import DisaggregatedSystem, DisaggResult, NodeResult
+from .latency import DISAGGREGATED_FABRIC, UVM_FABRIC, FabricLatency
+from .uvm import UVMResult, UVMSystem
+
+__all__ = [
+    "DisaggregatedSystem",
+    "DisaggResult",
+    "NodeResult",
+    "DISAGGREGATED_FABRIC",
+    "UVM_FABRIC",
+    "FabricLatency",
+    "UVMResult",
+    "UVMSystem",
+]

@@ -1,0 +1,218 @@
+"""Disaggregated-memory system simulator (§4, Figure 6 left).
+
+The paper's characterization: compute nodes fault on one page at a time,
+so the prefetcher should be *latency*-optimized; scarce switch resources
+force a *decentralized* design with one prefetcher per node, which also
+means each prefetcher sees a single un-interleaved access stream and can
+use a smaller network.
+
+The simulator runs one trace per compute node against that node's local
+memory, with misses fetched from the remote pool at fabric latency.  Two
+prefetcher placements are supported so the §4 placement argument can be
+measured (A7):
+
+- ``decentralized``: an independent prefetcher per node (the paper's
+  choice for this system);
+- ``centralized``: one shared prefetcher observing all nodes' misses
+  interleaved (what a switch-resident design would see).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..memsim.events import MissEvent
+from ..memsim.pagecache import MISS, PageCache
+from ..memsim.prefetch_queue import PrefetchQueue
+from ..memsim.prefetcher import Prefetcher
+from ..patterns.trace import Trace
+from .latency import DISAGGREGATED_FABRIC, FabricLatency
+
+PrefetcherFactory = Callable[[], Prefetcher]
+
+
+@dataclass
+class NodeResult:
+    """Per-node outcome."""
+
+    node_id: int
+    trace_name: str
+    accesses: int
+    demand_misses: int
+    prefetch_hits: int
+    total_stall_ns: int
+
+    @property
+    def miss_rate(self) -> float:
+        return self.demand_misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def mean_access_ns(self) -> float:
+        return self.total_stall_ns / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class DisaggResult:
+    """System-level outcome of one disaggregated run."""
+
+    placement: str
+    nodes: list[NodeResult]
+    fabric: FabricLatency
+
+    @property
+    def total_misses(self) -> int:
+        return sum(n.demand_misses for n in self.nodes)
+
+    @property
+    def mean_access_ns(self) -> float:
+        accesses = sum(n.accesses for n in self.nodes)
+        stall = sum(n.total_stall_ns for n in self.nodes)
+        return stall / accesses if accesses else 0.0
+
+    def speedup_over(self, baseline: "DisaggResult") -> float:
+        """Mean-access-latency improvement vs a baseline run."""
+        if self.mean_access_ns == 0:
+            return 1.0
+        return baseline.mean_access_ns / self.mean_access_ns
+
+
+@dataclass
+class DisaggregatedSystem:
+    """N compute nodes + remote memory pool + pluggable prefetcher placement.
+
+    Attributes:
+        node_traces: One access trace per compute node.
+        memory_fraction: Each node's local memory as a fraction of its
+            trace footprint.
+        fabric: Latency constants.
+        page_size: Bytes per page.
+        prefetch_delay_accesses: Timeliness delay; None derives it from the
+            fabric's inference+fetch time and each node's mean access gap.
+    """
+
+    node_traces: list[Trace]
+    memory_fraction: float = 0.5
+    fabric: FabricLatency = DISAGGREGATED_FABRIC
+    page_size: int = 4096
+    prefetch_delay_accesses: int | None = None
+    _page_shift: int = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.node_traces:
+            raise ValueError("need at least one node trace")
+        if not 0 < self.memory_fraction <= 1:
+            raise ValueError("memory_fraction must be in (0, 1]")
+        self._page_shift = self.page_size.bit_length() - 1
+
+    # ------------------------------------------------------------------
+    def run_decentralized(self, prefetcher_factory: PrefetcherFactory
+                          ) -> DisaggResult:
+        """One independent prefetcher per node (the paper's §4 design)."""
+        nodes = [
+            self._run_node(node_id, trace, prefetcher_factory())
+            for node_id, trace in enumerate(self.node_traces)
+        ]
+        return DisaggResult(placement="decentralized", nodes=nodes,
+                            fabric=self.fabric)
+
+    def run_centralized(self, prefetcher_factory: PrefetcherFactory
+                        ) -> DisaggResult:
+        """A single shared prefetcher observing all nodes' misses.
+
+        Node streams advance round-robin; the shared prefetcher receives
+        the interleaved miss stream (stream_id = node), and its predictions
+        are routed back to the faulting node's local memory.
+        """
+        shared = prefetcher_factory()
+        caches = [PageCache(self._capacity(t)) for t in self.node_traces]
+        queues = [PrefetchQueue(self._delay(t)) for t in self.node_traces]
+        pages = [t.pages(self.page_size) for t in self.node_traces]
+        cursors = [0] * len(self.node_traces)
+        stalls = [0] * len(self.node_traces)
+
+        remaining = sum(len(t) for t in self.node_traces)
+        while remaining:
+            for node_id, trace in enumerate(self.node_traces):
+                i = cursors[node_id]
+                if i >= len(trace):
+                    continue
+                cursors[node_id] += 1
+                remaining -= 1
+                cache, queue = caches[node_id], queues[node_id]
+                for landed in queue.landed(i):
+                    cache.insert_prefetch(landed)
+                page = int(pages[node_id][i])
+                outcome = cache.access(page)
+                if outcome == MISS:
+                    cache.fill(page)
+                    stalls[node_id] += self.fabric.remote_fetch_ns
+                    event = MissEvent(index=i, address=int(trace.addresses[i]),
+                                      page=page, stream_id=node_id,
+                                      timestamp=int(trace.timestamps[i]))
+                    for predicted in shared.on_miss(event):
+                        if predicted != page:
+                            queue.issue(int(predicted), i)
+                else:
+                    stalls[node_id] += self.fabric.local_access_ns
+
+        nodes = [
+            NodeResult(node_id=n, trace_name=t.name, accesses=len(t),
+                       demand_misses=caches[n].stats.demand_misses,
+                       prefetch_hits=caches[n].stats.prefetch_hits,
+                       total_stall_ns=stalls[n])
+            for n, t in enumerate(self.node_traces)
+        ]
+        return DisaggResult(placement="centralized", nodes=nodes,
+                            fabric=self.fabric)
+
+    def run_no_prefetch(self) -> DisaggResult:
+        """Baseline: no prefetching on any node."""
+        from ..memsim.prefetcher import NullPrefetcher
+
+        nodes = [
+            self._run_node(node_id, trace, NullPrefetcher())
+            for node_id, trace in enumerate(self.node_traces)
+        ]
+        return DisaggResult(placement="none", nodes=nodes, fabric=self.fabric)
+
+    # ------------------------------------------------------------------
+    def _run_node(self, node_id: int, trace: Trace,
+                  prefetcher: Prefetcher) -> NodeResult:
+        cache = PageCache(self._capacity(trace))
+        queue = PrefetchQueue(self._delay(trace))
+        pages = trace.pages(self.page_size)
+        stall = 0
+        for i in range(len(trace)):
+            for landed in queue.landed(i):
+                cache.insert_prefetch(landed)
+            page = int(pages[i])
+            outcome = cache.access(page)
+            if outcome == MISS:
+                cache.fill(page)
+                stall += self.fabric.remote_fetch_ns
+                event = MissEvent(index=i, address=int(trace.addresses[i]),
+                                  page=page, stream_id=node_id,
+                                  timestamp=int(trace.timestamps[i]))
+                for predicted in prefetcher.on_miss(event):
+                    if predicted != page:
+                        queue.issue(int(predicted), i)
+            else:
+                stall += self.fabric.local_access_ns
+        return NodeResult(node_id=node_id, trace_name=trace.name,
+                          accesses=len(trace),
+                          demand_misses=cache.stats.demand_misses,
+                          prefetch_hits=cache.stats.prefetch_hits,
+                          total_stall_ns=stall)
+
+    def _capacity(self, trace: Trace) -> int:
+        return max(1, int(trace.footprint_pages(self.page_size)
+                          * self.memory_fraction))
+
+    def _delay(self, trace: Trace) -> int:
+        if self.prefetch_delay_accesses is not None:
+            return self.prefetch_delay_accesses
+        if len(trace) < 2:
+            return 0
+        gap = (int(trace.timestamps[-1]) - int(trace.timestamps[0])) / (len(trace) - 1)
+        return self.fabric.delay_accesses(gap)

@@ -1,0 +1,115 @@
+"""Tests for the classic baseline prefetchers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.classic import (
+    MarkovPrefetcher,
+    NextLinePrefetcher,
+    RandomPrefetcher,
+    StridePrefetcher,
+)
+from repro.memsim.events import MissEvent
+
+
+def miss(index: int, page: int, stream: int = 0) -> MissEvent:
+    return MissEvent(index=index, address=page * 4096, page=page,
+                     stream_id=stream, timestamp=index * 100)
+
+
+class TestNextLine:
+    def test_degree_pages(self):
+        p = NextLinePrefetcher(degree=3)
+        assert p.on_miss(miss(0, 10)) == [11, 12, 13]
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            NextLinePrefetcher(degree=0)
+
+
+class TestStride:
+    def test_detects_constant_stride(self):
+        p = StridePrefetcher(degree=2, threshold=2)
+        out = []
+        for i, page in enumerate([0, 3, 6, 9, 12]):
+            out = p.on_miss(miss(i, page))
+        assert out == [15, 18]
+
+    def test_needs_confidence(self):
+        p = StridePrefetcher(degree=1, threshold=2)
+        assert p.on_miss(miss(0, 0)) == []
+        assert p.on_miss(miss(1, 5)) == []   # first delta: confidence 1
+        assert p.on_miss(miss(2, 10)) == [15]
+
+    def test_irregular_stream_silent(self):
+        p = StridePrefetcher(degree=1, threshold=2)
+        outputs = [p.on_miss(miss(i, page))
+                   for i, page in enumerate([0, 7, 2, 9, 1, 8])]
+        assert all(o == [] for o in outputs)
+
+    def test_per_stream_state(self):
+        p = StridePrefetcher(degree=1, threshold=2)
+        # interleaved streams with different strides
+        for i in range(4):
+            p.on_miss(miss(2 * i, i * 2, stream=0))
+            p.on_miss(miss(2 * i + 1, 100 + i * 5, stream=1))
+        assert p.on_miss(miss(8, 8, stream=0)) == [10]
+        assert p.on_miss(miss(9, 120, stream=1)) == [125]
+
+    def test_zero_delta_ignored(self):
+        p = StridePrefetcher(degree=1, threshold=1)
+        p.on_miss(miss(0, 4))
+        assert p.on_miss(miss(1, 4)) == []
+
+
+class TestMarkov:
+    def test_learns_successor(self):
+        p = MarkovPrefetcher(degree=1)
+        for _ in range(3):
+            p.on_miss(miss(0, 1))
+            p.on_miss(miss(1, 9))
+        assert p.on_miss(miss(2, 1)) == [9]
+
+    def test_ranked_by_frequency(self):
+        p = MarkovPrefetcher(degree=2)
+        for nxt in (5, 5, 5, 7):
+            p.on_miss(miss(0, 1))
+            p.on_miss(miss(1, nxt))
+        predictions = p.on_miss(miss(2, 1))
+        assert predictions[0] == 5
+
+    def test_table_bounded(self):
+        p = MarkovPrefetcher(degree=1, table_size=4)
+        for page in range(100):
+            p.on_miss(miss(page, page))
+        assert len(p._table) <= 4
+
+    def test_successors_bounded(self):
+        p = MarkovPrefetcher(degree=1, successors_per_entry=2)
+        for nxt in range(10):
+            p.on_miss(miss(0, 1))
+            p.on_miss(miss(1, 50 + nxt))
+        assert len(p._table[1]) <= 2
+
+    def test_unknown_page_no_prediction(self):
+        p = MarkovPrefetcher()
+        assert p.on_miss(miss(0, 42)) == []
+
+
+class TestRandom:
+    def test_degree_and_radius(self):
+        p = RandomPrefetcher(degree=5, radius=3, seed=0)
+        pages = p.on_miss(miss(0, 100))
+        assert len(pages) <= 5
+        assert all(97 <= page <= 103 for page in pages)
+
+    def test_never_negative(self):
+        p = RandomPrefetcher(degree=8, radius=50, seed=1)
+        pages = p.on_miss(miss(0, 1))
+        assert all(page >= 0 for page in pages)
+
+    def test_deterministic_with_seed(self):
+        a = RandomPrefetcher(degree=3, seed=9)
+        b = RandomPrefetcher(degree=3, seed=9)
+        assert a.on_miss(miss(0, 10)) == b.on_miss(miss(0, 10))

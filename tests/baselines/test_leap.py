@@ -1,0 +1,102 @@
+"""Tests for the Leap-style majority-delta prefetcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.leap import LeapPrefetcher
+from repro.memsim.events import MissEvent
+from repro.memsim.simulator import SimConfig, baseline_misses, simulate
+from repro.patterns.generators import PatternSpec, pointer_chase, stride
+
+
+def miss(index: int, page: int, stream: int = 0) -> MissEvent:
+    return MissEvent(index=index, address=page * 4096, page=page,
+                     stream_id=stream, timestamp=index * 100)
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LeapPrefetcher(window=1)
+        with pytest.raises(ValueError):
+            LeapPrefetcher(max_degree=0)
+        with pytest.raises(ValueError):
+            LeapPrefetcher(majority_fraction=0.0)
+
+
+class TestMajorityDetection:
+    def test_detects_clean_stride(self):
+        leap = LeapPrefetcher(max_degree=4)
+        out: list[int] = []
+        for i, page in enumerate(range(0, 40, 2)):
+            out = leap.on_miss(miss(i, page))
+        assert out
+        last_page = 38
+        assert out[0] == last_page + 2
+        assert all(b - a == 2 for a, b in zip(out, out[1:]))
+
+    def test_tolerates_minority_noise(self):
+        """A mostly-strided stream with occasional jumps keeps the trend."""
+        leap = LeapPrefetcher(window=8, max_degree=4)
+        pages = [0, 1, 2, 3, 100, 4, 5, 6, 7]
+        out: list[int] = []
+        for i, page in enumerate(pages):
+            out = leap.on_miss(miss(i, page))
+        assert out and out[0] == 8
+
+    def test_silent_on_random_stream(self):
+        leap = LeapPrefetcher(window=8)
+        outputs = []
+        for i, page in enumerate([3, 77, 12, 95, 4, 60, 33, 81, 17, 50]):
+            outputs.append(leap.on_miss(miss(i, page)))
+        assert all(not o for o in outputs)
+
+    def test_degree_ramps_up(self):
+        leap = LeapPrefetcher(max_degree=8)
+        lengths = []
+        for i in range(12):
+            lengths.append(len(leap.on_miss(miss(i, i))))
+        assert max(lengths) == 8
+        assert lengths[-1] >= lengths[2]
+
+    def test_backoff_after_trend_break(self):
+        leap = LeapPrefetcher(window=4, max_degree=8)
+        for i in range(10):
+            leap.on_miss(miss(i, i))
+        # break the trend with alternating jumps
+        for i, page in enumerate([50, 9, 71, 13], start=10):
+            out = leap.on_miss(miss(i, page))
+        assert out == []
+
+    def test_per_stream_trends(self):
+        leap = LeapPrefetcher(max_degree=2)
+        for i in range(6):
+            leap.on_miss(miss(2 * i, i, stream=0))            # +1 stride
+            leap.on_miss(miss(2 * i + 1, 100 + 3 * i, stream=1))  # +3 stride
+        assert leap.on_miss(miss(12, 6, stream=0))[0] == 7
+        assert leap.on_miss(miss(13, 118, stream=1))[0] == 121
+
+    def test_never_negative_pages(self):
+        leap = LeapPrefetcher(max_degree=4)
+        out: list[int] = []
+        for i, page in enumerate(range(10, 0, -1)):
+            out = leap.on_miss(miss(i, page))
+        assert all(p >= 0 for p in out)
+
+
+class TestEndToEnd:
+    def test_covers_strided_trace(self):
+        trace = stride(PatternSpec(n=1500, working_set=200, element_size=4096))
+        cfg = SimConfig(memory_fraction=0.5)
+        base = baseline_misses(trace, cfg)
+        run = simulate(trace, LeapPrefetcher(max_degree=8), cfg)
+        assert run.percent_misses_removed(base) > 50.0
+
+    def test_cannot_learn_pointer_chase(self):
+        trace = pointer_chase(PatternSpec(n=1500, working_set=150,
+                                          element_size=4096, seed=2))
+        cfg = SimConfig(memory_fraction=0.5)
+        base = baseline_misses(trace, cfg)
+        run = simulate(trace, LeapPrefetcher(max_degree=8), cfg)
+        assert run.percent_misses_removed(base) < 5.0

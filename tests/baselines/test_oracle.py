@@ -1,0 +1,50 @@
+"""Tests for the oracle-window prefetcher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.oracle import OracleWindowPrefetcher
+from repro.memsim.events import MissEvent
+from repro.memsim.simulator import SimConfig, baseline_misses, simulate
+from repro.patterns.generators import PatternSpec, pointer_chase
+from repro.patterns.trace import Trace
+
+
+def trace_of_pages(pages: list[int]) -> Trace:
+    return Trace(name="t", addresses=np.array(pages, dtype=np.int64) * 4096)
+
+
+class TestOracle:
+    def test_returns_next_distinct_pages(self):
+        t = trace_of_pages([1, 2, 2, 3, 4])
+        oracle = OracleWindowPrefetcher(t, degree=2)
+        event = MissEvent(index=0, address=4096, page=1, stream_id=0, timestamp=0)
+        assert oracle.on_miss(event) == [2, 3]
+
+    def test_skips_current_page(self):
+        t = trace_of_pages([1, 1, 1, 5])
+        oracle = OracleWindowPrefetcher(t, degree=1)
+        event = MissEvent(index=0, address=4096, page=1, stream_id=0, timestamp=0)
+        assert oracle.on_miss(event) == [5]
+
+    def test_end_of_trace(self):
+        t = trace_of_pages([1, 2])
+        oracle = OracleWindowPrefetcher(t, degree=4)
+        event = MissEvent(index=1, address=2 * 4096, page=2, stream_id=0,
+                          timestamp=0)
+        assert oracle.on_miss(event) == []
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            OracleWindowPrefetcher(trace_of_pages([1]), degree=0)
+
+    def test_upper_bounds_learning_prefetchers(self):
+        """Oracle with generous degree removes nearly all capacity misses."""
+        t = pointer_chase(PatternSpec(n=1000, working_set=80,
+                                      element_size=4096, seed=0))
+        cfg = SimConfig(memory_fraction=0.5)
+        base = baseline_misses(t, cfg)
+        run = simulate(t, OracleWindowPrefetcher(t, degree=8), cfg)
+        assert run.percent_misses_removed(base) > 70.0

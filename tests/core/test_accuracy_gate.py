@@ -1,0 +1,92 @@
+"""Tests for the self-monitored accuracy gate (§5.2 selectivity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cls_prefetcher import CLSPrefetcher, CLSPrefetcherConfig
+from repro.harness.models import experiment_hebbian_config
+from repro.memsim.events import MissEvent
+
+
+def make(min_accuracy: float, width: int = 1, alpha: float = 0.1,
+         **overrides) -> CLSPrefetcher:
+    # the 500-hidden experiment config: at smaller hidden sizes too few
+    # connected-active weights carry the readout and context jitter
+    # dominates (see HebbianConfig docs on sparsity)
+    defaults = dict(
+        model="hebbian", vocab_size=64, encoder="page",
+        hebbian=experiment_hebbian_config(64, seed=0),
+        min_accuracy=min_accuracy, accuracy_ema_alpha=alpha,
+        prefetch_width=width, replay_policy=None, phase_detection=False,
+    )
+    defaults.update(overrides)
+    return CLSPrefetcher(CLSPrefetcherConfig(**defaults))
+
+
+def miss(index: int, page: int) -> MissEvent:
+    return MissEvent(index=index, address=page * 4096, page=page,
+                     stream_id=0, timestamp=index * 100)
+
+
+class TestValidation:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            CLSPrefetcherConfig(min_accuracy=1.5)
+        with pytest.raises(ValueError):
+            CLSPrefetcherConfig(accuracy_ema_alpha=0.0)
+
+
+class TestGate:
+    def test_starts_suppressed(self):
+        prefetcher = make(min_accuracy=0.5)
+        out = []
+        for i in range(5):
+            out = prefetcher.on_miss(miss(i, (i % 4) + 1))
+        assert out == []
+        assert prefetcher.stats.suppressed_low_confidence > 0
+
+    def test_opens_once_model_tracks_stream(self):
+        prefetcher = make(min_accuracy=0.5)
+        cycle = [1, 5, 9, 13]
+        out: list[int] = []
+        for i in range(200):
+            out = prefetcher.on_miss(miss(i, cycle[i % 4]))
+        assert prefetcher.accuracy_ema > 0.5
+        assert out  # prefetching flows once accuracy is demonstrated
+
+    def test_stays_closed_on_random_stream(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        prefetcher = make(min_accuracy=0.5)
+        emitted = 0
+        for i in range(300):
+            emitted += len(prefetcher.on_miss(miss(i, int(rng.integers(1, 60)))))
+        assert prefetcher.accuracy_ema < 0.3
+        assert emitted == 0
+
+    def test_width_aware_coverage(self):
+        """A stream whose next page is one of two candidates: top-1
+        coverage hovers near 0.5, top-2 coverage near 1 — so the same
+        threshold closes a width-1 prefetcher and opens a width-2 one."""
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        narrow = make(min_accuracy=0.7, width=1)
+        wide = make(min_accuracy=0.7, width=2)
+        page = 1
+        for i in range(400):
+            nxt = {1: (5, 9), 5: (1, 9), 9: (1, 5)}[page]
+            page = nxt[int(rng.integers(0, 2))]
+            narrow.on_miss(miss(i, page))
+            wide.on_miss(miss(i, page))
+        assert narrow.accuracy_ema < 0.7
+        assert wide.accuracy_ema > 0.7
+
+    def test_disabled_by_default(self):
+        prefetcher = make(min_accuracy=0.0)
+        out = []
+        for i in range(30):
+            out = prefetcher.on_miss(miss(i, (i % 4) + 1))
+        assert out  # no gating at min_accuracy 0

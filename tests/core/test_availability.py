@@ -1,0 +1,118 @@
+"""Tests for the availability protocol and noise robustness (§5.5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.availability import (
+    ShadowModelManager,
+    perturb_weights,
+    weight_noise_robustness,
+)
+from repro.nn.hebbian import HebbianConfig, SparseHebbianNetwork
+from repro.nn.lstm import LSTMConfig, OnlineLSTM
+
+
+def small_hebbian(seed: int = 0) -> SparseHebbianNetwork:
+    return SparseHebbianNetwork(HebbianConfig(vocab_size=16, hidden_dim=150,
+                                              seed=seed))
+
+
+class TestShadowModelManager:
+    def test_training_goes_to_shadow_not_live(self):
+        manager = ShadowModelManager(small_hebbian(), redeploy_below=0.0,
+                                     max_staleness=10_000)
+        for _ in range(30):
+            manager.train_shadow(1, 2)
+        live_probs = manager.live.step(1, train=False)
+        shadow_probs = manager.shadow.step(1, train=False)
+        assert shadow_probs[2] > live_probs[2]
+
+    def test_staleness_backstop_redeploys(self):
+        manager = ShadowModelManager(small_hebbian(), redeploy_below=0.0,
+                                     max_staleness=5)
+        for _ in range(4):
+            manager.train_shadow(1, 2)
+        assert not manager.should_redeploy()
+        manager.train_shadow(1, 2)
+        assert manager.should_redeploy()
+        manager.redeploy()
+        assert manager.redeploys == 1
+        assert not manager.should_redeploy()
+
+    def test_confidence_drop_triggers_redeploy(self):
+        manager = ShadowModelManager(small_hebbian(), redeploy_below=0.5,
+                                     ema_alpha=1.0, max_staleness=10_000)
+        manager.note_confidence(0.1)
+        assert manager.should_redeploy()
+
+    def test_observe_full_cycle(self):
+        manager = ShadowModelManager(small_hebbian(), redeploy_below=0.9,
+                                     ema_alpha=0.5, max_staleness=10)
+        for _ in range(40):
+            manager.observe(1, 2)
+        # after redeploys, the live model has learned the mapping
+        probs = manager.live.step(1, train=False)
+        assert probs[2] > 0.5
+        assert manager.redeploys >= 1
+
+    def test_redeploy_forks_fresh_shadow(self):
+        manager = ShadowModelManager(small_hebbian())
+        manager.train_shadow(1, 2)
+        old_shadow = manager.shadow
+        manager.redeploy()
+        assert manager.live is old_shadow
+        assert manager.shadow is not old_shadow
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShadowModelManager(small_hebbian(), ema_alpha=0.0)
+        with pytest.raises(ValueError):
+            ShadowModelManager(small_hebbian(), max_staleness=0)
+
+
+class TestPerturbWeights:
+    def test_lstm_perturbed_copy(self):
+        model = OnlineLSTM(LSTMConfig(vocab_size=8, embed_dim=4, hidden_dim=8,
+                                      seed=0))
+        twin = perturb_weights(model, sigma=0.1, seed=1)
+        assert any(not np.array_equal(twin.net.params[k], model.net.params[k])
+                   for k in model.net.params)
+
+    def test_hebbian_mask_respected(self):
+        model = small_hebbian()
+        for _ in range(20):
+            model.train_pair(1, 2)
+        twin = perturb_weights(model, sigma=0.3, seed=2)
+        assert np.all(twin.w_out[~twin.mask_out] == 0.0)
+
+    def test_sigma_zero_keeps_behaviour(self):
+        model = small_hebbian()
+        for _ in range(30):
+            model.train_pair(1, 2)
+        twin = perturb_weights(model, sigma=0.0, seed=3)
+        probe = [1, 2] * 5
+        assert twin.evaluate_sequence(probe) == pytest.approx(
+            model.evaluate_sequence(probe))
+
+    def test_unknown_model_type_rejected(self):
+        with pytest.raises(TypeError):
+            perturb_weights(object(), sigma=0.1)  # type: ignore[arg-type]
+
+
+class TestNoiseRobustness:
+    def test_curve_monotone_ish_and_robust_at_small_sigma(self):
+        model = OnlineLSTM(LSTMConfig(vocab_size=8, embed_dim=8, hidden_dim=16,
+                                      window=4, lr=1.0, seed=0))
+        cycle = [1, 3, 5]
+        for _ in range(120):
+            for c in cycle:
+                model.step(c)
+        curve = weight_noise_robustness(model, cycle * 6,
+                                        sigmas=(0.0, 0.05, 1.0), seed=0)
+        assert curve[0.0] > 0.9
+        # §5.5: small perturbations barely move the output...
+        assert curve[0.05] > 0.8 * curve[0.0]
+        # ...large ones destroy it (so the effect is real, not trivial)
+        assert curve[1.0] < curve[0.0]

@@ -1,0 +1,246 @@
+"""Tests for the miss-stream encoders (§5.3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.encoding import (
+    OOV_CLASS,
+    DeltaVocabEncoder,
+    PageVocabEncoder,
+    RegionDeltaEncoder,
+    classify_addresses,
+    make_encoder,
+)
+
+
+class TestDeltaVocabEncoder:
+    def test_first_observation_returns_none(self):
+        enc = DeltaVocabEncoder(granularity=64)
+        assert enc.observe(1000) is None
+
+    def test_same_delta_same_class(self):
+        enc = DeltaVocabEncoder(granularity=64)
+        enc.observe(0)
+        c1 = enc.observe(64)
+        enc.observe(128)
+        # third observation: another +64 delta
+        assert enc.observe(192) == c1
+
+    def test_different_deltas_different_classes(self):
+        enc = DeltaVocabEncoder(granularity=64)
+        enc.observe(0)
+        c1 = enc.observe(64)
+        c2 = enc.observe(64 + 128)
+        assert c1 != c2
+
+    def test_decode_roundtrip(self):
+        enc = DeltaVocabEncoder(granularity=64)
+        enc.observe(0)
+        cls = enc.observe(192)  # delta +3 units
+        assert enc.decode(cls, 640) == 640 + 192
+
+    def test_negative_delta_roundtrip(self):
+        enc = DeltaVocabEncoder(granularity=64)
+        enc.observe(640)
+        cls = enc.observe(512)
+        assert enc.decode(cls, 1280) == 1280 - 128
+
+    def test_decode_unknown_class_none(self):
+        enc = DeltaVocabEncoder(granularity=64)
+        assert enc.decode(5, 1000) is None
+        assert enc.decode(OOV_CLASS, 1000) is None
+
+    def test_decode_negative_address_none(self):
+        enc = DeltaVocabEncoder(granularity=64)
+        enc.observe(64 * 100)
+        cls = enc.observe(0)  # delta -100
+        assert enc.decode(cls, 0) is None
+
+    def test_vocab_cap_maps_to_oov(self):
+        enc = DeltaVocabEncoder(vocab_size=4, granularity=64)  # 3 real classes
+        enc.observe(0)
+        seen = [enc.observe(64 * (i + 1) * (i + 2) // 2) for i in range(6)]
+        assert OOV_CLASS in seen
+        assert enc.known_deltas == 3
+
+    def test_reset_stream_keeps_vocab(self):
+        enc = DeltaVocabEncoder(granularity=64)
+        enc.observe(0)
+        c1 = enc.observe(64)
+        enc.reset_stream()
+        assert enc.observe(1000) is None
+        assert enc.observe(1064) == c1
+
+    def test_repeated_unit_collapsed(self):
+        enc = DeltaVocabEncoder(granularity=4096)
+        enc.observe(0)
+        assert enc.observe(100) is None          # same page: no transition
+        cls = enc.observe(4096)                  # now a +1-page transition
+        assert cls is not None
+        assert enc.decode(cls, 4096) == 2 * 4096
+
+    def test_collapse_disabled_keeps_zero_delta(self):
+        enc = DeltaVocabEncoder(granularity=4096, collapse_repeats=False)
+        enc.observe(0)
+        assert enc.observe(100) is not None      # delta-0 class
+
+    def test_rejects_tiny_vocab(self):
+        with pytest.raises(ValueError):
+            DeltaVocabEncoder(vocab_size=1)
+
+    def test_rejects_bad_granularity(self):
+        with pytest.raises(ValueError):
+            DeltaVocabEncoder(granularity=100)
+
+
+class TestPageVocabEncoder:
+    def test_same_page_same_class(self):
+        enc = PageVocabEncoder(granularity=4096)
+        c1 = enc.observe(4096)
+        enc.observe(9 * 4096)
+        c2 = enc.observe(4096 + 100)  # same page as the first observation
+        assert c1 == c2
+
+    def test_repeated_page_collapsed(self):
+        enc = PageVocabEncoder(granularity=4096)
+        assert enc.observe(4096) is not None
+        assert enc.observe(4096 + 100) is None  # same unit, collapsed
+        enc2 = PageVocabEncoder(granularity=4096, collapse_repeats=False)
+        enc2.observe(4096)
+        assert enc2.observe(4096 + 100) is not None
+
+    def test_decode_is_absolute(self):
+        enc = PageVocabEncoder(granularity=4096)
+        cls = enc.observe(3 * 4096 + 5)
+        assert enc.decode(cls, base_address=0) == 3 * 4096
+
+    def test_cap_maps_to_oov(self):
+        enc = PageVocabEncoder(vocab_size=3, granularity=4096)
+        enc.observe(0)
+        enc.observe(4096)
+        assert enc.observe(2 * 4096) == OOV_CLASS
+
+    def test_no_none_on_first(self):
+        enc = PageVocabEncoder()
+        assert enc.observe(0) is not None
+
+
+class TestRegionDeltaEncoder:
+    PAGE = 4096
+    REGION = 4096 * 4096  # one region = 2**12 pages
+
+    def test_first_touch_of_region_returns_none(self):
+        enc = RegionDeltaEncoder(granularity=self.PAGE)
+        assert enc.observe(self.REGION * 2) is None
+        assert enc.observe(self.REGION * 5) is None  # new region again
+
+    def test_within_region_delta(self):
+        enc = RegionDeltaEncoder(granularity=self.PAGE)
+        base = self.REGION * 2
+        enc.observe(base)
+        cls = enc.observe(base + self.PAGE)
+        assert cls is not None
+        assert enc.decode(cls, base_address=0) == base + 2 * self.PAGE
+
+    def test_interleaved_streams_stay_clean(self):
+        """Alternating accesses to two regions produce each region's own
+        delta classes, not cross-region garbage."""
+        enc = RegionDeltaEncoder(granularity=self.PAGE)
+        a, b = self.REGION * 1, self.REGION * 8
+        enc.observe(a)
+        enc.observe(b)
+        cls_a1 = enc.observe(a + self.PAGE)       # A: +1 page
+        cls_b1 = enc.observe(b + 2 * self.PAGE)   # B: +2 pages
+        cls_a2 = enc.observe(a + 2 * self.PAGE)   # A: +1 page again
+        cls_b2 = enc.observe(b + 4 * self.PAGE)   # B: +2 pages again
+        assert cls_a1 == cls_a2
+        assert cls_b1 == cls_b2
+        assert cls_a1 != cls_b1
+
+    def test_same_delta_different_regions_distinct_classes(self):
+        enc = RegionDeltaEncoder(granularity=self.PAGE)
+        a, b = self.REGION * 1, self.REGION * 8
+        enc.observe(a)
+        enc.observe(b)
+        assert enc.observe(a + self.PAGE) != enc.observe(b + self.PAGE)
+
+    def test_decode_tracks_region_cursor(self):
+        enc = RegionDeltaEncoder(granularity=self.PAGE)
+        base = self.REGION * 3
+        enc.observe(base)
+        cls = enc.observe(base + self.PAGE)
+        enc.observe(base + 5 * self.PAGE)  # cursor advances
+        assert enc.decode(cls, 0) == base + 6 * self.PAGE
+
+    def test_decode_refuses_region_escape(self):
+        enc = RegionDeltaEncoder(granularity=self.PAGE, region_bits=4)
+        base = 16 * self.PAGE  # region of 16 pages, cursor at its start
+        enc.observe(base + 15 * self.PAGE)
+        cls = enc.observe(base + 15 * self.PAGE)  # collapsed
+        assert cls is None
+        enc2 = RegionDeltaEncoder(granularity=self.PAGE, region_bits=4)
+        enc2.observe(base)
+        big = enc2.observe(base + 15 * self.PAGE)  # delta +15 within region
+        # cursor now at page 31 of the region; +15 would escape it
+        assert enc2.decode(big, 0) is None
+
+    def test_repeats_collapsed_per_region(self):
+        enc = RegionDeltaEncoder(granularity=self.PAGE)
+        base = self.REGION * 2
+        enc.observe(base)
+        assert enc.observe(base + 100) is None  # same page
+
+    def test_vocab_cap_oov(self):
+        enc = RegionDeltaEncoder(vocab_size=3, granularity=self.PAGE)
+        base = self.REGION * 2
+        enc.observe(base)
+        seen = [enc.observe(base + self.PAGE * (i + 1) * (i + 2) // 2)
+                for i in range(5)]
+        assert OOV_CLASS in seen
+
+    def test_reset_stream_keeps_vocab(self):
+        enc = RegionDeltaEncoder(granularity=self.PAGE)
+        base = self.REGION * 2
+        enc.observe(base)
+        cls = enc.observe(base + self.PAGE)
+        enc.reset_stream()
+        assert enc.observe(base + 9 * self.PAGE) is None  # cursor forgotten
+        assert enc.observe(base + 10 * self.PAGE) == cls  # vocab kept
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegionDeltaEncoder(vocab_size=1)
+        with pytest.raises(ValueError):
+            RegionDeltaEncoder(region_bits=0)
+
+
+class TestHelpers:
+    def test_make_encoder_kinds(self):
+        assert isinstance(make_encoder("delta"), DeltaVocabEncoder)
+        assert isinstance(make_encoder("page"), PageVocabEncoder)
+        assert isinstance(make_encoder("region"), RegionDeltaEncoder)
+        with pytest.raises(ValueError):
+            make_encoder("onehot")
+
+    def test_classify_addresses_drops_leading_none(self):
+        enc = DeltaVocabEncoder(granularity=64)
+        classes = classify_addresses(enc, [0, 64, 128])
+        assert len(classes) == 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(units=st.lists(st.integers(0, 5000), min_size=2, max_size=60))
+def test_property_delta_decode_inverts_observe(units):
+    enc = DeltaVocabEncoder(vocab_size=4096, granularity=64)
+    addresses = [u * 64 for u in units]
+    enc.observe(addresses[0])
+    for prev, cur in zip(addresses, addresses[1:]):
+        cls = enc.observe(cur)
+        if cur == prev:
+            assert cls is None  # collapsed repeat
+            continue
+        decoded = enc.decode(cls, prev)
+        assert decoded == cur

@@ -1,0 +1,74 @@
+"""Cross-feature matrix: every CLS configuration combination must run.
+
+The prefetcher exposes many orthogonal knobs (model family x encoder x
+prediction mode x recall x availability x replay x training policy).
+Individually each is tested elsewhere; this grid catches interactions —
+a feature that breaks only when combined with another.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.cls_prefetcher import CLSPrefetcher, CLSPrefetcherConfig
+from repro.memsim.simulator import SimConfig, baseline_misses, simulate
+from repro.nn.hebbian import HebbianConfig
+from repro.nn.lstm import LSTMConfig
+from repro.patterns.generators import PatternSpec, pointer_chase
+
+TRACE = pointer_chase(PatternSpec(n=600, working_set=60, element_size=4096,
+                                  seed=7))
+SIM = SimConfig(memory_fraction=0.5)
+
+MODELS = ("hebbian", "lstm")
+ENCODERS = ("delta", "page", "region")
+MODES = ("rollout", "direct")
+TOGGLES = (
+    {},                                        # plain
+    {"recall": True},
+    {"availability": True},
+    {"observe_hits": True, "trigger_on_hits": True},
+    {"replay_policy": "prototype", "replay_per_step": 2},
+    {"training": "confidence", "training_kwargs": {"skip_above": 0.8}},
+)
+
+
+def valid(model: str, encoder: str, mode: str) -> bool:
+    # direct mode requires absolute (page) encoding
+    return not (mode == "direct" and encoder != "page")
+
+
+CASES = [
+    (model, encoder, mode, i)
+    for model, encoder, mode in itertools.product(MODELS, ENCODERS, MODES)
+    if valid(model, encoder, mode)
+    for i in range(len(TOGGLES))
+]
+
+
+@pytest.mark.parametrize("model,encoder,mode,toggle_index", CASES)
+def test_combination_runs_and_is_sane(model, encoder, mode, toggle_index):
+    toggles = dict(TOGGLES[toggle_index])
+    if model == "hebbian":
+        extra = {"hebbian": HebbianConfig(vocab_size=96, hidden_dim=120,
+                                          seed=0)}
+    else:
+        extra = {"lstm": LSTMConfig(vocab_size=96, embed_dim=8, hidden_dim=12,
+                                    window=2, lr=1.0, seed=0)}
+    prefetcher = CLSPrefetcher(CLSPrefetcherConfig(
+        model=model, vocab_size=96, encoder=encoder, prediction_mode=mode,
+        prefetch_length=2, prefetch_width=2, seed=0, **extra, **toggles))
+
+    baseline = baseline_misses(TRACE, SIM)
+    run = simulate(TRACE, prefetcher, SIM)
+
+    stats = run.stats
+    assert stats.accesses == len(TRACE)
+    assert stats.hits + stats.demand_misses == stats.accesses
+    assert stats.prefetch_hits <= stats.prefetches_issued
+    assert prefetcher.stats.misses_seen == run.demand_misses
+    # pollution bounded: even a bad combination cannot more than double
+    # the baseline misses at width 2 / length 2
+    assert run.demand_misses <= 2 * baseline.demand_misses

@@ -1,0 +1,129 @@
+"""Tests for episodic storage and the sparse associative memory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hippocampus import Episode, EpisodicStore, SparseAssociativeMemory
+
+
+def ep(i: int, phase: int = 0, conf: float = 0.0) -> Episode:
+    return Episode(input_class=i, target_class=i + 1, phase_id=phase,
+                   confidence=conf)
+
+
+class TestEpisodicStore:
+    def test_unbounded_by_default(self):
+        store = EpisodicStore()
+        for i in range(1000):
+            store.store(ep(i))
+        assert len(store) == 1000
+        assert store.evicted_total == 0
+
+    def test_bounded_evicts_fifo(self):
+        store = EpisodicStore(capacity=3)
+        for i in range(5):
+            store.store(ep(i))
+        assert len(store) == 3
+        assert [e.input_class for e in store.episodes()] == [2, 3, 4]
+        assert store.evicted_total == 2
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            EpisodicStore(capacity=0)
+
+    def test_episodes_filter_by_phase(self):
+        store = EpisodicStore()
+        store.store(ep(1, phase=0))
+        store.store(ep(2, phase=1))
+        assert [e.input_class for e in store.episodes(phase_id=1)] == [2]
+        assert store.phases() == [0, 1]
+
+    def test_sample_excludes_phase(self, rng):
+        store = EpisodicStore()
+        for i in range(50):
+            store.store(ep(i, phase=i % 2))
+        picks = store.sample(rng, 20, exclude_phase=1)
+        assert picks
+        assert all(e.phase_id == 0 for e in picks)
+
+    def test_sample_empty_store(self, rng):
+        assert EpisodicStore().sample(rng, 5) == []
+
+    def test_sample_bounded_attempts(self, rng):
+        store = EpisodicStore()
+        for i in range(20):
+            store.store(ep(i, phase=1))
+        # everything excluded: returns few/none rather than spinning
+        assert store.sample(rng, 4, exclude_phase=1) == []
+
+
+class TestSparseAssociativeMemory:
+    def test_store_and_exact_recall(self):
+        mem = SparseAssociativeMemory(key_dim=100, value_dim=100, value_k=5)
+        key = np.array([1, 5, 9, 20, 33])
+        value = np.array([2, 4, 6, 8, 10])
+        mem.store(key, value)
+        np.testing.assert_array_equal(mem.complete(key), value)
+
+    def test_pattern_completion_from_partial_cue(self):
+        mem = SparseAssociativeMemory(key_dim=200, value_dim=200, value_k=6,
+                                      threshold_fraction=0.5)
+        rng = np.random.default_rng(0)
+        key = rng.choice(200, size=12, replace=False)
+        value = np.sort(rng.choice(200, size=6, replace=False))
+        mem.store(key, value)
+        partial = key[:8]  # 2/3 of the cue
+        np.testing.assert_array_equal(np.sort(mem.complete(partial)), value)
+
+    def test_pattern_separation_across_memories(self):
+        mem = SparseAssociativeMemory(key_dim=400, value_dim=400, value_k=5)
+        rng = np.random.default_rng(1)
+        pairs = []
+        for _ in range(10):
+            key = rng.choice(400, size=10, replace=False)
+            value = np.sort(rng.choice(400, size=5, replace=False))
+            mem.store(key, value)
+            pairs.append((key, value))
+        correct = sum(
+            np.array_equal(np.sort(mem.complete(k)), v) for k, v in pairs)
+        assert correct >= 9  # sparse codes keep memories separable
+
+    def test_empty_cue(self):
+        mem = SparseAssociativeMemory(key_dim=10, value_dim=10, value_k=2)
+        assert mem.complete(np.array([], dtype=np.int64)).size == 0
+
+    def test_density_grows(self):
+        mem = SparseAssociativeMemory(key_dim=50, value_dim=50, value_k=3)
+        assert mem.density() == 0.0
+        mem.store(np.array([1, 2]), np.array([3, 4]))
+        assert mem.density() > 0.0
+
+    def test_out_of_range_rejected(self):
+        mem = SparseAssociativeMemory(key_dim=10, value_dim=10, value_k=2)
+        with pytest.raises(ValueError):
+            mem.store(np.array([11]), np.array([1]))
+        with pytest.raises(ValueError):
+            mem.complete(np.array([-1]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SparseAssociativeMemory(key_dim=0, value_dim=10, value_k=1)
+        with pytest.raises(ValueError):
+            SparseAssociativeMemory(key_dim=10, value_dim=10, value_k=1,
+                                    threshold_fraction=0.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_property_recall_returns_at_most_k(seed):
+    rng = np.random.default_rng(seed)
+    mem = SparseAssociativeMemory(key_dim=80, value_dim=80, value_k=4)
+    for _ in range(5):
+        mem.store(rng.choice(80, size=8, replace=False),
+                  rng.choice(80, size=4, replace=False))
+    cue = rng.choice(80, size=8, replace=False)
+    assert mem.complete(cue).size <= 4

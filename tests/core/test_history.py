@@ -1,0 +1,81 @@
+"""Tests for the miss-history window (§5.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.history import MissHistory, MissRecord
+
+
+def rec(class_id: int, ts: int = 0) -> MissRecord:
+    return MissRecord(class_id=class_id, address=class_id * 4096, timestamp=ts)
+
+
+class TestWindow:
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(ValueError):
+            MissHistory(capacity=1)
+
+    def test_bounded(self):
+        h = MissHistory(capacity=3)
+        for i in range(10):
+            h.push(rec(i))
+        assert len(h) == 3
+        assert h.classes() == [7, 8, 9]
+
+    def test_last_n(self):
+        h = MissHistory(capacity=5)
+        for i in range(4):
+            h.push(rec(i))
+        assert [r.class_id for r in h.last(2)] == [2, 3]
+        assert h.last(0) == []
+
+    def test_latest(self):
+        h = MissHistory(capacity=4)
+        assert h.latest() is None
+        h.push(rec(9))
+        assert h.latest().class_id == 9
+
+    def test_clear(self):
+        h = MissHistory(capacity=4)
+        h.push(rec(1))
+        h.clear()
+        assert len(h) == 0
+
+
+class TestTransitionPairs:
+    def test_lag_one(self):
+        h = MissHistory(capacity=4)
+        h.push(rec(1))
+        h.push(rec(2))
+        src, dst = h.transition_pair(lag=1)
+        assert (src.class_id, dst.class_id) == (1, 2)
+
+    def test_lag_beyond_window_none(self):
+        h = MissHistory(capacity=4)
+        h.push(rec(1))
+        assert h.transition_pair(lag=1) is None
+
+    def test_larger_lag(self):
+        h = MissHistory(capacity=8)
+        for i in range(5):
+            h.push(rec(i))
+        src, dst = h.transition_pair(lag=3)
+        assert (src.class_id, dst.class_id) == (1, 4)
+
+    def test_rejects_zero_lag(self):
+        with pytest.raises(ValueError):
+            MissHistory(capacity=4).transition_pair(lag=0)
+
+
+class TestTiming:
+    def test_mean_gap(self):
+        h = MissHistory(capacity=8)
+        for i, ts in enumerate((0, 100, 300)):
+            h.push(rec(i, ts))
+        assert h.mean_inter_miss_ns() == pytest.approx(150.0)
+
+    def test_gap_none_when_too_few(self):
+        h = MissHistory(capacity=8)
+        h.push(rec(0, 5))
+        assert h.mean_inter_miss_ns() is None

@@ -1,0 +1,73 @@
+"""Tests for the metrics containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import (
+    ConfidenceCurve,
+    InterferenceSummary,
+    PrefetchSummary,
+    summarize_prefetch,
+)
+from repro.memsim.pagecache import CacheStats
+from repro.memsim.simulator import SimConfig, SimResult
+
+
+def result(trace: str, name: str, misses: int) -> SimResult:
+    stats = CacheStats(accesses=100, demand_misses=misses,
+                       hits=100 - misses)
+    return SimResult(trace_name=trace, prefetcher_name=name,
+                     capacity_pages=10, stats=stats, config=SimConfig())
+
+
+class TestConfidenceCurve:
+    def test_append_and_final(self):
+        curve = ConfidenceCurve(label="x")
+        curve.append(10, 0.5)
+        curve.append(20, 0.8)
+        assert curve.final() == 0.8
+        assert curve.minimum() == 0.5
+        steps, values = curve.as_arrays()
+        assert steps.tolist() == [10, 20]
+        assert values.tolist() == [0.5, 0.8]
+
+    def test_empty(self):
+        curve = ConfidenceCurve(label="x")
+        assert curve.final() == 0.0 and curve.minimum() == 0.0
+
+
+class TestInterferenceSummary:
+    def test_forgetting(self):
+        s = InterferenceSummary("a", "b", conf_a_before=0.9, conf_a_after=0.2,
+                                conf_b_after=0.8, replay=False)
+        assert s.forgetting == pytest.approx(0.7)
+
+
+class TestPrefetchSummary:
+    def test_percent_removed(self):
+        s = PrefetchSummary("t", "p", misses_baseline=100,
+                            misses_with_prefetch=40, prefetch_accuracy=0.9,
+                            coverage=0.6)
+        assert s.percent_misses_removed == pytest.approx(60.0)
+
+    def test_zero_baseline(self):
+        s = PrefetchSummary("t", "p", 0, 0, 0.0, 0.0)
+        assert s.percent_misses_removed == 0.0
+
+    def test_negative_when_worse(self):
+        s = PrefetchSummary("t", "p", 100, 130, 0.1, 0.0)
+        assert s.percent_misses_removed == pytest.approx(-30.0)
+
+
+class TestSummarize:
+    def test_pairs_runs(self):
+        base = result("app", "none", 80)
+        run = result("app", "cls-hebbian", 20)
+        s = summarize_prefetch(base, run)
+        assert s.percent_misses_removed == pytest.approx(75.0)
+        assert s.prefetcher_name == "cls-hebbian"
+
+    def test_mismatched_traces_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_prefetch(result("a", "none", 10), result("b", "x", 5))

@@ -1,0 +1,113 @@
+"""Tests for the training-instance policies (§5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sampling import (
+    BatchAccumulate,
+    ConfidenceFiltered,
+    RandomSampling,
+    TrainAlways,
+    TrainEveryK,
+    make_training_policy,
+)
+
+
+class TestTrainAlways:
+    def test_always_true_and_counts(self):
+        policy = TrainAlways()
+        assert all(policy.should_train(0.5) for _ in range(5))
+        assert policy.considered == policy.trained == 5
+
+
+class TestTrainEveryK:
+    def test_period(self):
+        policy = TrainEveryK(k=3)
+        decisions = [policy.should_train(0.0) for _ in range(9)]
+        assert decisions == [False, False, True] * 3
+        assert policy.trained == 3
+
+    def test_k_one_equals_always(self):
+        policy = TrainEveryK(k=1)
+        assert all(policy.should_train(0.0) for _ in range(4))
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            TrainEveryK(k=0)
+
+
+class TestRandomSampling:
+    def test_probability_respected(self):
+        policy = RandomSampling(probability=0.25, seed=0)
+        n = 4000
+        trained = sum(policy.should_train(0.0) for _ in range(n))
+        assert 0.2 * n < trained < 0.3 * n
+
+    def test_extremes(self):
+        assert not RandomSampling(probability=0.0).should_train(0.0)
+        assert RandomSampling(probability=1.0).should_train(0.0)
+
+    def test_deterministic_for_seed(self):
+        a = RandomSampling(probability=0.5, seed=3)
+        b = RandomSampling(probability=0.5, seed=3)
+        assert ([a.should_train(0.0) for _ in range(50)]
+                == [b.should_train(0.0) for _ in range(50)])
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            RandomSampling(probability=1.5)
+
+
+class TestConfidenceFiltered:
+    def test_skips_well_learned(self):
+        policy = ConfidenceFiltered(skip_above=0.9)
+        assert policy.should_train(0.5)
+        assert not policy.should_train(0.95)
+        assert policy.considered == 2 and policy.trained == 1
+
+    def test_boundary_not_trained(self):
+        policy = ConfidenceFiltered(skip_above=0.9)
+        assert not policy.should_train(0.9)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            ConfidenceFiltered(skip_above=0.0)
+
+
+class TestBatchAccumulate:
+    def test_fires_once_per_batch(self):
+        policy = BatchAccumulate(batch_size=4)
+        decisions = [policy.should_train(0.0) for _ in range(8)]
+        assert decisions == [False, False, False, True] * 2
+
+    def test_offer_returns_full_batch(self):
+        policy = BatchAccumulate(batch_size=3)
+        assert policy.offer(1, 2) == []
+        assert policy.offer(2, 3) == []
+        batch = policy.offer(3, 4)
+        assert batch == [(1, 2), (2, 3), (3, 4)]
+        assert policy.pending == []
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ValueError):
+            BatchAccumulate(batch_size=0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind,cls", [
+        ("always", TrainAlways), ("every_k", TrainEveryK),
+        ("random", RandomSampling), ("confidence", ConfidenceFiltered),
+        ("batch", BatchAccumulate),
+    ])
+    def test_kinds(self, kind, cls):
+        assert isinstance(make_training_policy(kind), cls)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_training_policy("adaptive")
+
+    def test_names_unique(self):
+        names = {make_training_policy(k).name
+                 for k in ("always", "every_k", "random", "confidence", "batch")}
+        assert len(names) == 5

@@ -1,0 +1,69 @@
+"""Tests for the Figure 6 harness drivers (small scales)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.fig6 import (
+    Fig6Config,
+    modeled_inference_ns,
+    run_disaggregated,
+    run_irregular_node,
+    run_uvm,
+)
+
+CONFIG = Fig6Config(n_nodes=2, node_apps=("resnet", "graph500"),
+                    accesses_per_node=3_000, n_streams=3,
+                    accesses_per_stream=900, seed=0)
+
+
+@pytest.fixture(scope="module")
+def disagg():
+    return run_disaggregated(CONFIG)
+
+
+class TestDisaggregated:
+    def test_all_arms_present(self, disagg):
+        assert disagg.baseline.placement == "none"
+        assert disagg.decentralized_hebbian.placement == "decentralized"
+        assert disagg.centralized_hebbian.placement == "centralized"
+        assert len(disagg.decentralized_leap.nodes) == 2
+
+    def test_delays_derived_from_model_latency(self, disagg):
+        assert disagg.hebbian_delay_accesses >= 1
+        assert disagg.lstm_delay_accesses > 5 * disagg.hebbian_delay_accesses
+
+    def test_speedups_positive(self, disagg):
+        for speedup in (disagg.hebbian_speedup, disagg.lstm_speedup,
+                        disagg.leap_speedup, disagg.centralized_speedup):
+            assert speedup > 0.0
+
+    def test_nodes_cover_all_apps(self, disagg):
+        names = {n.trace_name for n in disagg.baseline.nodes}
+        assert names == {"resnet", "graph500"}
+
+
+class TestIrregularNode:
+    def test_leap_does_nothing_hebbian_learns(self):
+        comparison = run_irregular_node(Fig6Config(accesses_per_node=4_000,
+                                                   seed=0))
+        assert comparison.leap_speedup == pytest.approx(1.0, abs=0.02)
+        assert comparison.hebbian_speedup > 1.05
+        assert comparison.leap.total_misses == comparison.baseline.total_misses
+
+
+class TestUVM:
+    def test_width_sweep_runs(self):
+        comparison = run_uvm(CONFIG, widths=(1, 2))
+        assert set(comparison.per_stream_by_width) == {1, 2}
+        assert comparison.baseline.accesses == comparison.shared.accesses
+        for result in comparison.per_stream_by_width.values():
+            assert result.accesses == comparison.baseline.accesses
+
+
+class TestLatencyModel:
+    def test_inference_ns_order(self):
+        hebbian = modeled_inference_ns("hebbian")
+        lstm = modeled_inference_ns("lstm")
+        assert 1_000 < hebbian < 20_000      # microseconds
+        assert lstm > 100_000                 # >100 us

@@ -1,0 +1,108 @@
+"""Tests for the per-figure experiment drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.fig2 import inference_panel, training_panel
+from repro.harness.fig5 import Fig5Config, make_model_prefetcher, run_fig5
+from repro.harness.fig6 import Fig6Config, modeled_inference_ns, required_prefetch_length
+from repro.harness.tables import (
+    PAPER_TABLE2,
+    pattern_signature,
+    table1_signatures,
+    table2_rows,
+)
+
+
+class TestFig2:
+    def test_inference_panel_families(self):
+        series = inference_panel()
+        labels = {s.label for s in series}
+        assert {"lstm-fp32-1t", "lstm-fp32-2t", "lstm-int8-1t",
+                "hebbian-1t"} == labels
+
+    def test_latency_grows_with_future_steps(self):
+        for series in inference_panel():
+            values = list(series.latencies_us)
+            assert values == sorted(values)
+
+    def test_shape_claims_hold(self):
+        """The Figure 2 orderings the paper reports."""
+        by_label = {s.label: s.latencies_us for s in inference_panel()}
+        # quantization helps but stays above target; hebbian below all
+        for i in range(len(by_label["lstm-fp32-1t"])):
+            assert by_label["lstm-int8-1t"][i] < by_label["lstm-fp32-1t"][i]
+            assert by_label["hebbian-1t"][i] < by_label["lstm-int8-1t"][i]
+
+    def test_training_per_example_drops_with_batch(self):
+        for series in training_panel():
+            values = list(series.latencies_us)
+            assert values == sorted(values, reverse=True)
+
+
+class TestTable1:
+    def test_all_patterns_signed(self):
+        signatures = table1_signatures()
+        assert [s.pattern for s in signatures] == [
+            "stride", "pointer_chase", "indirect_stride",
+            "indirect_index", "pointer_offset"]
+
+    def test_stride_signature(self):
+        s = pattern_signature("stride")
+        assert s.distinct_deltas <= 2
+        assert s.dominant_delta_share > 0.9
+
+    def test_pointer_chase_signature(self):
+        s = pattern_signature("pointer_chase")
+        assert s.distinct_deltas > 10
+        assert s.period is not None
+
+    def test_pointer_offset_dominant_field_stride(self):
+        s = pattern_signature("pointer_offset")
+        assert 0.3 < s.dominant_delta_share < 0.9
+
+
+class TestTable2:
+    def test_rows_and_paper_columns(self):
+        rows = table2_rows()
+        assert [r.model for r in rows] == ["lstm", "hebbian"]
+        lstm, hebbian = rows
+        assert lstm.inference_kind == "FP" and hebbian.inference_kind == "INT"
+        assert lstm.paper_parameters == PAPER_TABLE2["lstm"]["parameters"]
+
+    def test_measured_matches_paper_scale(self):
+        lstm, hebbian = table2_rows()
+        assert lstm.parameters == pytest.approx(170_000, rel=0.05)
+        assert hebbian.parameters == pytest.approx(49_000, rel=0.05)
+        # the headline ratios
+        assert lstm.parameters / hebbian.parameters > 3.0
+        assert lstm.inference_ops / hebbian.inference_ops > 10.0
+        assert lstm.training_ops / hebbian.training_ops > 10.0
+
+
+class TestFig5:
+    def test_tiny_run_produces_grid(self):
+        config = Fig5Config(applications=("mcf",), n_accesses=3_000,
+                            vocab_size=128)
+        result = run_fig5(config, models=("hebbian",))
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        assert row.trace_name == "mcf"
+        assert row.prefetcher_name == "cls-hebbian"
+        assert row.misses_baseline > 0
+
+    def test_make_model_prefetcher_validates(self):
+        with pytest.raises(ValueError):
+            make_model_prefetcher("transformer", Fig5Config())
+
+
+class TestFig6Helpers:
+    def test_modeled_latency_ordering(self):
+        assert modeled_inference_ns("hebbian") < modeled_inference_ns("lstm") / 10
+
+    def test_required_length_hebbian_feasible_lstm_not(self):
+        hebbian_len = required_prefetch_length("hebbian", gap_ns=500)
+        lstm_len = required_prefetch_length("lstm", gap_ns=500)
+        assert hebbian_len <= 8          # a practical rollout
+        assert lstm_len > 5 * hebbian_len  # an impractical one

@@ -1,0 +1,79 @@
+"""Tests for the Figure 3 interference harness.
+
+These are the paper's central qualitative claims, on a scaled-down
+configuration so the test stays fast:
+
+1. learning pattern B online makes the LSTM forget pattern A;
+2. interleaved replay at 0.1x lr prevents the forgetting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.interference import (
+    InterferenceConfig,
+    pattern_class_sequences,
+    run_interference,
+)
+from repro.harness.models import experiment_lstm
+
+# The paper's protocol scale: 1000 accesses per pattern (§2.2).
+CFG = InterferenceConfig(n_accesses=1000, working_set=50, probe_len=60,
+                         probe_every=500, seed=0)
+
+
+def lstm_factory(vocab: int):
+    return experiment_lstm(vocab, seed=0)
+
+
+@pytest.fixture(scope="module")
+def no_replay():
+    return run_interference(lstm_factory, "stride", "pointer_chase",
+                            replay=False, config=CFG)
+
+
+@pytest.fixture(scope="module")
+def with_replay():
+    return run_interference(lstm_factory, "stride", "pointer_chase",
+                            replay=True, config=CFG)
+
+
+class TestSequences:
+    def test_shared_vocab_sequences(self):
+        seq_a, seq_b = pattern_class_sequences("stride", "pointer_chase", CFG)
+        # each phase loses its first access to delta encoding
+        assert len(seq_a) == CFG.n_accesses - 1
+        assert len(seq_b) == CFG.n_accesses - 1
+        assert max(seq_a + seq_b) < CFG.vocab_size
+
+    def test_stride_sequence_nearly_constant(self):
+        seq_a, _ = pattern_class_sequences("stride", "pointer_chase", CFG)
+        # the in-run delta class plus the working-set wraparound class
+        assert len(set(seq_a)) <= 2
+
+
+class TestInterference:
+    def test_pattern_a_learned_first(self, no_replay):
+        assert no_replay.summary.conf_a_before > 0.9
+
+    def test_catastrophic_interference_without_replay(self, no_replay):
+        assert no_replay.summary.forgetting > 0.3
+        assert no_replay.summary.conf_b_after > 0.5  # B actually learned
+
+    def test_replay_prevents_forgetting(self, no_replay, with_replay):
+        assert with_replay.summary.conf_a_after > 0.8
+        assert (with_replay.summary.forgetting
+                < no_replay.summary.forgetting - 0.2)
+
+    def test_replay_does_not_block_new_learning(self, with_replay):
+        assert with_replay.summary.conf_b_after > 0.5
+
+    def test_replay_pairs_counted(self, with_replay):
+        assert with_replay.replayed_pairs > 0
+
+    def test_curves_recorded(self, no_replay):
+        assert no_replay.curve_a.values
+        assert no_replay.curve_b.values
+        # the old-pattern curve visits a low point during B's training
+        assert no_replay.curve_a.minimum() < no_replay.summary.conf_a_before

@@ -1,0 +1,39 @@
+"""Tests for the text reporting helpers."""
+
+from __future__ import annotations
+
+from repro.harness.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows_aligned(self):
+        out = format_table(["name", "value"], [["a", 1], ["bb", 2.5]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "a" in lines[2] and "bb" in lines[3]
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Table 2")
+        assert out.splitlines()[0] == "Table 2"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456], [12345.6]])
+        assert "0.123" in out
+        assert "12,346" in out
+
+    def test_bool_rendering(self):
+        out = format_table(["flag"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_int_thousands(self):
+        out = format_table(["n"], [[172800]])
+        assert "172,800" in out
+
+
+class TestFormatSeries:
+    def test_pairs(self):
+        out = format_series("lstm", [1, 2], [10.0, 20.0],
+                            x_name="steps", y_name="us")
+        assert "lstm" in out
+        assert "(1, 10.000)" in out
+        assert "steps -> us" in out

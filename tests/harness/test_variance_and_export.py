@@ -1,0 +1,80 @@
+"""Tests for the seed-sweep driver and CSV export."""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+
+import pytest
+
+from repro.harness.export import export_rows_csv
+from repro.harness.fig5 import Fig5Config
+from repro.harness.variance import VarianceRow, fig5_seed_sweep
+
+
+class TestSeedSweep:
+    def test_aggregates_across_seeds(self):
+        rows = fig5_seed_sweep(
+            seeds=(0, 1),
+            config=Fig5Config(applications=("mcf",), n_accesses=4_000),
+            models=("hebbian",))
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.application == "mcf"
+        assert len(row.per_seed) == 2
+        assert row.worst == min(row.per_seed)
+        assert row.mean == pytest.approx(sum(row.per_seed) / 2)
+
+    def test_rejects_empty_seeds(self):
+        with pytest.raises(ValueError):
+            fig5_seed_sweep(seeds=())
+
+
+class TestExport:
+    def test_dict_rows(self, tmp_path):
+        path = tmp_path / "out.csv"
+        count = export_rows_csv(path, [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.0}])
+        assert count == 2
+        with path.open() as handle:
+            parsed = list(csv.DictReader(handle))
+        assert parsed[0]["a"] == "1"
+        assert parsed[1]["b"] == "4.0"
+
+    def test_dataclass_rows(self, tmp_path):
+        row = VarianceRow(application="x", model="m", mean=1.0, std=0.1,
+                          per_seed=(0.9, 1.1))
+        path = tmp_path / "v.csv"
+        export_rows_csv(path, [row])
+        with path.open() as handle:
+            parsed = list(csv.DictReader(handle))
+        assert parsed[0]["application"] == "x"
+        assert parsed[0]["per_seed"] == "0.9;1.1"
+
+    def test_heterogeneous_keys_union(self, tmp_path):
+        path = tmp_path / "h.csv"
+        export_rows_csv(path, [{"a": 1}, {"b": 2}])
+        with path.open() as handle:
+            reader = csv.DictReader(handle)
+            assert reader.fieldnames == ["a", "b"]
+            parsed = list(reader)
+        assert parsed[0]["b"] == ""
+        assert parsed[1]["b"] == "2"
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_rows_csv(tmp_path / "e.csv", [])
+
+    def test_bad_type_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            export_rows_csv(tmp_path / "t.csv", [object()])
+
+
+@dataclass
+class _Row:
+    name: str
+    value: int
+
+
+def test_export_plain_dataclass(tmp_path):
+    path = tmp_path / "p.csv"
+    assert export_rows_csv(path, [_Row("x", 1), _Row("y", 2)]) == 2

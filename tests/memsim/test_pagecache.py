@@ -1,0 +1,140 @@
+"""Tests for the LRU page cache and its prefetch accounting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim.pagecache import HIT, MISS, PREFETCH_HIT, PageCache
+
+
+class TestBasics:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            PageCache(capacity_pages=0)
+
+    def test_first_access_misses(self):
+        cache = PageCache(capacity_pages=4)
+        assert cache.access(1) == MISS
+
+    def test_fill_then_hit(self):
+        cache = PageCache(capacity_pages=4)
+        cache.access(1)
+        cache.fill(1)
+        assert cache.access(1) == HIT
+
+    def test_capacity_never_exceeded(self):
+        cache = PageCache(capacity_pages=3)
+        for page in range(10):
+            cache.access(page)
+            cache.fill(page)
+        assert len(cache) == 3
+
+    def test_lru_eviction_order(self):
+        cache = PageCache(capacity_pages=2)
+        for page in (1, 2):
+            cache.access(page)
+            cache.fill(page)
+        cache.access(1)          # 2 becomes LRU
+        cache.access(3)
+        cache.fill(3)            # evicts 2
+        assert 1 in cache
+        assert 2 not in cache
+        assert 3 in cache
+
+    def test_fill_existing_refreshes(self):
+        cache = PageCache(capacity_pages=2)
+        cache.fill(1)
+        cache.fill(2)
+        cache.fill(1)  # refresh 1; 2 is now LRU
+        cache.fill(3)
+        assert 1 in cache and 2 not in cache
+
+
+class TestPrefetchAccounting:
+    def test_prefetch_then_demand_is_prefetch_hit(self):
+        cache = PageCache(capacity_pages=4)
+        assert cache.insert_prefetch(9) is True
+        assert cache.access(9) == PREFETCH_HIT
+        assert cache.stats.prefetch_hits == 1
+
+    def test_second_access_is_plain_hit(self):
+        cache = PageCache(capacity_pages=4)
+        cache.insert_prefetch(9)
+        cache.access(9)
+        assert cache.access(9) == HIT
+        assert cache.stats.prefetch_hits == 1
+
+    def test_redundant_prefetch_counted(self):
+        cache = PageCache(capacity_pages=4)
+        cache.fill(5)
+        assert cache.insert_prefetch(5) is False
+        assert cache.stats.prefetches_redundant == 1
+
+    def test_unused_prefetch_eviction_counted(self):
+        cache = PageCache(capacity_pages=1)
+        cache.insert_prefetch(1)
+        cache.fill(2)  # evicts the unused prefetch
+        assert cache.stats.prefetches_evicted_unused == 1
+
+    def test_demand_eviction_by_prefetch_counted(self):
+        cache = PageCache(capacity_pages=1)
+        cache.fill(1)
+        cache.insert_prefetch(2)
+        assert cache.stats.demand_evictions_by_prefetch == 1
+
+    def test_accuracy_excludes_redundant(self):
+        cache = PageCache(capacity_pages=4)
+        cache.fill(1)
+        cache.insert_prefetch(1)   # redundant
+        cache.insert_prefetch(2)   # useful
+        cache.access(2)
+        assert cache.stats.prefetch_accuracy == 1.0
+
+    def test_coverage(self):
+        cache = PageCache(capacity_pages=4)
+        cache.access(1)            # miss
+        cache.fill(1)
+        cache.insert_prefetch(2)
+        cache.access(2)            # covered would-be miss
+        assert cache.stats.coverage == pytest.approx(0.5)
+
+
+class TestStats:
+    def test_miss_rate(self):
+        cache = PageCache(capacity_pages=4)
+        cache.access(1)
+        cache.fill(1)
+        cache.access(1)
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+    def test_as_dict_keys(self):
+        stats = PageCache(capacity_pages=1).stats.as_dict()
+        assert {"accesses", "demand_misses", "prefetch_accuracy",
+                "coverage"} <= set(stats)
+
+    def test_zero_division_safety(self):
+        stats = PageCache(capacity_pages=1).stats
+        assert stats.miss_rate == 0.0
+        assert stats.prefetch_accuracy == 0.0
+        assert stats.coverage == 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(capacity=st.integers(1, 8),
+       ops=st.lists(st.tuples(st.sampled_from(["access", "prefetch"]),
+                              st.integers(0, 20)), max_size=200))
+def test_property_resident_bounded_and_counts_consistent(capacity, ops):
+    cache = PageCache(capacity_pages=capacity)
+    for op, page in ops:
+        if op == "access":
+            outcome = cache.access(page)
+            if outcome == MISS:
+                cache.fill(page)
+        else:
+            cache.insert_prefetch(page)
+        assert len(cache) <= capacity
+    stats = cache.stats
+    assert stats.hits + stats.demand_misses == stats.accesses
+    assert stats.prefetch_hits <= stats.prefetches_issued

@@ -1,0 +1,63 @@
+"""Tests for the in-flight prefetch queue (timeliness)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim.prefetch_queue import PrefetchQueue
+
+
+class TestQueue:
+    def test_zero_delay_lands_immediately(self):
+        q = PrefetchQueue(delay_accesses=0)
+        q.issue(7, at_index=3)
+        assert q.landed(3) == [7]
+
+    def test_delay_holds_until_due(self):
+        q = PrefetchQueue(delay_accesses=5)
+        q.issue(7, at_index=0)
+        assert q.landed(4) == []
+        assert q.landed(5) == [7]
+
+    def test_landed_pops(self):
+        q = PrefetchQueue(delay_accesses=0)
+        q.issue(1, 0)
+        q.landed(0)
+        assert q.landed(10) == []
+
+    def test_multiple_land_in_issue_order(self):
+        q = PrefetchQueue(delay_accesses=2)
+        q.issue(1, 0)
+        q.issue(2, 0)
+        q.issue(3, 1)
+        assert q.landed(2) == [1, 2]
+        assert q.landed(3) == [3]
+
+    def test_drain_returns_everything(self):
+        q = PrefetchQueue(delay_accesses=100)
+        q.issue(1, 0)
+        q.issue(2, 5)
+        assert q.drain() == [1, 2]
+        assert len(q) == 0
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            PrefetchQueue(delay_accesses=-1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(delay=st.integers(0, 10),
+       issues=st.lists(st.tuples(st.integers(0, 100), st.integers(0, 50)),
+                       max_size=50))
+def test_property_everything_lands_exactly_once(delay, issues):
+    q = PrefetchQueue(delay_accesses=delay)
+    for page, at in issues:
+        q.issue(page, at)
+    horizon = max((at for _, at in issues), default=0) + delay
+    landed = []
+    for now in range(horizon + 1):
+        landed.extend(q.landed(now))
+    assert sorted(landed) == sorted(page for page, _ in issues)
+    assert len(q) == 0

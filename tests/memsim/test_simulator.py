@@ -1,0 +1,139 @@
+"""Tests for the trace-driven memory simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import NextLinePrefetcher, OracleWindowPrefetcher
+from repro.memsim.prefetcher import NullPrefetcher
+from repro.memsim.simulator import SimConfig, baseline_misses, simulate
+from repro.patterns.generators import PatternSpec, pointer_chase, stride
+from repro.patterns.trace import Trace
+
+
+def seq_trace(pages: list[int], page_size: int = 4096) -> Trace:
+    return Trace(name="seq", addresses=np.array(pages, dtype=np.int64) * page_size)
+
+
+class TestSimConfig:
+    def test_rejects_bad_page_size(self):
+        with pytest.raises(ValueError):
+            SimConfig(page_size=3000)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            SimConfig(memory_fraction=0.0)
+
+    def test_explicit_capacity_overrides_fraction(self):
+        cfg = SimConfig(memory_fraction=0.5, capacity_pages=7)
+        assert cfg.resolve_capacity(seq_trace(list(range(100)))) == 7
+
+    def test_fraction_capacity(self):
+        cfg = SimConfig(memory_fraction=0.5)
+        assert cfg.resolve_capacity(seq_trace(list(range(100)))) == 50
+
+    def test_capacity_at_least_one(self):
+        cfg = SimConfig(memory_fraction=0.01)
+        assert cfg.resolve_capacity(seq_trace([1, 2])) == 1
+
+
+class TestNoPrefetch:
+    def test_cold_misses_only_when_memory_fits(self):
+        trace = seq_trace([1, 2, 3, 1, 2, 3])
+        result = simulate(trace, NullPrefetcher(), SimConfig(capacity_pages=8))
+        assert result.demand_misses == 3
+
+    def test_lru_thrash_when_cyclic_exceeds_capacity(self):
+        # Cyclic access over N pages with capacity < N: LRU misses on every
+        # access (the classic worst case).
+        trace = seq_trace([0, 1, 2, 3] * 10)
+        result = simulate(trace, NullPrefetcher(), SimConfig(capacity_pages=2))
+        assert result.demand_misses == len(trace)
+
+    def test_baseline_helper_matches_null(self):
+        trace = seq_trace([0, 1, 2, 0, 1, 2])
+        cfg = SimConfig(capacity_pages=2)
+        assert (baseline_misses(trace, cfg).demand_misses
+                == simulate(trace, NullPrefetcher(), cfg).demand_misses)
+
+
+class TestPrefetching:
+    def test_nextline_covers_sequential(self):
+        trace = seq_trace(list(range(50)))
+        cfg = SimConfig(capacity_pages=8)
+        base = baseline_misses(trace, cfg)
+        run = simulate(trace, NextLinePrefetcher(degree=1), cfg)
+        assert run.demand_misses < base.demand_misses
+        assert run.percent_misses_removed(base) > 40.0
+
+    def test_oracle_beats_everything_on_random(self):
+        trace = pointer_chase(PatternSpec(n=400, working_set=64,
+                                          element_size=4096, seed=2))
+        cfg = SimConfig(memory_fraction=0.5)
+        base = baseline_misses(trace, cfg)
+        oracle = OracleWindowPrefetcher(trace, degree=4)
+        run = simulate(trace, oracle, cfg)
+        assert run.percent_misses_removed(base) > 50.0
+
+    def test_delay_degrades_nextline(self):
+        trace = seq_trace(list(range(200)))
+        timely = simulate(trace, NextLinePrefetcher(degree=1),
+                          SimConfig(capacity_pages=8, prefetch_delay_accesses=0))
+        late = simulate(trace, NextLinePrefetcher(degree=1),
+                        SimConfig(capacity_pages=8, prefetch_delay_accesses=10))
+        assert late.demand_misses > timely.demand_misses
+
+    def test_max_prefetches_cap(self):
+        class Flood:
+            name = "flood"
+
+            def on_miss(self, event):
+                return list(range(event.page + 1, event.page + 1000))
+
+        trace = seq_trace(list(range(20)))
+        run = simulate(trace, Flood(),
+                       SimConfig(capacity_pages=8, max_prefetches_per_miss=2))
+        assert run.stats.prefetches_issued <= 2 * run.demand_misses
+
+    def test_self_prefetch_filtered(self):
+        class SelfPrefetch:
+            name = "self"
+
+            def on_miss(self, event):
+                return [event.page]
+
+        trace = seq_trace([1, 2, 3])
+        run = simulate(trace, SelfPrefetch(), SimConfig(capacity_pages=8))
+        assert run.stats.prefetches_issued == 0
+
+
+class TestResultMetrics:
+    def test_percent_misses_removed(self):
+        trace = seq_trace(list(range(50)))
+        cfg = SimConfig(capacity_pages=8)
+        base = baseline_misses(trace, cfg)
+        run = simulate(trace, NextLinePrefetcher(degree=2), cfg)
+        expected = 100.0 * (base.demand_misses - run.demand_misses) / base.demand_misses
+        assert run.percent_misses_removed(base) == pytest.approx(expected)
+
+    def test_zero_baseline_safe(self):
+        trace = seq_trace([1])
+        cfg = SimConfig(capacity_pages=8)
+        base = baseline_misses(trace, cfg)
+        fake = simulate(trace, NullPrefetcher(), cfg)
+        base.stats.demand_misses = 0
+        assert fake.percent_misses_removed(base) == 0.0
+
+    def test_record_miss_indices(self):
+        trace = seq_trace([0, 1, 0, 1])
+        run = simulate(trace, NullPrefetcher(), SimConfig(capacity_pages=8),
+                       record_miss_indices=True)
+        assert run.miss_indices == [0, 1]
+
+    def test_stride_trace_end_to_end(self):
+        trace = stride(PatternSpec(n=300, working_set=60, element_size=4096))
+        cfg = SimConfig(memory_fraction=0.5)
+        base = baseline_misses(trace, cfg)
+        # cyclic stride over 60 pages with 30-page LRU thrashes
+        assert base.demand_misses == len(trace)

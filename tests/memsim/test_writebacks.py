@@ -1,0 +1,84 @@
+"""Tests for dirty-page tracking and writeback accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memsim.pagecache import PageCache
+from repro.memsim.prefetcher import NullPrefetcher
+from repro.memsim.simulator import SimConfig, simulate
+from repro.patterns.applications import AppSpec, pagerank_graphchi
+from repro.patterns.trace import KIND_LOAD, KIND_STORE, Trace
+
+
+class TestDirtyTracking:
+    def test_store_marks_dirty(self):
+        cache = PageCache(capacity_pages=4)
+        cache.fill(1, store=True)
+        assert cache.dirty_pages() == 1
+
+    def test_load_does_not_mark_dirty(self):
+        cache = PageCache(capacity_pages=4)
+        cache.fill(1)
+        cache.access(1, store=False)
+        assert cache.dirty_pages() == 0
+
+    def test_store_hit_marks_dirty(self):
+        cache = PageCache(capacity_pages=4)
+        cache.fill(1)
+        cache.access(1, store=True)
+        assert cache.dirty_pages() == 1
+
+    def test_dirty_eviction_counts_writeback(self):
+        cache = PageCache(capacity_pages=1)
+        cache.fill(1, store=True)
+        cache.fill(2)
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_free(self):
+        cache = PageCache(capacity_pages=1)
+        cache.fill(1)
+        cache.fill(2)
+        assert cache.stats.writebacks == 0
+
+    def test_dirty_bit_sticky_until_eviction(self):
+        cache = PageCache(capacity_pages=2)
+        cache.fill(1, store=True)
+        cache.access(1, store=False)  # later load must not clean it
+        cache.fill(2)
+        cache.fill(3)  # evicts 1
+        assert cache.stats.writebacks == 1
+
+    def test_prefetched_then_stored_writeback(self):
+        cache = PageCache(capacity_pages=1)
+        cache.insert_prefetch(5)
+        cache.access(5, store=True)
+        cache.fill(6)
+        assert cache.stats.writebacks == 1
+
+    def test_stats_dict_has_writebacks(self):
+        assert "writebacks" in PageCache(capacity_pages=1).stats.as_dict()
+
+
+class TestSimulatorIntegration:
+    def test_store_kinds_drive_writebacks(self):
+        pages = [0, 1, 0, 1] * 20
+        kinds = [KIND_STORE, KIND_LOAD] * 40
+        trace = Trace(name="w", addresses=np.array(pages) * 4096,
+                      kinds=np.array(kinds, dtype=np.uint8))
+        run = simulate(trace, NullPrefetcher(), SimConfig(capacity_pages=1))
+        # page 0 is always stored and always evicted dirty
+        assert run.stats.writebacks >= 39
+
+    def test_all_loads_no_writebacks(self):
+        trace = Trace(name="r", addresses=np.arange(50) * 4096)
+        run = simulate(trace, NullPrefetcher(), SimConfig(capacity_pages=4))
+        assert run.stats.writebacks == 0
+
+    def test_pagerank_vertices_produce_writebacks(self):
+        trace = pagerank_graphchi(AppSpec(n=20_000, seed=0))
+        assert int(trace.kinds.sum()) > 0  # stores present
+        run = simulate(trace, NullPrefetcher(), SimConfig(memory_fraction=0.3))
+        assert run.stats.writebacks > 0
+        assert run.stats.writebacks <= run.stats.demand_misses

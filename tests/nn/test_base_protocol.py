@@ -1,0 +1,66 @@
+"""Protocol conformance: both model families honour SequenceModel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.base import SequenceModel, evaluate_sequence_probs
+from repro.nn.hebbian import HebbianConfig, SparseHebbianNetwork
+from repro.nn.lstm import LSTMConfig, OnlineLSTM
+
+
+def models():
+    return [
+        ("hebbian", SparseHebbianNetwork(HebbianConfig(
+            vocab_size=12, hidden_dim=150, seed=0))),
+        ("lstm", OnlineLSTM(LSTMConfig(vocab_size=12, embed_dim=8,
+                                       hidden_dim=12, window=2, lr=1.0,
+                                       seed=0))),
+    ]
+
+
+@pytest.mark.parametrize("name,model", models())
+class TestSequenceModelConformance:
+    def test_satisfies_protocol(self, name, model):
+        assert isinstance(model, SequenceModel)
+        assert model.vocab_size == 12
+
+    def test_step_returns_distribution(self, name, model):
+        probs = model.step(3)
+        assert probs.shape == (12,)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_train_pair_returns_probability(self, name, model):
+        confidence = model.train_pair(1, 2)
+        assert 0.0 <= confidence <= 1.0
+
+    def test_clone_type_preserved(self, name, model):
+        twin = model.clone()
+        assert type(twin) is type(model)
+
+    def test_rollout_structure(self, name, model):
+        model.step(1, train=False)
+        rollout = model.predict_rollout(width=3, length=2)
+        assert len(rollout) == 2
+        for step in rollout:
+            assert len(step) == 3
+            for class_id, probability in step:
+                assert 0 <= class_id < 12
+                assert 0.0 <= probability <= 1.0
+
+    def test_reset_then_evaluate(self, name, model):
+        for _ in range(30):
+            model.step(5)
+        model.reset_state()
+        assert 0.0 <= model.evaluate_sequence([5] * 10) <= 1.0
+
+    def test_evaluate_sequence_probs_helper(self, name, model):
+        for _ in range(40):
+            model.step(5)
+        probs = evaluate_sequence_probs(model, [5, 5, 5, 5])
+        assert probs.shape == (3,)
+        assert np.isfinite(probs).all()
+
+    def test_evaluate_short_sequence_empty(self, name, model):
+        assert evaluate_sequence_probs(model, [1]).size == 0

@@ -1,0 +1,144 @@
+"""Tests for op counting and the calibrated latency model (Fig. 2, Table 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nn.costs import (
+    DEFAULT_LATENCY_MODEL,
+    PAPER_ANCHORS_US,
+    LatencyModel,
+    OpCount,
+    hebbian_inference_ops,
+    hebbian_parameter_count,
+    hebbian_training_ops,
+    lstm_inference_ops,
+    lstm_training_ops,
+)
+from repro.nn.hebbian import HebbianConfig
+from repro.nn.lstm import LSTMConfig
+
+
+class TestOpCount:
+    def test_add(self):
+        a = OpCount(fp_ops=10, int_ops=5, param_bytes=100)
+        b = OpCount(fp_ops=1, transcendental_ops=2, param_bytes=50)
+        c = a + b
+        assert c.fp_ops == 11 and c.int_ops == 5 and c.transcendental_ops == 2
+        assert c.param_bytes == 100  # storage is max, not sum
+
+    def test_scaled(self):
+        a = OpCount(fp_ops=10, param_bytes=7)
+        assert a.scaled(3).fp_ops == 30
+        assert a.scaled(3).param_bytes == 7
+
+    def test_total(self):
+        assert OpCount(fp_ops=1, transcendental_ops=2, int_ops=3).total_ops == 6
+
+
+class TestLSTMCounts:
+    def test_inference_macs_formula(self):
+        cfg = LSTMConfig(vocab_size=10, embed_dim=4, hidden_dim=6)
+        ops = lstm_inference_ops(cfg)
+        assert ops.fp_ops == 4 * 6 * (4 + 6) + 6 * 10
+        assert ops.transcendental_ops == 5 * 6 + 10
+
+    def test_rollout_scales_linearly(self):
+        cfg = LSTMConfig()
+        one = lstm_inference_ops(cfg, future_steps=1)
+        four = lstm_inference_ops(cfg, future_steps=4)
+        assert four.fp_ops == 4 * one.fp_ops
+
+    def test_quantized_moves_macs_to_int(self):
+        cfg = LSTMConfig()
+        q = lstm_inference_ops(cfg, quantized=True)
+        f = lstm_inference_ops(cfg, quantized=False)
+        assert q.int_ops == f.fp_ops and q.fp_ops == 0
+        assert q.param_bytes < f.param_bytes
+
+    def test_training_exceeds_inference(self):
+        cfg = LSTMConfig()
+        assert (lstm_training_ops(cfg).fp_ops
+                > 2 * lstm_inference_ops(cfg).fp_ops)
+
+    def test_paper_scale_inference_ops(self):
+        # Table 2: ">170k FP" ops per inference
+        ops = lstm_inference_ops(LSTMConfig())
+        assert ops.fp_ops + ops.transcendental_ops > 160_000
+
+
+class TestHebbianCounts:
+    def test_parameter_count_formula(self):
+        cfg = HebbianConfig(vocab_size=100, hidden_dim=500,
+                            connectivity_in=0.1, connectivity_rec=0.02,
+                            connectivity_out=0.1)
+        expected = round(100 * 500 * 0.1 + 500 * 500 * 0.02 + 500 * 100 * 0.1)
+        assert hebbian_parameter_count(cfg) == expected
+
+    def test_paper_scale_params(self):
+        # Table 2: 49k parameters
+        assert hebbian_parameter_count(HebbianConfig()) == pytest.approx(49_000, rel=0.02)
+
+    def test_order_of_magnitude_advantage(self):
+        """Table 2's claim: ~3x fewer params, ~order fewer ops."""
+        lstm_cfg, hebb_cfg = LSTMConfig(), HebbianConfig()
+        assert lstm_cfg.parameter_count / hebbian_parameter_count(hebb_cfg) > 3.0
+        lstm_ops = lstm_inference_ops(lstm_cfg).total_ops
+        hebb_ops = hebbian_inference_ops(hebb_cfg).total_ops
+        assert lstm_ops / hebb_ops > 10.0
+
+    def test_training_exceeds_inference(self):
+        cfg = HebbianConfig()
+        assert hebbian_training_ops(cfg).int_ops > hebbian_inference_ops(cfg).int_ops
+
+    def test_inference_ops_all_integer(self):
+        ops = hebbian_inference_ops(HebbianConfig())
+        assert ops.fp_ops == 0 and ops.int_ops > 0
+
+
+class TestLatencyModel:
+    def test_paper_anchor_lstm_fp32(self):
+        us = DEFAULT_LATENCY_MODEL.inference_us(lstm_inference_ops(LSTMConfig()),
+                                                threads=1, family="lstm")
+        assert us > PAPER_ANCHORS_US["lstm_inference_fp32"]
+
+    def test_paper_anchor_lstm_int8(self):
+        us = DEFAULT_LATENCY_MODEL.inference_us(
+            lstm_inference_ops(LSTMConfig(), quantized=True), family="lstm")
+        assert us > PAPER_ANCHORS_US["lstm_inference_int8"]
+        fp32 = DEFAULT_LATENCY_MODEL.inference_us(lstm_inference_ops(LSTMConfig()),
+                                                  family="lstm")
+        assert us < fp32  # quantization does help, just not enough
+
+    def test_paper_anchor_lstm_training(self):
+        us = DEFAULT_LATENCY_MODEL.training_us(lstm_training_ops(LSTMConfig()),
+                                               family="lstm", batch_size=1)
+        assert us > PAPER_ANCHORS_US["lstm_training_per_example"]
+
+    def test_hebbian_meets_deployment_target(self):
+        """§2.1 targets 1-10 us; the Hebbian network must land inside."""
+        us = DEFAULT_LATENCY_MODEL.inference_us(hebbian_inference_ops(HebbianConfig()),
+                                                family="hebbian")
+        assert PAPER_ANCHORS_US["target_low"] <= us <= PAPER_ANCHORS_US["target_high"]
+
+    def test_second_thread_helps_lstm_little(self):
+        ops = lstm_inference_ops(LSTMConfig())
+        t1 = DEFAULT_LATENCY_MODEL.inference_us(ops, 1, "lstm")
+        t2 = DEFAULT_LATENCY_MODEL.inference_us(ops, 2, "lstm")
+        assert t2 < t1
+        assert t1 / t2 < 1.3  # poor parallelism (paper's observation)
+
+    def test_rejects_unknown_thread_counts(self):
+        with pytest.raises(ValueError):
+            DEFAULT_LATENCY_MODEL.inference_us(OpCount(fp_ops=1), 4, "lstm")
+
+    def test_rejects_unknown_family(self):
+        with pytest.raises(ValueError):
+            DEFAULT_LATENCY_MODEL.inference_us(OpCount(fp_ops=1), 2, "transformer")
+
+    def test_batch_training_amortizes(self):
+        model = LatencyModel()
+        cfg = LSTMConfig()
+        per1 = model.training_us(lstm_training_ops(cfg, 1), batch_size=1) / 1
+        per64 = model.training_us(lstm_training_ops(cfg, 64), batch_size=64) / 64
+        assert per64 < per1

@@ -1,0 +1,98 @@
+"""Tests for the nn building blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn.layers import SGD, cross_entropy, glorot, sigmoid, softmax
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        p = softmax(np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]]))
+        np.testing.assert_allclose(p.sum(axis=-1), 1.0)
+
+    def test_stable_for_large_logits(self):
+        p = softmax(np.array([1e4, 1e4 + 1.0]))
+        assert np.isfinite(p).all()
+        assert p[1] > p[0]
+
+    def test_shift_invariance(self):
+        x = np.array([0.3, -1.2, 2.0])
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0))
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_near_zero(self):
+        probs = np.array([[0.0, 1.0, 0.0]])
+        assert cross_entropy(probs, np.array([1])) < 1e-9
+
+    def test_uniform_is_log_k(self):
+        probs = np.full((1, 4), 0.25)
+        assert cross_entropy(probs, np.array([2])) == pytest.approx(np.log(4))
+
+    def test_clips_zero_probability(self):
+        probs = np.array([[1.0, 0.0]])
+        assert np.isfinite(cross_entropy(probs, np.array([1])))
+
+
+class TestSigmoid:
+    def test_range_and_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+        x = np.linspace(-100, 100, 41)
+        y = sigmoid(x)
+        assert ((y >= 0) & (y <= 1)).all()
+
+    def test_no_overflow_at_extremes(self):
+        assert np.isfinite(sigmoid(np.array([-1e6, 1e6]))).all()
+
+
+class TestGlorot:
+    def test_shape_and_bounds(self):
+        w = glorot(np.random.default_rng(0), 30, 50)
+        assert w.shape == (30, 50)
+        limit = np.sqrt(6.0 / 80)
+        assert np.abs(w).max() <= limit
+
+
+class TestSGD:
+    def test_basic_update(self):
+        params = {"w": np.array([1.0, 2.0])}
+        opt = SGD(lr=0.5, clip_norm=0.0)
+        opt.apply(params, {"w": np.array([1.0, 1.0])})
+        np.testing.assert_allclose(params["w"], [0.5, 1.5])
+
+    def test_lr_scale(self):
+        params = {"w": np.array([1.0])}
+        SGD(lr=1.0, clip_norm=0.0).apply(params, {"w": np.array([1.0])},
+                                         lr_scale=0.1)
+        assert params["w"][0] == pytest.approx(0.9)
+
+    def test_clipping_bounds_step(self):
+        params = {"w": np.zeros(4)}
+        opt = SGD(lr=1.0, clip_norm=1.0)
+        opt.apply(params, {"w": np.full(4, 100.0)})
+        assert np.linalg.norm(params["w"]) <= 1.0 + 1e-9
+
+    def test_counts_steps(self):
+        opt = SGD()
+        params = {"w": np.zeros(1)}
+        opt.apply(params, {"w": np.zeros(1)})
+        opt.apply(params, {"w": np.zeros(1)})
+        assert opt.steps == 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(logits=arrays(np.float64, (5,),
+                     elements=st.floats(-50, 50, allow_nan=False)))
+def test_property_softmax_is_distribution(logits):
+    p = softmax(logits)
+    assert p.sum() == pytest.approx(1.0)
+    assert (p >= 0).all()
+    # ties can resolve to different indices; the max logit's probability
+    # must still be the max probability
+    assert p[logits.argmax()] == pytest.approx(float(p.max()))

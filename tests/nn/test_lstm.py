@@ -1,0 +1,147 @@
+"""Behavioural tests for the online LSTM prefetch model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.lstm import LSTMConfig, OnlineLSTM
+
+
+class TestConfig:
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            LSTMConfig(vocab_size=0)
+
+    def test_parameter_count_formula(self):
+        cfg = LSTMConfig(vocab_size=10, embed_dim=4, hidden_dim=6)
+        expected = 10 * 4 + (4 + 6) * 24 + 24 + 6 * 10 + 10
+        assert cfg.parameter_count == expected
+
+    def test_paper_scale_config(self):
+        cfg = LSTMConfig()  # vocab 128, embed 64, hidden 160
+        assert 165_000 <= cfg.parameter_count <= 180_000
+
+
+class TestOnlineLearning:
+    def test_learns_constant_sequence(self, tiny_lstm):
+        for _ in range(150):
+            tiny_lstm.step(3)
+        assert tiny_lstm.evaluate_sequence([3] * 30) > 0.9
+
+    def test_learns_cycle(self, tiny_lstm):
+        cycle = [1, 4, 2, 7]
+        for _ in range(120):
+            for c in cycle:
+                tiny_lstm.step(c)
+        assert tiny_lstm.evaluate_sequence(cycle * 6) > 0.9
+
+    def test_no_training_when_disabled(self, tiny_lstm):
+        before = {k: v.copy() for k, v in tiny_lstm.net.params.items()}
+        for _ in range(20):
+            tiny_lstm.step(5, train=False)
+        for key, value in tiny_lstm.net.params.items():
+            np.testing.assert_array_equal(value, before[key])
+
+    def test_lr_scale_slows_learning(self):
+        fast = OnlineLSTM(LSTMConfig(vocab_size=8, embed_dim=8, hidden_dim=8,
+                                     lr=1.0, seed=0))
+        slow = OnlineLSTM(LSTMConfig(vocab_size=8, embed_dim=8, hidden_dim=8,
+                                     lr=1.0, seed=0))
+        for _ in range(30):
+            fast.step(2, lr_scale=1.0)
+            slow.step(2, lr_scale=0.01)
+        assert fast.evaluate_sequence([2] * 20) > slow.evaluate_sequence([2] * 20)
+
+    def test_rejects_out_of_vocab(self, tiny_lstm):
+        with pytest.raises(ValueError):
+            tiny_lstm.step(99)
+        with pytest.raises(ValueError):
+            tiny_lstm.train_pair(0, 99)
+
+    def test_train_steps_counted(self, tiny_lstm):
+        tiny_lstm.step(1)          # first step: no transition yet
+        tiny_lstm.step(2)
+        tiny_lstm.step(3, train=False)
+        assert tiny_lstm.train_steps == 1
+
+
+class TestTrainPair:
+    def test_returns_pre_update_confidence(self, tiny_lstm):
+        conf1 = tiny_lstm.train_pair(1, 2)
+        assert 0.0 <= conf1 <= 1.0
+        for _ in range(60):
+            tiny_lstm.train_pair(1, 2)
+        assert tiny_lstm.train_pair(1, 2) > conf1
+
+    def test_does_not_touch_streaming_state(self, tiny_lstm):
+        tiny_lstm.step(1, train=False)
+        h_before = tiny_lstm._h.copy()
+        tiny_lstm.train_pair(3, 4)
+        np.testing.assert_array_equal(tiny_lstm._h, h_before)
+
+
+class TestRollout:
+    def test_empty_before_first_step(self, tiny_lstm):
+        assert tiny_lstm.predict_rollout() == []
+
+    def test_shapes(self, tiny_lstm):
+        tiny_lstm.step(1, train=False)
+        rollout = tiny_lstm.predict_rollout(width=3, length=2)
+        assert len(rollout) == 2
+        assert all(len(step) == 3 for step in rollout)
+        for step in rollout:
+            probs = [p for _, p in step]
+            assert probs == sorted(probs, reverse=True)
+
+    def test_rollout_predicts_learned_cycle(self, tiny_lstm):
+        cycle = [1, 4, 2, 7]
+        for _ in range(150):
+            for c in cycle:
+                tiny_lstm.step(c)
+        tiny_lstm.reset_state()
+        tiny_lstm.step(1, train=False)
+        rollout = tiny_lstm.predict_rollout(width=1, length=3)
+        assert [step[0][0] for step in rollout] == [4, 2, 7]
+
+    def test_rollout_does_not_mutate_state(self, tiny_lstm):
+        tiny_lstm.step(1, train=False)
+        h = tiny_lstm._h.copy()
+        tiny_lstm.predict_rollout(width=2, length=4)
+        np.testing.assert_array_equal(tiny_lstm._h, h)
+
+
+class TestCloneAndReset:
+    def test_clone_is_independent(self, tiny_lstm):
+        for _ in range(30):
+            tiny_lstm.step(2)
+        twin = tiny_lstm.clone()
+        for _ in range(30):
+            twin.step(5)
+        # original unchanged by twin's training
+        assert tiny_lstm.evaluate_sequence([2] * 10) > 0.8
+
+    def test_clone_preserves_predictions(self, tiny_lstm):
+        for _ in range(40):
+            tiny_lstm.step(2)
+        twin = tiny_lstm.clone()
+        assert twin.evaluate_sequence([2] * 10) == pytest.approx(
+            tiny_lstm.evaluate_sequence([2] * 10))
+
+    def test_reset_clears_state_keeps_weights(self, tiny_lstm):
+        for _ in range(80):
+            tiny_lstm.step(2)
+        tiny_lstm.reset_state()
+        assert tiny_lstm._prev_class is None
+        assert tiny_lstm.evaluate_sequence([2] * 10) > 0.8
+
+    def test_evaluate_sequence_frozen(self, tiny_lstm):
+        for _ in range(20):
+            tiny_lstm.step(2)
+        before = {k: v.copy() for k, v in tiny_lstm.net.params.items()}
+        tiny_lstm.evaluate_sequence([1, 2, 3] * 5)
+        for key, value in tiny_lstm.net.params.items():
+            np.testing.assert_array_equal(value, before[key])
+
+    def test_evaluate_empty_sequence(self, tiny_lstm):
+        assert tiny_lstm.evaluate_sequence([1]) == 0.0

@@ -1,0 +1,70 @@
+"""Tests for INT8 quantization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.lstm import LSTMConfig, OnlineLSTM
+from repro.nn.quantization import QuantizedTensor, quantization_error, quantize_lstm
+
+
+class TestQuantizedTensor:
+    def test_roundtrip_error_bounded(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=(40, 40))
+        qt = QuantizedTensor.quantize(values, bits=8)
+        err = np.abs(qt.dequantize() - values).max()
+        assert err <= qt.scale / 2 + 1e-12
+
+    def test_zero_tensor(self):
+        qt = QuantizedTensor.quantize(np.zeros(10))
+        np.testing.assert_array_equal(qt.dequantize(), np.zeros(10))
+
+    def test_int_range_respected(self):
+        values = np.array([-10.0, 10.0, 3.3])
+        qt = QuantizedTensor.quantize(values, bits=8)
+        assert qt.q.max() <= 127 and qt.q.min() >= -128
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            QuantizedTensor.quantize(np.ones(3), bits=1)
+
+    def test_more_bits_less_error(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=500)
+        assert quantization_error(values, 8) < quantization_error(values, 4)
+
+    def test_error_zero_for_zero_norm(self):
+        assert quantization_error(np.zeros(5)) == 0.0
+
+
+class TestQuantizeLSTM:
+    def test_preserves_learned_behaviour(self):
+        model = OnlineLSTM(LSTMConfig(vocab_size=8, embed_dim=8, hidden_dim=16,
+                                      window=4, lr=1.0, seed=0))
+        cycle = [1, 3, 5]
+        for _ in range(150):
+            for c in cycle:
+                model.step(c)
+        full = model.evaluate_sequence(cycle * 6)
+        quantized = quantize_lstm(model, bits=8)
+        q8 = quantized.evaluate_sequence(cycle * 6)
+        assert full > 0.9
+        assert q8 > 0.8  # small degradation only (the §5.5 robustness story)
+
+    def test_original_untouched(self):
+        model = OnlineLSTM(LSTMConfig(vocab_size=8, embed_dim=4, hidden_dim=8,
+                                      seed=0))
+        before = {k: v.copy() for k, v in model.net.params.items()}
+        quantize_lstm(model)
+        for key, value in model.net.params.items():
+            np.testing.assert_array_equal(value, before[key])
+
+    def test_weights_on_quantized_grid(self):
+        model = OnlineLSTM(LSTMConfig(vocab_size=8, embed_dim=4, hidden_dim=8,
+                                      seed=0))
+        quantized = quantize_lstm(model, bits=8)
+        for values in quantized.net.params.values():
+            distinct = np.unique(values)
+            assert len(distinct) <= 256

@@ -1,0 +1,127 @@
+"""Tests for the application trace synthesizers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.patterns.applications import (
+    ALL_APPLICATIONS,
+    FIG5_APPLICATIONS,
+    HARD_APPLICATIONS,
+    AppSpec,
+    generate_application,
+    graph500,
+    mcf,
+    memcached,
+    pagerank_graphchi,
+    resnet_training,
+)
+
+SPEC = AppSpec(n=6000, seed=3)
+
+
+class TestSpecValidation:
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            AppSpec(n=0)
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            AppSpec(scale=0)
+
+    def test_scaled_floors_at_minimum(self):
+        assert AppSpec(scale=0.001).scaled(100, minimum=8) == 8
+
+
+class TestAllApps:
+    @pytest.mark.parametrize("app", ALL_APPLICATIONS)
+    def test_exact_length(self, app):
+        assert len(generate_application(app, SPEC)) == SPEC.n
+
+    @pytest.mark.parametrize("app", ALL_APPLICATIONS)
+    def test_deterministic(self, app):
+        t1 = generate_application(app, SPEC)
+        t2 = generate_application(app, SPEC)
+        assert np.array_equal(t1.addresses, t2.addresses)
+
+    @pytest.mark.parametrize("app", ALL_APPLICATIONS)
+    def test_nontrivial_footprint(self, app):
+        t = generate_application(app, SPEC)
+        assert t.footprint_pages() > 10
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(ValueError, match="unknown application"):
+            generate_application("redis", SPEC)
+
+    def test_app_lists_are_disjoint_and_complete(self):
+        assert set(FIG5_APPLICATIONS) | set(HARD_APPLICATIONS) == set(ALL_APPLICATIONS)
+        assert not set(FIG5_APPLICATIONS) & set(HARD_APPLICATIONS)
+
+
+class TestResnet:
+    def test_repeats_across_epochs(self):
+        t = resnet_training(AppSpec(n=30_000, seed=1))
+        # Batches are bounded, so some addresses must reappear.
+        unique = len(np.unique(t.addresses))
+        assert unique < len(t)
+
+    def test_contains_long_sequential_runs(self):
+        t = resnet_training(SPEC)
+        deltas = t.deltas()
+        frac_4k = float(np.mean(deltas == 4096))
+        assert frac_4k > 0.5  # streaming-dominated
+
+
+class TestPagerank:
+    def test_alternates_edges_and_vertices(self):
+        t = pagerank_graphchi(SPEC)
+        edge_stream = t.addresses[0::2]
+        vertex_stream = t.addresses[1::2]
+        assert edge_stream.max() < 0x5000_0000
+        assert vertex_stream.min() >= 0x5000_0000
+
+    def test_iterations_repeat(self):
+        spec = AppSpec(n=20_000, seed=2)
+        t = pagerank_graphchi(spec)
+        # one iteration covers every shard twice over (edges + vertices);
+        # the next iteration replays the identical address sequence
+        first = t.addresses[:1000]
+        rest = t.addresses[1:]
+        found = any(np.array_equal(first, rest[i:i + 1000])
+                    for i in range(len(rest) - 1000))
+        assert found
+
+
+class TestMcf:
+    def test_mixes_scan_and_walk(self):
+        t = mcf(SPEC)
+        deltas = t.deltas()
+        scan_frac = float(np.mean(deltas == 64))
+        assert 0.1 < scan_frac < 0.95  # both phases present
+
+
+class TestGraph500:
+    def test_repeats_bfs_pass(self):
+        t = graph500(AppSpec(n=12_000, seed=4))
+        n = len(t)
+        # a repeated pass means the first half equals a shifted window
+        first = t.addresses[: n // 4]
+        rest = t.addresses[n // 4:]
+        found = any(np.array_equal(first, rest[i:i + len(first)])
+                    for i in range(len(rest) - len(first)))
+        assert found
+
+
+class TestMemcached:
+    def test_irregular_sequence(self):
+        t = memcached(SPEC)
+        deltas = t.deltas()
+        values, counts = np.unique(deltas, return_counts=True)
+        assert counts.max() / counts.sum() < 0.5  # no dominant delta
+
+    def test_zipf_popularity_skew(self):
+        t = memcached(AppSpec(n=20_000, seed=5))
+        _, counts = np.unique(t.addresses, return_counts=True)
+        top_share = np.sort(counts)[::-1][:20].sum() / counts.sum()
+        assert top_share > 0.05  # hot keys exist

@@ -1,0 +1,148 @@
+"""Tests for the Table 1 pattern generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.patterns import generators
+from repro.patterns.generators import PATTERN_NAMES, PatternSpec, generate
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("n", 0), ("n", -1), ("element_size", 0), ("working_set", 0),
+    ])
+    def test_rejects_non_positive(self, field, value):
+        kwargs = {field: value}
+        with pytest.raises(ValueError):
+            PatternSpec(**kwargs)
+
+
+class TestStride:
+    def test_constant_delta(self, small_spec):
+        t = generators.stride(small_spec)
+        deltas = np.unique(t.deltas())
+        # one positive in-run delta plus the wraparound jump
+        assert len(deltas) <= 2
+        assert small_spec.element_size in deltas
+
+    def test_custom_stride(self, small_spec):
+        t = generators.stride(small_spec, stride_elements=3)
+        mode = np.bincount(
+            (t.deltas() - t.deltas().min()).astype(np.int64)).argmax() + t.deltas().min()
+        assert mode == 3 * small_spec.element_size
+
+    def test_wraps_at_working_set(self, small_spec):
+        t = generators.stride(small_spec)
+        footprint = len(np.unique(t.addresses))
+        assert footprint == small_spec.working_set
+
+
+class TestPointerChase:
+    def test_periodic_with_working_set(self, small_spec):
+        t = generators.pointer_chase(small_spec)
+        ws = small_spec.working_set
+        assert np.array_equal(t.addresses[:ws], t.addresses[ws:2 * ws])
+
+    def test_pseudorandom_deltas(self, small_spec):
+        t = generators.pointer_chase(small_spec)
+        distinct = len(np.unique(t.deltas()[: small_spec.working_set - 1]))
+        assert distinct > small_spec.working_set // 2
+
+    def test_visits_whole_working_set(self, small_spec):
+        t = generators.pointer_chase(small_spec)
+        assert len(np.unique(t.addresses)) == small_spec.working_set
+
+    def test_different_seeds_different_orders(self, small_spec):
+        t1 = generators.pointer_chase(small_spec)
+        t2 = generators.pointer_chase(PatternSpec(
+            n=small_spec.n, working_set=small_spec.working_set,
+            element_size=small_spec.element_size, seed=small_spec.seed + 1))
+        assert not np.array_equal(t1.addresses, t2.addresses)
+
+
+class TestIndirectStride:
+    def test_alternates_array_and_target(self, small_spec):
+        t = generators.indirect_stride(small_spec)
+        array_region = t.addresses[0::2]
+        target_region = t.addresses[1::2]
+        # array slots are strided 8-byte reads
+        assert np.all(np.diff(array_region[: small_spec.working_set // 2]) == 8)
+        # targets live in a disjoint higher region
+        assert target_region.min() > array_region.max()
+
+    def test_target_fixed_per_slot(self, small_spec):
+        t = generators.indirect_stride(small_spec)
+        ws = small_spec.working_set
+        # second traversal repeats the same targets
+        first = t.addresses[1: 2 * ws: 2]
+        second = t.addresses[2 * ws + 1: 4 * ws: 2]
+        m = min(len(first), len(second))
+        assert np.array_equal(first[:m], second[:m])
+
+
+class TestIndirectIndex:
+    def test_alternates_and_repeats(self, small_spec):
+        t = generators.indirect_index(small_spec)
+        ws = small_spec.working_set
+        first = t.addresses[: 2 * ws]
+        second = t.addresses[2 * ws: 4 * ws]
+        m = min(len(first), len(second))
+        assert np.array_equal(first[:m], second[:m])
+
+    def test_b_accesses_cover_indices(self, small_spec):
+        t = generators.indirect_index(small_spec)
+        b_addresses = np.unique(t.addresses[1::2])
+        assert len(b_addresses) == small_spec.working_set
+
+
+class TestPointerOffset:
+    def test_touches_fields_at_offsets(self, small_spec):
+        offsets = (0, 16, 32)
+        t = generators.pointer_offset(small_spec, offsets=offsets)
+        base0 = t.addresses[0]
+        assert t.addresses[1] == base0 + 16
+        assert t.addresses[2] == base0 + 32
+
+    def test_rejects_empty_offsets(self, small_spec):
+        with pytest.raises(ValueError):
+            generators.pointer_offset(small_spec, offsets=())
+
+    def test_node_order_matches_chase(self, small_spec):
+        chase = generators.pointer_chase(small_spec)
+        offset = generators.pointer_offset(small_spec, offsets=(0,))
+        m = min(len(chase), len(offset))
+        assert np.array_equal(chase.addresses[:m], offset.addresses[:m])
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("name", PATTERN_NAMES)
+    def test_generate_by_name(self, name, small_spec):
+        t = generate(name, small_spec)
+        assert len(t) == small_spec.n
+        assert t.metadata["pattern"] == name
+
+    def test_generate_unknown_raises(self, small_spec):
+        with pytest.raises(ValueError, match="unknown pattern"):
+            generate("zigzag", small_spec)
+
+
+@pytest.mark.parametrize("name", PATTERN_NAMES)
+def test_deterministic_for_seed(name):
+    spec = PatternSpec(n=300, working_set=30, seed=11)
+    t1 = generate(name, spec)
+    t2 = generate(name, spec)
+    assert np.array_equal(t1.addresses, t2.addresses)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(1, 500), ws=st.integers(1, 100),
+       name=st.sampled_from(PATTERN_NAMES))
+def test_property_exact_length_and_nonnegative(n, ws, name):
+    spec = PatternSpec(n=n, working_set=ws, seed=0)
+    t = generate(name, spec)
+    assert len(t) == n
+    assert int(t.addresses.min()) >= 0

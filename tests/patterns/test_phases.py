@@ -1,0 +1,63 @@
+"""Tests for multi-phase trace composition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.patterns.phases import Phase, build_phased_trace, pattern_pairs
+
+
+class TestBuildPhasedTrace:
+    def test_boundaries_cover_trace(self):
+        phased = build_phased_trace([Phase("stride", n=100),
+                                     Phase("pointer_chase", n=150)])
+        assert phased.boundaries == [(0, 100), (100, 250)]
+        assert len(phased.trace) == 250
+
+    def test_phase_slice_matches_pattern(self):
+        phased = build_phased_trace([Phase("stride", n=100),
+                                     Phase("pointer_chase", n=100)])
+        s = phased.phase_slice(0)
+        # stride slice: constant dominant delta
+        deltas = np.unique(s.deltas())
+        assert len(deltas) <= 2
+
+    def test_phases_use_distinct_regions(self):
+        phased = build_phased_trace([Phase("stride", n=50),
+                                     Phase("stride", n=50)])
+        a = phased.phase_slice(0).addresses
+        b = phased.phase_slice(1).addresses
+        assert set(a.tolist()).isdisjoint(b.tolist())
+
+    def test_phase_of(self):
+        phased = build_phased_trace([Phase("stride", n=10),
+                                     Phase("pointer_chase", n=10)])
+        assert phased.phase_of(0) == 0
+        assert phased.phase_of(9) == 0
+        assert phased.phase_of(10) == 1
+        with pytest.raises(IndexError):
+            phased.phase_of(20)
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(ValueError):
+            build_phased_trace([])
+
+    def test_spec_overrides_apply(self):
+        phased = build_phased_trace([
+            Phase("stride", n=40, spec_overrides={"working_set": 5}),
+        ])
+        assert len(np.unique(phased.trace.addresses)) == 5
+
+    def test_name_concatenates_patterns(self):
+        phased = build_phased_trace([Phase("stride", n=10),
+                                     Phase("indirect_index", n=10)])
+        assert phased.trace.name == "stride+indirect_index"
+
+
+class TestPatternPairs:
+    def test_three_pairs_of_table1_patterns(self):
+        pairs = pattern_pairs()
+        assert len(pairs) == 3
+        for a, b in pairs:
+            assert a != b

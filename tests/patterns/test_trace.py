@@ -1,0 +1,165 @@
+"""Tests for repro.patterns.trace."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.patterns.trace import (
+    KIND_LOAD,
+    KIND_STORE,
+    MemoryAccess,
+    Trace,
+    interleave,
+)
+
+
+def make_trace(addresses, **kwargs) -> Trace:
+    return Trace(name="t", addresses=np.asarray(addresses, dtype=np.int64), **kwargs)
+
+
+class TestConstruction:
+    def test_defaults_fill_columns(self):
+        t = make_trace([1, 2, 3])
+        assert len(t) == 3
+        assert t.kinds.tolist() == [KIND_LOAD] * 3
+        assert t.stream_ids.tolist() == [0, 0, 0]
+        assert t.timestamps.tolist() == [0, 100, 200]
+
+    def test_explicit_columns_kept(self):
+        t = make_trace([1, 2], kinds=np.array([KIND_LOAD, KIND_STORE]),
+                       stream_ids=np.array([4, 5]),
+                       timestamps=np.array([10, 20]))
+        assert t.kinds.tolist() == [KIND_LOAD, KIND_STORE]
+        assert t.stream_ids.tolist() == [4, 5]
+        assert t.timestamps.tolist() == [10, 20]
+
+    def test_rejects_2d_addresses(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Trace(name="t", addresses=np.zeros((2, 2), dtype=np.int64))
+
+    def test_rejects_mismatched_column_length(self):
+        with pytest.raises(ValueError, match="kinds"):
+            make_trace([1, 2, 3], kinds=np.zeros(2, dtype=np.uint8))
+
+    def test_indexing_returns_memory_access(self):
+        t = make_trace([7, 8])
+        access = t[1]
+        assert isinstance(access, MemoryAccess)
+        assert access.address == 8
+        assert access.kind_name == "load"
+
+    def test_iteration_yields_all(self):
+        t = make_trace([5, 6, 7])
+        assert [a.address for a in t] == [5, 6, 7]
+
+
+class TestDerivedViews:
+    def test_pages_shift(self):
+        t = make_trace([0, 4096, 8192, 4097])
+        assert t.pages(4096).tolist() == [0, 1, 2, 1]
+
+    def test_pages_rejects_non_power_of_two(self):
+        t = make_trace([0])
+        with pytest.raises(ValueError, match="power of two"):
+            t.pages(3000)
+
+    def test_footprint_counts_distinct_pages(self):
+        t = make_trace([0, 1, 4096, 4097, 8192])
+        assert t.footprint_pages(4096) == 3
+        assert t.footprint_bytes(4096) == 3 * 4096
+
+    def test_deltas(self):
+        t = make_trace([10, 20, 15])
+        assert t.deltas().tolist() == [10, -5]
+
+
+class TestComposition:
+    def test_concat_preserves_order_and_shifts_time(self):
+        a = make_trace([1, 2])
+        b = make_trace([3])
+        c = a.concat(b)
+        assert c.addresses.tolist() == [1, 2, 3]
+        assert c.timestamps[2] > c.timestamps[1]
+
+    def test_concat_empty_left(self):
+        a = make_trace([])
+        b = make_trace([5])
+        assert a.concat(b).addresses.tolist() == [5]
+
+    def test_slice_copies(self):
+        t = make_trace([1, 2, 3, 4])
+        s = t.slice(1, 3)
+        assert s.addresses.tolist() == [2, 3]
+        s.addresses[0] = 99
+        assert t.addresses[1] == 2
+
+    def test_from_accesses_roundtrip(self):
+        accesses = [MemoryAccess(address=i, stream_id=i % 2, timestamp=i * 10)
+                    for i in range(5)]
+        t = Trace.from_accesses("x", accesses)
+        assert t.addresses.tolist() == list(range(5))
+        assert t.stream_ids.tolist() == [0, 1, 0, 1, 0]
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        t = make_trace([1, 2, 3])
+        t.metadata["foo"] = "bar"
+        path = tmp_path / "trace.npz"
+        t.save(path)
+        loaded = Trace.load(path)
+        assert loaded.name == t.name
+        assert loaded.addresses.tolist() == t.addresses.tolist()
+        assert loaded.metadata == {"foo": "bar"}
+
+
+class TestInterleave:
+    def test_preserves_per_source_order(self):
+        a = make_trace([1, 2, 3])
+        b = make_trace([10, 20, 30])
+        merged = interleave([a, b], seed=5)
+        from_a = [addr for addr, sid in zip(merged.addresses, merged.stream_ids)
+                  if sid == 0]
+        from_b = [addr for addr, sid in zip(merged.addresses, merged.stream_ids)
+                  if sid == 1]
+        assert from_a == [1, 2, 3]
+        assert from_b == [10, 20, 30]
+
+    def test_total_length(self):
+        a = make_trace([1] * 7)
+        b = make_trace([2] * 3)
+        assert len(interleave([a, b])) == 10
+
+    def test_deterministic_for_seed(self):
+        a = make_trace(list(range(20)))
+        b = make_trace(list(range(100, 120)))
+        m1 = interleave([a, b], seed=9)
+        m2 = interleave([a, b], seed=9)
+        assert m1.addresses.tolist() == m2.addresses.tolist()
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(ValueError):
+            interleave([])
+
+
+@settings(max_examples=30, deadline=None)
+@given(addresses=st.lists(st.integers(min_value=0, max_value=2**40),
+                          min_size=1, max_size=50))
+def test_property_pages_consistent_with_addresses(addresses):
+    t = Trace(name="p", addresses=np.array(addresses, dtype=np.int64))
+    pages = t.pages(4096)
+    assert np.array_equal(pages, np.array(addresses, dtype=np.int64) >> 12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=st.lists(st.integers(0, 2**30), min_size=1, max_size=20),
+       b=st.lists(st.integers(0, 2**30), min_size=1, max_size=20))
+def test_property_concat_length_and_content(a, b):
+    ta, tb = (Trace(name="x", addresses=np.array(xs, dtype=np.int64))
+              for xs in (a, b))
+    c = ta.concat(tb)
+    assert len(c) == len(a) + len(b)
+    assert c.addresses.tolist() == a + b

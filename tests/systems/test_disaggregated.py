@@ -1,0 +1,85 @@
+"""Tests for the disaggregated-memory system simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import NextLinePrefetcher
+from repro.patterns.generators import PatternSpec, stride
+from repro.systems.disaggregated import DisaggregatedSystem
+from repro.systems.driver import SharedStreamPrefetcher
+
+
+def node_traces(n: int = 2, length: int = 600):
+    return [stride(PatternSpec(n=length, working_set=100, element_size=4096,
+                               base=0x1000_0000 * (i + 1), seed=i))
+            for i in range(n)]
+
+
+class TestValidation:
+    def test_needs_traces(self):
+        with pytest.raises(ValueError):
+            DisaggregatedSystem(node_traces=[])
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            DisaggregatedSystem(node_traces=node_traces(), memory_fraction=0)
+
+
+class TestRuns:
+    def test_baseline_all_nodes_present(self):
+        system = DisaggregatedSystem(node_traces=node_traces(3),
+                                     prefetch_delay_accesses=0)
+        result = system.run_no_prefetch()
+        assert len(result.nodes) == 3
+        assert result.placement == "none"
+        assert all(n.accesses == 600 for n in result.nodes)
+
+    def test_misses_cost_remote_latency(self):
+        system = DisaggregatedSystem(node_traces=node_traces(1),
+                                     prefetch_delay_accesses=0)
+        result = system.run_no_prefetch()
+        node = result.nodes[0]
+        expected = (node.demand_misses * system.fabric.remote_fetch_ns
+                    + (node.accesses - node.demand_misses)
+                    * system.fabric.local_access_ns)
+        assert node.total_stall_ns == expected
+
+    def test_decentralized_prefetch_reduces_latency(self):
+        system = DisaggregatedSystem(node_traces=node_traces(2),
+                                     prefetch_delay_accesses=0)
+        base = system.run_no_prefetch()
+        run = system.run_decentralized(lambda: NextLinePrefetcher(degree=2))
+        assert run.mean_access_ns < base.mean_access_ns
+        assert run.speedup_over(base) > 1.1
+
+    def test_centralized_sees_all_streams(self):
+        seen_streams = set()
+
+        class Spy:
+            name = "spy"
+
+            def on_miss(self, event):
+                seen_streams.add(event.stream_id)
+                return []
+
+        system = DisaggregatedSystem(node_traces=node_traces(3),
+                                     prefetch_delay_accesses=0)
+        system.run_centralized(lambda: SharedStreamPrefetcher(Spy()))
+        assert seen_streams == {0, 1, 2}
+
+    def test_centralized_handles_unequal_lengths(self):
+        traces = node_traces(2)
+        traces[1] = traces[1].slice(0, 100)
+        system = DisaggregatedSystem(node_traces=traces,
+                                     prefetch_delay_accesses=0)
+        result = system.run_centralized(
+            lambda: SharedStreamPrefetcher(NextLinePrefetcher()))
+        assert result.nodes[0].accesses == 600
+        assert result.nodes[1].accesses == 100
+
+    def test_speedup_identity(self):
+        system = DisaggregatedSystem(node_traces=node_traces(1),
+                                     prefetch_delay_accesses=0)
+        base = system.run_no_prefetch()
+        assert base.speedup_over(base) == pytest.approx(1.0)

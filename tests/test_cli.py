@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "-o", "x.npz"])
+
+    def test_generate_sources_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "--pattern", "stride",
+                                       "--app", "mcf", "-o", "x.npz"])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "--pattern", "stride"])
+        assert args.model == "hebbian"
+        assert args.length == 2
+        assert args.replay == "full"
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "--pattern", "zigzag",
+                                       "-o", "x.npz"])
+
+
+class TestCommands:
+    def test_generate_and_simulate_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "trace.npz"
+        assert main(["generate", "--pattern", "pointer_chase", "--n", "800",
+                     "--working-set", "60", "-o", str(out)]) == 0
+        assert out.exists()
+        assert main(["simulate", "--trace", str(out), "--model", "hebbian",
+                     "--vocab", "128", "--n", "800"]) == 0
+        output = capsys.readouterr().out
+        assert "misses removed %" in output
+        assert "cls-hebbian" in output
+
+    def test_simulate_inline_app_with_baseline_model(self, capsys):
+        assert main(["simulate", "--app", "mcf", "--n", "3000",
+                     "--model", "stride"]) == 0
+        assert "stride" in capsys.readouterr().out
+
+    def test_simulate_direct_mode_page_encoder(self, capsys):
+        assert main(["simulate", "--pattern", "pointer_chase", "--n", "1500",
+                     "--working-set", "80", "--model", "hebbian",
+                     "--encoder", "page", "--mode", "direct",
+                     "--length", "3"]) == 0
+        assert "cls-hebbian" in capsys.readouterr().out
+
+    def test_simulate_none_model(self, capsys):
+        assert main(["simulate", "--pattern", "stride", "--n", "500",
+                     "--model", "none"]) == 0
+        assert "none" in capsys.readouterr().out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "pointer_chase" in capsys.readouterr().out
+
+    def test_experiment_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        output = capsys.readouterr().out
+        assert "hebbian" in output and "49,000" in output
+
+    def test_experiment_fig2(self, capsys):
+        assert main(["experiment", "fig2"]) == 0
+        assert "lstm-fp32-1t" in capsys.readouterr().out

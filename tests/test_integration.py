@@ -1,0 +1,102 @@
+"""Cross-module integration tests: the paper's story end to end."""
+
+from __future__ import annotations
+
+from repro.baselines import StridePrefetcher
+from repro.core import CLSPrefetcher, CLSPrefetcherConfig
+from repro.memsim import SimConfig, baseline_misses, simulate
+from repro.nn.hebbian import HebbianConfig
+from repro.patterns import PatternSpec, pointer_chase, stride
+
+
+def hebbian_prefetcher(vocab: int = 128, **overrides) -> CLSPrefetcher:
+    defaults = dict(
+        model="hebbian",
+        vocab_size=vocab,
+        hebbian=HebbianConfig(vocab_size=vocab, hidden_dim=300, seed=0),
+        prefetch_length=2,
+        prefetch_width=2,
+    )
+    defaults.update(overrides)
+    return CLSPrefetcher(CLSPrefetcherConfig(**defaults))
+
+
+class TestLearnedVsClassic:
+    """§1's motivation: rule-based prefetchers die on irregular patterns."""
+
+    def test_stride_pattern_both_work(self):
+        trace = stride(PatternSpec(n=1500, working_set=120, element_size=4096))
+        cfg = SimConfig(memory_fraction=0.5)
+        base = baseline_misses(trace, cfg)
+        classic = simulate(trace, StridePrefetcher(degree=2), cfg)
+        learned = simulate(trace, hebbian_prefetcher(), cfg)
+        assert classic.percent_misses_removed(base) > 20.0
+        assert learned.percent_misses_removed(base) > 20.0
+
+    def test_pointer_chase_only_learned_works(self):
+        trace = pointer_chase(PatternSpec(n=2000, working_set=100,
+                                          element_size=4096, seed=1))
+        cfg = SimConfig(memory_fraction=0.5)
+        base = baseline_misses(trace, cfg)
+        classic = simulate(trace, StridePrefetcher(degree=2), cfg)
+        learned = simulate(trace, hebbian_prefetcher(), cfg)
+        assert classic.percent_misses_removed(base) < 5.0
+        assert learned.percent_misses_removed(base) > 15.0
+
+
+class TestPhasedWorkload:
+    """A workload that returns to an earlier phase: replay pays off."""
+
+    def test_replay_helps_on_repeating_phases(self):
+        # A -> B -> A, each phase thrashing its own 150-page working set
+        # against a 120-page memory (fraction 0.4 of the 300-page total).
+        trace_a = pointer_chase(PatternSpec(n=1500, working_set=150,
+                                            element_size=4096, seed=0))
+        trace_b = stride(PatternSpec(n=1500, working_set=150, element_size=4096,
+                                     base=0x9000_0000, seed=1))
+        trace = trace_a.concat(trace_b).concat(trace_a)
+
+        cfg = SimConfig(memory_fraction=0.4)
+        base = baseline_misses(trace, cfg)
+        with_replay = simulate(
+            trace, hebbian_prefetcher(replay_policy="full", replay_per_step=2),
+            cfg)
+        without = simulate(trace, hebbian_prefetcher(replay_policy=None), cfg)
+        assert with_replay.percent_misses_removed(base) > 20.0
+        # replay must never hurt the repeated-phase workload materially
+        assert (with_replay.percent_misses_removed(base)
+                >= without.percent_misses_removed(base) - 2.0)
+
+
+class TestDeterminism:
+    def test_full_pipeline_reproducible(self):
+        trace = pointer_chase(PatternSpec(n=800, working_set=60,
+                                          element_size=4096, seed=5))
+        cfg = SimConfig(memory_fraction=0.5)
+        results = []
+        for _ in range(2):
+            run = simulate(trace, hebbian_prefetcher(), cfg)
+            results.append((run.demand_misses, run.stats.prefetches_issued,
+                            run.stats.prefetch_hits))
+        assert results[0] == results[1]
+
+
+class TestModelsAgree:
+    """Figure 5's comparability claim at test scale."""
+
+    def test_hebbian_comparable_to_lstm_on_stride(self):
+        from repro.nn.lstm import LSTMConfig
+
+        trace = stride(PatternSpec(n=1200, working_set=100, element_size=4096))
+        cfg = SimConfig(memory_fraction=0.5)
+        base = baseline_misses(trace, cfg)
+        hebbian = simulate(trace, hebbian_prefetcher(observe_hits=True), cfg)
+        lstm = simulate(trace, CLSPrefetcher(CLSPrefetcherConfig(
+            model="lstm", vocab_size=128, observe_hits=True,
+            lstm=LSTMConfig(vocab_size=128, embed_dim=16, hidden_dim=32,
+                            window=4, lr=1.0, seed=0),
+            prefetch_length=2, prefetch_width=2)), cfg)
+        h = hebbian.percent_misses_removed(base)
+        l = lstm.percent_misses_removed(base)
+        assert h > 50.0 and l > 50.0
+        assert abs(h - l) < 15.0  # comparable, per Figure 5

@@ -1,0 +1,171 @@
+"""Robustness and failure-injection tests.
+
+A prefetcher is advisory: no matter how badly a policy misbehaves —
+flooding, garbage pages, exceptions in user-supplied code are out of
+scope, but wrong *data* is not — the memory system must stay correct
+(conservation of accesses, bounded residency) and the learning stack must
+stay stable (no crashes on extreme addresses, full vocabularies, or
+degenerate traces).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cls_prefetcher import CLSPrefetcher, CLSPrefetcherConfig
+from repro.core.encoding import DeltaVocabEncoder, RegionDeltaEncoder
+from repro.memsim.events import MissEvent
+from repro.memsim.prefetcher import NullPrefetcher
+from repro.memsim.simulator import SimConfig, baseline_misses, simulate
+from repro.nn.hebbian import HebbianConfig, SparseHebbianNetwork
+from repro.patterns.generators import PatternSpec, pointer_chase
+from repro.patterns.trace import Trace
+
+
+def page_trace(pages, name="t") -> Trace:
+    return Trace(name=name, addresses=np.asarray(pages, dtype=np.int64) * 4096)
+
+
+class HostilePrefetcher:
+    """Returns nonsense: far pages, duplicates, floods."""
+
+    name = "hostile"
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+
+    def on_miss(self, event: MissEvent) -> list[int]:
+        kind = int(self._rng.integers(0, 3))
+        if kind == 0:
+            return [2 ** 50 + int(self._rng.integers(0, 100))]
+        if kind == 1:
+            return [event.page + 1] * 50  # duplicate flood
+        return list(range(event.page, event.page + 500))  # wide flood
+
+
+class TestAdversarialPrefetcher:
+    def test_simulator_invariants_hold(self):
+        trace = page_trace(list(range(100)) * 3)
+        run = simulate(trace, HostilePrefetcher(), SimConfig(capacity_pages=16))
+        stats = run.stats
+        assert stats.accesses == len(trace)
+        assert stats.hits + stats.demand_misses == stats.accesses
+        assert stats.prefetch_hits <= stats.prefetches_issued
+
+    def test_hostile_cannot_remove_more_than_oracle(self):
+        trace = pointer_chase(PatternSpec(n=600, working_set=64,
+                                          element_size=4096, seed=0))
+        cfg = SimConfig(memory_fraction=0.5)
+        base = baseline_misses(trace, cfg)
+        hostile = simulate(trace, HostilePrefetcher(), cfg)
+        # hostile junk may pollute (negative) but it cannot be magic
+        assert hostile.percent_misses_removed(base) < 50.0
+
+    def test_flood_capped_per_miss(self):
+        trace = page_trace(list(range(50)))
+        run = simulate(trace, HostilePrefetcher(),
+                       SimConfig(capacity_pages=8, max_prefetches_per_miss=4))
+        assert run.stats.prefetches_issued <= 4 * run.demand_misses
+
+
+class TestExtremeInputs:
+    def test_cls_handles_64bit_addresses(self):
+        prefetcher = CLSPrefetcher(CLSPrefetcherConfig(
+            model="hebbian", vocab_size=64,
+            hebbian=HebbianConfig(vocab_size=64, hidden_dim=150, seed=0)))
+        base = 2 ** 55
+        for i in range(50):
+            address = base + i * 4096
+            out = prefetcher.on_miss(MissEvent(
+                index=i, address=address, page=address // 4096,
+                stream_id=0, timestamp=i))
+            assert all(p >= 0 for p in out)
+
+    def test_delta_encoder_huge_negative_jump(self):
+        enc = DeltaVocabEncoder(granularity=4096)
+        enc.observe(2 ** 50)
+        cls = enc.observe(4096)
+        assert cls is not None
+        # decoding that jump from a low base would go negative: refused
+        assert enc.decode(cls, 4096) is None
+
+    def test_region_encoder_scattered_regions(self):
+        enc = RegionDeltaEncoder(granularity=4096, vocab_size=64)
+        rng = np.random.default_rng(0)
+        for _ in range(500):
+            enc.observe(int(rng.integers(0, 2 ** 48)))
+        # vocabulary saturates gracefully, no crash
+        assert enc.known_pairs <= 63
+
+    def test_single_access_trace(self):
+        trace = page_trace([7])
+        run = simulate(trace, NullPrefetcher(), SimConfig(capacity_pages=1))
+        assert run.demand_misses == 1
+
+    def test_vocab_saturation_is_stable(self):
+        """More distinct deltas than classes: everything maps to OOV and
+        the prefetcher simply stops predicting, without error."""
+        rng = np.random.default_rng(1)
+        pages = np.cumsum(rng.integers(1, 10_000, size=400))
+        trace = page_trace(pages.tolist())
+        prefetcher = CLSPrefetcher(CLSPrefetcherConfig(
+            model="hebbian", vocab_size=8,
+            hebbian=HebbianConfig(vocab_size=8, hidden_dim=100, seed=0)))
+        run = simulate(trace, prefetcher, SimConfig(memory_fraction=0.5))
+        assert run.stats.accesses == len(trace)
+
+
+class TestModelStability:
+    def test_hebbian_survives_long_adversarial_stream(self):
+        net = SparseHebbianNetwork(HebbianConfig(vocab_size=32, hidden_dim=150,
+                                                 seed=0))
+        rng = np.random.default_rng(2)
+        for _ in range(3000):
+            probs = net.step(int(rng.integers(0, 32)))
+            assert np.isfinite(probs).all()
+            assert probs.sum() == pytest.approx(1.0)
+        assert np.abs(net.w_out).max() <= net.config.weight_max
+
+    def test_lstm_survives_long_adversarial_stream(self):
+        from repro.nn.lstm import LSTMConfig, OnlineLSTM
+
+        model = OnlineLSTM(LSTMConfig(vocab_size=16, embed_dim=8, hidden_dim=16,
+                                      lr=1.0, seed=0))
+        rng = np.random.default_rng(3)
+        for _ in range(800):
+            probs = model.step(int(rng.integers(0, 16)))
+            assert np.isfinite(probs).all()
+        for values in model.net.params.values():
+            assert np.isfinite(values).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(pages=st.lists(st.integers(0, 500), min_size=1, max_size=150),
+       capacity=st.integers(1, 32), degree=st.integers(0, 8))
+def test_property_simulation_conserves_accesses(pages, capacity, degree):
+    class FixedDegree:
+        name = "fixed"
+
+        def on_miss(self, event):
+            return [event.page + i for i in range(1, degree + 1)]
+
+    trace = page_trace(pages)
+    run = simulate(trace, FixedDegree(), SimConfig(capacity_pages=capacity))
+    assert run.stats.accesses == len(pages)
+    assert run.stats.hits + run.stats.demand_misses == len(pages)
+    assert 0 <= run.stats.miss_rate <= 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(classes=st.lists(st.integers(0, 15), min_size=2, max_size=120))
+def test_property_hebbian_probabilities_valid(classes):
+    net = SparseHebbianNetwork(HebbianConfig(vocab_size=16, hidden_dim=100,
+                                             seed=0))
+    for class_id in classes:
+        probs = net.step(class_id)
+        assert probs.shape == (16,)
+        assert probs.sum() == pytest.approx(1.0)
+        assert (probs >= 0).all()

@@ -1,0 +1,100 @@
+"""Long-form scenario: the whole CLS story on one realistic deployment.
+
+A service runs through four phases — pointer-heavy request handling, a
+batch analytics scan, back to request handling, then a brand-new
+structure — against a memory holding 40% of the total footprint.  One
+fully-featured CLS prefetcher (Hebbian neocortex + recall + replay +
+phase detection + accuracy gating) rides through all of it, and the test
+asserts the properties each paper mechanism is supposed to deliver:
+
+1. it learns the first phase online (misses removed vs baseline);
+2. the scan phase does not destroy the request-phase knowledge (replay +
+   sparse separation): returning to phase 1 performs at least as well as
+   the first visit;
+3. the brand-new final phase is picked up quickly (recall);
+4. bookkeeping is consistent throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cls_prefetcher import CLSPrefetcher, CLSPrefetcherConfig
+from repro.harness.models import experiment_hebbian_config
+from repro.memsim.prefetcher import NullPrefetcher
+from repro.memsim.simulator import SimConfig, simulate
+from repro.patterns.generators import PatternSpec, pointer_chase, stride
+
+
+# Each phase cycles a 500-page working set against a 375-page memory
+# (fraction 0.25 of the 1500-page total), so every phase thrashes and
+# there is real work for learning to remove.
+N = 2_500
+REQUESTS = pointer_chase(PatternSpec(n=N, working_set=500, element_size=4096,
+                                     base=0x1000_0000, seed=1))
+SCAN = stride(PatternSpec(n=N, working_set=500, element_size=4096,
+                          base=0x5000_0000, seed=2))
+FRESH = pointer_chase(PatternSpec(n=N, working_set=500, element_size=4096,
+                                  base=0x9000_0000, seed=3))
+TRACE = REQUESTS.concat(SCAN).concat(REQUESTS).concat(FRESH)
+SIM = SimConfig(memory_fraction=0.25)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    prefetcher = CLSPrefetcher(CLSPrefetcherConfig(
+        model="hebbian", vocab_size=2048, encoder="page",
+        hebbian=experiment_hebbian_config(2048, seed=0),
+        prefetch_length=2, prefetch_width=2, min_confidence=0.25,
+        recall=True, replay_policy="full", replay_per_step=1,
+        phase_detection=True, seed=0))
+    baseline = simulate(TRACE, NullPrefetcher(), SIM, record_miss_indices=True)
+    run = simulate(TRACE, prefetcher, SIM, record_miss_indices=True)
+    return baseline, run, prefetcher
+
+
+def phase_misses(indices: list[int], phase: int) -> int:
+    start, stop = phase * N, (phase + 1) * N
+    return sum(1 for i in indices if start <= i < stop)
+
+
+class TestScenario:
+    def test_overall_benefit(self, runs):
+        baseline, run, _ = runs
+        assert run.demand_misses < baseline.demand_misses
+        removed = run.percent_misses_removed(baseline)
+        assert removed > 15.0
+
+    def test_phase1_learned_online(self, runs):
+        baseline, run, _ = runs
+        base = phase_misses(baseline.miss_indices, 0)
+        ours = phase_misses(run.miss_indices, 0)
+        assert ours < base * 0.9
+
+    def test_return_to_phase1_no_regression(self, runs):
+        """After the scan interlude, the request phase performs at least
+        as well as its first visit — knowledge survived."""
+        baseline, run, _ = runs
+        first = (phase_misses(run.miss_indices, 0)
+                 / max(1, phase_misses(baseline.miss_indices, 0)))
+        returned = (phase_misses(run.miss_indices, 2)
+                    / max(1, phase_misses(baseline.miss_indices, 2)))
+        assert returned <= first + 0.05
+
+    def test_fresh_phase_adapts(self, runs):
+        baseline, run, _ = runs
+        base = phase_misses(baseline.miss_indices, 3)
+        ours = phase_misses(run.miss_indices, 3)
+        assert ours < base * 0.95  # recall gives early coverage
+
+    def test_accuracy_stays_high(self, runs):
+        _, run, _ = runs
+        assert run.stats.prefetch_accuracy > 0.7
+
+    def test_bookkeeping_consistent(self, runs):
+        baseline, run, prefetcher = runs
+        assert run.stats.accesses == len(TRACE)
+        assert prefetcher.stats.misses_seen == run.demand_misses
+        assert prefetcher.stats.trained_steps > 0
+        assert prefetcher.recall_stats.consulted > 0
+        assert prefetcher.stats.phases_seen >= 2
