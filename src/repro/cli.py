@@ -101,10 +101,18 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment",
                          help="regenerate a paper table/figure")
     exp.add_argument("which", choices=["table1", "table2", "fig2", "fig3",
-                                       "fig5", "fig6"])
+                                       "fig5", "fig6", "variance"])
     exp.add_argument("--n", type=int, default=20_000,
-                     help="accesses per workload (fig5)")
+                     help="accesses per workload (fig5/variance)")
     exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument("--seeds", type=int, default=3,
+                     help="number of seeds (variance)")
+    exp.add_argument("--jobs", type=int, default=None,
+                     help="worker processes for grid experiments "
+                          "(fig5/variance); default serial")
+    exp.add_argument("--cache-dir", default=None,
+                     help="on-disk JSON result cache for grid cells; "
+                          "reruns with the same specs are served from disk")
     exp.add_argument("--csv", help="also write the result rows to a CSV file")
 
     return parser
@@ -202,7 +210,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         title = "Figure 3 — interference and replay"
     elif which == "fig5":
         config = fig5.Fig5Config(n_accesses=args.n, seed=args.seed)
-        result = fig5.run_fig5(config)
+        result = fig5.run_fig5(config, jobs=args.jobs,
+                               cache_dir=args.cache_dir)
         headers = ["application", "hebbian_removed_pct", "lstm_removed_pct"]
         for app in config.applications:
             per_model = result.for_app(app)
@@ -210,6 +219,16 @@ def cmd_experiment(args: argparse.Namespace) -> int:
                                per_model["cls-hebbian"].percent_misses_removed,
                                per_model["cls-lstm"].percent_misses_removed])
         title = "Figure 5 — online prefetching"
+    elif which == "variance":
+        from .harness.variance import fig5_seed_sweep
+
+        config = fig5.Fig5Config(n_accesses=args.n, seed=args.seed)
+        rows = fig5_seed_sweep(seeds=tuple(range(args.seeds)), config=config,
+                               jobs=args.jobs, cache_dir=args.cache_dir)
+        headers = ["application", "model", "mean_removed_pct", "std", "worst"]
+        table_rows = [[r.application, r.model, r.mean, r.std, r.worst]
+                      for r in rows]
+        title = "Figure 5 seed sweep — % misses removed, mean ± std"
     elif which == "fig6":
         config = fig6.Fig6Config(seed=args.seed)
         disagg = fig6.run_disaggregated(config)

@@ -15,6 +15,7 @@ versions of the paper's open questions:
 from __future__ import annotations
 
 from dataclasses import replace
+from pathlib import Path
 
 import numpy as np
 
@@ -33,6 +34,7 @@ from .models import (
     experiment_hebbian_config,
     experiment_lstm,
 )
+from .runner import run_grid
 
 VOCAB = 192
 
@@ -51,68 +53,84 @@ def _hebbian_cls(seed: int = 0, **overrides) -> CLSPrefetcher:
 # ----------------------------------------------------------------------
 # A1: training-instance sampling (§5.1)
 # ----------------------------------------------------------------------
-def ablation_sampling(n_accesses: int = 15_000, seed: int = 0) -> list[dict]:
+def _sampling_cell(spec: dict) -> dict:
+    trace = generate_application("resnet", AppSpec(n=spec["n_accesses"],
+                                                   seed=spec["seed"]))
+    sim_cfg = SimConfig(memory_fraction=0.5)
+    baseline = baseline_misses(trace, sim_cfg)
+    prefetcher = _hebbian_cls(seed=spec["seed"], training=spec["policy"],
+                              training_kwargs=spec["policy_kwargs"],
+                              observe_hits=True)
+    run = simulate(trace, prefetcher, sim_cfg)
+    policy = prefetcher.training_policy
+    return {
+        "policy": policy.name,
+        "trained_steps": policy.trained,
+        "considered": policy.considered,
+        "train_fraction": policy.trained / max(1, policy.considered),
+        "misses_removed_pct": run.percent_misses_removed(baseline),
+    }
+
+
+def ablation_sampling(n_accesses: int = 15_000, seed: int = 0,
+                      jobs: int | None = None,
+                      cache_dir: str | Path | None = None) -> list[dict]:
     # resnet's regular stream + demand-stream observation keep the input
     # distribution stationary, so model confidence saturates on learned
     # transitions and the confidence-filtered policy has real skips to make
     # (under miss-only observation, prefetch feedback keeps confidence low
     # everywhere and the filter degenerates to train-always).
-    trace = generate_application("resnet", AppSpec(n=n_accesses, seed=seed))
-    sim_cfg = SimConfig(memory_fraction=0.5)
-    baseline = baseline_misses(trace, sim_cfg)
-
     policies = [
         ("always", {}),
         ("every_k", {"k": 4}),
         ("random", {"probability": 0.25, "seed": seed}),
         ("confidence", {"skip_above": 0.9}),
     ]
-    rows = []
-    for kind, kwargs in policies:
-        prefetcher = _hebbian_cls(seed=seed, training=kind,
-                                  training_kwargs=kwargs, observe_hits=True)
-        run = simulate(trace, prefetcher, sim_cfg)
-        rows.append({
-            "policy": prefetcher.training_policy.name,
-            "trained_steps": prefetcher.training_policy.trained,
-            "considered": prefetcher.training_policy.considered,
-            "train_fraction": (prefetcher.training_policy.trained
-                               / max(1, prefetcher.training_policy.considered)),
-            "misses_removed_pct": run.percent_misses_removed(baseline),
-        })
-    return rows
+    specs = [{"kind": "ablation_sampling", "n_accesses": n_accesses,
+              "seed": seed, "policy": kind, "policy_kwargs": kwargs}
+             for kind, kwargs in policies]
+    return run_grid(specs, _sampling_cell, jobs=jobs, cache_dir=cache_dir)
 
 
 # ----------------------------------------------------------------------
 # A2: prefetch length/width and timeliness (§5.2)
 # ----------------------------------------------------------------------
+def _length_width_cell(spec: dict) -> dict:
+    trace = pointer_chase(PatternSpec(n=spec["n_accesses"], working_set=400,
+                                      element_size=4096, seed=spec["seed"]))
+    sim_cfg = SimConfig(memory_fraction=0.5,
+                        prefetch_delay_accesses=spec["delay_accesses"])
+    baseline = baseline_misses(trace, sim_cfg)
+    prefetcher = _hebbian_cls(seed=spec["seed"],
+                              prefetch_length=spec["length"],
+                              prefetch_width=spec["width"])
+    run = simulate(trace, prefetcher, sim_cfg)
+    return {
+        "delay_accesses": spec["delay_accesses"],
+        "length": spec["length"],
+        "width": spec["width"],
+        "misses_removed_pct": run.percent_misses_removed(baseline),
+        "prefetch_accuracy": run.stats.prefetch_accuracy,
+    }
+
+
 def ablation_length_width(n_accesses: int = 12_000, seed: int = 0,
                           lengths: tuple[int, ...] = (1, 2, 4),
                           widths: tuple[int, ...] = (1, 2, 4),
-                          delays: tuple[int, ...] = (0, 4)) -> list[dict]:
-    spec = PatternSpec(n=n_accesses, working_set=400, element_size=4096, seed=seed)
-    trace = pointer_chase(spec)
-    rows = []
-    for delay in delays:
-        sim_cfg = SimConfig(memory_fraction=0.5, prefetch_delay_accesses=delay)
-        baseline = baseline_misses(trace, sim_cfg)
-        for length in lengths:
-            for width in widths:
-                prefetcher = _hebbian_cls(seed=seed, prefetch_length=length,
-                                          prefetch_width=width)
-                run = simulate(trace, prefetcher, sim_cfg)
-                rows.append({
-                    "delay_accesses": delay,
-                    "length": length,
-                    "width": width,
-                    "misses_removed_pct": run.percent_misses_removed(baseline),
-                    "prefetch_accuracy": run.stats.prefetch_accuracy,
-                })
-    return rows
+                          delays: tuple[int, ...] = (0, 4),
+                          jobs: int | None = None,
+                          cache_dir: str | Path | None = None) -> list[dict]:
+    specs = [{"kind": "ablation_length_width", "n_accesses": n_accesses,
+              "seed": seed, "delay_accesses": delay, "length": length,
+              "width": width}
+             for delay in delays for length in lengths for width in widths]
+    return run_grid(specs, _length_width_cell, jobs=jobs, cache_dir=cache_dir)
 
 
 def ablation_prediction_mode(n_accesses: int = 8_000, seed: int = 5,
-                             delays: tuple[int, ...] = (0, 6)) -> list[dict]:
+                             delays: tuple[int, ...] = (0, 6),
+                             jobs: int | None = None,
+                             cache_dir: str | Path | None = None) -> list[dict]:
     """§5.2's two ways to predict L steps ahead, under landing delay.
 
     Rollout re-feeds the model its own prediction L times (L inferences,
@@ -121,36 +139,43 @@ def ablation_prediction_mode(n_accesses: int = 8_000, seed: int = 5,
     prefetch chaining (also triggering on hits), direct mode's coverage
     becomes delay-immune up to L.
     """
-    trace = pointer_chase(PatternSpec(n=n_accesses, working_set=300,
-                                      element_size=4096, seed=seed))
     configs = [
         ("rollout L=4", dict(prediction_mode="rollout", prefetch_length=4)),
         ("direct L=6", dict(prediction_mode="direct", prefetch_length=6)),
         ("direct L=6 + chain", dict(prediction_mode="direct", prefetch_length=6,
                                     observe_hits=True, trigger_on_hits=True)),
     ]
-    rows = []
-    for delay in delays:
-        sim_cfg = SimConfig(memory_fraction=0.5, prefetch_delay_accesses=delay)
-        baseline = baseline_misses(trace, sim_cfg)
-        for label, overrides in configs:
-            prefetcher = CLSPrefetcher(CLSPrefetcherConfig(
-                model="hebbian", vocab_size=512, encoder="page",
-                hebbian=experiment_hebbian_config(512, seed),
-                prefetch_width=2, min_confidence=0.25, seed=seed,
-                **overrides))
-            run = simulate(trace, prefetcher, sim_cfg)
-            inferences_per_trigger = (overrides["prefetch_length"]
-                                      if overrides["prediction_mode"] == "rollout"
-                                      else 1)
-            rows.append({
-                "delay_accesses": delay,
-                "mode": label,
-                "misses_removed_pct": run.percent_misses_removed(baseline),
-                "prefetch_accuracy": run.stats.prefetch_accuracy,
-                "inferences_per_trigger": inferences_per_trigger,
-            })
-    return rows
+    specs = [{"kind": "ablation_prediction_mode", "n_accesses": n_accesses,
+              "seed": seed, "delay_accesses": delay, "mode": label,
+              "overrides": overrides}
+             for delay in delays for label, overrides in configs]
+    return run_grid(specs, _prediction_mode_cell, jobs=jobs,
+                    cache_dir=cache_dir)
+
+
+def _prediction_mode_cell(spec: dict) -> dict:
+    trace = pointer_chase(PatternSpec(n=spec["n_accesses"], working_set=300,
+                                      element_size=4096, seed=spec["seed"]))
+    sim_cfg = SimConfig(memory_fraction=0.5,
+                        prefetch_delay_accesses=spec["delay_accesses"])
+    baseline = baseline_misses(trace, sim_cfg)
+    overrides = spec["overrides"]
+    prefetcher = CLSPrefetcher(CLSPrefetcherConfig(
+        model="hebbian", vocab_size=512, encoder="page",
+        hebbian=experiment_hebbian_config(512, spec["seed"]),
+        prefetch_width=2, min_confidence=0.25, seed=spec["seed"],
+        **overrides))
+    run = simulate(trace, prefetcher, sim_cfg)
+    inferences_per_trigger = (overrides["prefetch_length"]
+                              if overrides["prediction_mode"] == "rollout"
+                              else 1)
+    return {
+        "delay_accesses": spec["delay_accesses"],
+        "mode": spec["mode"],
+        "misses_removed_pct": run.percent_misses_removed(baseline),
+        "prefetch_accuracy": run.stats.prefetch_accuracy,
+        "inferences_per_trigger": inferences_per_trigger,
+    }
 
 
 # ----------------------------------------------------------------------
@@ -167,37 +192,50 @@ def _interleaved_strides(n_accesses: int, seed: int):
     return interleave([a, b], seed=seed + 3, name="interleaved_strides")
 
 
-def ablation_encoding(n_accesses: int = 12_000, seed: int = 0) -> list[dict]:
-    workloads = {
-        "pointer_chase": pointer_chase(PatternSpec(n=n_accesses, working_set=300,
-                                                   element_size=4096, seed=seed)),
-        "interleaved_strides": _interleaved_strides(n_accesses, seed),
+def _encoding_workload(name: str, n_accesses: int, seed: int):
+    if name == "pointer_chase":
+        return pointer_chase(PatternSpec(n=n_accesses, working_set=300,
+                                         element_size=4096, seed=seed))
+    if name == "interleaved_strides":
+        return _interleaved_strides(n_accesses, seed)
+    if name == "graph500":
         # graph500 needs several whole BFS passes to become learnable
-        "graph500": generate_application("graph500",
-                                         AppSpec(n=2 * n_accesses, seed=seed)),
-        "memcached": generate_application("memcached", AppSpec(n=n_accesses, seed=seed)),
-        "cachebench": generate_application("cachebench", AppSpec(n=n_accesses, seed=seed)),
-    }
+        return generate_application("graph500",
+                                    AppSpec(n=2 * n_accesses, seed=seed))
+    return generate_application(name, AppSpec(n=n_accesses, seed=seed))
+
+
+def _encoding_cell(spec: dict) -> dict:
+    name = spec["workload"]
+    trace = _encoding_workload(name, spec["n_accesses"], spec["seed"])
     sim_cfg = SimConfig(memory_fraction=0.5)
-    rows = []
-    for name, trace in workloads.items():
-        baseline = baseline_misses(trace, sim_cfg)
-        for encoder in ("delta", "page", "region"):
-            # the interleaved case needs demand-stream observation so the
-            # encoders see the structure interleaving, not its miss shadow
-            observe_hits = name == "interleaved_strides"
-            prefetcher = _hebbian_cls(seed=seed, encoder=encoder,
-                                      prefetch_length=2, prefetch_width=2,
-                                      min_confidence=0.25,
-                                      observe_hits=observe_hits)
-            run = simulate(trace, prefetcher, sim_cfg)
-            rows.append({
-                "workload": name,
-                "encoder": encoder,
-                "misses_removed_pct": run.percent_misses_removed(baseline),
-                "prefetch_accuracy": run.stats.prefetch_accuracy,
-            })
-    return rows
+    baseline = baseline_misses(trace, sim_cfg)
+    # the interleaved case needs demand-stream observation so the
+    # encoders see the structure interleaving, not its miss shadow
+    observe_hits = name == "interleaved_strides"
+    prefetcher = _hebbian_cls(seed=spec["seed"], encoder=spec["encoder"],
+                              prefetch_length=2, prefetch_width=2,
+                              min_confidence=0.25,
+                              observe_hits=observe_hits)
+    run = simulate(trace, prefetcher, sim_cfg)
+    return {
+        "workload": name,
+        "encoder": spec["encoder"],
+        "misses_removed_pct": run.percent_misses_removed(baseline),
+        "prefetch_accuracy": run.stats.prefetch_accuracy,
+    }
+
+
+def ablation_encoding(n_accesses: int = 12_000, seed: int = 0,
+                      jobs: int | None = None,
+                      cache_dir: str | Path | None = None) -> list[dict]:
+    workloads = ("pointer_chase", "interleaved_strides", "graph500",
+                 "memcached", "cachebench")
+    specs = [{"kind": "ablation_encoding", "n_accesses": n_accesses,
+              "seed": seed, "workload": name, "encoder": encoder}
+             for name in workloads
+             for encoder in ("delta", "page", "region")]
+    return run_grid(specs, _encoding_cell, jobs=jobs, cache_dir=cache_dir)
 
 
 # ----------------------------------------------------------------------
@@ -297,20 +335,28 @@ def ablation_replay(seed: int = 0) -> list[dict]:
 # ----------------------------------------------------------------------
 # A5: availability (§5.5)
 # ----------------------------------------------------------------------
-def ablation_availability(n_accesses: int = 12_000, seed: int = 0) -> list[dict]:
-    trace = generate_application("mcf", AppSpec(n=n_accesses, seed=seed))
+def _availability_cell(spec: dict) -> dict:
+    trace = generate_application("mcf", AppSpec(n=spec["n_accesses"],
+                                                seed=spec["seed"]))
     sim_cfg = SimConfig(memory_fraction=0.5)
     baseline = baseline_misses(trace, sim_cfg)
-    rows = []
-    for availability in (False, True):
-        prefetcher = _hebbian_cls(seed=seed, availability=availability)
-        run = simulate(trace, prefetcher, sim_cfg)
-        rows.append({
-            "protocol": "shadow-copy" if availability else "train-in-place",
-            "misses_removed_pct": run.percent_misses_removed(baseline),
-            "redeploys": prefetcher.stats.redeploys,
-        })
-    return rows
+    availability = spec["availability"]
+    prefetcher = _hebbian_cls(seed=spec["seed"], availability=availability)
+    run = simulate(trace, prefetcher, sim_cfg)
+    return {
+        "protocol": "shadow-copy" if availability else "train-in-place",
+        "misses_removed_pct": run.percent_misses_removed(baseline),
+        "redeploys": prefetcher.stats.redeploys,
+    }
+
+
+def ablation_availability(n_accesses: int = 12_000, seed: int = 0,
+                          jobs: int | None = None,
+                          cache_dir: str | Path | None = None) -> list[dict]:
+    specs = [{"kind": "ablation_availability", "n_accesses": n_accesses,
+              "seed": seed, "availability": availability}
+             for availability in (False, True)]
+    return run_grid(specs, _availability_cell, jobs=jobs, cache_dir=cache_dir)
 
 
 def ablation_noise_robustness(seed: int = 0) -> list[dict]:
@@ -331,32 +377,37 @@ def ablation_noise_robustness(seed: int = 0) -> list[dict]:
 # ----------------------------------------------------------------------
 # A6: Hebbian sparsity sweep (§3.1)
 # ----------------------------------------------------------------------
-def ablation_sparsity(seed: int = 0,
-                      connectivities: tuple[float, ...] = (0.05, 0.125, 0.25),
-                      activations: tuple[float, ...] = (0.05, 0.10, 0.25)
-                      ) -> list[dict]:
+def _sparsity_cell(spec: dict) -> dict:
+    seed, conn, act = spec["seed"], spec["connectivity"], spec["activation"]
     rng = np.random.default_rng(seed)
     cycle = [int(c) for c in rng.permutation(60)] * 12
     probe = cycle[:120]
-    rows = []
-    for conn in connectivities:
-        for act in activations:
-            # stationary sequence learning: use the HebbianConfig defaults
-            # (the deployment-tuned experiment config trades learning speed
-            # for inertia, which is off-topic for this sweep)
-            cfg = HebbianConfig(vocab_size=128, hidden_dim=500,
-                                connectivity_in=conn, connectivity_out=conn,
-                                connectivity_rec=0.017,
-                                activation_fraction=act, seed=seed)
-            model = SparseHebbianNetwork(cfg)
-            for class_id in cycle:
-                model.step(class_id, train=True)
-            ops = hebbian_inference_ops(cfg)
-            rows.append({
-                "connectivity": conn,
-                "activation": act,
-                "confidence": model.evaluate_sequence(probe),
-                "parameters": hebbian_parameter_count(cfg),
-                "inference_int_ops": ops.int_ops,
-            })
-    return rows
+    # stationary sequence learning: use the HebbianConfig defaults
+    # (the deployment-tuned experiment config trades learning speed
+    # for inertia, which is off-topic for this sweep)
+    cfg = HebbianConfig(vocab_size=128, hidden_dim=500,
+                        connectivity_in=conn, connectivity_out=conn,
+                        connectivity_rec=0.017,
+                        activation_fraction=act, seed=seed)
+    model = SparseHebbianNetwork(cfg)
+    for class_id in cycle:
+        model.step(class_id, train=True)
+    ops = hebbian_inference_ops(cfg)
+    return {
+        "connectivity": conn,
+        "activation": act,
+        "confidence": model.evaluate_sequence(probe),
+        "parameters": hebbian_parameter_count(cfg),
+        "inference_int_ops": ops.int_ops,
+    }
+
+
+def ablation_sparsity(seed: int = 0,
+                      connectivities: tuple[float, ...] = (0.05, 0.125, 0.25),
+                      activations: tuple[float, ...] = (0.05, 0.10, 0.25),
+                      jobs: int | None = None,
+                      cache_dir: str | Path | None = None) -> list[dict]:
+    specs = [{"kind": "ablation_sparsity", "seed": seed,
+              "connectivity": conn, "activation": act}
+             for conn in connectivities for act in activations]
+    return run_grid(specs, _sparsity_cell, jobs=jobs, cache_dir=cache_dir)

@@ -14,13 +14,15 @@ LSTM's on every application despite an order of magnitude fewer resources.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 
 from ..core.cls_prefetcher import CLSPrefetcher, CLSPrefetcherConfig
 from ..core.metrics import PrefetchSummary, summarize_prefetch
 from ..memsim.simulator import SimConfig, baseline_misses, simulate
 from ..patterns.applications import FIG5_APPLICATIONS, AppSpec, generate_application
 from .models import experiment_hebbian_config, experiment_lstm_config
+from .runner import run_grid
 
 
 @dataclass
@@ -91,17 +93,41 @@ def make_model_prefetcher(model: str, config: Fig5Config) -> CLSPrefetcher:
     ))
 
 
-def run_fig5(config: Fig5Config = Fig5Config(),
-             models: tuple[str, ...] = ("hebbian", "lstm")) -> Fig5Result:
-    """Run the full Figure 5 grid; returns one summary per (app, model)."""
-    result = Fig5Result()
+def fig5_cell_spec(app: str, model: str, config: Fig5Config) -> dict:
+    """The JSON cell spec for one (application, model) bar.
+
+    ``applications`` is deliberately dropped: a cell's result depends only
+    on its own app, so narrowing or widening the app list must not
+    invalidate cached bars.
+    """
+    knobs = asdict(config)
+    knobs.pop("applications")
+    return {"kind": "fig5_cell", "app": app, "model": model, "config": knobs}
+
+
+def fig5_cell(spec: dict) -> dict:
+    """Run one Figure 5 bar from its spec (module-level: picklable)."""
+    config = Fig5Config(applications=(spec["app"],), **spec["config"])
+    trace = generate_application(spec["app"], AppSpec(n=config.n_accesses,
+                                                      seed=config.seed))
     sim_cfg = SimConfig(memory_fraction=config.memory_fraction)
-    for app in config.applications:
-        trace = generate_application(app, AppSpec(n=config.n_accesses,
-                                                  seed=config.seed))
-        baseline = baseline_misses(trace, sim_cfg)
-        for model in models:
-            prefetcher = make_model_prefetcher(model, config)
-            run = simulate(trace, prefetcher, sim_cfg)
-            result.rows.append(summarize_prefetch(baseline, run))
-    return result
+    baseline = baseline_misses(trace, sim_cfg)
+    prefetcher = make_model_prefetcher(spec["model"], config)
+    run = simulate(trace, prefetcher, sim_cfg)
+    summary = summarize_prefetch(baseline, run)
+    return asdict(summary)
+
+
+def run_fig5(config: Fig5Config = Fig5Config(),
+             models: tuple[str, ...] = ("hebbian", "lstm"),
+             jobs: int | None = None,
+             cache_dir: str | Path | None = None) -> Fig5Result:
+    """Run the full Figure 5 grid; returns one summary per (app, model).
+
+    ``jobs`` fans the (app, model) cells out across processes;
+    ``cache_dir`` memoizes each cell on disk (see ``harness.runner``).
+    """
+    specs = [fig5_cell_spec(app, model, config)
+             for app in config.applications for model in models]
+    rows = run_grid(specs, fig5_cell, jobs=jobs, cache_dir=cache_dir)
+    return Fig5Result(rows=[PrefetchSummary(**row) for row in rows])

@@ -1,0 +1,121 @@
+"""Parallel, cached experiment runner.
+
+Every figure/ablation in this repository is a *grid*: a list of
+independent cells (trace spec × prefetcher config × sim config × seed),
+each mapping deterministically to a small JSON-serializable result row.
+``run_grid`` executes such a grid with two orthogonal accelerations:
+
+- **Process parallelism** — cells fan out across a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs`` workers).
+  Cells are pure functions of their spec, so results are identical to a
+  serial run regardless of scheduling.
+- **On-disk memoization** — with ``cache_dir`` set, each cell's result is
+  stored in ``<cache_dir>/<sha256(spec)>.json`` and served from disk on
+  the next invocation.  The key hashes the *entire canonical spec* (plus
+  ``CACHE_VERSION``), so changing any knob — trace length, seed, model
+  config, sim config — invalidates exactly the affected cells.  Changing
+  code does **not** invalidate the cache; bump :data:`CACHE_VERSION` when
+  a semantic change makes old results stale, or delete the directory.
+
+Cell functions must be module-level (picklable) and take a single JSON
+dict; specs must be JSON-serializable (tuples become lists).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+#: Bump when a code change invalidates previously cached results.
+CACHE_VERSION = 1
+
+
+def spec_key(spec: dict) -> str:
+    """Stable content hash of a cell spec (includes ``CACHE_VERSION``)."""
+    canonical = json.dumps({"cache_version": CACHE_VERSION, "spec": spec},
+                           sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _cache_load(path: Path):
+    try:
+        with path.open("r", encoding="utf-8") as fh:
+            return json.load(fh)["result"]
+    except (OSError, ValueError, KeyError):
+        return None
+
+
+def _cache_store(path: Path, spec: dict, result) -> None:
+    """Atomic write (tmp + rename) so concurrent runs never see torn files."""
+    payload = json.dumps({"spec": spec, "result": result}, sort_keys=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def run_grid(specs: Sequence[dict], fn: Callable[[dict], object],
+             jobs: int | None = None,
+             cache_dir: str | Path | None = None) -> list:
+    """Run ``fn(spec)`` for every spec; return results in spec order.
+
+    Args:
+        specs: JSON-serializable cell descriptions.  Duplicate specs are
+            computed once and fanned back out.
+        fn: Module-level cell function (pickled to workers when
+            ``jobs > 1``).
+        jobs: Worker processes; ``None``/``0``/``1`` runs serially
+            in-process.
+        cache_dir: Directory for the JSON result cache (created on
+            demand).  ``None`` disables caching.
+    """
+    specs = list(specs)
+    keys = [spec_key(spec) for spec in specs]
+    results: dict[str, object] = {}
+
+    cache_path = None
+    if cache_dir is not None:
+        cache_path = Path(cache_dir)
+        if cache_path.exists() and not cache_path.is_dir():
+            raise ValueError(f"cache_dir {cache_path} exists and is not "
+                             "a directory")
+        cache_path.mkdir(parents=True, exist_ok=True)
+        for key in keys:
+            if key in results:
+                continue
+            cached = _cache_load(cache_path / f"{key}.json")
+            if cached is not None:
+                results[key] = cached
+
+    pending: list[tuple[str, dict]] = []
+    seen = set(results)
+    for key, spec in zip(keys, specs):
+        if key not in seen:
+            seen.add(key)
+            pending.append((key, spec))
+
+    if pending:
+        if jobs and jobs > 1:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = [(key, spec, pool.submit(fn, spec))
+                           for key, spec in pending]
+                computed = [(key, spec, future.result())
+                            for key, spec, future in futures]
+        else:
+            computed = [(key, spec, fn(spec)) for key, spec in pending]
+        for key, spec, result in computed:
+            results[key] = result
+            if cache_path is not None:
+                _cache_store(cache_path / f"{key}.json", spec, result)
+
+    return [results[key] for key in keys]

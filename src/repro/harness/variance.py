@@ -10,10 +10,12 @@ than a point estimate.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from pathlib import Path
 
 import numpy as np
 
-from .fig5 import Fig5Config, run_fig5
+from .fig5 import Fig5Config, fig5_cell, fig5_cell_spec
+from .runner import run_grid
 
 
 @dataclass(frozen=True)
@@ -33,17 +35,29 @@ class VarianceRow:
 
 def fig5_seed_sweep(seeds: tuple[int, ...] = (0, 1, 2),
                     config: Fig5Config = Fig5Config(n_accesses=10_000),
-                    models: tuple[str, ...] = ("hebbian", "lstm")
-                    ) -> list[VarianceRow]:
-    """Run Figure 5 once per seed; aggregate % misses removed."""
+                    models: tuple[str, ...] = ("hebbian", "lstm"),
+                    jobs: int | None = None,
+                    cache_dir: str | Path | None = None) -> list[VarianceRow]:
+    """Run Figure 5 once per seed; aggregate % misses removed.
+
+    The whole seed × app × model cube is one flat grid, so ``jobs``
+    parallelizes across seeds as well as cells, and ``cache_dir`` reuses
+    bars shared with previous ``run_fig5`` invocations.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
+    specs = [fig5_cell_spec(app, model, replace(config, seed=seed))
+             for seed in seeds
+             for app in config.applications
+             for model in models]
+    rows = run_grid(specs, fig5_cell, jobs=jobs, cache_dir=cache_dir)
     samples: dict[tuple[str, str], list[float]] = {}
-    for seed in seeds:
-        result = run_fig5(replace(config, seed=seed), models=models)
-        for row in result.rows:
-            key = (row.trace_name, row.prefetcher_name)
-            samples.setdefault(key, []).append(row.percent_misses_removed)
+    for row in rows:
+        key = (row["trace_name"], row["prefetcher_name"])
+        baseline = row["misses_baseline"]
+        removed = (100.0 * (baseline - row["misses_with_prefetch"]) / baseline
+                   if baseline else 0.0)
+        samples.setdefault(key, []).append(removed)
 
     rows = []
     for (application, model), values in sorted(samples.items()):

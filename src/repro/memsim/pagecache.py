@@ -102,41 +102,62 @@ class PageCache:
         ``store`` marks the page dirty so its eventual eviction costs a
         writeback to slow memory.
         """
-        self.stats.accesses += 1
-        entry = self._resident.get(page)
-        if entry is not None:
-            was_prefetch = entry[0]
+        stats = self.stats
+        stats.accesses += 1
+        resident = self._resident
+        entry = resident.get(page)
+        if entry is None:
+            stats.demand_misses += 1
+            return MISS
+        resident.move_to_end(page)
+        stats.hits += 1
+        if store:
+            entry[1] = True
+        if entry[0]:
             entry[0] = False
-            entry[1] = entry[1] or store
-            self._resident.move_to_end(page)
-            self.stats.hits += 1
-            if was_prefetch:
-                self.stats.prefetch_hits += 1
-                return PREFETCH_HIT
-            return HIT
-        self.stats.demand_misses += 1
-        return MISS
+            stats.prefetch_hits += 1
+            return PREFETCH_HIT
+        return HIT
 
     def fill(self, page: int, store: bool = False) -> None:
         """Install a page on demand (after a miss)."""
-        entry = self._resident.get(page)
+        resident = self._resident
+        entry = resident.get(page)
         if entry is not None:
             entry[0] = False
-            entry[1] = entry[1] or store
-            self._resident.move_to_end(page)
+            if store:
+                entry[1] = True
+            resident.move_to_end(page)
             return
-        self._evict_for(1, by_prefetch=False)
-        self._resident[page] = [False, store]
+        if len(resident) >= self.capacity_pages:
+            # A fill adds exactly one page, so one eviction restores the
+            # invariant without the generic _evict_for loop.
+            was_prefetch, dirty = resident.popitem(last=False)[1]
+            stats = self.stats
+            if dirty:
+                stats.writebacks += 1
+            if was_prefetch:
+                stats.prefetches_evicted_unused += 1
+        resident[page] = [False, store]
 
     def insert_prefetch(self, page: int) -> bool:
         """Install a prefetched page.  Returns False if it was redundant."""
-        self.stats.prefetches_issued += 1
-        if page in self._resident:
-            self.stats.prefetches_redundant += 1
-            self._resident.move_to_end(page)
+        stats = self.stats
+        stats.prefetches_issued += 1
+        resident = self._resident
+        if page in resident:
+            stats.prefetches_redundant += 1
+            resident.move_to_end(page)
             return False
-        self._evict_for(1, by_prefetch=True)
-        self._resident[page] = [True, False]
+        if len(resident) >= self.capacity_pages:
+            was_prefetch, dirty = resident.popitem(last=False)[1]
+            if dirty:
+                stats.writebacks += 1
+            if was_prefetch:
+                stats.prefetches_evicted_unused += 1
+            else:
+                stats.demand_evictions_by_prefetch += 1
+        resident[page] = [True, False]
         return True
 
     def resident_pages(self) -> list[int]:

@@ -16,12 +16,22 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+#: ``next_landing`` value when nothing is in flight (larger than any index).
+NO_PENDING = 1 << 62
+
 
 @dataclass
 class PrefetchQueue:
-    """Min-heap of (landing_index, sequence, page) in-flight prefetches."""
+    """Min-heap of (landing_index, sequence, page) in-flight prefetches.
+
+    ``next_landing`` is the landing index of the earliest in-flight
+    prefetch (``NO_PENDING`` when empty), so callers in a hot loop can
+    skip :meth:`landed` entirely between landings — the common case —
+    making arrival processing amortized O(1) per access.
+    """
 
     delay_accesses: int = 0
+    next_landing: int = NO_PENDING
     _heap: list[tuple[int, int, int]] = field(default_factory=list)
     _seq: int = 0
 
@@ -34,17 +44,26 @@ class PrefetchQueue:
 
     def issue(self, page: int, at_index: int) -> None:
         """Issue a prefetch at access ``at_index``."""
-        heapq.heappush(self._heap, (at_index + self.delay_accesses, self._seq, page))
+        landing = at_index + self.delay_accesses
+        heapq.heappush(self._heap, (landing, self._seq, page))
         self._seq += 1
+        if landing < self.next_landing:
+            self.next_landing = landing
 
     def landed(self, now_index: int) -> list[int]:
         """Pop every prefetch whose landing index is <= ``now_index``."""
+        if now_index < self.next_landing:
+            return []
         out: list[int] = []
-        while self._heap and self._heap[0][0] <= now_index:
-            out.append(heapq.heappop(self._heap)[2])
+        heap = self._heap
+        pop = heapq.heappop
+        while heap and heap[0][0] <= now_index:
+            out.append(pop(heap)[2])
+        self.next_landing = heap[0][0] if heap else NO_PENDING
         return out
 
     def drain(self) -> list[int]:
         out = [page for _, _, page in sorted(self._heap)]
         self._heap.clear()
+        self.next_landing = NO_PENDING
         return out

@@ -37,9 +37,14 @@ class AccessAwarePrefetcher(Prefetcher, Protocol):
 
 
 class NullPrefetcher:
-    """The no-prefetching baseline (Figure 5's denominator)."""
+    """The no-prefetching baseline (Figure 5's denominator).
+
+    ``is_null`` lets the simulator skip constructing :class:`MissEvent`
+    objects entirely — this policy never reads them.
+    """
 
     name = "none"
+    is_null = True
 
     def on_miss(self, event: MissEvent) -> list[int]:
         del event

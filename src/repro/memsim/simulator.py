@@ -87,47 +87,71 @@ def simulate(trace: Trace, prefetcher: Prefetcher,
     capacity = config.resolve_capacity(trace)
     cache = PageCache(capacity_pages=capacity)
     queue = PrefetchQueue(delay_accesses=config.prefetch_delay_accesses)
-    pages = trace.pages(config.page_size)
-    kinds = trace.kinds
+    # Materialize the trace columns as plain python lists once: indexing a
+    # numpy array element-by-element boxes a fresh scalar per access, which
+    # dominates the loop at trace scale.
+    pages = trace.pages(config.page_size).tolist()
+    stores = (trace.kinds != 0).tolist()  # KIND_STORE marks the page dirty
     on_access = getattr(prefetcher, "on_access", None)
+    is_null = getattr(prefetcher, "is_null", False)
+    if is_null and on_access is None:
+        addresses = stream_ids = timestamps = None
+    else:
+        addresses = trace.addresses.tolist()
+        stream_ids = trace.stream_ids.tolist()
+        timestamps = trace.timestamps.tolist()
     miss_indices: list[int] = []
 
-    for i in range(len(trace)):
-        for landed_page in queue.landed(i):
-            cache.insert_prefetch(landed_page)
+    access = cache.access
+    fill = cache.fill
+    insert_prefetch = cache.insert_prefetch
+    landed = queue.landed
+    issue = queue.issue
+    on_miss = prefetcher.on_miss
+    max_prefetches = config.max_prefetches_per_miss
+    append_miss = miss_indices.append
 
-        page = int(pages[i])
-        store = bool(kinds[i])  # KIND_STORE marks the page dirty
-        outcome = cache.access(page, store=store)
-        hit = outcome != MISS
+    for i, page in enumerate(pages):
+        if queue.next_landing <= i:
+            for landed_page in landed(i):
+                insert_prefetch(landed_page)
+
+        store = stores[i]
+        outcome = access(page, store)
+        hit = outcome is not MISS
         if not hit:
-            cache.fill(page, store=store)
-            event = MissEvent(
-                index=i,
-                address=int(trace.addresses[i]),
-                page=page,
-                stream_id=int(trace.stream_ids[i]),
-                timestamp=int(trace.timestamps[i]),
-            )
+            fill(page, store)
             if record_miss_indices:
-                miss_indices.append(i)
-            predictions = prefetcher.on_miss(event)
-            for predicted in predictions[: config.max_prefetches_per_miss]:
-                if predicted != page:
-                    queue.issue(int(predicted), i)
+                append_miss(i)
+            if not is_null:
+                predictions = on_miss(MissEvent(
+                    index=i,
+                    address=addresses[i],
+                    page=page,
+                    stream_id=stream_ids[i],
+                    timestamp=timestamps[i],
+                ))
+                if predictions:
+                    if len(predictions) > max_prefetches:
+                        predictions = predictions[:max_prefetches]
+                    for predicted in predictions:
+                        if predicted != page:
+                            issue(int(predicted), i)
         if on_access is not None:
             chained = on_access(AccessEvent(
                 index=i,
-                address=int(trace.addresses[i]),
+                address=addresses[i],
                 page=page,
-                stream_id=int(trace.stream_ids[i]),
-                timestamp=int(trace.timestamps[i]),
+                stream_id=stream_ids[i],
+                timestamp=timestamps[i],
                 hit=hit,
             ))
             if chained:
-                for predicted in chained[: config.max_prefetches_per_miss]:
+                if len(chained) > max_prefetches:
+                    chained = chained[:max_prefetches]
+                for predicted in chained:
                     if predicted != page:
-                        queue.issue(int(predicted), i)
+                        issue(int(predicted), i)
 
     return SimResult(
         trace_name=trace.name,

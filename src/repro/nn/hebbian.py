@@ -22,7 +22,24 @@ Mapped onto prefetching:
 
 All learned updates touch only masked (connected) weights, and inference
 touches only *active* units — this is where the order-of-magnitude op
-advantage over the LSTM (Table 2) comes from.
+advantage over the LSTM (Table 2) comes from.  The implementation honors
+that cost profile: the projections are stored as precomputed index lists
+(CSR-style), so one ``step()`` performs
+
+- a padded gather + ``bincount`` over the ~``k * n * connectivity_rec``
+  recurrent edges leaving the active set (instead of a dense
+  ``(k, hidden)`` gather-and-sum),
+- a per-class connected-row update of the readout column (instead of
+  full ``(hidden,)`` temporaries), and
+- a ``(k, vocab)`` readout gather.
+
+Hidden codes are additionally memoized per ``(input class, context)``:
+the fixed projections make the k-WTA code a pure function of those two,
+and real miss streams revisit the same transitions constantly (the same
+regularity the prefetcher itself exploits), so steady-state inference
+skips the projection entirely.  ``repro.nn.hebbian_reference`` keeps the
+original dense masked-array implementation; the kernels here are
+bit-identical to it (see ``tests/nn/test_hebbian_equivalence.py``).
 
 Default configuration: vocab 128, hidden 1000, 12.5% in/out connectivity,
 1.7% recurrent connectivity — 49k connected weights, the paper's Table 2
@@ -36,7 +53,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from .base import evaluate_sequence_probs
-from .layers import softmax
 
 
 @dataclass(frozen=True)
@@ -128,6 +144,10 @@ class HebbianConfig:
         return max(1, int(round(self.hidden_dim * self.activation_fraction)))
 
 
+#: Hidden-code memo entries kept before the cache is dropped and rebuilt.
+_CODE_CACHE_CAP = 8192
+
+
 class SparseHebbianNetwork:
     """Online sparse Hebbian sequence model (implements ``SequenceModel``)."""
 
@@ -170,6 +190,8 @@ class SparseHebbianNetwork:
         score_span = config.k_winners * config.connectivity_out * config.weight_max
         self._temperature = max(0.25, score_span / 8.0)
 
+        self._build_kernels()
+
         self._prev_class: int | None = None
         self._prev_active: np.ndarray | None = None
         self._prev_pred: int | None = None
@@ -178,58 +200,155 @@ class SparseHebbianNetwork:
         self.train_steps = 0
 
     # ------------------------------------------------------------------
+    # Sparse kernels
+    # ------------------------------------------------------------------
+    def _build_kernels(self) -> None:
+        """Precompute the CSR-style index structures the hot path runs on.
+
+        - ``_rec_pad``: per-unit recurrent out-neighbor lists from
+          ``mask_rec``, padded to the max out-degree with a sentinel column
+          (index ``hidden_dim``) so a whole active set gathers in one
+          fancy-index + ``bincount``.  The recurrent projection is binary
+          and fixed, so edge *counts* reproduce the dense
+          ``w_rec[active].sum(axis=0)`` exactly.
+        - ``_pre_base``: per-class feed-forward drive with the tie-break
+          jitter folded in — the input projection is fixed (unless
+          ``plastic_hidden``), so the k-WTA input term is a row copy.
+        - ``_out_rows`` / ``_out_flat``: per-class connected-hidden indices
+          of ``w_out`` (and their flattened offsets), so Eq. 1 updates
+          touch only the ~``hidden * connectivity_out`` connected entries
+          of the target column.
+        """
+        config = self.config
+        v, n = config.vocab_size, config.hidden_dim
+        self._k = config.k_winners
+
+        deg = self.mask_rec.sum(axis=1)
+        width = int(deg.max()) if deg.size else 0
+        rec_pad = np.full((n, max(width, 1)), n, dtype=np.intp)
+        rows_idx, cols_idx = np.nonzero(self.mask_rec)
+        if rows_idx.size:
+            first = np.searchsorted(rows_idx, rows_idx, side="left")
+            rec_pad[rows_idx, np.arange(rows_idx.size) - first] = cols_idx
+        self._rec_pad = rec_pad
+        self._rec_bins = n + 1  # one sentinel bin for the padding
+
+        if config.plastic_hidden:
+            # The input projection adapts online; recompute it per call.
+            self._pre_base = None
+        elif self._signatures is not None:
+            hits = np.stack([self.w_in[sig].sum(axis=0)
+                             for sig in self._signatures])
+            z = (hits - self._sig_mu) / self._sig_sigma
+            self._pre_base = (config.input_gain / 3.0) * z + self._tiebreak
+        else:
+            self._pre_base = config.input_gain * self.w_in + self._tiebreak
+        self._pre_buf = np.empty(n)
+
+        self._out_rows = tuple(np.flatnonzero(self.mask_out[:, t])
+                               for t in range(v))
+        self._out_flat = tuple((rows * v + t).astype(np.intp)
+                               for t, rows in enumerate(self._out_rows))
+        self._scratch_active = np.zeros(n, dtype=bool)
+        # (class, context) -> k-WTA code; valid because the projections the
+        # code depends on are fixed.  Disabled under plastic_hidden.
+        self._code_cache: dict | None = (
+            None if config.plastic_hidden else {})
+
+    @property
+    def w_out(self) -> np.ndarray:
+        return self._w_out
+
+    @w_out.setter
+    def w_out(self, value: np.ndarray) -> None:
+        # Keep the flat alias (used by the sparse column update) in sync
+        # when callers replace the weights wholesale (e.g. the §5.5 noise
+        # robustness probe assigns a perturbed copy).
+        arr = np.ascontiguousarray(value, dtype=np.float64)
+        self._w_out = arr
+        self._w_out_flat = arr.reshape(-1)
+
+    # ------------------------------------------------------------------
     # Forward pieces
     # ------------------------------------------------------------------
     def hidden_code(self, input_class: int,
                     prev_active: np.ndarray | None = None) -> np.ndarray:
-        """k-WTA hidden activation (indices) for an input in a context."""
-        if self._signatures is not None:
+        """k-WTA hidden activation (indices) for an input in a context.
+
+        The returned array may be shared with the internal code memo —
+        treat it as read-only.
+        """
+        has_context = prev_active is not None and prev_active.size
+        cache = self._code_cache
+        if cache is not None:
+            key = (input_class,
+                   prev_active.tobytes() if has_context else None)
+            code = cache.get(key)
+            if code is not None:
+                return code
+        config = self.config
+        base = self._pre_base
+        if base is not None:
+            pre = self._pre_buf
+            np.copyto(pre, base[input_class])
+        elif self._signatures is not None:
             hits = self.w_in[self._signatures[input_class]].sum(axis=0)
             # standardized overlap: signature-specific, hub-neutral; scaled
             # so the strongest winners sit around input_gain like one-hot
             z = (hits - self._sig_mu) / self._sig_sigma
-            pre = (self.config.input_gain / 3.0) * z
+            pre = (config.input_gain / 3.0) * z + self._tiebreak
         else:
-            pre = self.config.input_gain * self.w_in[input_class]
-        if prev_active is not None and prev_active.size:
+            pre = config.input_gain * self.w_in[input_class] + self._tiebreak
+        if has_context:
             # Normalize by the expected number of recurrent hits per unit so
             # the recurrent term peaks around ``recurrent_strength`` and can
             # order units within the input's support without overriding it.
-            expected_hits = max(1.0, prev_active.size
-                                * self.config.hidden_dim * self.config.connectivity_rec
-                                / self.config.hidden_dim)
-            pre = pre + (self.config.recurrent_strength / expected_hits
-                         ) * self.w_rec[prev_active].sum(axis=0)
-        pre = pre + self._tiebreak
-        k = self.config.k_winners
-        return np.argpartition(pre, -k)[-k:]
+            expected_hits = max(1.0, prev_active.size * config.connectivity_rec)
+            counts = np.bincount(self._rec_pad[prev_active].ravel(),
+                                 minlength=self._rec_bins)
+            pre += ((config.recurrent_strength / expected_hits)
+                    * counts[:config.hidden_dim])
+        active = pre.argpartition(-self._k)[-self._k:]
+        if cache is not None:
+            if len(cache) >= _CODE_CACHE_CAP:
+                cache.clear()
+            cache[key] = active
+        return active
 
     def readout(self, active: np.ndarray) -> np.ndarray:
         """Class scores from an active hidden set."""
-        return self.w_out[active].sum(axis=0)
+        return self._w_out.take(active, axis=0).sum(axis=0)
 
     def probabilities(self, scores: np.ndarray) -> np.ndarray:
-        return softmax(scores / self._temperature)
+        # Inline max-shifted softmax over scores / temperature.
+        x = scores / self._temperature
+        x -= x.max()
+        np.exp(x, out=x)
+        x /= x.sum()
+        return x
 
     # ------------------------------------------------------------------
     # SequenceModel interface
     # ------------------------------------------------------------------
     def step(self, input_class: int, train: bool = True,
              lr_scale: float = 1.0) -> np.ndarray:
-        self._check_class(input_class)
-        if train and self._prev_active is not None:
-            self._learn(self._prev_active, input_class, self._prev_pred, lr_scale)
+        if not 0 <= input_class < self.vocab_size:
+            raise ValueError(
+                f"class {input_class} outside vocab [0, {self.vocab_size})")
+        prev_active = self._prev_active
+        if train and prev_active is not None:
+            self._learn(prev_active, input_class, self._prev_pred, lr_scale)
             if self.config.plastic_hidden and self._prev_class is not None:
-                self._adapt_hidden(self._prev_class, self._prev_active, lr_scale)
+                self._adapt_hidden(self._prev_class, prev_active, lr_scale)
             self.train_steps += 1
 
-        active = self.hidden_code(input_class, self._prev_active)
-        scores = self.readout(active)
+        active = self.hidden_code(input_class, prev_active)
+        scores = self._w_out.take(active, axis=0).sum(axis=0)
         probs = self.probabilities(scores)
 
         self._prev_class = input_class
         self._prev_active = active
-        self._prev_pred = int(np.argmax(scores))
+        self._prev_pred = int(scores.argmax())
         self._last_scores = scores
         self._last_active = active
         return probs
@@ -239,9 +358,9 @@ class SparseHebbianNetwork:
         self._check_class(input_class)
         self._check_class(target_class)
         active = self.hidden_code(input_class, prev_active=None)
-        scores = self.readout(active)
+        scores = self._w_out.take(active, axis=0).sum(axis=0)
         confidence = float(self.probabilities(scores)[target_class])
-        self._learn(active, target_class, int(np.argmax(scores)), lr_scale)
+        self._learn(active, target_class, int(scores.argmax()), lr_scale)
         if self.config.plastic_hidden:
             self._adapt_hidden(input_class, active, lr_scale)
         return confidence
@@ -263,7 +382,12 @@ class SparseHebbianNetwork:
         active = self._last_active
         for _ in range(length):
             probs = self.probabilities(scores)
-            top = np.argsort(probs)[::-1][:width]
+            if width < probs.size:
+                # top-width selection, sorted within the slice
+                top = probs.argpartition(-width)[-width:]
+                top = top[probs[top].argsort()[::-1]]
+            else:
+                top = probs.argsort()[::-1][:width]
             out.append([(int(k), float(probs[k])) for k in top])
             active = self.hidden_code(int(top[0]), active)
             scores = self.readout(active)
@@ -277,17 +401,27 @@ class SparseHebbianNetwork:
         self._last_active = None
 
     def clone(self) -> "SparseHebbianNetwork":
-        twin = SparseHebbianNetwork(self.config)
+        """Deep copy of the learned state.
+
+        The fixed structures (masks, signatures, tie-break jitter, and the
+        precomputed kernels derived from them) are shared between clones —
+        nothing ever mutates them — so cloning costs only the learned
+        weight copies instead of a full re-initialization.
+        """
+        twin = object.__new__(SparseHebbianNetwork)
+        twin.__dict__.update(self.__dict__)
         twin.w_in = self.w_in.copy()
-        twin.w_rec = self.w_rec.copy()
-        twin.w_out = self.w_out.copy()
-        twin._prev_class = self._prev_class
-        twin._prev_pred = self._prev_pred
+        twin.w_out = self._w_out.copy()  # setter rebuilds the flat alias
+        twin._pre_buf = np.empty(self.config.hidden_dim)
+        twin._scratch_active = np.zeros(self.config.hidden_dim, dtype=bool)
+        if self.config.plastic_hidden:
+            # Plastic clones diverge; give each its own (disabled) cache
+            # and recompute the input drive from the copied weights.
+            twin._code_cache = None
         for src, attr in ((self._prev_active, "_prev_active"),
                           (self._last_scores, "_last_scores"),
                           (self._last_active, "_last_active")):
             setattr(twin, attr, None if src is None else src.copy())
-        twin.train_steps = self.train_steps
         return twin
 
     def evaluate_sequence(self, classes: list[int]) -> float:
@@ -299,20 +433,38 @@ class SparseHebbianNetwork:
     # ------------------------------------------------------------------
     def _learn(self, active: np.ndarray, target: int, predicted: int | None,
                lr_scale: float) -> None:
-        """Eq. 1 with the output clamped to the observed next class."""
-        lr = self.config.lr * lr_scale
-        connected = self.mask_out[:, target]
-        delta = np.where(connected, -lr * self.config.negative_scale, 0.0)
-        active_connected = active[connected[active]]
-        delta[active_connected] = lr
-        column = self.w_out[:, target] + delta
-        np.clip(column, -self.config.weight_max, self.config.weight_max, out=column)
-        self.w_out[:, target] = column
+        """Eq. 1 with the output clamped to the observed next class.
 
-        if self.config.punish_wrong and predicted is not None and predicted != target:
+        Touches only the target column's connected rows (``_out_rows``):
+        active-and-connected entries get ``+lr``, the other connected
+        entries get the depression term, and the result is clipped —
+        element-for-element the same arithmetic as the dense column
+        update, without the ``(hidden,)`` temporaries.
+        """
+        config = self.config
+        lr = config.lr * lr_scale
+        rows = self._out_rows[target]
+        flat = self._out_flat[target]
+        w_flat = self._w_out_flat
+        scratch = self._scratch_active
+        scratch[active] = True
+        is_active = scratch[rows]
+        scratch[active] = False
+        vals = w_flat.take(flat)
+        vals += np.where(is_active, lr, -lr * config.negative_scale)
+        wm = config.weight_max
+        np.minimum(vals, wm, out=vals)
+        np.maximum(vals, -wm, out=vals)
+        w_flat[flat] = vals
+
+        if config.punish_wrong and predicted is not None and predicted != target:
             wrong = active[self.mask_out[active, predicted]]
-            self.w_out[wrong, predicted] = np.maximum(
-                self.w_out[wrong, predicted] - lr, -self.config.weight_max)
+            if wrong.size:
+                wrong_flat = wrong * config.vocab_size + predicted
+                wvals = w_flat.take(wrong_flat)
+                wvals -= lr
+                np.maximum(wvals, -wm, out=wvals)
+                w_flat[wrong_flat] = wvals
 
     def _adapt_hidden(self, input_class: int, active: np.ndarray,
                       lr_scale: float) -> None:

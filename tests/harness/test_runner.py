@@ -1,0 +1,104 @@
+"""The parallel, cached grid runner.
+
+Cell functions live at module level so ``ProcessPoolExecutor`` can pickle
+them into workers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.harness.fig5 import Fig5Config, fig5_cell, fig5_cell_spec, run_fig5
+from repro.harness.runner import run_grid, spec_key
+
+
+def _square_cell(spec: dict) -> dict:
+    if spec.get("log"):
+        with open(spec["log"], "a", encoding="utf-8") as fh:
+            fh.write(f"{spec['x']}\n")
+    return {"value": spec["x"] ** 2}
+
+
+def _specs(n: int, log: str | None = None) -> list[dict]:
+    return [{"kind": "square", "x": x, "log": log} for x in range(n)]
+
+
+class TestRunGrid:
+    def test_serial_matches_parallel(self):
+        serial = run_grid(_specs(8), _square_cell)
+        parallel = run_grid(_specs(8), _square_cell, jobs=2)
+        assert serial == parallel == [{"value": x ** 2} for x in range(8)]
+
+    def test_results_in_spec_order(self):
+        specs = _specs(5)[::-1]
+        assert run_grid(specs, _square_cell, jobs=2) == [
+            {"value": x ** 2} for x in (4, 3, 2, 1, 0)]
+
+    def test_duplicate_specs_computed_once(self, tmp_path):
+        log = str(tmp_path / "calls.log")
+        specs = _specs(3, log=log) + _specs(3, log=log)
+        results = run_grid(specs, _square_cell)
+        assert results[:3] == results[3:]
+        assert len(Path(log).read_text().splitlines()) == 3
+
+    def test_second_invocation_served_from_cache(self, tmp_path):
+        cache = tmp_path / "cache"
+        log = str(tmp_path / "calls.log")
+        specs = _specs(4, log=log)
+        first = run_grid(specs, _square_cell, cache_dir=cache)
+        assert len(Path(log).read_text().splitlines()) == 4
+        assert len(list(cache.glob("*.json"))) == 4
+        second = run_grid(specs, _square_cell, cache_dir=cache)
+        assert second == first
+        # no new cell executions: all four served from disk
+        assert len(Path(log).read_text().splitlines()) == 4
+
+    def test_spec_change_invalidates_only_that_cell(self, tmp_path):
+        cache = tmp_path / "cache"
+        log = str(tmp_path / "calls.log")
+        run_grid(_specs(3, log=log), _square_cell, cache_dir=cache)
+        changed = _specs(3, log=log)
+        changed[1]["x"] = 99
+        results = run_grid(changed, _square_cell, cache_dir=cache)
+        assert results[1] == {"value": 99 ** 2}
+        # 3 initial executions + 1 for the changed cell
+        assert len(Path(log).read_text().splitlines()) == 4
+
+    def test_cache_file_is_inspectable_json(self, tmp_path):
+        cache = tmp_path / "cache"
+        spec = {"kind": "square", "x": 7, "log": None}
+        run_grid([spec], _square_cell, cache_dir=cache)
+        payload = json.loads((cache / f"{spec_key(spec)}.json").read_text())
+        assert payload["spec"] == spec
+        assert payload["result"] == {"value": 49}
+
+    def test_spec_key_is_order_insensitive(self):
+        assert (spec_key({"a": 1, "b": 2})
+                == spec_key({"b": 2, "a": 1}))
+        assert spec_key({"a": 1}) != spec_key({"a": 2})
+
+
+class TestFig5ThroughRunner:
+    CONFIG = Fig5Config(applications=("resnet",), n_accesses=4_000, seed=3)
+
+    def test_parallel_and_cached_identical_to_serial(self, tmp_path):
+        serial = run_fig5(self.CONFIG, models=("hebbian",))
+        parallel = run_fig5(self.CONFIG, models=("hebbian",), jobs=2,
+                            cache_dir=tmp_path / "cache")
+        cached = run_fig5(self.CONFIG, models=("hebbian",),
+                          cache_dir=tmp_path / "cache")
+        assert serial.rows == parallel.rows == cached.rows
+        assert serial.rows[0].trace_name == "resnet"
+
+    def test_cell_spec_ignores_sibling_apps(self):
+        wide = Fig5Config(applications=("resnet", "mcf"), n_accesses=4_000)
+        narrow = Fig5Config(applications=("resnet",), n_accesses=4_000)
+        assert (spec_key(fig5_cell_spec("resnet", "hebbian", wide))
+                == spec_key(fig5_cell_spec("resnet", "hebbian", narrow)))
+
+    def test_cell_roundtrips_summary_fields(self):
+        row = fig5_cell(fig5_cell_spec("resnet", "hebbian", self.CONFIG))
+        assert row["trace_name"] == "resnet"
+        assert row["prefetcher_name"] == "cls-hebbian"
+        assert row["misses_baseline"] > 0
