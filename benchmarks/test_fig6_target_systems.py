@@ -12,7 +12,6 @@ model, and wider prefetch output (§5.2 width) buys additional throughput.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.harness.fig6 import (
     Fig6Config,

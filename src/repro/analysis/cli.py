@@ -1,0 +1,77 @@
+"""Command-line front end: ``repro-lint`` / ``python -m repro.analysis``.
+
+Exit codes follow the usual linter contract:
+
+- ``0`` — no findings
+- ``1`` — findings reported
+- ``2`` — usage error (bad path, unknown rule code)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .engine import lint_paths
+from .rules import ALL_RULES
+
+
+def _parse_codes(raw: list[str] | None) -> frozenset[str] | None:
+    if not raw:
+        return None
+    codes: set[str] = set()
+    for chunk in raw:
+        codes.update(code.strip().upper() for code in chunk.split(",") if code.strip())
+    return frozenset(codes)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Determinism & contract static analysis for the repro "
+                    "codebase (rules RL001-RL007).")
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to lint "
+                             "(default: src/repro)")
+    parser.add_argument("--format", choices=("human", "json"), default="human",
+                        help="output format (default: human)")
+    parser.add_argument("--select", action="append", metavar="CODES",
+                        help="comma-separated rule codes to run exclusively")
+    parser.add_argument("--ignore", action="append", metavar="CODES",
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.summary}")
+        return 0
+
+    try:
+        findings = lint_paths(args.paths,
+                              select=_parse_codes(args.select),
+                              ignore=_parse_codes(args.ignore))
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps([f.to_json() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.format())
+        if findings:
+            plural = "s" if len(findings) != 1 else ""
+            print(f"\nrepro-lint: {len(findings)} finding{plural}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""Per-file analysis context shared by every rule.
+
+A :class:`FileContext` owns the parsed AST plus the cheap derived facts
+rules keep asking about: where the file sits relative to the simulator
+hot paths, whether it is a test, and what each imported name resolves to
+(so ``np.random.default_rng`` and ``from numpy.random import default_rng``
+look identical to a rule).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Directory components that mark the deterministic simulator hot paths.
+#: RL002 (wall-clock nondeterminism) and RL007 (swallowed exceptions) only
+#: apply inside these.
+SIM_ZONES = frozenset({"core", "memsim", "nn", "patterns"})
+
+
+def _is_test_file(path: Path) -> bool:
+    name = path.name
+    return name.startswith("test_") or name.endswith("_test.py") or name == "conftest.py"
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one source file."""
+
+    path: Path
+    display_path: str
+    source: str
+    tree: ast.Module
+    #: local name -> fully qualified dotted name it was imported as.
+    imports: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.imports = _collect_imports(self.tree)
+
+    @property
+    def is_test(self) -> bool:
+        """True for ``test_*.py`` / ``*_test.py`` / ``conftest.py`` files."""
+        return _is_test_file(self.path)
+
+    @property
+    def in_sim_zone(self) -> bool:
+        """True when the file lives under a deterministic hot-path package."""
+        return not SIM_ZONES.isdisjoint(self.path.parts)
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Fully qualified dotted name of ``node``, or ``None``.
+
+        Follows the file's imports: with ``import numpy as np``,
+        ``np.random.default_rng`` resolves to ``numpy.random.default_rng``.
+        Names bound by assignment (locals, attributes of locals) do not
+        resolve, which keeps rules free of false positives on e.g.
+        ``rng.choice``.
+        """
+        dotted = _dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        target = self.imports.get(head)
+        if target is None:
+            return None
+        return f"{target}.{rest}" if rest else target
+
+    @classmethod
+    def parse(cls, path: Path, display_path: str | None = None) -> "FileContext":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        return cls(path=path, display_path=display_path or str(path),
+                   source=source, tree=tree)
+
+
+def _dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _collect_imports(tree: ast.Module) -> dict[str, str]:
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.partition(".")[0]
+                # ``import a.b`` binds ``a``; ``import a.b as c`` binds c=a.b.
+                imports[local] = alias.name if alias.asname else alias.name.partition(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import — never numpy/time/os/random
+                continue
+            module = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = f"{module}.{alias.name}" if module else alias.name
+    return imports

@@ -1,0 +1,62 @@
+"""File walker + rule driver for repro-lint.
+
+``lint_paths`` is the single entry point: it expands files/directories,
+parses each Python file once, runs every active rule over the shared
+:class:`~repro.analysis.context.FileContext`, filters findings through
+``# repro-lint: disable=`` comments, and returns a deterministically
+sorted list of :class:`~repro.analysis.finding.Finding`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from pathlib import Path
+
+from .context import FileContext
+from .finding import Finding
+from .rules import Rule, get_rules
+from .suppress import collect_suppressions, is_suppressed
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".mypy_cache", ".ruff_cache",
+                        ".pytest_cache", "build", "dist"})
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths``, in sorted order per path."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if _SKIP_DIRS.isdisjoint(candidate.parts):
+                    yield candidate
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {path}")
+
+
+def lint_file(path: Path, rules: Sequence[type[Rule]],
+              display_path: str | None = None) -> list[Finding]:
+    """Lint one file; a syntax error becomes an ``RL000`` finding."""
+    try:
+        ctx = FileContext.parse(path, display_path=display_path)
+    except (SyntaxError, UnicodeDecodeError) as exc:
+        line = getattr(exc, "lineno", 1) or 1
+        return [Finding(path=display_path or str(path), line=line, col=0,
+                        code="RL000", message=f"could not parse file: {exc}")]
+    findings: list[Finding] = []
+    for rule_cls in rules:
+        findings.extend(rule_cls(ctx).run())
+    suppressions = collect_suppressions(ctx.source)
+    return [f for f in findings if not is_suppressed(f, suppressions)]
+
+
+def lint_paths(paths: Iterable[str | Path],
+               select: frozenset[str] | None = None,
+               ignore: frozenset[str] | None = None) -> list[Finding]:
+    """Lint every Python file under ``paths`` with the active rule set."""
+    rules = get_rules(select=select, ignore=ignore)
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules, display_path=str(path)))
+    return sorted(findings)

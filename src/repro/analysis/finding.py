@@ -1,0 +1,28 @@
+"""The unit of lint output: one rule violation at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """A single rule violation.
+
+    Orders by (path, line, col, code) so reports are stable regardless of
+    rule execution order — determinism applies to the linter too.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """Human-readable ``path:line:col: CODE message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        """JSON-serializable dict form (for ``--format json``)."""
+        return asdict(self)

@@ -1,0 +1,50 @@
+"""Rule registry for repro-lint.
+
+``ALL_RULES`` is the canonical ordered tuple; ``get_rules`` applies
+``--select`` / ``--ignore`` filtering and rejects unknown codes loudly
+(a typo'd ``--select RL0O1`` silently linting nothing would be its own
+reproducibility bug).
+"""
+
+from __future__ import annotations
+
+from .base import Rule
+from .rl001_rng import SeededRngRule
+from .rl002_wallclock import WallClockRule
+from .rl003_floatcmp import FloatEqualityRule
+from .rl004_mutable_defaults import MutableDefaultRule
+from .rl005_spec_fields import SpecFieldRule
+from .rl006_annotations import AnnotationRule
+from .rl007_exceptions import SwallowedExceptionRule
+
+ALL_RULES: tuple[type[Rule], ...] = (
+    SeededRngRule,
+    WallClockRule,
+    FloatEqualityRule,
+    MutableDefaultRule,
+    SpecFieldRule,
+    AnnotationRule,
+    SwallowedExceptionRule,
+)
+
+RULES_BY_CODE: dict[str, type[Rule]] = {rule.code: rule for rule in ALL_RULES}
+
+
+def get_rules(select: frozenset[str] | None = None,
+              ignore: frozenset[str] | None = None) -> tuple[type[Rule], ...]:
+    """Resolve the active rule set; raises ``ValueError`` on unknown codes."""
+    for codes, flag in ((select, "--select"), (ignore, "--ignore")):
+        if codes:
+            unknown = sorted(codes - RULES_BY_CODE.keys())
+            if unknown:
+                raise ValueError(f"unknown rule code(s) for {flag}: "
+                                 f"{', '.join(unknown)}")
+    active = ALL_RULES
+    if select:
+        active = tuple(rule for rule in active if rule.code in select)
+    if ignore:
+        active = tuple(rule for rule in active if rule.code not in ignore)
+    return active
+
+
+__all__ = ["ALL_RULES", "RULES_BY_CODE", "Rule", "get_rules"]

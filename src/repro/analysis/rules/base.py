@@ -1,0 +1,46 @@
+"""Shared rule infrastructure.
+
+Each rule is a small :class:`ast.NodeVisitor` with a class-level ``code``
+(``RLxxx``), a one-line ``summary`` (shown by ``repro-lint --list-rules``),
+and an optional :meth:`Rule.applies` gate restricting where it runs (e.g.
+only inside simulator hot paths).  Rules call :meth:`Rule.report` with the
+offending node; the engine handles suppression comments, ordering, and
+output formats.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar
+
+from ..context import FileContext
+from ..finding import Finding
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for all repro-lint rules."""
+
+    code: ClassVar[str] = "RL000"
+    summary: ClassVar[str] = ""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+
+    def applies(self) -> bool:
+        """Whether this rule runs on ``self.ctx`` at all (path-based gates)."""
+        return True
+
+    def run(self) -> list[Finding]:
+        if self.applies():
+            self.visit(self.ctx.tree)
+        return self.findings
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(
+            path=self.ctx.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+        ))

@@ -1,0 +1,66 @@
+"""RL001 — seeding discipline for NumPy RNGs.
+
+Three failure modes, all of which have bitten ML-prefetcher reproductions
+(results here must be bit-deterministic given a spec):
+
+- ``np.random.default_rng()`` with no seed draws OS entropy — every run
+  differs.
+- The legacy module-level RNG (``np.random.rand`` & friends) mutates
+  hidden global state, so results depend on call order across modules.
+- Child seeds derived by arithmetic (``seed + 1``, ``seed * 3 + i``)
+  collide across experiments: the cell seeded ``seed + 1`` in one grid is
+  the cell seeded ``seed`` in the next.  Use
+  ``np.random.SeedSequence(seed).spawn(n)`` (see ``repro.seeding``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Rule
+
+#: numpy.random module-level legacy API (global hidden state).
+_LEGACY = frozenset({
+    "seed", "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "shuffle", "permutation", "choice", "uniform", "normal",
+    "standard_normal", "binomial", "poisson", "beta", "gamma", "exponential",
+    "get_state", "set_state", "RandomState",
+})
+
+
+def _mentions_seed(node: ast.expr) -> bool:
+    """True when an expression's leaves include a name containing 'seed'."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and "seed" in sub.id.lower():
+            return True
+        if isinstance(sub, ast.Attribute) and "seed" in sub.attr.lower():
+            return True
+    return False
+
+
+class SeededRngRule(Rule):
+    code = "RL001"
+    summary = ("unseeded default_rng(), legacy np.random.* global RNG, or "
+               "arithmetic-derived child seeds (use SeedSequence.spawn)")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        qual = self.ctx.resolve(node.func)
+        if qual == "numpy.random.default_rng":
+            if not node.args and not node.keywords:
+                self.report(node, "np.random.default_rng() without a seed is "
+                                  "nondeterministic; pass an explicit seed or "
+                                  "SeedSequence")
+            else:
+                seed_arg = node.args[0] if node.args else node.keywords[0].value
+                if isinstance(seed_arg, ast.BinOp) and _mentions_seed(seed_arg):
+                    self.report(node, "child seed derived by arithmetic on a "
+                                      "base seed is collision-prone; use "
+                                      "np.random.SeedSequence(seed).spawn(n) "
+                                      "(repro.seeding.spawn_seeds)")
+        elif qual is not None and qual.startswith("numpy.random."):
+            attr = qual.rsplit(".", 1)[1]
+            if attr in _LEGACY:
+                self.report(node, f"legacy np.random.{attr} uses hidden global "
+                                  "state; use a seeded np.random.default_rng "
+                                  "Generator instead")
+        self.generic_visit(node)

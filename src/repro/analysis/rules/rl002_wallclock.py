@@ -1,0 +1,51 @@
+"""RL002 — wall-clock / environment nondeterminism in simulator hot paths.
+
+Inside ``core/``, ``memsim/``, ``nn/`` and ``patterns/`` every output must
+be a pure function of the spec.  Reading the clock, OS entropy, process
+environment, or the stdlib ``random`` module makes results vary run-to-run
+and silently poisons the sha256(spec) disk cache in ``harness/runner.py``
+(the cache key cannot see the hidden input).  Timing belongs in
+``benchmarks/``; configuration belongs in specs.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Rule
+
+_NONDET_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow", "datetime.date.today",
+    "os.urandom", "os.getenv", "os.getpid", "uuid.uuid1", "uuid.uuid4",
+    "secrets.token_bytes", "secrets.token_hex", "secrets.randbits",
+    "secrets.randbelow", "secrets.choice",
+})
+
+
+class WallClockRule(Rule):
+    code = "RL002"
+    summary = ("wall-clock, OS entropy, environment, or stdlib random use "
+               "inside core/, memsim/, nn/, patterns/")
+
+    def applies(self) -> bool:
+        return self.ctx.in_sim_zone
+
+    def visit_Call(self, node: ast.Call) -> None:
+        qual = self.ctx.resolve(node.func)
+        if qual in _NONDET_CALLS:
+            self.report(node, f"{qual}() is nondeterministic; simulator hot "
+                              "paths must be pure functions of the spec")
+        elif qual is not None and (qual == "random" or qual.startswith("random.")):
+            self.report(node, f"stdlib {qual}() has hidden global state; use a "
+                              "seeded np.random.default_rng Generator")
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self.ctx.resolve(node) == "os.environ":
+            self.report(node, "os.environ read in a simulator hot path makes "
+                              "results depend on the environment; plumb the "
+                              "value through the spec")
+        self.generic_visit(node)

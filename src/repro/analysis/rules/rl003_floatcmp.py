@@ -1,0 +1,44 @@
+"""RL003 — float equality comparisons outside tests.
+
+``x == 0.1`` is almost never what a numeric codebase means: accumulated
+rounding makes exact float equality order- and optimization-dependent,
+which is exactly the kind of hidden nondeterminism that breaks
+bit-reproduction claims.  Compare against a tolerance (``math.isclose``,
+``abs(x - y) < eps``) or restructure to integers.  Intentional exact
+comparisons (e.g. an exact-zero guard) take a
+``# repro-lint: disable=RL003`` with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Rule
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    # -1.5 parses as UnaryOp(USub, Constant(1.5))
+    return (isinstance(node, ast.UnaryOp)
+            and isinstance(node.operand, ast.Constant)
+            and isinstance(node.operand.value, float))
+
+
+class FloatEqualityRule(Rule):
+    code = "RL003"
+    summary = "float literal compared with == / != outside tests"
+
+    def applies(self) -> bool:
+        return not self.ctx.is_test
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for i, op in enumerate(node.ops):
+            if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                    _is_float_literal(operands[i])
+                    or _is_float_literal(operands[i + 1])):
+                self.report(node, "float equality comparison; use math.isclose "
+                                  "or an explicit tolerance")
+                break
+        self.generic_visit(node)

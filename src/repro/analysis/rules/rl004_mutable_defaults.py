@@ -1,0 +1,51 @@
+"""RL004 — mutable default arguments.
+
+A ``def f(xs=[])`` default is created once at function definition and
+shared across calls; state leaks between experiment cells, so two
+identical specs can produce different results depending on call history —
+cache poison.  Use ``None`` plus an in-body default, or a frozen value.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Rule
+
+_MUTABLE_FACTORIES = frozenset({"list", "dict", "set", "bytearray", "deque"})
+
+
+def _is_mutable(node: ast.expr | None) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_FACTORIES)
+
+
+class MutableDefaultRule(Rule):
+    code = "RL004"
+    summary = "mutable default argument (shared across calls)"
+
+    def _check(self, node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda) -> None:
+        defaults = [*node.args.defaults, *node.args.kw_defaults]
+        for default in defaults:
+            if _is_mutable(default):
+                name = getattr(node, "name", "<lambda>")
+                self.report(default, f"mutable default argument in {name}(); "
+                                     "use None and create it in the body")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check(node)
+        self.generic_visit(node)

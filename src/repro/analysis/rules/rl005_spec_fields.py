@@ -1,0 +1,107 @@
+"""RL005 — spec/config dataclass fields must be JSON-round-trippable.
+
+``harness.runner.run_grid`` keys its disk cache on ``sha256`` of the
+canonical JSON of the cell spec.  Spec-like dataclasses (any
+``@dataclass`` named ``*Spec`` or ``*Config`` — the classes that feed
+grids) must therefore hold only values with an exact, canonical JSON
+form: ``int``/``float``/``str``/``bool``/``None``, tuples/lists of those,
+string-keyed dicts of those, and nested spec/config dataclasses.  A field
+typed ``np.ndarray`` or ``Callable`` would either crash the cache key or
+— worse — serialize unstably and silently alias distinct cells.
+
+Unparameterized ``dict``/``list``/``tuple`` annotations are flagged too:
+the rule (and the runtime canonicalizer) cannot vouch for their contents.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Rule
+
+_PRIMITIVES = frozenset({"int", "float", "str", "bool", "None", "NoneType"})
+_SEQ_HEADS = frozenset({"tuple", "Tuple", "list", "List", "Sequence", "frozenset", "FrozenSet"})
+_MAP_HEADS = frozenset({"dict", "Dict", "Mapping"})
+_SPEC_SUFFIXES = ("Spec", "Config")
+
+
+def _head_name(node: ast.expr) -> str | None:
+    """Rightmost identifier of a Name/Attribute annotation head."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_spec_name(name: str | None) -> bool:
+    return name is not None and name.endswith(_SPEC_SUFFIXES)
+
+
+def _json_ok(node: ast.expr | None) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Constant):
+        if node.value is None or node.value is Ellipsis:
+            return True  # `X | None` arm, `tuple[int, ...]` tail
+        if isinstance(node.value, str):  # forward reference
+            return node.value in _PRIMITIVES or _is_spec_name(node.value)
+        return False
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        head = _head_name(node)
+        # Bare dict/list/tuple hide their contents from the cache key.
+        if head in _SEQ_HEADS or head in _MAP_HEADS:
+            return False
+        return head in _PRIMITIVES or _is_spec_name(head)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return _json_ok(node.left) and _json_ok(node.right)
+    if isinstance(node, ast.Subscript):
+        head = _head_name(node.value)
+        args = list(node.slice.elts) if isinstance(node.slice, ast.Tuple) else [node.slice]
+        if head in _SEQ_HEADS:
+            return all(_json_ok(arg) for arg in args)
+        if head in _MAP_HEADS:
+            return (len(args) == 2 and _head_name(args[0]) == "str"
+                    and _json_ok(args[1]))
+        if head == "Optional":
+            return len(args) == 1 and _json_ok(args[0])
+        if head == "Union":
+            return all(_json_ok(arg) for arg in args)
+        if head == "Literal":
+            return all(isinstance(arg, ast.Constant)
+                       and isinstance(arg.value, (int, float, str, bool, type(None)))
+                       for arg in args)
+        return False
+    return False
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = _head_name(target)
+        if name == "dataclass":
+            return True
+    return False
+
+
+class SpecFieldRule(Rule):
+    code = "RL005"
+    summary = ("*Spec/*Config dataclass field is not JSON-serializable "
+               "(breaks run_grid cache-key integrity)")
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if _is_dataclass_decorated(node) and node.name.endswith(_SPEC_SUFFIXES):
+            for stmt in node.body:
+                if not isinstance(stmt, ast.AnnAssign):
+                    continue
+                if _head_name(stmt.annotation) == "ClassVar" or (
+                        isinstance(stmt.annotation, ast.Subscript)
+                        and _head_name(stmt.annotation.value) == "ClassVar"):
+                    continue
+                if not _json_ok(stmt.annotation):
+                    field = stmt.target.id if isinstance(stmt.target, ast.Name) else "?"
+                    self.report(stmt, f"field {node.name}.{field} is not a "
+                                      "JSON-serializable primitive/tuple/dict"
+                                      "[str, ...]/nested spec; it cannot form "
+                                      "a stable run_grid cache key")
+        self.generic_visit(node)

@@ -1,0 +1,65 @@
+"""RL006 — public functions must be fully type-annotated.
+
+The ``mypy --strict`` gate only protects code it can see types for; an
+unannotated public function is a hole in the contract the rest of the
+repo type-checks against.  "Public" means a module-level function, or a
+method of a module-level public class, whose name does not start with an
+underscore (dunders are therefore exempt — mypy infers those).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Rule
+
+_FuncDef = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def _missing_annotations(node: _FuncDef) -> list[str]:
+    missing: list[str] = []
+    args = node.args
+    positional = [*args.posonlyargs, *args.args]
+    for i, arg in enumerate(positional):
+        if i == 0 and arg.arg in ("self", "cls"):
+            continue
+        if arg.annotation is None:
+            missing.append(f"parameter '{arg.arg}'")
+    for arg in args.kwonlyargs:
+        if arg.annotation is None:
+            missing.append(f"parameter '{arg.arg}'")
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append(f"parameter '*{args.vararg.arg}'")
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append(f"parameter '**{args.kwarg.arg}'")
+    if node.returns is None:
+        missing.append("return type")
+    return missing
+
+
+class AnnotationRule(Rule):
+    code = "RL006"
+    summary = "public function missing parameter or return annotations"
+
+    def applies(self) -> bool:
+        return not self.ctx.is_test
+
+    def run(self) -> list:
+        if not self.applies():
+            return self.findings
+        for stmt in self.ctx.tree.body:
+            if isinstance(stmt, _FuncDef):
+                self._check(stmt, stmt.name)
+            elif isinstance(stmt, ast.ClassDef) and not stmt.name.startswith("_"):
+                for member in stmt.body:
+                    if isinstance(member, _FuncDef):
+                        self._check(member, f"{stmt.name}.{member.name}")
+        return self.findings
+
+    def _check(self, node: _FuncDef, qualname: str) -> None:
+        if node.name.startswith("_"):
+            return
+        missing = _missing_annotations(node)
+        if missing:
+            self.report(node, f"public function {qualname}() is missing "
+                              f"annotations: {', '.join(missing)}")

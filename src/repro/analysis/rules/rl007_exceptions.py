@@ -1,0 +1,64 @@
+"""RL007 — bare / swallowed exceptions in simulator hot paths.
+
+Inside ``core/``, ``memsim/``, ``nn/`` and ``patterns/`` an exception is
+evidence that a run's invariants broke; catching it broadly (``except:``,
+``except Exception``) or silently discarding it (``except X: pass``)
+converts a loud failure into a quietly wrong — and cacheable — result.
+Catch the narrowest type and handle it, or let it propagate.  A justified
+swallow (e.g. an idempotent-free operation) takes a
+``# repro-lint: disable=RL007`` with the reason in the comment.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Rule
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _names(type_node: ast.expr) -> list[str]:
+    nodes = type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+    out: list[str] = []
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            out.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            out.append(node.attr)
+    return out
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """Body is only ``pass`` / ``...`` — the exception vanishes."""
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant) \
+                and stmt.value.value is Ellipsis:
+            continue
+        return False
+    return True
+
+
+class SwallowedExceptionRule(Rule):
+    code = "RL007"
+    summary = ("bare except or silently swallowed exception in a simulator "
+               "hot path")
+
+    def applies(self) -> bool:
+        return self.ctx.in_sim_zone
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(node, "bare except in a simulator hot path catches "
+                              "everything (including KeyboardInterrupt); name "
+                              "the exception type")
+        elif any(name in _BROAD for name in _names(node.type)) and _swallows(node):
+            self.report(node, "broad exception silently swallowed; a failed "
+                              "invariant would become a quietly wrong result")
+        elif _swallows(node):
+            self.report(node, "exception silently swallowed in a simulator hot "
+                              "path; handle it or let it propagate "
+                              "(suppress with a justification if intended)")
+        self.generic_visit(node)

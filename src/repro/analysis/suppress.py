@@ -1,0 +1,49 @@
+"""``# repro-lint: disable=RLxxx`` suppression comments.
+
+A suppression comment silences findings reported **on the same physical
+line** (the line the rule attaches the finding to — usually the statement
+that starts the construct).  Codes are comma-separated; ``all`` silences
+every rule on that line:
+
+    na = 0.0
+    if na == 0.0:  # repro-lint: disable=RL003  (exact-zero guard is intended)
+        ...
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+from .finding import Finding
+
+_DIRECTIVE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def collect_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map line number -> set of suppressed rule codes (upper-cased)."""
+    suppressed: dict[int, frozenset[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [(tok.start[0], tok.string) for tok in tokens
+                    if tok.type == tokenize.COMMENT]
+    except tokenize.TokenError:
+        return suppressed
+    for line, text in comments:
+        match = _DIRECTIVE.search(text)
+        if match is None:
+            continue
+        codes = frozenset(
+            code.strip().upper() for code in match.group(1).split(",") if code.strip()
+        )
+        if codes:
+            suppressed[line] = suppressed.get(line, frozenset()) | codes
+    return suppressed
+
+
+def is_suppressed(finding: Finding, suppressions: dict[int, frozenset[str]]) -> bool:
+    codes = suppressions.get(finding.line)
+    if not codes:
+        return False
+    return finding.code.upper() in codes or "ALL" in codes

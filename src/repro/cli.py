@@ -39,7 +39,7 @@ from .harness.models import (
     experiment_lstm_config,
 )
 from .harness.reporting import format_series, print_table
-from .memsim.prefetcher import NullPrefetcher
+from .memsim.prefetcher import NullPrefetcher, Prefetcher
 from .memsim.simulator import SimConfig, baseline_misses, simulate
 from .patterns.applications import ALL_APPLICATIONS, AppSpec, generate_application
 from .patterns.generators import PATTERN_NAMES, PatternSpec, generate
@@ -262,7 +262,7 @@ def _build_trace(args: argparse.Namespace) -> Trace:
     return generate(args.pattern, spec)
 
 
-def _build_prefetcher(args: argparse.Namespace):
+def _build_prefetcher(args: argparse.Namespace) -> Prefetcher:
     if args.model == "none":
         return NullPrefetcher()
     if args.model == "nextline":

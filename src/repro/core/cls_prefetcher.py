@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..memsim.events import MissEvent
+from ..memsim.events import AccessEvent, MissEvent
 from ..nn.base import SequenceModel
 from ..nn.hebbian import HebbianConfig, SparseHebbianNetwork
 from ..nn.lstm import LSTMConfig, OnlineLSTM
@@ -123,9 +123,9 @@ class CLSPrefetcherConfig:
     min_accuracy: float = 0.0
     accuracy_ema_alpha: float = 0.02
     training: str = "always"
-    training_kwargs: dict = field(default_factory=dict)
+    training_kwargs: dict[str, int | float | str | bool] = field(default_factory=dict)
     replay_policy: str | None = "full"
-    replay_kwargs: dict = field(default_factory=dict)
+    replay_kwargs: dict[str, int | float | str | bool] = field(default_factory=dict)
     replay_per_step: int = 1
     replay_lr_scale: float = 0.1
     phase_detection: bool = True
@@ -195,7 +195,7 @@ class CLSPrefetcher:
     _PHASE_FEATURE_BINS = 256
     _PHASE_REGION_BITS = 12
 
-    def __init__(self, config: CLSPrefetcherConfig = CLSPrefetcherConfig()):
+    def __init__(self, config: CLSPrefetcherConfig = CLSPrefetcherConfig()) -> None:
         self.config = config
         self.name = f"cls-{config.model}"
         self.encoder = make_encoder(config.encoder, config.vocab_size,
@@ -259,7 +259,7 @@ class CLSPrefetcher:
             return []
         return self._predict(event)
 
-    def on_access(self, event) -> list[int] | None:
+    def on_access(self, event: AccessEvent) -> list[int] | None:
         """Optionally observe demand hits too (``observe_hits``).
 
         Misses are skipped here — ``on_miss`` already ingested them.  With

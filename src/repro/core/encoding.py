@@ -24,7 +24,10 @@ and decode predictions back to byte addresses.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
+
+import numpy as np
 
 #: Reserved class for anything the encoder cannot (or refuses to) name.
 #: Models may predict it, but it never decodes to a prefetchable address.
@@ -267,7 +270,7 @@ def make_encoder(kind: str, vocab_size: int = 128, granularity: int = 4096) -> E
         f"unknown encoder kind {kind!r}; expected 'delta', 'page' or 'region'")
 
 
-def classify_addresses(encoder: Encoder, addresses) -> list[int]:
+def classify_addresses(encoder: Encoder, addresses: Iterable[int] | np.ndarray) -> list[int]:
     """Encode a whole address sequence; drops the leading None."""
     out: list[int] = []
     for address in addresses:

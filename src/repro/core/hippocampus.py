@@ -120,7 +120,7 @@ class SparseAssociativeMemory:
     """
 
     def __init__(self, key_dim: int, value_dim: int, value_k: int,
-                 threshold_fraction: float = 0.5):
+                 threshold_fraction: float = 0.5) -> None:
         if min(key_dim, value_dim, value_k) <= 0:
             raise ValueError("dimensions must be positive")
         if not 0 < threshold_fraction <= 1:

@@ -31,7 +31,7 @@ import numpy as np
 def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
     na = float(np.linalg.norm(a))
     nb = float(np.linalg.norm(b))
-    if na == 0.0 or nb == 0.0:
+    if na == 0.0 or nb == 0.0:  # repro-lint: disable=RL003 (exact-zero norm guard)
         return 0.0
     return float(a @ b) / (na * nb)
 

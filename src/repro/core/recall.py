@@ -69,7 +69,7 @@ class RecallConfig:
 class HippocampalRecall:
     """One-shot transition memory with pattern separation/completion."""
 
-    def __init__(self, config: RecallConfig = RecallConfig()):
+    def __init__(self, config: RecallConfig = RecallConfig()) -> None:
         self.config = config
         rng = np.random.default_rng(config.seed)
         # Fixed sparse projections: every class gets a random k-sparse key

@@ -24,7 +24,7 @@ it is a :class:`ReplayPolicy` here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Any, Protocol
 
 import numpy as np
 
@@ -196,7 +196,7 @@ class ConsolidatingReplay:
             try:
                 self._episodes.remove(episode)
                 self.consolidated_total += 1
-            except ValueError:
+            except ValueError:  # repro-lint: disable=RL007
                 pass  # already freed by an earlier replay of a duplicate
 
     def storage_size(self) -> int:
@@ -310,7 +310,7 @@ class ReplayScheduler:
         return count
 
 
-def make_replay_policy(kind: str, **kwargs) -> ReplayPolicy:
+def make_replay_policy(kind: str, **kwargs: Any) -> ReplayPolicy:
     """Factory over the §5.4 design space."""
     policies = {
         "full": FullReplay,

@@ -22,7 +22,7 @@ accuracy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Any, Protocol
 
 import numpy as np
 
@@ -164,7 +164,7 @@ class BatchAccumulate:
         return []
 
 
-def make_training_policy(kind: str, **kwargs) -> TrainingPolicy:
+def make_training_policy(kind: str, **kwargs: Any) -> TrainingPolicy:
     policies = {
         "always": TrainAlways,
         "every_k": TrainEveryK,

@@ -16,18 +16,20 @@ from __future__ import annotations
 
 from dataclasses import replace
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
 from ..core.availability import weight_noise_robustness
 from ..core.cls_prefetcher import CLSPrefetcher, CLSPrefetcherConfig
+from ..seeding import spawn_seeds
 from ..memsim.prefetcher import NullPrefetcher
 from ..memsim.simulator import SimConfig, baseline_misses, simulate
 from ..nn.costs import hebbian_inference_ops, hebbian_parameter_count
 from ..nn.hebbian import HebbianConfig, SparseHebbianNetwork
 from ..patterns.applications import AppSpec, generate_application
 from ..patterns.generators import PatternSpec, pointer_chase, stride
-from ..patterns.trace import interleave
+from ..patterns.trace import Trace, interleave
 from .interference import InterferenceConfig, run_interference
 from .models import (
     experiment_hebbian,
@@ -39,7 +41,7 @@ from .runner import run_grid
 VOCAB = 192
 
 
-def _hebbian_cls(seed: int = 0, **overrides) -> CLSPrefetcher:
+def _hebbian_cls(seed: int = 0, **overrides: Any) -> CLSPrefetcher:
     config = CLSPrefetcherConfig(
         model="hebbian",
         vocab_size=VOCAB,
@@ -181,18 +183,19 @@ def _prediction_mode_cell(spec: dict) -> dict:
 # ----------------------------------------------------------------------
 # A3: input encodings (§5.3)
 # ----------------------------------------------------------------------
-def _interleaved_strides(n_accesses: int, seed: int):
+def _interleaved_strides(n_accesses: int, seed: int) -> Trace:
     """One thread walking two independent arrays: interleaved strided
     streams whose combined delta sequence is cross-structure garbage."""
     half = n_accesses // 2
+    seed_a, seed_b, seed_mix = spawn_seeds(seed, 3)
     a = stride(PatternSpec(n=half, working_set=300, element_size=4096,
-                           base=0x1000_0000, seed=seed + 1))
+                           base=0x1000_0000, seed=seed_a))
     b = stride(PatternSpec(n=half, working_set=300, element_size=4096,
-                           base=0x8000_0000, seed=seed + 2), stride_elements=2)
-    return interleave([a, b], seed=seed + 3, name="interleaved_strides")
+                           base=0x8000_0000, seed=seed_b), stride_elements=2)
+    return interleave([a, b], seed=seed_mix, name="interleaved_strides")
 
 
-def _encoding_workload(name: str, n_accesses: int, seed: int):
+def _encoding_workload(name: str, n_accesses: int, seed: int) -> Trace:
     if name == "pointer_chase":
         return pointer_chase(PatternSpec(n=n_accesses, working_set=300,
                                          element_size=4096, seed=seed))
@@ -255,7 +258,8 @@ def ablation_adaptation(n_per_phase: int = 3_000, window: int = 600,
                                         element_size=4096, seed=seed))
     phase_b = pointer_chase(PatternSpec(n=n_per_phase, working_set=250,
                                         element_size=4096,
-                                        base=0x9000_0000, seed=seed + 1))
+                                        base=0x9000_0000,
+                                        seed=spawn_seeds(seed, 1)[0]))
     trace = phase_a.concat(phase_b)
     # memory must be smaller than one phase's working set (250 pages of the
     # 500-page total) or the new phase simply fits and nothing misses

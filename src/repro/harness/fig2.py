@@ -15,11 +15,13 @@ microseconds.  See DESIGN.md substitution #2.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 
 from ..nn.costs import (
     DEFAULT_LATENCY_MODEL,
     LatencyModel,
+    OpCount,
     hebbian_inference_ops,
     hebbian_training_ops,
     lstm_inference_ops,
@@ -74,7 +76,8 @@ def training_panel(model: LatencyModel = DEFAULT_LATENCY_MODEL,
     lstm_cfg = paper_lstm_config()
     hebb_cfg = paper_hebbian_config()
 
-    def per_example(ops_fn, family: str, threads: int) -> tuple[float, ...]:
+    def per_example(ops_fn: Callable[[int], OpCount], family: str,
+                    threads: int) -> tuple[float, ...]:
         out = []
         for b in batch_sizes:
             total = model.training_us(ops_fn(b), threads=threads, family=family,

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from ..baselines.leap import LeapPrefetcher
 from ..core.cls_prefetcher import CLSPrefetcher, CLSPrefetcherConfig
+from ..seeding import spawn_seeds
 from ..nn.costs import DEFAULT_LATENCY_MODEL, hebbian_inference_ops, lstm_inference_ops
 from ..patterns.applications import AppSpec, generate_application
 from ..patterns.generators import PatternSpec, stride
@@ -119,10 +120,11 @@ class DisaggComparison:
 def run_disaggregated(config: Fig6Config = Fig6Config()) -> DisaggComparison:
     """§4 disaggregated experiment: timeliness + placement."""
     traces = []
+    node_seeds = spawn_seeds(config.seed, config.n_nodes)
     for node in range(config.n_nodes):
         app = config.node_apps[node % len(config.node_apps)]
         traces.append(generate_application(
-            app, AppSpec(n=config.accesses_per_node, seed=config.seed + node)))
+            app, AppSpec(n=config.accesses_per_node, seed=node_seeds[node])))
 
     probe = DisaggregatedSystem(node_traces=traces,
                                 memory_fraction=config.memory_fraction,
@@ -227,17 +229,21 @@ def _uvm_stream_traces(config: Fig6Config) -> list:
 
     traces = []
     per_tile = max(64, config.accesses_per_stream // 3)
+    stream_seeds = spawn_seeds(config.seed, config.n_streams)
     for sid in range(config.n_streams):
         base = 0x1_0000_0000 + sid * 0x1000_0000
+        # Children of the stream seed: tiles 0-2 lay out structures, child
+        # 3 shuffles the interleave — all collision-free across streams.
+        tile_seeds = spawn_seeds(stream_seeds[sid], 4)
         tiles = []
         for tile_id in range(3):
             spec = PatternSpec(n=per_tile,
                                element_size=4096,
                                working_set=max(48, per_tile // 4),
                                base=base + tile_id * 0x100_0000,
-                               seed=config.seed + sid * 3 + tile_id)
+                               seed=tile_seeds[tile_id])
             tiles.append(stride(spec, stride_elements=1 + tile_id))
-        merged = interleave(tiles, seed=config.seed + sid,
+        merged = interleave(tiles, seed=tile_seeds[3],
                             name=f"uvm-stream{sid}")
         traces.append(merged)
     return traces

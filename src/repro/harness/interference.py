@@ -22,6 +22,7 @@ from ..core.encoding import DeltaVocabEncoder, classify_addresses
 from ..core.hippocampus import Episode
 from ..core.metrics import ConfidenceCurve, InterferenceSummary
 from ..core.replay import ReplayScheduler, make_replay_policy
+from ..seeding import spawn_seeds
 from ..nn.base import SequenceModel
 from ..patterns.generators import PatternSpec, generate
 
@@ -64,7 +65,7 @@ class InterferenceConfig:
     probe_len: int = 120
     probe_every: int = 50
     replay_policy: str = "full"
-    replay_kwargs: dict = field(default_factory=dict)
+    replay_kwargs: dict[str, int | float | str | bool] = field(default_factory=dict)
     replay_per_step: int = 1
     replay_lr_scale: float = 0.1
     vocab_size: int = 128
@@ -80,7 +81,8 @@ def pattern_class_sequences(pattern_a: str, pattern_b: str,
                          element_size=config.element_size, seed=config.seed)
     spec_b = PatternSpec(n=config.n_accesses, working_set=config.working_set,
                          element_size=config.element_size,
-                         base=spec_a.base + 0x1000_0000, seed=config.seed + 1)
+                         base=spec_a.base + 0x1000_0000,
+                         seed=spawn_seeds(config.seed, 1)[0])
     trace_a = generate(pattern_a, spec_a)
     trace_b = generate(pattern_b, spec_b)
 

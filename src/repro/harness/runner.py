@@ -25,24 +25,77 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 import tempfile
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
+from typing import Any
 
 #: Bump when a code change invalidates previously cached results.
 CACHE_VERSION = 1
 
 
+class SpecError(TypeError):
+    """A cell spec contains a value with no canonical JSON form.
+
+    Raised instead of silently falling back to ``str()`` (or to json's
+    non-canonical NaN handling): an unstable serialization would let two
+    distinct cells share a cache key — or one cell take a fresh key every
+    run — and the disk cache would quietly serve wrong results.
+    """
+
+
+def canonicalize_spec(spec: Any, _path: str = "spec") -> Any:
+    """Validate + normalize a spec to its canonical JSON-ready form.
+
+    Allowed values: ``str``/``bool``/``int``/finite ``float``/``None``,
+    lists/tuples of allowed values (tuples normalize to lists, matching
+    what a JSON round-trip produces), and string-keyed dicts of allowed
+    values.  Anything else — numpy scalars, arrays, NaN/inf, callables,
+    sets, non-string keys — raises :class:`SpecError` naming the exact
+    offending field.
+    """
+    if spec is None or isinstance(spec, (str, bool, int)):
+        return spec
+    if isinstance(spec, float):
+        if not math.isfinite(spec):
+            raise SpecError(f"{_path} is {spec!r}: NaN/inf have no canonical "
+                            "JSON form and would poison the cache key")
+        return spec
+    if isinstance(spec, (list, tuple)):
+        return [canonicalize_spec(v, f"{_path}[{i}]") for i, v in enumerate(spec)]
+    if isinstance(spec, dict):
+        out: dict[str, Any] = {}
+        for key, value in spec.items():
+            if not isinstance(key, str):
+                raise SpecError(f"{_path} has non-string key {key!r} "
+                                f"({type(key).__name__}); JSON object keys "
+                                "must be str")
+            out[key] = canonicalize_spec(value, f"{_path}[{key!r}]")
+        return out
+    raise SpecError(f"{_path} is not JSON-serializable "
+                    f"({type(spec).__name__}: {spec!r}); use "
+                    "int/float/str/bool/None, lists/tuples, or "
+                    "str-keyed dicts (numpy scalars: call .item() first)")
+
+
 def spec_key(spec: dict) -> str:
-    """Stable content hash of a cell spec (includes ``CACHE_VERSION``)."""
-    canonical = json.dumps({"cache_version": CACHE_VERSION, "spec": spec},
-                           sort_keys=True, separators=(",", ":"))
+    """Stable content hash of a cell spec (includes ``CACHE_VERSION``).
+
+    Keys are canonical: dict insertion order, tuple-vs-list, and dict-key
+    order never change the hash, and non-JSON values are rejected loudly
+    (see :class:`SpecError`) so the runtime and repro-lint's RL005 agree
+    on what may live in a spec.
+    """
+    canonical = json.dumps(
+        {"cache_version": CACHE_VERSION, "spec": canonicalize_spec(spec)},
+        sort_keys=True, separators=(",", ":"), allow_nan=False)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def _cache_load(path: Path):
+def _cache_load(path: Path) -> Any:
     try:
         with path.open("r", encoding="utf-8") as fh:
             return json.load(fh)["result"]
@@ -50,7 +103,7 @@ def _cache_load(path: Path):
         return None
 
 
-def _cache_store(path: Path, spec: dict, result) -> None:
+def _cache_store(path: Path, spec: dict, result: Any) -> None:
     """Atomic write (tmp + rename) so concurrent runs never see torn files."""
     payload = json.dumps({"spec": spec, "result": result}, sort_keys=True)
     fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -66,7 +119,7 @@ def _cache_store(path: Path, spec: dict, result) -> None:
 
 def run_grid(specs: Sequence[dict], fn: Callable[[dict], object],
              jobs: int | None = None,
-             cache_dir: str | Path | None = None) -> list:
+             cache_dir: str | Path | None = None) -> list[Any]:
     """Run ``fn(spec)`` for every spec; return results in spec order.
 
     Args:

@@ -151,7 +151,7 @@ _CODE_CACHE_CAP = 8192
 class SparseHebbianNetwork:
     """Online sparse Hebbian sequence model (implements ``SequenceModel``)."""
 
-    def __init__(self, config: HebbianConfig = HebbianConfig()):
+    def __init__(self, config: HebbianConfig = HebbianConfig()) -> None:
         self.config = config
         self.vocab_size = config.vocab_size
         rng = np.random.default_rng(config.seed)

@@ -33,7 +33,7 @@ from .layers import softmax
 class DenseHebbianReference:
     """Dense masked-array Hebbian model (implements ``SequenceModel``)."""
 
-    def __init__(self, config: HebbianConfig = HebbianConfig()):
+    def __init__(self, config: HebbianConfig = HebbianConfig()) -> None:
         self.config = config
         self.vocab_size = config.vocab_size
         rng = np.random.default_rng(config.seed)

@@ -56,7 +56,7 @@ class LSTMConfig:
 class LSTM:
     """The raw batched LSTM: forward, BPTT backward, SGD update."""
 
-    def __init__(self, config: LSTMConfig = LSTMConfig()):
+    def __init__(self, config: LSTMConfig = LSTMConfig()) -> None:
         self.config = config
         rng = np.random.default_rng(config.seed)
         v, e, h = config.vocab_size, config.embed_dim, config.hidden_dim
@@ -214,7 +214,7 @@ class OnlineLSTM:
     the streaming recurrent state used for prediction.
     """
 
-    def __init__(self, config: LSTMConfig = LSTMConfig()):
+    def __init__(self, config: LSTMConfig = LSTMConfig()) -> None:
         self.config = config
         self.net = LSTM(config)
         self.vocab_size = config.vocab_size

@@ -28,6 +28,7 @@ substitution #1 in DESIGN.md).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -331,7 +332,7 @@ def cachebench(spec: AppSpec = AppSpec()) -> Trace:
     )
 
 
-def generate_application(app: str, spec: AppSpec = AppSpec(), **kwargs) -> Trace:
+def generate_application(app: str, spec: AppSpec = AppSpec(), **kwargs: Any) -> Trace:
     """Generate an application trace by name (see ``ALL_APPLICATIONS``)."""
     try:
         factory = _FACTORIES[app]

@@ -27,9 +27,11 @@ costly (§2.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
+from ..seeding import child_rng
 from .trace import Trace
 
 #: Names of all Table 1 patterns, in paper order.
@@ -135,7 +137,9 @@ def indirect_index(spec: PatternSpec = PatternSpec(), stride_elements: int = 1) 
     trace alternates the strided read of ``a[i]`` with the dependent read of
     ``b[a[i]]``.
     """
-    rng = np.random.default_rng(spec.seed + 1)
+    # Child stream 0 of spec.seed: independent of the structure layouts
+    # drawn from default_rng(spec.seed) itself (RL001: no seed arithmetic).
+    rng = child_rng(spec.seed, 0)
     b_base = spec.base + 2 * spec.working_set * 8
     indices = rng.permutation(spec.working_set).astype(np.int64)
 
@@ -173,7 +177,7 @@ def pointer_offset(spec: PatternSpec = PatternSpec(), offsets: tuple[int, ...] =
     )
 
 
-def generate(pattern: str, spec: PatternSpec = PatternSpec(), **kwargs) -> Trace:
+def generate(pattern: str, spec: PatternSpec = PatternSpec(), **kwargs: Any) -> Trace:
     """Generate a Table 1 pattern by name."""
     try:
         factory = _FACTORIES[pattern]

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..seeding import spawn_seeds
 from . import generators
 from .generators import PatternSpec
 from .trace import Trace
@@ -62,10 +63,11 @@ def build_phased_trace(phases: list[Phase], base_spec: PatternSpec = PatternSpec
     traces: list[Trace] = []
     boundaries: list[tuple[int, int]] = []
     cursor = 0
+    phase_seeds = spawn_seeds(seed, len(phases))
     for i, phase in enumerate(phases):
         overrides = dict(phase.spec_overrides)
         overrides.setdefault("n", phase.n)
-        overrides.setdefault("seed", seed + i)
+        overrides.setdefault("seed", phase_seeds[i])
         overrides.setdefault("base", base_spec.base + i * 0x1000_0000)
         spec = PatternSpec(
             n=overrides.pop("n"),

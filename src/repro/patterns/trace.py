@@ -14,7 +14,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Any, Iterable, Iterator
 
 import numpy as np
 
@@ -190,7 +190,8 @@ class Trace:
             )
 
     @classmethod
-    def from_accesses(cls, name: str, accesses: Iterable[MemoryAccess], **kwargs) -> "Trace":
+    def from_accesses(cls, name: str, accesses: Iterable[MemoryAccess],
+                      **kwargs: Any) -> "Trace":
         accesses = list(accesses)
         return cls(
             name=name,

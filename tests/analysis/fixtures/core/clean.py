@@ -1,0 +1,44 @@
+"""Negative fixture: zero findings from any rule, even in a sim zone.
+
+Exercises the allowed counterpart of every rule: seeded RNGs and
+SeedSequence-derived children (RL001), pure functions of the spec
+(RL002), tolerance-based float comparison (RL003), immutable defaults
+(RL004), JSON-clean spec fields (RL005), fully annotated public API
+(RL006), and narrow, handled exceptions (RL007).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CleanCellSpec:
+    seed: int = 0
+    lr: float = 0.1
+    name: str = "cell"
+    widths: tuple[int, ...] = (1, 2, 4)
+    overrides: dict[str, int | float] | None = None
+
+
+def run_cell(spec: CleanCellSpec, repeats: int = 1) -> list[float]:
+    """Deterministic cell: same spec, same output, bit for bit."""
+    seeds = np.random.SeedSequence(spec.seed).spawn(repeats)
+    out: list[float] = []
+    for child in seeds:
+        rng = np.random.default_rng(child)
+        value = float(rng.random()) * spec.lr
+        if math.isclose(value, 0.0, abs_tol=1e-12):
+            value = 0.0
+        out.append(value)
+    return out
+
+
+def parse_width(raw: str) -> int | None:
+    try:
+        return int(raw)
+    except ValueError:
+        return None

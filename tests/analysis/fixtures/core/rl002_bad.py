@@ -1,0 +1,10 @@
+"""Positive fixture: exactly one RL002 finding (wall clock in a sim zone).
+
+Lives under a ``core/`` directory so the zone gate applies.
+"""
+
+import time
+
+
+def _stamp() -> float:
+    return time.time()

@@ -1,0 +1,11 @@
+"""Positive fixture: exactly one RL007 finding (bare except in a sim zone).
+
+Lives under a ``memsim/`` directory so the zone gate applies.
+"""
+
+
+def _step(x: int) -> int:
+    try:
+        return 1 // x
+    except:
+        return 0

@@ -1,0 +1,8 @@
+"""Positive fixture: exactly one RL001 finding (unseeded default_rng)."""
+
+import numpy as np
+
+
+def _draw() -> float:
+    rng = np.random.default_rng()
+    return float(rng.random())

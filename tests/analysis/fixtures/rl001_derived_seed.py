@@ -1,0 +1,8 @@
+"""Positive fixture: exactly one RL001 finding (arithmetic child seed)."""
+
+import numpy as np
+
+
+def _layout(seed: int) -> float:
+    rng = np.random.default_rng(seed + 1)
+    return float(rng.random())

@@ -1,0 +1,7 @@
+"""Positive fixture: exactly one RL001 finding (legacy global RNG)."""
+
+import numpy as np
+
+
+def _shuffle(xs: list) -> None:
+    np.random.shuffle(xs)

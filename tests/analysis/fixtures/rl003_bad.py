@@ -1,0 +1,5 @@
+"""Positive fixture: exactly one RL003 finding (float equality)."""
+
+
+def _converged(loss: float) -> bool:
+    return loss == 0.1

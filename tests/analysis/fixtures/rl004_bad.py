@@ -1,0 +1,6 @@
+"""Positive fixture: exactly one RL004 finding (mutable default)."""
+
+
+def _accumulate(x: int, seen: list[int] = []) -> list[int]:
+    seen.append(x)
+    return seen

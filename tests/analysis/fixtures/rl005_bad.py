@@ -1,0 +1,11 @@
+"""Positive fixture: exactly one RL005 finding (non-JSON spec field)."""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BadCellSpec:
+    seed: int = 0
+    weights: np.ndarray = None  # the offending field

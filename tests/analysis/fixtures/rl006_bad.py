@@ -1,0 +1,5 @@
+"""Positive fixture: exactly one RL006 finding (unannotated public fn)."""
+
+
+def entry_point(x, y):
+    return x + y

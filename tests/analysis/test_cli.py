@@ -1,0 +1,72 @@
+"""The repro-lint CLI: output formats, exit codes, rule listing."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).parents[2]
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, capsys):
+        assert main([str(FIXTURES / "core" / "clean.py")]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_findings_exit_one(self, capsys):
+        assert main([str(FIXTURES / "rl003_bad.py")]) == 1
+        out = capsys.readouterr().out
+        assert "RL003" in out
+        assert "1 finding" in out
+
+    def test_bad_path_exits_two(self, capsys):
+        assert main([str(FIXTURES / "does_not_exist.quux")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_select_code_exits_two(self, capsys):
+        assert main(["--select", "RL999", str(FIXTURES)]) == 2
+        assert "RL999" in capsys.readouterr().err
+
+
+class TestOutput:
+    def test_human_format_has_location_prefix(self, capsys):
+        main([str(FIXTURES / "rl004_bad.py")])
+        line = capsys.readouterr().out.splitlines()[0]
+        path, lineno, col, rest = line.split(":", 3)
+        assert path.endswith("rl004_bad.py")
+        assert int(lineno) > 0 and int(col) >= 0
+        assert rest.strip().startswith("RL004")
+
+    def test_json_format_round_trips(self, capsys):
+        main(["--format", "json", str(FIXTURES / "rl006_bad.py")])
+        payload = json.loads(capsys.readouterr().out)
+        assert [f["code"] for f in payload] == ["RL006"]
+        assert set(payload[0]) == {"path", "line", "col", "code", "message"}
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RL001", "RL004", "RL007"):
+            assert code in out
+
+    def test_select_flag(self, capsys):
+        assert main(["--select", "RL006", str(FIXTURES)]) == 1
+        codes = {line.split()[1] for line in
+                 capsys.readouterr().out.splitlines() if ": RL" in line}
+        assert codes == {"RL006"}
+
+
+def test_module_entry_point_runs():
+    """``python -m repro.analysis`` is the documented invocation."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis",
+         str(FIXTURES / "core" / "clean.py")],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stderr

@@ -1,0 +1,26 @@
+"""The repo must pass its own determinism linter.
+
+This is the acceptance gate: ``repro-lint src/repro`` exits 0.  Any new
+code that reintroduces unseeded RNGs, wall-clock reads in simulator hot
+paths, float equality, mutable defaults, non-JSON spec fields,
+unannotated public functions, or swallowed exceptions fails tier-1 here
+— not just in the CI lint job.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+SRC = Path(__file__).parents[2] / "src" / "repro"
+
+
+def test_source_tree_exists():
+    assert (SRC / "__init__.py").is_file()
+
+
+def test_repro_lint_clean_on_repo():
+    findings = lint_paths([SRC])
+    assert findings == [], "repro-lint findings on src/repro:\n" + "\n".join(
+        f.format() for f in findings)

@@ -8,7 +8,7 @@ from repro.core.cls_prefetcher import CLSPrefetcher, CLSPrefetcherConfig
 from repro.memsim.events import MissEvent
 from repro.memsim.simulator import SimConfig, baseline_misses, simulate
 from repro.nn.hebbian import HebbianConfig
-from repro.patterns.generators import PatternSpec, pointer_chase, stride
+from repro.patterns.generators import PatternSpec, stride
 
 
 def direct_config(**overrides) -> CLSPrefetcherConfig:

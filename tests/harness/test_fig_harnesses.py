@@ -6,7 +6,7 @@ import pytest
 
 from repro.harness.fig2 import inference_panel, training_panel
 from repro.harness.fig5 import Fig5Config, make_model_prefetcher, run_fig5
-from repro.harness.fig6 import Fig6Config, modeled_inference_ns, required_prefetch_length
+from repro.harness.fig6 import modeled_inference_ns, required_prefetch_length
 from repro.harness.tables import (
     PAPER_TABLE2,
     pattern_signature,

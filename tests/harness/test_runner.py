@@ -9,8 +9,11 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+import numpy as np
+import pytest
+
 from repro.harness.fig5 import Fig5Config, fig5_cell, fig5_cell_spec, run_fig5
-from repro.harness.runner import run_grid, spec_key
+from repro.harness.runner import SpecError, canonicalize_spec, run_grid, spec_key
 
 
 def _square_cell(spec: dict) -> dict:
@@ -77,6 +80,48 @@ class TestRunGrid:
         assert (spec_key({"a": 1, "b": 2})
                 == spec_key({"b": 2, "a": 1}))
         assert spec_key({"a": 1}) != spec_key({"a": 2})
+
+
+class TestCanonicalSpecs:
+    def test_tuple_and_list_share_a_key(self):
+        # json round-trips tuples as lists, so a cached cell written with a
+        # tuple must be found again by the list-shaped spec (and vice versa).
+        assert spec_key({"ws": (1, 2, 3)}) == spec_key({"ws": [1, 2, 3]})
+
+    def test_nested_dict_key_order_insensitive(self):
+        assert (spec_key({"sim": {"a": 1, "b": 2}})
+                == spec_key({"sim": {"b": 2, "a": 1}}))
+
+    def test_numpy_scalar_rejected_with_field_path(self):
+        with pytest.raises(SpecError, match=r"spec\['sim'\]\['seed'\]"):
+            spec_key({"sim": {"seed": np.int64(3)}})
+
+    def test_numpy_array_rejected(self):
+        with pytest.raises(SpecError, match="ndarray"):
+            spec_key({"weights": np.zeros(3)})
+
+    def test_nan_rejected(self):
+        with pytest.raises(SpecError, match="NaN/inf"):
+            spec_key({"lr": float("nan")})
+
+    def test_inf_rejected_inside_list(self):
+        with pytest.raises(SpecError, match=r"spec\['xs'\]\[1\]"):
+            spec_key({"xs": [1.0, float("inf")]})
+
+    def test_non_string_dict_key_rejected(self):
+        with pytest.raises(SpecError, match="non-string key"):
+            spec_key({"by_seed": {0: "a"}})
+
+    def test_callable_rejected(self):
+        with pytest.raises(SpecError, match="function"):
+            spec_key({"fn": _square_cell})
+
+    def test_canonicalize_normalizes_tuples(self):
+        assert canonicalize_spec({"ws": (1, (2, 3))}) == {"ws": [1, [2, 3]]}
+
+    def test_allowed_primitives_pass_through(self):
+        spec = {"s": "x", "i": 1, "f": 0.5, "b": True, "n": None}
+        assert canonicalize_spec(spec) == spec
 
 
 class TestFig5ThroughRunner:

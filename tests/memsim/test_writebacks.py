@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.memsim.pagecache import PageCache
 from repro.memsim.prefetcher import NullPrefetcher

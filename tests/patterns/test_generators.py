@@ -98,6 +98,20 @@ class TestIndirectIndex:
         b_addresses = np.unique(t.addresses[1::2])
         assert len(b_addresses) == small_spec.working_set
 
+    def test_golden_trace_seedsequence_derivation(self):
+        """Pin the exact output under the SeedSequence.spawn child-seed
+        derivation (replaced the collision-prone ``spec.seed + 1``)."""
+        t = generators.indirect_index(
+            generators.PatternSpec(n=12, working_set=8, seed=0))
+        assert list(t.addresses) == [
+            1048576, 1048960, 1048584, 1049024, 1048592, 1048896,
+            1048600, 1048832, 1048608, 1048768, 1048616, 1048704,
+        ]
+        # A different parent seed must reshuffle the b-array layout.
+        t1 = generators.indirect_index(
+            generators.PatternSpec(n=12, working_set=8, seed=1))
+        assert list(t1.addresses) != list(t.addresses)
+
 
 class TestPointerOffset:
     def test_touches_fields_at_offsets(self, small_spec):
