@@ -122,7 +122,9 @@ def bench_harness_grid(cache_dir: Path) -> tuple[dict, bool]:
     models = ("hebbian",)
 
     t0 = time.perf_counter()
-    serial = fig5_seed_sweep(seeds, config, models=models)
+    # jobs=1 pins the serial leg: jobs=None now auto-detects from the
+    # CPU count (PR 3) and would fan out on multi-core machines.
+    serial = fig5_seed_sweep(seeds, config, models=models, jobs=1)
     serial_s = time.perf_counter() - t0
 
     t0 = time.perf_counter()

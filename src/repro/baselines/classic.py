@@ -31,7 +31,13 @@ class NextLinePrefetcher:
             self.name = f"nextline{self.degree}"
 
     def on_miss(self, event: MissEvent) -> list[int]:
-        return [event.page + i for i in range(1, self.degree + 1)]
+        return self.on_miss_fast(event.index, event.address, event.page,
+                                 event.stream_id, event.timestamp)
+
+    def on_miss_fast(self, index: int, address: int, page: int,
+                     stream_id: int, timestamp: int) -> list[int]:
+        del index, address, stream_id, timestamp
+        return [page + i for i in range(1, self.degree + 1)]
 
 
 @dataclass
@@ -55,16 +61,22 @@ class StridePrefetcher:
             self.name = f"stride{self.degree}"
 
     def on_miss(self, event: MissEvent) -> list[int]:
+        return self.on_miss_fast(event.index, event.address, event.page,
+                                 event.stream_id, event.timestamp)
+
+    def on_miss_fast(self, index: int, address: int, page: int,
+                     stream_id: int, timestamp: int) -> list[int]:
+        del index, address, timestamp
         last_page, last_delta, confidence = self._state.get(
-            event.stream_id, (event.page, 0, 0))
-        delta = event.page - last_page
+            stream_id, (page, 0, 0))
+        delta = page - last_page
         if delta != 0 and delta == last_delta:
             confidence += 1
         elif delta != 0:
             last_delta, confidence = delta, 1
-        self._state[event.stream_id] = (event.page, last_delta, confidence)
+        self._state[stream_id] = (page, last_delta, confidence)
         if confidence >= self.threshold and last_delta != 0:
-            return [event.page + last_delta * i for i in range(1, self.degree + 1)]
+            return [page + last_delta * i for i in range(1, self.degree + 1)]
         return []
 
 
@@ -90,16 +102,22 @@ class MarkovPrefetcher:
             self.name = f"markov{self.degree}"
 
     def on_miss(self, event: MissEvent) -> list[int]:
-        if self._prev_page is not None:
-            self._record(self._prev_page, event.page)
-        self._prev_page = event.page
+        return self.on_miss_fast(event.index, event.address, event.page,
+                                 event.stream_id, event.timestamp)
 
-        successors = self._table.get(event.page)
+    def on_miss_fast(self, index: int, address: int, page: int,
+                     stream_id: int, timestamp: int) -> list[int]:
+        del index, address, stream_id, timestamp
+        if self._prev_page is not None:
+            self._record(self._prev_page, page)
+        self._prev_page = page
+
+        successors = self._table.get(page)
         if not successors:
             return []
-        self._table.move_to_end(event.page)
+        self._table.move_to_end(page)
         ranked = sorted(successors.items(), key=lambda kv: kv[1], reverse=True)
-        return [page for page, _count in ranked[: self.degree]]
+        return [succ for succ, _count in ranked[: self.degree]]
 
     def _record(self, prev: int, nxt: int) -> None:
         entry = self._table.get(prev)
@@ -131,5 +149,11 @@ class RandomPrefetcher:
         self._rng = np.random.default_rng(self.seed)
 
     def on_miss(self, event: MissEvent) -> list[int]:
+        return self.on_miss_fast(event.index, event.address, event.page,
+                                 event.stream_id, event.timestamp)
+
+    def on_miss_fast(self, index: int, address: int, page: int,
+                     stream_id: int, timestamp: int) -> list[int]:
+        del index, address, stream_id, timestamp
         offsets = self._rng.integers(-self.radius, self.radius + 1, size=self.degree)
-        return [max(0, event.page + int(o)) for o in offsets if o != 0]
+        return [max(0, page + int(o)) for o in offsets if o != 0]

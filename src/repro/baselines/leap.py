@@ -47,12 +47,18 @@ class LeapPrefetcher:
         self._degree: dict[int, int] = {}
 
     def on_miss(self, event: MissEvent) -> list[int]:
-        stream = event.stream_id
+        return self.on_miss_fast(event.index, event.address, event.page,
+                                 event.stream_id, event.timestamp)
+
+    def on_miss_fast(self, index: int, address: int, page: int,
+                     stream_id: int, timestamp: int) -> list[int]:
+        del index, address, timestamp
+        stream = stream_id
         history = self._deltas.setdefault(stream, deque(maxlen=self.window))
         last = self._last_page.get(stream)
-        self._last_page[stream] = event.page
+        self._last_page[stream] = page
         if last is not None:
-            delta = event.page - last
+            delta = page - last
             if delta != 0:
                 history.append(delta)
         if len(history) < 2:
@@ -66,8 +72,8 @@ class LeapPrefetcher:
         # ramp: double the degree while the trend persists
         degree = min(self.max_degree, self._degree.get(stream, 1) * 2)
         self._degree[stream] = degree
-        return [event.page + majority * i for i in range(1, degree + 1)
-                if event.page + majority * i >= 0]
+        return [page + majority * i for i in range(1, degree + 1)
+                if page + majority * i >= 0]
 
     def _majority(self, history: deque[int]) -> int | None:
         delta, count = Counter(history).most_common(1)[0]

@@ -37,14 +37,20 @@ class OracleWindowPrefetcher:
         self._pages = self.trace.pages(self.page_size)
 
     def on_miss(self, event: MissEvent) -> list[int]:
+        return self.on_miss_fast(event.index, event.address, event.page,
+                                 event.stream_id, event.timestamp)
+
+    def on_miss_fast(self, index: int, address: int, page: int,
+                     stream_id: int, timestamp: int) -> list[int]:
+        del address, stream_id, timestamp
         picks: list[int] = []
-        seen = {event.page}
-        i = event.index + 1
+        seen = {page}
+        i = index + 1
         n = len(self._pages)
         while i < n and len(picks) < self.degree:
-            page = int(self._pages[i])
-            if page not in seen:
-                seen.add(page)
-                picks.append(page)
+            nxt = int(self._pages[i])
+            if nxt not in seen:
+                seen.add(nxt)
+                picks.append(nxt)
             i += 1
         return picks

@@ -16,11 +16,18 @@ Examples::
     python -m repro simulate --app pagerank --n 20000 --model lstm
     python -m repro experiment table2
     python -m repro experiment fig5 --n 20000
+    python -m repro --profile simulate --app resnet_training --model hebbian
+
+``--profile`` (before the subcommand) wraps any run in :mod:`cProfile`
+and prints the 25 hottest functions by cumulative time — the same view
+``benchmarks/profile_cls.py`` uses to attack the CLS hot path.
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
+import pstats
 import sys
 
 from .baselines import (
@@ -51,6 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Hippocampal-neocortical prefetching (HotOS'23) toolkit")
+    parser.add_argument("--profile", action="store_true",
+                        help="run the subcommand under cProfile and print "
+                             "the top 25 functions by cumulative time")
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="synthesize a trace to a .npz file")
@@ -109,7 +119,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="number of seeds (variance)")
     exp.add_argument("--jobs", type=int, default=None,
                      help="worker processes for grid experiments "
-                          "(fig5/variance); default serial")
+                          "(fig5/variance); default auto-detects from CPU "
+                          "count, falling back to serial on one core")
     exp.add_argument("--cache-dir", default=None,
                      help="on-disk JSON result cache for grid cells; "
                           "reruns with the same specs are served from disk")
@@ -302,7 +313,15 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": cmd_simulate,
         "experiment": cmd_experiment,
     }
-    return handlers[args.command](args)
+    handler = handlers[args.command]
+    if args.profile:
+        profiler = cProfile.Profile()
+        status = profiler.runcall(handler, args)
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        print("\n--- cProfile: top 25 by cumulative time ---")
+        stats.sort_stats("cumulative").print_stats(25)
+        return status
+    return handler(args)
 
 
 if __name__ == "__main__":

@@ -246,6 +246,40 @@ class CLSPrefetcher:
         self.accuracy_ema: float = 0.0
         self._hinted_phase: int | None = None
 
+        # Per-miss invariants, hoisted off the hot path.  Only objects
+        # that are never swapped for the prefetcher's lifetime are bound
+        # (the encoder, history, and policies persist across
+        # ``reset_stream``; the live model does not under availability).
+        self._direct = config.prediction_mode == "direct"
+        self._width = config.prefetch_width
+        self._length = config.prefetch_length
+        self._alpha = config.accuracy_ema_alpha
+        self._min_confidence = config.min_confidence
+        self._min_accuracy = config.min_accuracy
+        self._batch_policy = (self.training_policy
+                              if isinstance(self.training_policy, BatchAccumulate)
+                              else None)
+        self._should_train = self.training_policy.should_train
+        self._encoder_observe = self.encoder.observe
+        self._encoder_decode = self.encoder.decode
+        self._history_push = self.history.push
+        self._region_shift = self._page_shift + self._PHASE_REGION_BITS
+        # (probs object, its top-width classes) memoized by the rollout so
+        # the accuracy EMA's argpartition isn't recomputed on the same
+        # vector one miss later.  Only valid for models whose rollout
+        # top-k is the same argpartition call (ties break identically).
+        self._ema_top: tuple[np.ndarray, list[int]] | None = None
+        self._ema_memo_ok = getattr(self.model, "rollout_top_argpartition",
+                                    False)
+        # Without availability the model is never swapped, so its rollout
+        # can be pre-bound (under a manager the live model changes on
+        # redeploy and must be resolved per miss).
+        self._model_rollout = (self.model.predict_rollout
+                               if self.manager is None else None)
+        #: Fast-path protocol: the simulator may skip the per-access
+        #: callback entirely when the prefetcher doesn't watch hits.
+        self.wants_accesses = config.observe_hits
+
     # ------------------------------------------------------------------
     @property
     def _live(self) -> SequenceModel:
@@ -253,11 +287,18 @@ class CLSPrefetcher:
 
     def on_miss(self, event: MissEvent) -> list[int]:
         """Observe a demand miss; return pages to prefetch."""
+        return self.on_miss_fast(event.index, event.address, event.page,
+                                 event.stream_id, event.timestamp)
+
+    def on_miss_fast(self, index: int, address: int, page: int,
+                     stream_id: int, timestamp: int) -> list[int]:
+        """Allocation-free miss entry point (fast-path protocol)."""
+        del index, stream_id  # part of the protocol, unused by CLS
         self.stats.misses_seen += 1
-        class_id = self._ingest(event.address, event.timestamp)
+        class_id = self._ingest(address, timestamp)
         if class_id is None:
             return []
-        return self._predict(event)
+        return self._predict(address, page)
 
     def on_access(self, event: AccessEvent) -> list[int] | None:
         """Optionally observe demand hits too (``observe_hits``).
@@ -265,60 +306,71 @@ class CLSPrefetcher:
         Misses are skipped here — ``on_miss`` already ingested them.  With
         ``trigger_on_hits``, hits also produce prefetches (chaining).
         """
-        if not self.config.observe_hits or not event.hit:
+        return self.on_access_fast(event.index, event.address, event.page,
+                                   event.stream_id, event.timestamp, event.hit)
+
+    def on_access_fast(self, index: int, address: int, page: int,
+                       stream_id: int, timestamp: int,
+                       hit: bool) -> list[int] | None:
+        """Allocation-free access entry point (fast-path protocol)."""
+        del index, stream_id
+        if not hit or not self.config.observe_hits:
             return None
-        class_id = self._ingest(event.address, event.timestamp)
+        class_id = self._ingest(address, timestamp)
         if class_id is None or not self.config.trigger_on_hits:
             return None
-        return self._predict(MissEvent(
-            index=event.index, address=event.address, page=event.page,
-            stream_id=event.stream_id, timestamp=event.timestamp))
+        return self._predict(address, page)
 
     def _ingest(self, address: int, timestamp: int) -> int | None:
         """Encode one observation and run the learning pipeline on it."""
-        class_id = self.encoder.observe(address)
+        class_id = self._encoder_observe(address)
         if class_id is None:
             return None
 
         phase = -1
+        detector = self.phase_detector
         if self._hinted_phase is not None:
             phase = self._hinted_phase
-        elif self.phase_detector is not None:
-            region = address >> self._page_shift >> self._PHASE_REGION_BITS
-            phase = self.phase_detector.observe(
-                region % self._PHASE_FEATURE_BINS)
-            self.stats.phases_seen = self.phase_detector.n_phases
+        elif detector is not None:
+            phase = detector.observe(
+                (address >> self._region_shift) % self._PHASE_FEATURE_BINS)
+            self.stats.phases_seen = detector.n_phases
 
-        direct = self.config.prediction_mode == "direct"
-        if direct:
+        if self._direct:
             # Score against the prediction made prefetch_length steps ago.
-            full = len(self._probs_history) == self.config.prefetch_length
+            full = len(self._probs_history) == self._length
             scored_probs = self._probs_history[0] if full else None
-            confidence = (float(scored_probs[class_id])
+            confidence = (scored_probs.item(class_id)
                           if scored_probs is not None else 0.0)
             transition = self._direct_pair(class_id)
         else:
             scored_probs = self._last_probs
-            confidence = (float(scored_probs[class_id])
+            confidence = (scored_probs.item(class_id)
                           if scored_probs is not None else 0.0)
             transition = (None if self._prev_class is None
                           else (self._prev_class, class_id))
 
         if scored_probs is not None:
-            width = self.config.prefetch_width
-            top = np.argpartition(scored_probs, -width)[-width:]
-            covered = class_id in top
-            alpha = self.config.accuracy_ema_alpha
+            ema_top = self._ema_top
+            if ema_top is not None and ema_top[0] is scored_probs:
+                # The rollout already partitioned this exact vector; the
+                # top-width membership is the same set.
+                covered = class_id in ema_top[1]
+            else:
+                width = self._width
+                top = np.argpartition(scored_probs, -width)[-width:]
+                covered = class_id in top
+            alpha = self._alpha
             self.accuracy_ema = ((1 - alpha) * self.accuracy_ema
                                  + alpha * float(covered))
         train = (transition is not None
-                 and self.training_policy.should_train(confidence))
+                 and self._should_train(confidence))
 
         # §5.1 batched training: accumulate transitions and apply them as
         # one true batch update when full (instead of per-sample steps).
-        if isinstance(self.training_policy, BatchAccumulate):
+        if self._batch_policy is not None:
             if transition is not None:
-                pending = self.training_policy.offer(*transition)
+                pending = self._batch_policy.offer(*transition)
                 if pending:
                     trainer = (self.manager.shadow if self.manager is not None
                                else self.model)
@@ -345,10 +397,20 @@ class CLSPrefetcher:
                 self.recall_memory = HippocampalRecall(recall_cfg)
             self.recall_memory.store(*transition)
 
-        self._learn_and_advance(class_id, train, phase, transition)
-        if direct and self._last_probs is not None:
-            self._probs_history.append(self._last_probs)
-        self.history.push(MissRecord(class_id, address, timestamp))
+        if self.manager is None and not self._direct:
+            # Inlined hot branch of ``_learn_and_advance`` (rollout mode,
+            # no availability manager) — same statements, one frame less.
+            self._last_probs = self.model.step(class_id, train=train)
+            if train:
+                self.stats.trained_steps += 1
+                if self.scheduler is not None:
+                    self.stats.replayed_pairs += self.scheduler.step(
+                        self.model, phase if phase >= 0 else None)
+        else:
+            self._learn_and_advance(class_id, train, phase, transition)
+            if self._direct and self._last_probs is not None:
+                self._probs_history.append(self._last_probs)
+        self._history_push(MissRecord(class_id, address, timestamp))
         self._prev_class = class_id
         return class_id
 
@@ -368,10 +430,9 @@ class CLSPrefetcher:
         # phase -1 means "no phase information": replay everything rather
         # than excluding the (only) phase, which would disable replay.
         exclude = phase if phase >= 0 else None
-        direct = self.config.prediction_mode == "direct"
 
         if self.manager is None:
-            if direct:
+            if self._direct:
                 if train and transition is not None:
                     self.model.train_pair(*transition)
                     self.stats.trained_steps += 1
@@ -403,18 +464,28 @@ class CLSPrefetcher:
             self.stats.redeploys = self.manager.redeploys
         self._last_probs = self.manager.live.step(class_id, train=False)
 
-    def _predict(self, event: MissEvent) -> list[int]:
-        if (self.config.min_accuracy > 0
-                and self.accuracy_ema < self.config.min_accuracy):
+    def _predict(self, miss_address: int, miss_page: int) -> list[int]:
+        if (self._min_accuracy > 0
+                and self.accuracy_ema < self._min_accuracy):
             self.stats.suppressed_low_confidence += 1
             return []
-        if self.config.prediction_mode == "direct":
-            return self._predict_direct(event)
-        rollout = self._live.predict_rollout(width=self.config.prefetch_width,
-                                             length=self.config.prefetch_length)
+        if self._direct:
+            return self._predict_direct(miss_address, miss_page)
+        model_rollout = self._model_rollout
+        if model_rollout is None:
+            model_rollout = self._live.predict_rollout
+        rollout = model_rollout(self._width, self._length)
+        if rollout and self._ema_memo_ok and self._last_probs is not None:
+            # Memoize the first step's top-width classes for the next
+            # miss's accuracy-EMA update (same probs vector, same set).
+            self._ema_top = (self._last_probs, [c for c, _ in rollout[0]])
         pages: list[int] = []
         seen: set[int] = set()
-        base = event.address
+        base = miss_address
+        stats = self.stats
+        decode = self._encoder_decode
+        page_shift = self._page_shift
+        min_confidence = self._min_confidence
 
         # Figure 4's recall path: when the neocortex is not yet confident,
         # ask the one-shot hippocampal memory first.
@@ -427,53 +498,76 @@ class CLSPrefetcher:
                 self.recall_stats.answered += 1
                 if rollout and recalled != rollout[0][0][0]:
                     self.recall_stats.overrode_neocortex += 1
-                address = self.encoder.decode(recalled, base)
+                address = decode(recalled, base)
                 if address is not None:
-                    page = address >> self._page_shift
-                    if page != event.page:
+                    page = address >> page_shift
+                    if page != miss_page:
                         seen.add(page)
                         pages.append(page)
         for candidates in rollout:
             for candidate_class, probability in candidates:
-                if probability < self.config.min_confidence:
-                    self.stats.suppressed_low_confidence += 1
+                if probability < min_confidence:
+                    stats.suppressed_low_confidence += 1
                     continue
                 if candidate_class == OOV_CLASS:
                     continue
-                address = self.encoder.decode(candidate_class, base)
+                address = decode(candidate_class, base)
                 if address is None:
                     continue
-                page = address >> self._page_shift
-                if page != event.page and page not in seen:
+                page = address >> page_shift
+                if page != miss_page and page not in seen:
                     seen.add(page)
                     pages.append(page)
             # The rollout path follows the top-1 prediction at each step.
             top_class = candidates[0][0]
-            next_base = self.encoder.decode(top_class, base)
+            next_base = decode(top_class, base)
             if next_base is None:
                 break
             base = next_base
-        self.stats.prefetches_emitted += len(pages)
+        stats.prefetches_emitted += len(pages)
         return pages
 
-    def _predict_direct(self, event: MissEvent) -> list[int]:
+    def _predict_direct(self, miss_address: int, miss_page: int) -> list[int]:
         """One inference names the top-w units expected L misses ahead."""
-        if self._last_probs is None:
+        probs = self._last_probs
+        if probs is None:
             return []
+        width = self._width
+        if width < probs.size:
+            # O(V) top-width.  ``np.argsort`` (quicksort) breaks ties in an
+            # implementation-defined order, so the partitioned result is
+            # only guaranteed to match the full sort when the selected
+            # values are unique and the boundary value isn't shared with an
+            # excluded candidate; fall back to the full sort otherwise
+            # (untrained vectors are uniform — every entry ties).
+            part = np.argpartition(probs, -width)[-width:]
+            pivot = probs[part].min()
+            # Exact comparisons on purpose: detecting *bitwise* ties, not
+            # approximate equality.
+            if (np.unique(probs[part]).size == width
+                    and np.count_nonzero(probs == pivot) == 1):
+                order = part[np.argsort(probs[part])[::-1]]
+            else:
+                order = np.argsort(probs)[::-1][:width]
+        else:
+            order = np.argsort(probs)[::-1][:width]
         pages: list[int] = []
-        order = np.argsort(self._last_probs)[::-1][: self.config.prefetch_width]
+        seen: set[int] = set()
+        decode = self._encoder_decode
+        min_confidence = self._min_confidence
         for candidate_class in order:
-            probability = float(self._last_probs[candidate_class])
-            if probability < self.config.min_confidence:
+            probability = float(probs[candidate_class])
+            if probability < min_confidence:
                 self.stats.suppressed_low_confidence += 1
                 continue
             if candidate_class == OOV_CLASS:
                 continue
-            address = self.encoder.decode(int(candidate_class), event.address)
+            address = decode(int(candidate_class), miss_address)
             if address is None:
                 continue
             page = address >> self._page_shift
-            if page != event.page and page not in pages:
+            if page != miss_page and page not in seen:
+                seen.add(page)
                 pages.append(page)
         self.stats.prefetches_emitted += len(pages)
         return pages

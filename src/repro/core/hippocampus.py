@@ -62,18 +62,35 @@ class EpisodicStore:
         if self.capacity is not None and self.capacity <= 0:
             raise ValueError("capacity must be positive (or None for unbounded)")
         self._episodes: deque[Episode] | list[Episode]
+        # Parallel phase ids, so rejection sampling filters on plain ints
+        # instead of touching Episode objects for rejected draws.
+        self._phase_ids: deque[int] | list[int]
+        # Per-phase occupancy, so sampling can recognize the
+        # everything-excluded case without scanning any draws.
+        self._phase_counts: dict[int, int] = {}
         if self.capacity is None:
             self._episodes = []
+            self._phase_ids = []
         else:
             self._episodes = deque(maxlen=self.capacity)
+            self._phase_ids = deque(maxlen=self.capacity)
 
     def __len__(self) -> int:
         return len(self._episodes)
 
     def store(self, episode: Episode) -> None:
+        counts = self._phase_counts
         if self.capacity is not None and len(self._episodes) == self.capacity:
             self.evicted_total += 1
+            old = self._phase_ids[0]  # the deques evict FIFO on append
+            left = counts[old] - 1
+            if left:
+                counts[old] = left
+            else:
+                del counts[old]
         self._episodes.append(episode)
+        self._phase_ids.append(episode.phase_id)
+        counts[episode.phase_id] = counts.get(episode.phase_id, 0) + 1
         self.stored_total += 1
 
     def episodes(self, phase_id: int | None = None) -> list[Episode]:
@@ -96,13 +113,24 @@ class EpisodicStore:
         size = len(self._episodes)
         if size == 0 or n <= 0:
             return []
-        out: list[Episode] = []
+        # One vectorized draw regardless of path, so the RNG stream (and
+        # therefore every selection) is identical to the rejection loop's.
         attempts = n * max_attempts_per_pick
         draws = rng.integers(0, size, size=attempts)
-        for idx in draws:
-            episode = self._episodes[int(idx)]
-            if exclude_phase is None or episode.phase_id != exclude_phase:
-                out.append(episode)
+        episodes = self._episodes
+        if exclude_phase is None:
+            # Nothing to reject: the first n draws are the picks.
+            return [episodes[idx] for idx in draws[:n].tolist()]
+        if self._phase_counts.get(exclude_phase, 0) == size:
+            # Every stored episode is in the excluded phase, so the
+            # rejection loop could only come up empty.  (The draw above
+            # already happened, keeping the RNG stream identical.)
+            return []
+        out: list[Episode] = []
+        phase_ids = self._phase_ids
+        for idx in draws.tolist():
+            if phase_ids[idx] != exclude_phase:
+                out.append(episodes[idx])
                 if len(out) == n:
                     break
         return out

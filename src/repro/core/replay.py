@@ -135,27 +135,60 @@ class PrototypeReplay:
     """
 
     name: str = "prototype"
-    _counts: dict[tuple[int, int, int], int] = field(default_factory=dict, repr=False)
-    _meta: dict[tuple[int, int, int], Episode] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        # Prototypes live in insertion-ordered parallel arrays (counts,
+        # phases) plus a key -> slot map, so selection filters and weighs
+        # with array ops instead of rebuilding per-key Python lists.  The
+        # insertion order matches the old dict iteration order, and counts
+        # are exact small integers in float64, so the normalized weights —
+        # and therefore every ``rng.choice`` draw — are unchanged bit for
+        # bit.
+        self._index: dict[tuple[int, int, int], int] = {}
+        self._meta: list[Episode] = []
+        self._counts = np.zeros(64, dtype=np.float64)
+        self._phases = np.zeros(64, dtype=np.int64)
 
     def record(self, episode: Episode) -> None:
         key = (episode.input_class, episode.target_class, episode.phase_id)
-        self._counts[key] = self._counts.get(key, 0) + 1
-        self._meta.setdefault(key, episode)
+        idx = self._index.get(key)
+        if idx is None:
+            idx = len(self._meta)
+            if idx == self._counts.size:  # amortized doubling
+                self._counts = np.concatenate(
+                    [self._counts, np.zeros_like(self._counts)])
+                self._phases = np.concatenate(
+                    [self._phases, np.zeros_like(self._phases)])
+            self._index[key] = idx
+            self._meta.append(episode)
+            self._phases[idx] = episode.phase_id
+            self._counts[idx] = 1.0
+        else:
+            self._counts[idx] += 1.0
 
     def select(self, rng: np.random.Generator, batch: int,
                exclude_phase: int | None = None) -> list[Episode]:
-        keys = [k for k in self._counts
-                if exclude_phase is None or k[2] != exclude_phase]
-        if not keys:
+        filled = len(self._meta)
+        if not filled:
             return []
-        weights = np.array([self._counts[k] for k in keys], dtype=np.float64)
-        weights /= weights.sum()
-        picks = rng.choice(len(keys), size=batch, p=weights)
-        return [self._meta[keys[int(i)]] for i in picks]
+        counts = self._counts[:filled]
+        if exclude_phase is None:
+            pool = None
+            weights = counts
+        else:
+            pool = np.flatnonzero(self._phases[:filled] != exclude_phase)
+            if not pool.size:
+                return []
+            weights = counts[pool]
+        weights = weights / weights.sum()
+        picks = rng.choice(weights.size, size=batch, p=weights)
+        meta = self._meta
+        if pool is None:
+            return [meta[int(i)] for i in picks]
+        return [meta[int(pool[i])] for i in picks]
 
     def storage_size(self) -> int:
-        return len(self._counts)
+        return len(self._meta)
 
 
 @dataclass
@@ -280,6 +313,12 @@ class ReplayScheduler:
         if self.per_step < 0:
             raise ValueError("per_step must be >= 0")
         self._rng = np.random.default_rng(self.seed)
+        # Per-step invariants of the policy, hoisted off the per-miss path.
+        policy = self.policy
+        self._generate = (policy.generate
+                          if isinstance(policy, GenerativeReplay) else None)
+        self._on_replayed = getattr(policy, "on_replayed", None)
+        self._select = policy.select
 
     def record(self, episode: Episode) -> None:
         self.policy.record(episode)
@@ -289,23 +328,35 @@ class ReplayScheduler:
         if self.per_step == 0:
             return 0
         count = 0
-        if isinstance(self.policy, GenerativeReplay):
-            pairs = self.policy.generate(model, self._rng, self.per_step,
-                                         exclude_phase=current_phase)
+        if self._generate is not None:
+            pairs = self._generate(model, self._rng, self.per_step,
+                                   exclude_phase=current_phase)
             for input_class, target_class in pairs:
                 model.train_pair(input_class, target_class, lr_scale=self.lr_scale)
                 count += 1
         else:
-            episodes = self.policy.select(self._rng, self.per_step,
-                                          exclude_phase=current_phase)
-            on_replayed = getattr(self.policy, "on_replayed", None)
-            for episode in episodes:
-                confidence = model.train_pair(episode.input_class,
-                                              episode.target_class,
-                                              lr_scale=self.lr_scale)
-                if on_replayed is not None:
-                    on_replayed(episode, confidence)
-                count += 1
+            episodes = self._select(self._rng, self.per_step,
+                                    exclude_phase=current_phase)
+            if not episodes:
+                return 0
+            on_replayed = self._on_replayed
+            if on_replayed is None and getattr(
+                    model, "train_pairs_sequential_equivalent", False):
+                # Batch through train_pairs: the per-pair confidences would
+                # be discarded anyway, and the model guarantees the batch
+                # matches the sequential loop bit for bit.
+                model.train_pairs(
+                    [(e.input_class, e.target_class) for e in episodes],
+                    lr_scale=self.lr_scale)
+                count = len(episodes)
+            else:
+                for episode in episodes:
+                    confidence = model.train_pair(episode.input_class,
+                                                  episode.target_class,
+                                                  lr_scale=self.lr_scale)
+                    if on_replayed is not None:
+                        on_replayed(episode, confidence)
+                    count += 1
         self.replayed_total += count
         return count
 

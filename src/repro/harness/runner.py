@@ -37,6 +37,22 @@ from typing import Any
 CACHE_VERSION = 1
 
 
+def resolve_jobs(jobs: int | None, n_cells: int) -> int:
+    """Resolve a ``jobs`` argument to an effective worker count.
+
+    ``None`` auto-detects: one worker per available core, capped at the
+    number of cells (a pool larger than the grid only adds spawn cost).
+    Explicit values are likewise capped at ``n_cells``.  Anything that
+    resolves to fewer than two workers means "run serially" — on a
+    single-core machine process fan-out is pure IPC overhead (measured
+    0.85x in BENCH_PR1.json), so auto-detection deliberately falls back
+    to the in-process loop there.
+    """
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    return max(1, min(jobs, n_cells))
+
+
 class SpecError(TypeError):
     """A cell spec contains a value with no canonical JSON form.
 
@@ -127,7 +143,9 @@ def run_grid(specs: Sequence[dict], fn: Callable[[dict], object],
             computed once and fanned back out.
         fn: Module-level cell function (pickled to workers when
             ``jobs > 1``).
-        jobs: Worker processes; ``None``/``0``/``1`` runs serially
+        jobs: Worker processes.  ``None`` auto-detects from
+            ``os.cpu_count()``; see :func:`resolve_jobs`.  ``0``/``1``
+            (or a grid with a single uncached cell) runs serially
             in-process.
         cache_dir: Directory for the JSON result cache (created on
             demand).  ``None`` disables caching.
@@ -158,8 +176,9 @@ def run_grid(specs: Sequence[dict], fn: Callable[[dict], object],
             pending.append((key, spec))
 
     if pending:
-        if jobs and jobs > 1:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
+        workers = resolve_jobs(jobs, len(pending))
+        if workers > 1:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [(key, spec, pool.submit(fn, spec))
                            for key, spec in pending]
                 computed = [(key, spec, future.result())

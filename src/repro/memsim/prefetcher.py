@@ -36,6 +36,32 @@ class AccessAwarePrefetcher(Prefetcher, Protocol):
         ...
 
 
+class FastPathPrefetcher(Prefetcher, Protocol):
+    """Opt-in allocation-free protocol for the simulator's inner loop.
+
+    A prefetcher that implements the ``*_fast`` entry points receives the
+    event *fields* as scalars instead of a per-access ``MissEvent`` /
+    ``AccessEvent`` dataclass, and MUST behave identically to its
+    event-object methods (the usual implementation has ``on_miss``
+    delegate to ``on_miss_fast``).  The event-object path remains the
+    portable interface for external prefetchers.
+
+    Implementations may additionally expose a ``wants_accesses``
+    attribute; when false the simulator skips the per-access callback
+    entirely (valid only if ``on_access`` would return None for every
+    access in that configuration).
+    """
+
+    def on_miss_fast(self, index: int, address: int, page: int,
+                     stream_id: int, timestamp: int) -> list[int]:
+        ...
+
+    def on_access_fast(self, index: int, address: int, page: int,
+                       stream_id: int, timestamp: int,
+                       hit: bool) -> list[int] | None:
+        ...
+
+
 class NullPrefetcher:
     """The no-prefetching baseline (Figure 5's denominator).
 
@@ -48,4 +74,9 @@ class NullPrefetcher:
 
     def on_miss(self, event: MissEvent) -> list[int]:
         del event
+        return []
+
+    def on_miss_fast(self, index: int, address: int, page: int,
+                     stream_id: int, timestamp: int) -> list[int]:
+        del index, address, page, stream_id, timestamp
         return []

@@ -93,6 +93,17 @@ def simulate(trace: Trace, prefetcher: Prefetcher,
     pages = trace.pages(config.page_size).tolist()
     stores = (trace.kinds != 0).tolist()  # KIND_STORE marks the page dirty
     on_access = getattr(prefetcher, "on_access", None)
+    if on_access is not None and not getattr(prefetcher, "wants_accesses", True):
+        # Fast-path protocol: the prefetcher declares it ignores the
+        # per-access stream, so skip the callback (it would return None
+        # for every access) instead of allocating an event each time.
+        on_access = None
+    # Fast-path protocol: prefetchers that implement the scalar entry
+    # points skip the per-event dataclass allocations entirely.  The
+    # event-object path stays for external prefetchers.
+    on_miss_fast = getattr(prefetcher, "on_miss_fast", None)
+    on_access_fast = (getattr(prefetcher, "on_access_fast", None)
+                      if on_access is not None else None)
     is_null = getattr(prefetcher, "is_null", False)
     if is_null and on_access is None:
         addresses = stream_ids = timestamps = None
@@ -124,13 +135,17 @@ def simulate(trace: Trace, prefetcher: Prefetcher,
             if record_miss_indices:
                 append_miss(i)
             if not is_null:
-                predictions = on_miss(MissEvent(
-                    index=i,
-                    address=addresses[i],
-                    page=page,
-                    stream_id=stream_ids[i],
-                    timestamp=timestamps[i],
-                ))
+                if on_miss_fast is not None:
+                    predictions = on_miss_fast(i, addresses[i], page,
+                                               stream_ids[i], timestamps[i])
+                else:
+                    predictions = on_miss(MissEvent(
+                        index=i,
+                        address=addresses[i],
+                        page=page,
+                        stream_id=stream_ids[i],
+                        timestamp=timestamps[i],
+                    ))
                 if predictions:
                     if len(predictions) > max_prefetches:
                         predictions = predictions[:max_prefetches]
@@ -138,14 +153,18 @@ def simulate(trace: Trace, prefetcher: Prefetcher,
                         if predicted != page:
                             issue(int(predicted), i)
         if on_access is not None:
-            chained = on_access(AccessEvent(
-                index=i,
-                address=addresses[i],
-                page=page,
-                stream_id=stream_ids[i],
-                timestamp=timestamps[i],
-                hit=hit,
-            ))
+            if on_access_fast is not None:
+                chained = on_access_fast(i, addresses[i], page,
+                                         stream_ids[i], timestamps[i], hit)
+            else:
+                chained = on_access(AccessEvent(
+                    index=i,
+                    address=addresses[i],
+                    page=page,
+                    stream_id=stream_ids[i],
+                    timestamp=timestamps[i],
+                    hit=hit,
+                ))
             if chained:
                 if len(chained) > max_prefetches:
                     chained = chained[:max_prefetches]

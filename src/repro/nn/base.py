@@ -37,6 +37,16 @@ class SequenceModel(Protocol):
         *before* the update.  Used by replay (§3.2)."""
         ...
 
+    def train_pairs(self, pairs: list[tuple[int, int]],
+                    lr_scale: float = 1.0) -> None:
+        """Train on a batch of (input -> target) transitions (confidences
+        are discarded).  Implementations whose batch provably reproduces
+        the sequential :meth:`train_pair` loop bit for bit advertise it by
+        setting ``train_pairs_sequential_equivalent = True`` (the Hebbian
+        models do; the LSTM's is a true batched SGD step and does not).
+        Replay routes through this only when the flag is set."""
+        ...
+
     def predict_rollout(self, width: int = 1, length: int = 1
                         ) -> list[list[tuple[int, float]]]:
         """Predict ``length`` future steps; at each step return the top

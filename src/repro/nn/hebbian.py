@@ -147,9 +147,27 @@ class HebbianConfig:
 #: Hidden-code memo entries kept before the cache is dropped and rebuilt.
 _CODE_CACHE_CAP = 8192
 
+#: Column-delta memo entries kept before that cache is dropped.  Keyed per
+#: (code, target, lr_scale), so it can outgrow the code cache on its own.
+_DELTA_CACHE_CAP = 65536
+
+#: Sparse-readout index entries kept (two ~connectivity*k*V index arrays
+#: per code, so the memory cap is tighter than the code cache's).
+_READOUT_IDX_CAP = 4096
+
 
 class SparseHebbianNetwork:
     """Online sparse Hebbian sequence model (implements ``SequenceModel``)."""
+
+    #: ``train_pairs`` reproduces the sequential ``train_pair`` loop bit
+    #: for bit (see its docstring), so replay may batch through it.
+    train_pairs_sequential_equivalent = True
+    #: ``predict_rollout`` selects each step's top-width with the same
+    #: ``np.argpartition(probs, -width)`` call the prefetcher's accuracy
+    #: EMA uses, so the first step's membership set may be memoized and
+    #: reused verbatim.  (The LSTM's full argsort can pick different
+    #: members under boundary ties, so it must not set this.)
+    rollout_top_argpartition = True
 
     def __init__(self, config: HebbianConfig = HebbianConfig()) -> None:
         self.config = config
@@ -197,6 +215,7 @@ class SparseHebbianNetwork:
         self._prev_pred: int | None = None
         self._last_scores: np.ndarray | None = None
         self._last_active: np.ndarray | None = None
+        self._last_probs: np.ndarray | None = None
         self.train_steps = 0
 
     # ------------------------------------------------------------------
@@ -250,10 +269,29 @@ class SparseHebbianNetwork:
         self._out_flat = tuple((rows * v + t).astype(np.intp)
                                for t, rows in enumerate(self._out_rows))
         self._scratch_active = np.zeros(n, dtype=bool)
+        self._probs_buf = np.empty(v)
         # (class, context) -> k-WTA code; valid because the projections the
         # code depends on are fixed.  Disabled under plastic_hidden.
         self._code_cache: dict | None = (
             None if config.plastic_hidden else {})
+        # id(cache-resident code) -> its boolean membership mask.  Doubles
+        # as the registry that lets a cached code serve as a context *key*
+        # by object identity instead of a 400-byte ``tobytes()`` hash: ids
+        # are unique among live objects, every registered array is kept
+        # alive by the cache, and both structures are cleared together.
+        self._code_masks: dict[int, np.ndarray] = {}
+        # (id(code), target, lr_scale) -> the precomputed Eq. 1 column
+        # delta.  Deltas depend only on the code's membership mask and the
+        # (fixed) learning-rate constants, never on the weights, so they
+        # are reusable verbatim.  Only cache-resident codes are keyed (the
+        # cache keeps them alive, making ids stable); cleared with it.
+        self._delta_cache: dict[tuple[int, int, float], np.ndarray] = {}
+        # id(code) -> (cols, flat) index arrays over the *connected*
+        # entries of the code's rows, in row-major order.  Lets the
+        # readout gather+accumulate only the ~connectivity_out fraction of
+        # each row that can be nonzero (see ``readout`` for the
+        # bit-identity argument).  Same id-keyed lifecycle as the masks.
+        self._readout_idx: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
     @property
     def w_out(self) -> np.ndarray:
@@ -281,6 +319,9 @@ class SparseHebbianNetwork:
         has_context = prev_active is not None and prev_active.size
         cache = self._code_cache
         if cache is not None:
+            # Content-keyed on purpose: element-equal codes reach here as
+            # distinct array objects, and identity keys would fragment the
+            # cache into one entry per object.
             key = (input_class,
                    prev_active.tobytes() if has_context else None)
             code = cache.get(key)
@@ -312,16 +353,53 @@ class SparseHebbianNetwork:
         if cache is not None:
             if len(cache) >= _CODE_CACHE_CAP:
                 cache.clear()
+                self._code_masks.clear()
+                self._delta_cache.clear()
+                self._readout_idx.clear()
             cache[key] = active
+            mask = np.zeros(config.hidden_dim, dtype=bool)
+            mask[active] = True
+            self._code_masks[id(active)] = mask
         return active
 
     def readout(self, active: np.ndarray) -> np.ndarray:
-        """Class scores from an active hidden set."""
-        return self._w_out.take(active, axis=0).sum(axis=0)
+        """Class scores from an active hidden set.
 
-    def probabilities(self, scores: np.ndarray) -> np.ndarray:
-        # Inline max-shifted softmax over scores / temperature.
-        x = scores / self._temperature
+        Cache-resident codes take a sparse path: gather only the
+        *connected* entries of the active rows and accumulate them per
+        class with ``np.bincount``.  This is bit-identical to the dense
+        row sum: ``np.add.reduce`` over axis 0 adds the rows elementwise
+        in order, bincount adds the row-major-ordered connected values per
+        column in the same row order, and the skipped entries are exactly
+        ``+0.0`` (``_learn`` never touches unconnected entries and the
+        update arithmetic cannot produce ``-0.0``), so dropping them
+        changes no bits.  Pinned by tests against the dense reference.
+        """
+        entry = self._readout_idx.get(id(active))
+        if entry is None:
+            if id(active) not in self._code_masks:
+                # Foreign (non-resident) code: dense row sum, as before.
+                # np.add.reduce is what ndarray.sum calls underneath minus
+                # a dispatch layer.
+                return np.add.reduce(self._w_out.take(active, axis=0),
+                                     axis=0)
+            rows_i, cols = self.mask_out[active].nonzero()
+            flat = (active[rows_i] * self.config.vocab_size
+                    + cols).astype(np.intp)
+            entry = (cols.astype(np.intp), flat)
+            if len(self._readout_idx) >= _READOUT_IDX_CAP:
+                self._readout_idx.clear()
+            self._readout_idx[id(active)] = entry
+        cols, flat = entry
+        return np.bincount(cols, weights=self._w_out_flat.take(flat),
+                           minlength=self.config.vocab_size)
+
+    def probabilities(self, scores: np.ndarray,
+                      out: np.ndarray | None = None) -> np.ndarray:
+        # Inline max-shifted softmax over scores / temperature.  ``out``
+        # lets hot loops reuse a scratch buffer; the arithmetic (and hence
+        # the result, bit for bit) is identical either way.
+        x = np.divide(scores, self._temperature, out=out)
         x -= x.max()
         np.exp(x, out=x)
         x /= x.sum()
@@ -343,14 +421,18 @@ class SparseHebbianNetwork:
             self.train_steps += 1
 
         active = self.hidden_code(input_class, prev_active)
-        scores = self._w_out.take(active, axis=0).sum(axis=0)
+        scores = self.readout(active)
         probs = self.probabilities(scores)
 
         self._prev_class = input_class
         self._prev_active = active
-        self._prev_pred = int(scores.argmax())
+        # The argmax only feeds the error-driven depression term; without
+        # it, ``_learn`` never reads the prediction.
+        self._prev_pred = (int(scores.argmax())
+                           if self.config.punish_wrong else None)
         self._last_scores = scores
         self._last_active = active
+        self._last_probs = probs
         return probs
 
     def train_pair(self, input_class: int, target_class: int,
@@ -358,20 +440,84 @@ class SparseHebbianNetwork:
         self._check_class(input_class)
         self._check_class(target_class)
         active = self.hidden_code(input_class, prev_active=None)
-        scores = self._w_out.take(active, axis=0).sum(axis=0)
+        scores = self.readout(active)
         confidence = float(self.probabilities(scores)[target_class])
-        self._learn(active, target_class, int(scores.argmax()), lr_scale)
+        predicted = (int(scores.argmax())
+                     if self.config.punish_wrong else None)
+        self._learn(active, target_class, predicted, lr_scale)
         if self.config.plastic_hidden:
             self._adapt_hidden(input_class, active, lr_scale)
         return confidence
 
     def train_pairs(self, pairs: list[tuple[int, int]],
                     lr_scale: float = 1.0) -> None:
-        """Batched training: Eq. 1 updates are local, so a batch is just
-        the sequence of per-pair updates (§5.1's batching only amortizes
-        dispatch for this model; it changes nothing semantically)."""
+        """Batched training, bit-identical to the per-pair loop.
+
+        Eq. 1 updates are local — each pair touches only its target's
+        connected column entries — so with the error-driven term and the
+        plastic hidden layer off, a pair's update is a pure function of
+        its (fixed) hidden code and the pre-batch weights of that column.
+        When every target in the batch is distinct, the touched flat
+        offsets are disjoint, update order can't matter, and the whole
+        batch applies as one gather-update-clip-scatter; the per-pair
+        readout/softmax (whose confidences a batch discards anyway) is
+        skipped entirely.  Duplicate targets fall back to sequential
+        ``_learn`` calls, and punish_wrong/plastic_hidden configurations
+        fall back to the full ``train_pair`` loop, so every path matches
+        the reference element for element.  (The only divergence is on
+        *invalid* input: the vectorized path validates the whole batch
+        before applying any update.)
+        """
+        config = self.config
+        if config.punish_wrong or config.plastic_hidden:
+            for input_class, target_class in pairs:
+                self.train_pair(input_class, target_class, lr_scale=lr_scale)
+            return
+        targets = [t for _, t in pairs]
+        if len(pairs) < 2 or len(set(targets)) != len(targets):
+            for input_class, target_class in pairs:
+                self._check_class(input_class)
+                self._check_class(target_class)
+                self._learn(self.hidden_code(input_class), target_class,
+                            None, lr_scale)
+            return
+        lr = config.lr * lr_scale
+        neg = -lr * config.negative_scale
+        code_masks = self._code_masks
+        delta_cache = self._delta_cache
+        scratch = self._scratch_active
+        flats = []
+        deltas = []
         for input_class, target_class in pairs:
-            self.train_pair(input_class, target_class, lr_scale=lr_scale)
+            self._check_class(input_class)
+            self._check_class(target_class)
+            active = self.hidden_code(input_class)
+            key = (id(active), target_class, lr_scale)
+            delta = delta_cache.get(key)
+            if delta is None:
+                rows = self._out_rows[target_class]
+                mask = code_masks.get(id(active))
+                if mask is not None:
+                    is_active = mask[rows]
+                else:
+                    scratch[active] = True
+                    is_active = scratch[rows]
+                    scratch[active] = False
+                delta = np.where(is_active, lr, neg)
+                if mask is not None:
+                    if len(delta_cache) >= _DELTA_CACHE_CAP:
+                        delta_cache.clear()
+                    delta_cache[key] = delta
+            flats.append(self._out_flat[target_class])
+            deltas.append(delta)
+        flat = np.concatenate(flats)
+        w_flat = self._w_out_flat
+        vals = w_flat.take(flat)
+        vals += np.concatenate(deltas)
+        wm = config.weight_max
+        np.minimum(vals, wm, out=vals)
+        np.maximum(vals, -wm, out=vals)
+        w_flat[flat] = vals
 
     def predict_rollout(self, width: int = 1, length: int = 1
                         ) -> list[list[tuple[int, float]]]:
@@ -380,17 +526,44 @@ class SparseHebbianNetwork:
         out: list[list[tuple[int, float]]] = []
         scores = self._last_scores
         active = self._last_active
-        for _ in range(length):
+        # Fused with step(): the first rollout step reuses the softmax
+        # step() just computed over these exact (frozen) scores, so even
+        # if training touched the weights in between the result is the
+        # same, bit for bit.  Later steps softmax into a scratch buffer.
+        probs = self._last_probs
+        if probs is None:
             probs = self.probabilities(scores)
-            if width < probs.size:
+        for remaining in range(length - 1, -1, -1):
+            if width == 2 and probs.size > 2:
+                # Same selection and ordering as the general branch below,
+                # with the two-element argsort done as one scalar compare:
+                # argsort([v0, v1]) is [0, 1] when v0 <= v1 (numpy's small
+                # sorts are insertion sorts, stable on ties), so reversed
+                # descending order is [1, 0] exactly then.
+                part = probs.argpartition(-2)
+                i0 = part.item(-2)
+                i1 = part.item(-1)
+                v0 = probs.item(i0)
+                v1 = probs.item(i1)
+                if v0 <= v1:
+                    step = [(i1, v1), (i0, v0)]
+                else:
+                    step = [(i0, v0), (i1, v1)]
+            elif width < probs.size:
                 # top-width selection, sorted within the slice
-                top = probs.argpartition(-width)[-width:]
-                top = top[probs[top].argsort()[::-1]]
+                part = probs.argpartition(-width)[-width:]
+                vals = probs[part]
+                order = vals.argsort()[::-1]
+                step = list(zip(part[order].tolist(), vals[order].tolist()))
             else:
-                top = probs.argsort()[::-1][:width]
-            out.append([(int(k), float(probs[k])) for k in top])
-            active = self.hidden_code(int(top[0]), active)
+                top_arr = probs.argsort()[::-1][:width]
+                step = list(zip(top_arr.tolist(), probs[top_arr].tolist()))
+            out.append(step)
+            if not remaining:
+                break  # the next readout would be discarded
+            active = self.hidden_code(step[0][0], active)
             scores = self.readout(active)
+            probs = self.probabilities(scores, out=self._probs_buf)
         return out
 
     def reset_state(self) -> None:
@@ -399,6 +572,7 @@ class SparseHebbianNetwork:
         self._prev_pred = None
         self._last_scores = None
         self._last_active = None
+        self._last_probs = None
 
     def clone(self) -> "SparseHebbianNetwork":
         """Deep copy of the learned state.
@@ -413,14 +587,19 @@ class SparseHebbianNetwork:
         twin.w_in = self.w_in.copy()
         twin.w_out = self._w_out.copy()  # setter rebuilds the flat alias
         twin._pre_buf = np.empty(self.config.hidden_dim)
+        twin._probs_buf = np.empty(self.config.vocab_size)
         twin._scratch_active = np.zeros(self.config.hidden_dim, dtype=bool)
         if self.config.plastic_hidden:
             # Plastic clones diverge; give each its own (disabled) cache
             # and recompute the input drive from the copied weights.
             twin._code_cache = None
+            twin._code_masks = {}
+            twin._delta_cache = {}
+            twin._readout_idx = {}
         for src, attr in ((self._prev_active, "_prev_active"),
                           (self._last_scores, "_last_scores"),
-                          (self._last_active, "_last_active")):
+                          (self._last_active, "_last_active"),
+                          (self._last_probs, "_last_probs")):
             setattr(twin, attr, None if src is None else src.copy())
         return twin
 
@@ -443,15 +622,27 @@ class SparseHebbianNetwork:
         """
         config = self.config
         lr = config.lr * lr_scale
-        rows = self._out_rows[target]
         flat = self._out_flat[target]
         w_flat = self._w_out_flat
-        scratch = self._scratch_active
-        scratch[active] = True
-        is_active = scratch[rows]
-        scratch[active] = False
+        key = (id(active), target, lr_scale)
+        delta = self._delta_cache.get(key)
+        if delta is None:
+            rows = self._out_rows[target]
+            mask = self._code_masks.get(id(active))
+            if mask is not None:
+                is_active = mask[rows]
+            else:
+                scratch = self._scratch_active
+                scratch[active] = True
+                is_active = scratch[rows]
+                scratch[active] = False
+            delta = np.where(is_active, lr, -lr * config.negative_scale)
+            if mask is not None:
+                if len(self._delta_cache) >= _DELTA_CACHE_CAP:
+                    self._delta_cache.clear()
+                self._delta_cache[key] = delta
         vals = w_flat.take(flat)
-        vals += np.where(is_active, lr, -lr * config.negative_scale)
+        vals += delta
         wm = config.weight_max
         np.minimum(vals, wm, out=vals)
         np.maximum(vals, -wm, out=vals)

@@ -33,6 +33,9 @@ from .layers import softmax
 class DenseHebbianReference:
     """Dense masked-array Hebbian model (implements ``SequenceModel``)."""
 
+    #: ``train_pairs`` IS the sequential ``train_pair`` loop.
+    train_pairs_sequential_equivalent = True
+
     def __init__(self, config: HebbianConfig = HebbianConfig()) -> None:
         self.config = config
         self.vocab_size = config.vocab_size

@@ -37,6 +37,15 @@ class SharedStreamPrefetcher:
     def on_miss(self, event: MissEvent) -> list[int]:
         return self.inner.on_miss(event)
 
+    def on_miss_fast(self, index: int, address: int, page: int,
+                     stream_id: int, timestamp: int) -> list[int]:
+        inner_fast = getattr(self.inner, "on_miss_fast", None)
+        if inner_fast is not None:
+            return inner_fast(index, address, page, stream_id, timestamp)
+        return self.inner.on_miss(MissEvent(
+            index=index, address=address, page=page,
+            stream_id=stream_id, timestamp=timestamp))
+
 
 @dataclass
 class PerStreamPrefetcher:
@@ -59,6 +68,16 @@ class PerStreamPrefetcher:
 
     def on_miss(self, event: MissEvent) -> list[int]:
         return self._route(event.stream_id).on_miss(event)
+
+    def on_miss_fast(self, index: int, address: int, page: int,
+                     stream_id: int, timestamp: int) -> list[int]:
+        inner = self._route(stream_id)
+        inner_fast = getattr(inner, "on_miss_fast", None)
+        if inner_fast is not None:
+            return inner_fast(index, address, page, stream_id, timestamp)
+        return inner.on_miss(MissEvent(
+            index=index, address=address, page=page,
+            stream_id=stream_id, timestamp=timestamp))
 
     def _route(self, stream_id: int) -> Prefetcher:
         prefetcher = self._per_stream.get(stream_id)

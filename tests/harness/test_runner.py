@@ -13,7 +13,13 @@ import numpy as np
 import pytest
 
 from repro.harness.fig5 import Fig5Config, fig5_cell, fig5_cell_spec, run_fig5
-from repro.harness.runner import SpecError, canonicalize_spec, run_grid, spec_key
+from repro.harness.runner import (
+    SpecError,
+    canonicalize_spec,
+    resolve_jobs,
+    run_grid,
+    spec_key,
+)
 
 
 def _square_cell(spec: dict) -> dict:
@@ -80,6 +86,29 @@ class TestRunGrid:
         assert (spec_key({"a": 1, "b": 2})
                 == spec_key({"b": 2, "a": 1}))
         assert spec_key({"a": 1}) != spec_key({"a": 2})
+
+
+class TestResolveJobs:
+    def test_auto_detects_from_cpu_count(self):
+        import os
+
+        cores = os.cpu_count() or 1
+        assert resolve_jobs(None, 64) == min(cores, 64)
+
+    def test_auto_caps_at_grid_size(self):
+        assert resolve_jobs(None, 1) == 1  # serial: pool beats one cell
+
+    def test_explicit_jobs_capped_at_grid_size(self):
+        assert resolve_jobs(8, 3) == 3
+
+    def test_zero_and_one_mean_serial(self):
+        assert resolve_jobs(0, 10) == 1
+        assert resolve_jobs(1, 10) == 1
+
+    def test_auto_matches_serial_results(self):
+        auto = run_grid(_specs(6), _square_cell, jobs=None)
+        serial = run_grid(_specs(6), _square_cell, jobs=1)
+        assert auto == serial == [{"value": x ** 2} for x in range(6)]
 
 
 class TestCanonicalSpecs:

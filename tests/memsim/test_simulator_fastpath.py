@@ -1,0 +1,123 @@
+"""The simulator's fast-path protocol must be behavior-preserving.
+
+``simulate`` dispatches to ``on_miss_fast`` / ``on_access_fast`` when a
+prefetcher provides them, skipping the per-event dataclass allocations.
+These tests force the event-object path by wrapping prefetchers behind a
+facade that hides the fast entry points, and assert the two paths
+produce bit-identical simulations: same :class:`CacheStats`, same miss
+indices, and (for the CLS prefetcher) the same learned weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.classic import StridePrefetcher
+from repro.core.cls_prefetcher import CLSPrefetcher, CLSPrefetcherConfig
+from repro.memsim.events import AccessEvent, MissEvent
+from repro.memsim.simulator import SimConfig, simulate
+from repro.patterns.applications import AppSpec, resnet_training
+
+SIM_CFG = SimConfig(memory_fraction=0.5, prefetch_delay_accesses=4)
+
+
+class EventOnly:
+    """Expose only the event-object protocol of a wrapped prefetcher.
+
+    ``wants_accesses`` / ``is_null`` are forwarded so the simulator makes
+    the same gating decisions; only the fast scalar entry points are
+    hidden, forcing ``simulate`` onto MissEvent/AccessEvent dispatch.
+    """
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.name = inner.name
+        self.wants_accesses = getattr(inner, "wants_accesses", True)
+        self.is_null = getattr(inner, "is_null", False)
+        if getattr(inner, "on_access", None) is None:
+            self.on_access = None  # mirror the wrapped prefetcher's absence
+
+    def on_miss(self, event: MissEvent) -> list[int]:
+        return self._inner.on_miss(event)
+
+    def on_access(self, event: AccessEvent) -> list[int] | None:
+        return self._inner.on_access(event)
+
+
+def _trace(n: int = 12_000):
+    return resnet_training(AppSpec(n=n, seed=1))
+
+
+def _cls(observe_hits: bool = False) -> CLSPrefetcher:
+    return CLSPrefetcher(CLSPrefetcherConfig(
+        model="hebbian", vocab_size=64, observe_hits=observe_hits, seed=3))
+
+
+def _run_both(make_prefetcher, trace):
+    fast_pf = make_prefetcher()
+    event_pf = make_prefetcher()
+    assert getattr(fast_pf, "on_miss_fast", None) is not None
+    fast = simulate(trace, fast_pf, SIM_CFG, record_miss_indices=True)
+    event = simulate(trace, EventOnly(event_pf), SIM_CFG,
+                     record_miss_indices=True)
+    return fast, event, fast_pf, event_pf
+
+
+class TestMissFastPath:
+    def test_cls_bit_identical(self):
+        trace = _trace()
+        fast, event, fast_pf, event_pf = _run_both(_cls, trace)
+        assert fast.stats == event.stats
+        assert fast.miss_indices == event.miss_indices
+        np.testing.assert_array_equal(fast_pf.model.w_out,
+                                      event_pf.model.w_out)
+
+    def test_stride_bit_identical(self):
+        trace = _trace()
+        fast, event, _, _ = _run_both(StridePrefetcher, trace)
+        assert fast.stats == event.stats
+        assert fast.miss_indices == event.miss_indices
+
+
+class TestAccessFastPath:
+    def test_observe_hits_bit_identical(self):
+        trace = _trace(8_000)
+        fast, event, fast_pf, event_pf = _run_both(
+            lambda: _cls(observe_hits=True), trace)
+        assert fast.stats == event.stats
+        assert fast.miss_indices == event.miss_indices
+        np.testing.assert_array_equal(fast_pf.model.w_out,
+                                      event_pf.model.w_out)
+
+
+class TestWantsAccessesGating:
+    class _Recorder:
+        """Counts callback invocations; declares no interest in accesses."""
+
+        name = "recorder"
+        wants_accesses = False
+
+        def __init__(self) -> None:
+            self.miss_calls = 0
+            self.access_calls = 0
+
+        def on_miss(self, event: MissEvent) -> list[int]:
+            self.miss_calls += 1
+            return []
+
+        def on_access(self, event: AccessEvent) -> None:
+            self.access_calls += 1
+
+    def test_declining_prefetcher_never_sees_accesses(self):
+        trace = _trace(4_000)
+        recorder = self._Recorder()
+        result = simulate(trace, recorder, SIM_CFG)
+        assert recorder.access_calls == 0
+        assert recorder.miss_calls == result.demand_misses
+
+    def test_default_is_full_access_stream(self):
+        trace = _trace(4_000)
+        recorder = self._Recorder()
+        recorder.wants_accesses = True
+        simulate(trace, recorder, SIM_CFG)
+        assert recorder.access_calls == len(trace)

@@ -100,6 +100,103 @@ def test_rollout_matches_reference_on_learned_cycle():
         for c in cycle:
             fast.step(c)
             ref.step(c)
-    r_fast = fast.predict_rollout(width=3, length=4)
-    r_ref = ref.predict_rollout(width=3, length=4)
-    assert r_fast == r_ref
+    for width, length in ((3, 4), (2, 3), (1, 2)):
+        assert (fast.predict_rollout(width=width, length=length)
+                == ref.predict_rollout(width=width, length=length))
+
+
+def test_rollout_fused_first_step_matches_recompute():
+    """The fused path (reusing step()'s softmax) equals recomputing it.
+
+    ``predict_rollout`` normally reuses the probabilities ``step()`` just
+    produced for the frozen ``_last_scores``; clearing the memo forces
+    the unfused recompute, which must agree bit for bit — including
+    after training mutates the weights in between (the rollout's first
+    step is defined over the frozen scores, not the live weights).
+    """
+    config = _configs()["onehot"]
+    net = SparseHebbianNetwork(config)
+    rng = np.random.default_rng(21)
+    for class_id in rng.integers(0, config.vocab_size, size=300):
+        net.step(int(class_id))
+    fused = net.predict_rollout(width=2, length=3)
+    net._last_probs = None  # drop the memo: recompute from _last_scores
+    assert net.predict_rollout(width=2, length=3) == fused
+
+    # Only the first step is frozen; later steps read the live weights
+    # (in both paths), so compare length=1 across a weight mutation.
+    net.step(5)
+    fused = net.predict_rollout(width=2, length=1)
+    net.train_pairs([(9, 30), (4, 17)], lr_scale=0.1)  # mutate weights
+    net._last_probs = None
+    assert net.predict_rollout(width=2, length=1) == fused
+
+
+def test_rollout_width2_matches_general_topk():
+    """The scalar width-2 branch equals the general argpartition branch,
+    including on exact ties (both reduce to the same stable insertion
+    sort of two elements)."""
+    config = _configs()["onehot"]
+    net = SparseHebbianNetwork(config)
+
+    def general_topk(probs, width):
+        part = probs.argpartition(-width)[-width:]
+        vals = probs[part]
+        order = vals.argsort()[::-1]
+        return list(zip(part[order].tolist(), vals[order].tolist()))
+
+    # Untrained: every score is 0, probabilities are uniform — all ties.
+    probs = net.step(0, train=False)
+    assert net.predict_rollout(width=2, length=1) == [general_topk(probs, 2)]
+
+    rng = np.random.default_rng(5)
+    for class_id in rng.integers(0, config.vocab_size, size=400):
+        net.step(int(class_id))
+    probs = net.step(3)
+    assert net.predict_rollout(width=2, length=1) == [general_topk(probs, 2)]
+
+
+def test_sparse_readout_matches_dense_row_sum():
+    """bincount-over-connected-entries == dense row sum, bit for bit,
+    for both cache-resident codes and foreign (caller-supplied) codes."""
+    config = _configs()["onehot"]
+    net = SparseHebbianNetwork(config)
+    rng = np.random.default_rng(13)
+    for class_id in rng.integers(0, config.vocab_size, size=500):
+        net.step(int(class_id))
+    for class_id in range(0, config.vocab_size, 7):
+        active = net.hidden_code(class_id)
+        dense = np.add.reduce(net.w_out.take(active, axis=0), axis=0)
+        np.testing.assert_array_equal(net.readout(active), dense)
+    # A code the cache has never seen takes the dense fallback.
+    foreign = rng.choice(config.hidden_dim, size=30, replace=False)
+    dense = np.add.reduce(net.w_out.take(foreign, axis=0), axis=0)
+    np.testing.assert_array_equal(net.readout(foreign), dense)
+
+
+@pytest.mark.parametrize("punish_wrong", [False, True])
+@pytest.mark.parametrize("batch", [
+    [(3, 9)],                                  # single pair
+    [(3, 9), (9, 4), (4, 17), (17, 30)],       # distinct targets: vectorized
+    [(3, 9), (9, 4), (4, 9), (17, 30)],        # duplicate target: fallback
+])
+def test_train_pairs_matches_per_pair_loop(punish_wrong, batch):
+    config = HebbianConfig(vocab_size=64, hidden_dim=300, seed=11,
+                           punish_wrong=punish_wrong)
+    batched = SparseHebbianNetwork(config)
+    looped = SparseHebbianNetwork(config)
+    ref = DenseHebbianReference(config)
+    rng = np.random.default_rng(41)
+    warmup = rng.integers(0, config.vocab_size, size=200)
+    for class_id in warmup:
+        batched.step(int(class_id))
+        looped.step(int(class_id))
+        ref.step(int(class_id))
+
+    for _ in range(3):  # repeat: the second round hits the delta cache
+        batched.train_pairs(batch, lr_scale=0.1)
+        for input_class, target_class in batch:
+            looped.train_pair(input_class, target_class, lr_scale=0.1)
+            ref.train_pair(input_class, target_class, lr_scale=0.1)
+    np.testing.assert_array_equal(batched.w_out, looped.w_out)
+    np.testing.assert_array_equal(batched.w_out, ref.w_out)

@@ -74,3 +74,11 @@ class TestCommands:
     def test_experiment_fig2(self, capsys):
         assert main(["experiment", "fig2"]) == 0
         assert "lstm-fp32-1t" in capsys.readouterr().out
+
+    def test_profile_wraps_any_subcommand(self, capsys):
+        assert main(["--profile", "simulate", "--pattern", "stride",
+                     "--n", "500", "--model", "stride"]) == 0
+        output = capsys.readouterr().out
+        assert "misses removed %" in output  # the run itself still prints
+        assert "cProfile: top 25 by cumulative time" in output
+        assert "cumtime" in output  # pstats table made it to stdout
