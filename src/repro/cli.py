@@ -121,6 +121,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes for grid experiments "
                           "(fig5/variance); default auto-detects from CPU "
                           "count, falling back to serial on one core")
+    exp.add_argument("--trace-cache-dir", default=None,
+                     help="directory for the shared trace-materialization "
+                          "cache (fig5/variance); traces are generated once "
+                          "per (app, n, seed) and reused across cells and "
+                          "invocations")
     exp.add_argument("--cache-dir", default=None,
                      help="on-disk JSON result cache for grid cells; "
                           "reruns with the same specs are served from disk")
@@ -222,7 +227,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     elif which == "fig5":
         config = fig5.Fig5Config(n_accesses=args.n, seed=args.seed)
         result = fig5.run_fig5(config, jobs=args.jobs,
-                               cache_dir=args.cache_dir)
+                               cache_dir=args.cache_dir,
+                               trace_cache_dir=args.trace_cache_dir)
         headers = ["application", "hebbian_removed_pct", "lstm_removed_pct"]
         for app in config.applications:
             per_model = result.for_app(app)
@@ -235,7 +241,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
         config = fig5.Fig5Config(n_accesses=args.n, seed=args.seed)
         rows = fig5_seed_sweep(seeds=tuple(range(args.seeds)), config=config,
-                               jobs=args.jobs, cache_dir=args.cache_dir)
+                               jobs=args.jobs, cache_dir=args.cache_dir,
+                               trace_cache_dir=args.trace_cache_dir)
         headers = ["application", "model", "mean_removed_pct", "std", "worst"]
         table_rows = [[r.application, r.model, r.mean, r.std, r.worst]
                       for r in rows]

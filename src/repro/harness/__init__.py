@@ -35,6 +35,7 @@ from .models import (
     paper_lstm_config,
 )
 from .export import export_rows_csv
+from .trace_cache import configure as configure_trace_cache, materialize
 from .reporting import format_series, format_table, print_table
 from .variance import VarianceRow, fig5_seed_sweep
 from .tables import (
@@ -64,6 +65,7 @@ __all__ = [
     "Fig5Config",
     "Fig5Result",
     "make_model_prefetcher",
+    "materialize",
     "run_fig5",
     "DisaggComparison",
     "Fig6Config",
@@ -80,6 +82,7 @@ __all__ = [
     "experiment_lstm_config",
     "paper_hebbian_config",
     "paper_lstm_config",
+    "configure_trace_cache",
     "export_rows_csv",
     "format_series",
     "format_table",

@@ -27,7 +27,7 @@ from ..memsim.prefetcher import NullPrefetcher
 from ..memsim.simulator import SimConfig, baseline_misses, simulate
 from ..nn.costs import hebbian_inference_ops, hebbian_parameter_count
 from ..nn.hebbian import HebbianConfig, SparseHebbianNetwork
-from ..patterns.applications import AppSpec, generate_application
+from ..patterns.applications import AppSpec
 from ..patterns.generators import PatternSpec, pointer_chase, stride
 from ..patterns.trace import Trace, interleave
 from .interference import InterferenceConfig, run_interference
@@ -37,6 +37,7 @@ from .models import (
     experiment_lstm,
 )
 from .runner import run_grid
+from .trace_cache import materialize
 
 VOCAB = 192
 
@@ -56,8 +57,8 @@ def _hebbian_cls(seed: int = 0, **overrides: Any) -> CLSPrefetcher:
 # A1: training-instance sampling (§5.1)
 # ----------------------------------------------------------------------
 def _sampling_cell(spec: dict) -> dict:
-    trace = generate_application("resnet", AppSpec(n=spec["n_accesses"],
-                                                   seed=spec["seed"]))
+    trace = materialize("resnet", AppSpec(n=spec["n_accesses"],
+                                          seed=spec["seed"]))
     sim_cfg = SimConfig(memory_fraction=0.5)
     baseline = baseline_misses(trace, sim_cfg)
     prefetcher = _hebbian_cls(seed=spec["seed"], training=spec["policy"],
@@ -76,7 +77,8 @@ def _sampling_cell(spec: dict) -> dict:
 
 def ablation_sampling(n_accesses: int = 15_000, seed: int = 0,
                       jobs: int | None = None,
-                      cache_dir: str | Path | None = None) -> list[dict]:
+                      cache_dir: str | Path | None = None,
+                      trace_cache_dir: str | Path | None = None) -> list[dict]:
     # resnet's regular stream + demand-stream observation keep the input
     # distribution stationary, so model confidence saturates on learned
     # transitions and the confidence-filtered policy has real skips to make
@@ -91,7 +93,8 @@ def ablation_sampling(n_accesses: int = 15_000, seed: int = 0,
     specs = [{"kind": "ablation_sampling", "n_accesses": n_accesses,
               "seed": seed, "policy": kind, "policy_kwargs": kwargs}
              for kind, kwargs in policies]
-    return run_grid(specs, _sampling_cell, jobs=jobs, cache_dir=cache_dir)
+    return run_grid(specs, _sampling_cell, jobs=jobs, cache_dir=cache_dir,
+                    trace_cache_dir=trace_cache_dir)
 
 
 # ----------------------------------------------------------------------
@@ -203,9 +206,8 @@ def _encoding_workload(name: str, n_accesses: int, seed: int) -> Trace:
         return _interleaved_strides(n_accesses, seed)
     if name == "graph500":
         # graph500 needs several whole BFS passes to become learnable
-        return generate_application("graph500",
-                                    AppSpec(n=2 * n_accesses, seed=seed))
-    return generate_application(name, AppSpec(n=n_accesses, seed=seed))
+        return materialize("graph500", AppSpec(n=2 * n_accesses, seed=seed))
+    return materialize(name, AppSpec(n=n_accesses, seed=seed))
 
 
 def _encoding_cell(spec: dict) -> dict:
@@ -231,14 +233,16 @@ def _encoding_cell(spec: dict) -> dict:
 
 def ablation_encoding(n_accesses: int = 12_000, seed: int = 0,
                       jobs: int | None = None,
-                      cache_dir: str | Path | None = None) -> list[dict]:
+                      cache_dir: str | Path | None = None,
+                      trace_cache_dir: str | Path | None = None) -> list[dict]:
     workloads = ("pointer_chase", "interleaved_strides", "graph500",
                  "memcached", "cachebench")
     specs = [{"kind": "ablation_encoding", "n_accesses": n_accesses,
               "seed": seed, "workload": name, "encoder": encoder}
              for name in workloads
              for encoder in ("delta", "page", "region")]
-    return run_grid(specs, _encoding_cell, jobs=jobs, cache_dir=cache_dir)
+    return run_grid(specs, _encoding_cell, jobs=jobs, cache_dir=cache_dir,
+                    trace_cache_dir=trace_cache_dir)
 
 
 # ----------------------------------------------------------------------
@@ -340,8 +344,8 @@ def ablation_replay(seed: int = 0) -> list[dict]:
 # A5: availability (§5.5)
 # ----------------------------------------------------------------------
 def _availability_cell(spec: dict) -> dict:
-    trace = generate_application("mcf", AppSpec(n=spec["n_accesses"],
-                                                seed=spec["seed"]))
+    trace = materialize("mcf", AppSpec(n=spec["n_accesses"],
+                                       seed=spec["seed"]))
     sim_cfg = SimConfig(memory_fraction=0.5)
     baseline = baseline_misses(trace, sim_cfg)
     availability = spec["availability"]
@@ -356,11 +360,14 @@ def _availability_cell(spec: dict) -> dict:
 
 def ablation_availability(n_accesses: int = 12_000, seed: int = 0,
                           jobs: int | None = None,
-                          cache_dir: str | Path | None = None) -> list[dict]:
+                          cache_dir: str | Path | None = None,
+                          trace_cache_dir: str | Path | None = None,
+                          ) -> list[dict]:
     specs = [{"kind": "ablation_availability", "n_accesses": n_accesses,
               "seed": seed, "availability": availability}
              for availability in (False, True)]
-    return run_grid(specs, _availability_cell, jobs=jobs, cache_dir=cache_dir)
+    return run_grid(specs, _availability_cell, jobs=jobs, cache_dir=cache_dir,
+                    trace_cache_dir=trace_cache_dir)
 
 
 def ablation_noise_robustness(seed: int = 0) -> list[dict]:

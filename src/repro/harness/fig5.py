@@ -20,9 +20,10 @@ from pathlib import Path
 from ..core.cls_prefetcher import CLSPrefetcher, CLSPrefetcherConfig
 from ..core.metrics import PrefetchSummary, summarize_prefetch
 from ..memsim.simulator import SimConfig, baseline_misses, simulate
-from ..patterns.applications import FIG5_APPLICATIONS, AppSpec, generate_application
+from ..patterns.applications import FIG5_APPLICATIONS, AppSpec
 from .models import experiment_hebbian_config, experiment_lstm_config
 from .runner import run_grid
+from .trace_cache import materialize
 
 
 @dataclass
@@ -108,8 +109,8 @@ def fig5_cell_spec(app: str, model: str, config: Fig5Config) -> dict:
 def fig5_cell(spec: dict) -> dict:
     """Run one Figure 5 bar from its spec (module-level: picklable)."""
     config = Fig5Config(applications=(spec["app"],), **spec["config"])
-    trace = generate_application(spec["app"], AppSpec(n=config.n_accesses,
-                                                      seed=config.seed))
+    trace = materialize(spec["app"], AppSpec(n=config.n_accesses,
+                                             seed=config.seed))
     sim_cfg = SimConfig(memory_fraction=config.memory_fraction)
     baseline = baseline_misses(trace, sim_cfg)
     prefetcher = make_model_prefetcher(spec["model"], config)
@@ -121,13 +122,17 @@ def fig5_cell(spec: dict) -> dict:
 def run_fig5(config: Fig5Config = Fig5Config(),
              models: tuple[str, ...] = ("hebbian", "lstm"),
              jobs: int | None = None,
-             cache_dir: str | Path | None = None) -> Fig5Result:
+             cache_dir: str | Path | None = None,
+             trace_cache_dir: str | Path | None = None) -> Fig5Result:
     """Run the full Figure 5 grid; returns one summary per (app, model).
 
     ``jobs`` fans the (app, model) cells out across processes;
-    ``cache_dir`` memoizes each cell on disk (see ``harness.runner``).
+    ``cache_dir`` memoizes each cell on disk (see ``harness.runner``);
+    ``trace_cache_dir`` shares materialized traces across cells and
+    invocations (see ``harness.trace_cache``).
     """
     specs = [fig5_cell_spec(app, model, config)
              for app in config.applications for model in models]
-    rows = run_grid(specs, fig5_cell, jobs=jobs, cache_dir=cache_dir)
+    rows = run_grid(specs, fig5_cell, jobs=jobs, cache_dir=cache_dir,
+                    trace_cache_dir=trace_cache_dir)
     return Fig5Result(rows=[PrefetchSummary(**row) for row in rows])

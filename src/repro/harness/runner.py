@@ -111,17 +111,32 @@ def spec_key(spec: dict) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def _cache_load(path: Path) -> Any:
+def _cache_load(path: Path, spec: dict) -> Any:
+    """Load a cached result, verifying the stored spec is the one asked for.
+
+    The filename hash should make a mismatch impossible, but a hash
+    collision, a foreign file dropped into the cache directory, or a
+    stale file from a buggy writer would silently serve a wrong result
+    for the lifetime of the cache — so the stored canonical spec is
+    compared against the requested one and any mismatch is treated as a
+    miss (the cell recomputes and overwrites).
+    """
     try:
         with path.open("r", encoding="utf-8") as fh:
-            return json.load(fh)["result"]
+            payload = json.load(fh)
+        stored_spec = payload["spec"]
+        result = payload["result"]
     except (OSError, ValueError, KeyError):
         return None
+    if stored_spec != canonicalize_spec(spec):
+        return None
+    return result
 
 
 def _cache_store(path: Path, spec: dict, result: Any) -> None:
     """Atomic write (tmp + rename) so concurrent runs never see torn files."""
-    payload = json.dumps({"spec": spec, "result": result}, sort_keys=True)
+    payload = json.dumps({"spec": canonicalize_spec(spec), "result": result},
+                         sort_keys=True)
     fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as fh:
@@ -133,9 +148,18 @@ def _cache_store(path: Path, spec: dict, result: Any) -> None:
         raise
 
 
+def _init_worker_trace_cache(trace_cache_dir: str) -> None:
+    """ProcessPoolExecutor initializer: point the worker's trace cache at
+    the shared directory (module state does not survive the fork/spawn)."""
+    from . import trace_cache
+
+    trace_cache.configure(trace_cache_dir)
+
+
 def run_grid(specs: Sequence[dict], fn: Callable[[dict], object],
              jobs: int | None = None,
-             cache_dir: str | Path | None = None) -> list[Any]:
+             cache_dir: str | Path | None = None,
+             trace_cache_dir: str | Path | None = None) -> list[Any]:
     """Run ``fn(spec)`` for every spec; return results in spec order.
 
     Args:
@@ -149,6 +173,11 @@ def run_grid(specs: Sequence[dict], fn: Callable[[dict], object],
             in-process.
         cache_dir: Directory for the JSON result cache (created on
             demand).  ``None`` disables caching.
+        trace_cache_dir: Directory for the shared trace-materialization
+            cache (see ``harness.trace_cache``).  Configured in every
+            worker process (or bracketed around the serial loop) for the
+            duration of the grid; ``None`` leaves trace generation
+            uncached.
     """
     specs = list(specs)
     keys = [spec_key(spec) for spec in specs]
@@ -161,10 +190,10 @@ def run_grid(specs: Sequence[dict], fn: Callable[[dict], object],
             raise ValueError(f"cache_dir {cache_path} exists and is not "
                              "a directory")
         cache_path.mkdir(parents=True, exist_ok=True)
-        for key in keys:
+        for key, spec in zip(keys, specs):
             if key in results:
                 continue
-            cached = _cache_load(cache_path / f"{key}.json")
+            cached = _cache_load(cache_path / f"{key}.json", spec)
             if cached is not None:
                 results[key] = cached
 
@@ -178,13 +207,29 @@ def run_grid(specs: Sequence[dict], fn: Callable[[dict], object],
     if pending:
         workers = resolve_jobs(jobs, len(pending))
         if workers > 1:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+            if trace_cache_dir is not None:
+                pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_init_worker_trace_cache,
+                    initargs=(str(trace_cache_dir),))
+            else:
+                pool = ProcessPoolExecutor(max_workers=workers)
+            with pool:
                 futures = [(key, spec, pool.submit(fn, spec))
                            for key, spec in pending]
                 computed = [(key, spec, future.result())
                             for key, spec, future in futures]
         else:
-            computed = [(key, spec, fn(spec)) for key, spec in pending]
+            if trace_cache_dir is not None:
+                from . import trace_cache
+
+                previous = trace_cache.configure(trace_cache_dir)
+                try:
+                    computed = [(key, spec, fn(spec)) for key, spec in pending]
+                finally:
+                    trace_cache.configure(previous)
+            else:
+                computed = [(key, spec, fn(spec)) for key, spec in pending]
         for key, spec, result in computed:
             results[key] = result
             if cache_path is not None:

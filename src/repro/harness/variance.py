@@ -37,12 +37,16 @@ def fig5_seed_sweep(seeds: tuple[int, ...] = (0, 1, 2),
                     config: Fig5Config = Fig5Config(n_accesses=10_000),
                     models: tuple[str, ...] = ("hebbian", "lstm"),
                     jobs: int | None = None,
-                    cache_dir: str | Path | None = None) -> list[VarianceRow]:
+                    cache_dir: str | Path | None = None,
+                    trace_cache_dir: str | Path | None = None,
+                    ) -> list[VarianceRow]:
     """Run Figure 5 once per seed; aggregate % misses removed.
 
     The whole seed × app × model cube is one flat grid, so ``jobs``
-    parallelizes across seeds as well as cells, and ``cache_dir`` reuses
-    bars shared with previous ``run_fig5`` invocations.
+    parallelizes across seeds as well as cells, ``cache_dir`` reuses
+    bars shared with previous ``run_fig5`` invocations, and
+    ``trace_cache_dir`` shares each seed's materialized traces between
+    that seed's hebbian and lstm cells (and any other harness).
     """
     if not seeds:
         raise ValueError("need at least one seed")
@@ -50,7 +54,8 @@ def fig5_seed_sweep(seeds: tuple[int, ...] = (0, 1, 2),
              for seed in seeds
              for app in config.applications
              for model in models]
-    rows = run_grid(specs, fig5_cell, jobs=jobs, cache_dir=cache_dir)
+    rows = run_grid(specs, fig5_cell, jobs=jobs, cache_dir=cache_dir,
+                    trace_cache_dir=trace_cache_dir)
     samples: dict[tuple[str, str], list[float]] = {}
     for row in rows:
         key = (row["trace_name"], row["prefetcher_name"])

@@ -2,9 +2,10 @@
 
 from .events import AccessEvent, MissEvent
 from .pagecache import HIT, MISS, PREFETCH_HIT, CacheStats, PageCache
+from .pagecache_reference import ReferencePageCache
 from .prefetch_queue import PrefetchQueue
 from .prefetcher import AccessAwarePrefetcher, NullPrefetcher, Prefetcher
-from .simulator import SimConfig, SimResult, baseline_misses, simulate
+from .simulator import SimConfig, SimResult, baseline_misses, simulate, span_length_stats
 
 __all__ = [
     "AccessEvent",
@@ -14,6 +15,7 @@ __all__ = [
     "PREFETCH_HIT",
     "CacheStats",
     "PageCache",
+    "ReferencePageCache",
     "PrefetchQueue",
     "AccessAwarePrefetcher",
     "NullPrefetcher",
@@ -22,4 +24,5 @@ __all__ = [
     "SimResult",
     "baseline_misses",
     "simulate",
+    "span_length_stats",
 ]

@@ -50,6 +50,15 @@ class FastPathPrefetcher(Prefetcher, Protocol):
     attribute; when false the simulator skips the per-access callback
     entirely (valid only if ``on_access`` would return None for every
     access in that configuration).
+
+    ``wants_accesses`` also gates engine selection (PR 4): the
+    span-batched engine never delivers per-access callbacks, so a
+    prefetcher that wants them is always simulated on the scalar
+    reference engine.  Miss-driven prefetchers see the identical miss
+    stream under either engine — the batched engine resolves hit runs
+    in bulk but stops at every demand miss and prefetch landing, so
+    ``on_miss``/``on_miss_fast`` fire at the same indices with the same
+    cache state as the scalar loop.
     """
 
     def on_miss_fast(self, index: int, address: int, page: int,
@@ -66,7 +75,10 @@ class NullPrefetcher:
     """The no-prefetching baseline (Figure 5's denominator).
 
     ``is_null`` lets the simulator skip constructing :class:`MissEvent`
-    objects entirely — this policy never reads them.
+    objects entirely — this policy never reads them — and unlocks the
+    fully vectorized null replay in the batched engine (bulk miss-run
+    fills, and a clean restart on the scalar engine when the workload
+    turns out span-degenerate).
     """
 
     name = "none"

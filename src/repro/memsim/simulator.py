@@ -4,17 +4,69 @@
 sized as a fraction of the trace footprint (Figure 5 uses 50%), feeding
 every demand miss to a prefetcher and installing its predictions after a
 configurable timeliness delay.
+
+Two engines produce bit-identical results (same ``CacheStats``, same miss
+indices, same prefetcher interaction order):
+
+* ``scalar`` — the retained per-access event loop, running on the seed's
+  OrderedDict :class:`~repro.memsim.pagecache_reference.ReferencePageCache`
+  (the reference semantics *and* the reference constant factors), and the
+  only engine able to drive per-access observers (``wants_accesses``
+  prefetchers).
+* ``batched`` — the PR 4 span-batched engine on the array-backed
+  :class:`~repro.memsim.pagecache.PageCache`.  Between two
+  membership-changing events (a demand fill or a prefetch landing) the
+  resident set is constant, so the next miss is found by a vectorized
+  membership scan and the whole hit run is accounted in one
+  ``PageCache.access_run`` call.  Misses stay scalar so the prefetcher
+  sees the exact same callback sequence; for the null prefetcher (whose
+  queue is provably always empty) maximal distinct miss runs are also
+  resolved in bulk via ``PageCache.fill_run``.
+
+``engine="auto"`` (the default) picks ``batched`` whenever the prefetcher
+does not observe per-access events, which covers every Figure 5
+configuration in the repo.  The auto null replay additionally restarts on
+the scalar engine when span batching proves degenerate mid-run
+(scattered-miss workloads whose spans are too short to amortize a
+vectorized scan — see ``_FALLBACK_SCALAR``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
 
 from ..patterns.trace import Trace
 from .events import AccessEvent, MissEvent
 from .pagecache import MISS, CacheStats, PageCache
+from .pagecache_reference import ReferencePageCache
 from .prefetch_queue import PrefetchQueue
 from .prefetcher import Prefetcher
+
+#: Below this many accesses, a span is replayed scalar even in the batched
+#: engine: a handful of numpy windowed calls (~1 µs each) costs more than
+#: the per-access loop for short spans (miss-dense regions, short delays).
+_BULK_MIN_SPAN = 24
+
+#: Demand-miss runs shorter than this are filled scalar: a bulk fill is
+#: ~10 vectorized calls, so isolated misses (low-miss-rate workloads)
+#: are cheaper through the plain access/fill pair.
+_BULK_MIN_RUN = 8
+
+#: After this many scalar-fallback accesses, the null engine switches
+#: from boxing numpy scalars to one-time tolist() materialization.
+_MATERIALIZE_AFTER = 4096
+
+#: Under ``engine="auto"``, the null engine gives up on batching once this
+#: many accesses have gone through the scalar fallbacks *and* they are the
+#: majority of the trace so far: span batching has proven degenerate
+#: (scattered misses, short spans) and the per-access reference engine —
+#: whose OrderedDict ops are cheaper than scalar array pokes — wins.  The
+#: null prefetcher is stateless and never consulted, so a clean restart
+#: from access 0 is safe and bit-identical.
+_FALLBACK_SCALAR = 8192
 
 
 @dataclass(frozen=True)
@@ -82,22 +134,67 @@ class SimResult:
 
 def simulate(trace: Trace, prefetcher: Prefetcher,
              config: SimConfig = SimConfig(),
-             record_miss_indices: bool = False) -> SimResult:
-    """Replay ``trace`` through a page cache attached to ``prefetcher``."""
+             record_miss_indices: bool = False,
+             engine: str = "auto") -> SimResult:
+    """Replay ``trace`` through a page cache attached to ``prefetcher``.
+
+    ``engine`` is ``"auto"`` (batched when the prefetcher permits it),
+    ``"batched"`` or ``"scalar"``; the engines are bit-identical, so the
+    explicit values exist for equivalence tests and debugging.
+    """
+    if engine not in ("auto", "batched", "scalar"):
+        raise ValueError(f"unknown engine {engine!r}")
     capacity = config.resolve_capacity(trace)
-    cache = PageCache(capacity_pages=capacity)
     queue = PrefetchQueue(delay_accesses=config.prefetch_delay_accesses)
-    # Materialize the trace columns as plain python lists once: indexing a
-    # numpy array element-by-element boxes a fresh scalar per access, which
-    # dominates the loop at trace scale.
-    pages = trace.pages(config.page_size).tolist()
-    stores = (trace.kinds != 0).tolist()  # KIND_STORE marks the page dirty
     on_access = getattr(prefetcher, "on_access", None)
     if on_access is not None and not getattr(prefetcher, "wants_accesses", True):
         # Fast-path protocol: the prefetcher declares it ignores the
         # per-access stream, so skip the callback (it would return None
         # for every access) instead of allocating an event each time.
         on_access = None
+    if engine == "batched" and on_access is not None:
+        raise ValueError(
+            "batched engine cannot drive per-access observers; "
+            "use engine='scalar' (or 'auto') for wants_accesses prefetchers")
+    use_batched = engine == "batched" or (engine == "auto" and on_access is None)
+    miss_indices: list[int] = []
+    cache: PageCache | ReferencePageCache
+    if use_batched:
+        cache = PageCache(capacity_pages=capacity)
+        done = _run_batched(trace, prefetcher, config, cache, queue,
+                            miss_indices if record_miss_indices else None,
+                            allow_fallback=engine == "auto")
+        if not done:
+            # Batching proved degenerate mid-run (see _FALLBACK_SCALAR);
+            # discard the partial run and restart on the reference engine.
+            miss_indices.clear()
+            queue = PrefetchQueue(delay_accesses=config.prefetch_delay_accesses)
+            cache = ReferencePageCache(capacity_pages=capacity)
+            _run_scalar(trace, prefetcher, config, cache, queue, None,
+                        miss_indices if record_miss_indices else None)
+    else:
+        cache = ReferencePageCache(capacity_pages=capacity)
+        _run_scalar(trace, prefetcher, config, cache, queue, on_access,
+                    miss_indices if record_miss_indices else None)
+    return SimResult(
+        trace_name=trace.name,
+        prefetcher_name=prefetcher.name,
+        capacity_pages=capacity,
+        stats=cache.stats,
+        config=config,
+        miss_indices=miss_indices,
+    )
+
+
+def _run_scalar(trace: Trace, prefetcher: Prefetcher, config: SimConfig,
+                cache: PageCache | ReferencePageCache, queue: PrefetchQueue,
+                on_access: Any, miss_out: list[int] | None) -> None:
+    """The retained per-access reference engine (OrderedDict cache)."""
+    # Materialize the trace columns as plain python lists once: indexing a
+    # numpy array element-by-element boxes a fresh scalar per access, which
+    # dominates the loop at trace scale.
+    pages = trace.pages(config.page_size).tolist()
+    stores = (trace.kinds != 0).tolist()  # KIND_STORE marks the page dirty
     # Fast-path protocol: prefetchers that implement the scalar entry
     # points skip the per-event dataclass allocations entirely.  The
     # event-object path stays for external prefetchers.
@@ -111,7 +208,6 @@ def simulate(trace: Trace, prefetcher: Prefetcher,
         addresses = trace.addresses.tolist()
         stream_ids = trace.stream_ids.tolist()
         timestamps = trace.timestamps.tolist()
-    miss_indices: list[int] = []
 
     access = cache.access
     fill = cache.fill
@@ -120,7 +216,7 @@ def simulate(trace: Trace, prefetcher: Prefetcher,
     issue = queue.issue
     on_miss = prefetcher.on_miss
     max_prefetches = config.max_prefetches_per_miss
-    append_miss = miss_indices.append
+    append_miss = miss_out.append if miss_out is not None else None
 
     for i, page in enumerate(pages):
         if queue.next_landing <= i:
@@ -132,7 +228,7 @@ def simulate(trace: Trace, prefetcher: Prefetcher,
         hit = outcome is not MISS
         if not hit:
             fill(page, store)
-            if record_miss_indices:
+            if append_miss is not None:
                 append_miss(i)
             if not is_null:
                 if on_miss_fast is not None:
@@ -172,14 +268,301 @@ def simulate(trace: Trace, prefetcher: Prefetcher,
                     if predicted != page:
                         issue(int(predicted), i)
 
-    return SimResult(
-        trace_name=trace.name,
-        prefetcher_name=prefetcher.name,
-        capacity_pages=capacity,
-        stats=cache.stats,
-        config=config,
-        miss_indices=miss_indices,
-    )
+
+def _run_batched(trace: Trace, prefetcher: Prefetcher, config: SimConfig,
+                 cache: PageCache, queue: PrefetchQueue,
+                 miss_out: list[int] | None,
+                 allow_fallback: bool = False) -> bool:
+    """Span-batched engine: bulk hit runs between membership events.
+
+    Returns False when the null replay bailed out under ``allow_fallback``
+    (span batching degenerate); the caller restarts on the scalar engine.
+    """
+    pages_arr = trace.pages(config.page_size)
+    universe, cids = trace.page_index(config.page_size)
+    stores_arr = trace.kinds != 0
+    cache.attach_universe(universe)
+    if getattr(prefetcher, "is_null", False):
+        return _replay_null(cache, pages_arr, cids, stores_arr, miss_out,
+                            allow_fallback)
+
+    n = len(pages_arr)
+    pages = pages_arr.tolist()
+    stores = stores_arr.tolist()
+    cids_t = cids.tolist()
+    addresses = trace.addresses
+    stream_ids = trace.stream_ids
+    timestamps = trace.timestamps
+    on_miss_fast = getattr(prefetcher, "on_miss_fast", None)
+    on_miss = prefetcher.on_miss
+    max_prefetches = config.max_prefetches_per_miss
+    fill = cache.fill
+    insert_prefetch = cache.insert_prefetch
+    first_nonresident = cache.first_nonresident
+    access_run = cache.access_run
+    landed = queue.landed
+    issue = queue.issue
+    append_miss = miss_out.append if miss_out is not None else None
+    # Demand pages always come from the trace, so they are in the universe
+    # and the cid-indexed slot table is their authoritative residency
+    # index: scalar stretches poke the cache arrays directly instead of
+    # paying the general access() protocol per access.
+    soc = cache._require_universe()
+    last_use = cache._last_use
+    dirty = cache._dirty
+    undemanded = cache._undemanded
+    stats = cache.stats
+    accesses_l = hits_l = misses_l = prefetch_hits_l = 0
+
+    def handle_miss(i: int, page: int, store: bool) -> None:
+        fill(page, store)
+        if append_miss is not None:
+            append_miss(i)
+        if on_miss_fast is not None:
+            predictions = on_miss_fast(i, int(addresses[i]), page,
+                                       int(stream_ids[i]), int(timestamps[i]))
+        else:
+            predictions = on_miss(MissEvent(
+                index=i,
+                address=int(addresses[i]),
+                page=page,
+                stream_id=int(stream_ids[i]),
+                timestamp=int(timestamps[i]),
+            ))
+        if predictions:
+            if len(predictions) > max_prefetches:
+                predictions = predictions[:max_prefetches]
+            for predicted in predictions:
+                if predicted != page:
+                    issue(int(predicted), i)
+
+    i = 0
+    while i < n:
+        if queue.next_landing <= i:
+            for landed_page in landed(i):
+                insert_prefetch(landed_page)
+        # Residency is constant until the next landing or demand fill:
+        # batch hits up to whichever comes first.
+        stop = queue.next_landing
+        if stop > n:
+            stop = n
+        if stop - i < _BULK_MIN_SPAN:
+            # Short span: the scalar loop wins.  Landings issued inside
+            # the span (e.g. delay 0) are handled by the per-access check.
+            while i < stop:
+                if queue.next_landing <= i:
+                    for landed_page in landed(i):
+                        insert_prefetch(landed_page)
+                accesses_l += 1
+                slot = soc[cids_t[i]]
+                if slot >= 0:
+                    hits_l += 1
+                    clock = cache._clock
+                    last_use[slot] = clock
+                    cache._clock = clock + 1
+                    if stores[i]:
+                        dirty[slot] = True
+                    if cache._n_undemanded and undemanded[slot]:
+                        undemanded[slot] = False
+                        cache._n_undemanded -= 1
+                        prefetch_hits_l += 1
+                else:
+                    misses_l += 1
+                    handle_miss(i, pages[i], stores[i])
+                i += 1
+            continue
+        j = first_nonresident(cids, i, stop)
+        if j > i:
+            access_run(cids[i:j], stores_arr[i:j])
+            i = j
+        if i < stop:
+            accesses_l += 1
+            misses_l += 1  # membership is known: first_nonresident stopped here
+            handle_miss(i, pages[i], stores[i])
+            i += 1
+    stats.accesses += accesses_l
+    stats.hits += hits_l
+    stats.demand_misses += misses_l
+    stats.prefetch_hits += prefetch_hits_l
+    return True
+
+
+def _replay_null(cache: PageCache, pages_arr: np.ndarray, cids: np.ndarray,
+                 stores_arr: np.ndarray, miss_out: list[int] | None,
+                 allow_fallback: bool = False) -> bool:
+    """Null-prefetcher engine: no prefetches are ever issued, so the
+    landing queue stays empty and both hit runs *and* demand-miss runs
+    resolve in bulk over maximal spans.
+
+    Returns False (partial state, discard the cache) when
+    ``allow_fallback`` is set and scalar fallbacks dominate — see
+    ``_FALLBACK_SCALAR``."""
+    n = len(cids)
+    first_nonresident = cache.first_nonresident
+    access_run = cache.access_run
+    miss_run_length = cache.miss_run_length
+    fill_run = cache.fill_run
+    # The null engine guarantees no prefetch ever exists: every page is in
+    # the universe, nothing is ever undemanded, and a demand access can
+    # only be HIT or MISS.  Short spans and short miss runs therefore skip
+    # the scalar access()/fill() protocol and poke the cache arrays
+    # directly — same state transitions, none of the generality.
+    soc = cache._require_universe()
+    last_use = cache._last_use
+    dirty = cache._dirty
+    page_arr = cache._page
+    cid_of_slot = cache._cid_of_slot
+    free = cache._free
+    capacity = cache.capacity_pages
+    evict = cache._evict_lru
+    stats = cache.stats
+    # Boxing numpy scalars in the fallbacks is fine while rare; once
+    # enough accesses have gone scalar (a short-span-dominated workload),
+    # pay one tolist() and index plain python lists instead.
+    pages_l: list[int] | None = None
+    cids_l: list[int] | None = None
+    stores_l: list[bool] | None = None
+    n_scalar = 0
+    accesses = hits = misses = 0
+    # After materialization, consecutive short spans flip the loop into a
+    # fully inline scalar walk (no per-span function calls at all); a long
+    # span or long miss run flips it back to the vectorized path.
+    short_mode = False
+    i = 0
+    while i < n:
+        # ``accesses`` counts exactly the scalar-fallback accesses (bulk
+        # paths bypass it): when they dominate, batching is not paying.
+        if allow_fallback and accesses > _FALLBACK_SCALAR and accesses * 2 > i:
+            return False
+        if short_mode and cids_l is not None and stores_l is not None \
+                and pages_l is not None:
+            clock = cache._clock
+            t = i
+            walk_limit = min(n, i + _BULK_MIN_SPAN)
+            while t < walk_limit:
+                slot = soc[cids_l[t]]
+                if slot < 0:
+                    break
+                last_use[slot] = clock
+                clock += 1
+                if stores_l[t]:
+                    dirty[slot] = True
+                t += 1
+            cache._clock = clock
+            span = t - i
+            accesses += span
+            hits += span
+            i = t
+            if i >= n:
+                break
+            if span >= _BULK_MIN_SPAN:
+                short_mode = False  # long span emerging: vectorize the rest
+                continue
+            # ``i`` is a miss.  Resolve it inline when the run is length 1
+            # (next access resident, duplicate, or absent) — the common
+            # case in scattered-miss workloads.
+            cid = cids_l[i]
+            if capacity > 1 and i + 1 < n:
+                c1 = cids_l[i + 1]
+                if c1 != cid and soc[c1] < 0:
+                    short_mode = False  # multi-miss run: vectorized cut
+                    continue
+            accesses += 1
+            misses += 1
+            if cache._n_resident >= capacity:
+                evict(by_prefetch=False)
+            slot = free.pop()
+            page_arr[slot] = pages_l[i]
+            clock = cache._clock
+            last_use[slot] = clock
+            cache._clock = clock + 1
+            if stores_l[i]:
+                dirty[slot] = True
+            soc[cid] = slot
+            cid_of_slot[slot] = cid
+            cache._n_resident += 1
+            if miss_out is not None:
+                miss_out.append(i)
+            i += 1
+            continue
+        j = first_nonresident(cids, i, n)
+        span = j - i
+        if span:
+            if span >= _BULK_MIN_SPAN:
+                access_run(cids[i:j], stores_arr[i:j])
+            else:
+                accesses += span
+                hits += span
+                clock = cache._clock
+                if cids_l is not None and stores_l is not None:
+                    for t in range(i, j):
+                        slot = soc[cids_l[t]]
+                        last_use[slot] = clock
+                        clock += 1
+                        if stores_l[t]:
+                            dirty[slot] = True
+                else:
+                    n_scalar += span
+                    for t in range(i, j):
+                        slot = soc[cids[t]]
+                        last_use[slot] = clock
+                        clock += 1
+                        if stores_arr[t]:
+                            dirty[slot] = True
+                cache._clock = clock
+            i = j
+        if i >= n:
+            break
+        k = miss_run_length(cids, i, n)
+        if k >= _BULK_MIN_RUN:
+            fill_run(pages_arr[i:i + k], cids[i:i + k], stores_arr[i:i + k])
+        else:
+            accesses += k
+            misses += k
+            clock = cache._clock
+            if pages_l is not None and cids_l is not None and stores_l is not None:
+                for t in range(i, i + k):
+                    if cache._n_resident >= capacity:
+                        evict(by_prefetch=False)
+                    slot = free.pop()
+                    page_arr[slot] = pages_l[t]
+                    last_use[slot] = clock
+                    clock += 1
+                    if stores_l[t]:
+                        dirty[slot] = True
+                    cid = cids_l[t]
+                    soc[cid] = slot
+                    cid_of_slot[slot] = cid
+                    cache._n_resident += 1
+            else:
+                n_scalar += k
+                for t in range(i, i + k):
+                    if cache._n_resident >= capacity:
+                        evict(by_prefetch=False)
+                    slot = free.pop()
+                    page_arr[slot] = pages_arr[t]
+                    last_use[slot] = clock
+                    clock += 1
+                    if stores_arr[t]:
+                        dirty[slot] = True
+                    cid = cids[t]
+                    soc[cid] = slot
+                    cid_of_slot[slot] = cid
+                    cache._n_resident += 1
+            cache._clock = clock
+        if miss_out is not None:
+            miss_out.extend(range(i, i + k))
+        i += k
+        if pages_l is None and n_scalar > _MATERIALIZE_AFTER:
+            pages_l = pages_arr.tolist()
+            cids_l = cids.tolist()
+            stores_l = stores_arr.tolist()
+        short_mode = (pages_l is not None and span < _BULK_MIN_SPAN
+                      and k < _BULK_MIN_RUN)
+    stats.accesses += accesses
+    stats.hits += hits
+    stats.demand_misses += misses
+    return True
 
 
 def baseline_misses(trace: Trace, config: SimConfig = SimConfig()) -> SimResult:
@@ -187,3 +570,33 @@ def baseline_misses(trace: Trace, config: SimConfig = SimConfig()) -> SimResult:
     from .prefetcher import NullPrefetcher
 
     return simulate(trace, NullPrefetcher(), config)
+
+
+def span_length_stats(trace: Trace, prefetcher: Prefetcher,
+                      config: SimConfig = SimConfig()) -> dict:
+    """Measure the hit-run (span) length distribution of a workload.
+
+    Replays the trace with the given prefetcher, then segments the access
+    stream into maximal runs of consecutive hits (the spans the batched
+    engine accounts in bulk).  Returns mean/median/max span length plus
+    the hit/miss totals — the numbers that explain where span batching
+    pays (EXPERIMENTS.md PR 4).
+    """
+    result = simulate(trace, prefetcher, config, record_miss_indices=True)
+    n = len(trace)
+    misses = np.asarray(result.miss_indices, dtype=np.int64)
+    # Span lengths = gaps between consecutive miss indices (minus the miss
+    # itself), plus the leading and trailing hit runs.
+    boundaries = np.concatenate(([-1], misses, [n]))
+    spans = np.diff(boundaries) - 1
+    spans = spans[spans > 0]
+    return {
+        "trace": trace.name,
+        "prefetcher": result.prefetcher_name,
+        "n_accesses": n,
+        "demand_misses": int(len(misses)),
+        "n_spans": int(len(spans)),
+        "mean_span": float(spans.mean()) if len(spans) else 0.0,
+        "median_span": float(np.median(spans)) if len(spans) else 0.0,
+        "max_span": int(spans.max()) if len(spans) else 0,
+    }

@@ -69,6 +69,10 @@ class Trace:
     metadata: dict = field(default_factory=dict)
     default_gap_ns: int = 100
 
+    #: Memoized (universe, compact ids) per page size — see page_index().
+    _page_index_cache: dict = field(default_factory=dict, init=False,
+                                    repr=False, compare=False)
+
     def __post_init__(self) -> None:
         self.addresses = np.asarray(self.addresses, dtype=np.int64)
         if self.addresses.ndim != 1:
@@ -119,9 +123,26 @@ class Trace:
         shift = page_size.bit_length() - 1
         return self.addresses >> shift
 
+    def page_index(self, page_size: int = 4096) -> tuple[np.ndarray, np.ndarray]:
+        """``(universe, cids)``: sorted distinct pages and per-access ids.
+
+        ``universe[cids[i]]`` is the page of access ``i``.  Compact ids are
+        what make the span-batched simulator's residency test a plain array
+        lookup.  The result is memoized per page size — treat traces as
+        immutable after construction (``slice``/``concat`` return copies),
+        as the columns are shared, not re-derived.
+        """
+        cached = self._page_index_cache.get(page_size)
+        if cached is None:
+            universe, cids = np.unique(self.pages(page_size),
+                                       return_inverse=True)
+            cached = (universe, cids)
+            self._page_index_cache[page_size] = cached
+        return cached
+
     def footprint_pages(self, page_size: int = 4096) -> int:
         """Number of distinct pages the trace touches."""
-        return int(np.unique(self.pages(page_size)).size)
+        return int(self.page_index(page_size)[0].size)
 
     def footprint_bytes(self, page_size: int = 4096) -> int:
         return self.footprint_pages(page_size) * page_size

@@ -140,7 +140,7 @@ class DisaggregatedSystem:
                 cursors[node_id] += 1
                 remaining -= 1
                 cache, queue = caches[node_id], queues[node_id]
-                for landed in queue.landed(i):
+                for landed in queue.landed_unique(i):
                     cache.insert_prefetch(landed)
                 page = int(pages[node_id][i])
                 outcome = cache.access(page)
@@ -184,7 +184,7 @@ class DisaggregatedSystem:
         pages = trace.pages(self.page_size)
         stall = 0
         for i in range(len(trace)):
-            for landed in queue.landed(i):
+            for landed in queue.landed_unique(i):
                 cache.insert_prefetch(landed)
             page = int(pages[i])
             outcome = cache.access(page)

@@ -109,7 +109,7 @@ class UVMSystem:
         total_accesses = sum(len(t) for t in self.stream_traces)
 
         while accesses_done < total_accesses:
-            for landed in queue.landed(rounds):
+            for landed in queue.landed_unique(rounds):
                 device.insert_prefetch(landed)
 
             # Lockstep: one access per still-running stream this round.

@@ -1,0 +1,148 @@
+"""Randomized op-sequence fuzz: array-backed PageCache vs the reference.
+
+The array-backed :class:`repro.memsim.PageCache` (PR 4) must be
+observationally identical to the retained ``OrderedDict`` seed
+implementation (:class:`repro.memsim.ReferencePageCache`): same return
+value, same residency, and every ``CacheStats`` counter equal after
+*every single operation* — including the thin-coverage writeback and
+pollution paths (``prefetches_evicted_unused``,
+``demand_evictions_by_prefetch``), which these sequences exercise by
+mixing stores, prefetch storms, and capacity pressure.
+
+Hypothesis-free by design: seeds come from ``repro.seeding`` so failures
+replay exactly, and the bulk APIs (``access_run`` / ``fill_run``) are
+checked against scalar replays of the same runs on a reference copy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memsim import CacheStats, PageCache, ReferencePageCache
+from repro.memsim.pagecache import MISS
+from repro.seeding import child_rng
+
+#: Tight page universe relative to capacity so evictions, redundant
+#: prefetches and prefetch-hits all occur constantly.
+N_PAGES = 24
+CAPACITY = 8
+N_OPS = 2_000
+
+
+def _counters(stats: CacheStats) -> dict:
+    return stats.as_dict()
+
+
+def _random_op(rng: np.random.Generator, cache: PageCache,
+               ref: ReferencePageCache) -> None:
+    op = int(rng.integers(0, 4))
+    page = int(rng.integers(0, N_PAGES))
+    store = bool(rng.integers(0, 2))
+    if op == 0:  # demand access (miss left unfilled: cold re-probe)
+        assert cache.access(page, store) == ref.access(page, store)
+    elif op == 1:  # access-then-fill, the simulator's miss protocol
+        got = cache.access(page, store)
+        want = ref.access(page, store)
+        assert got == want
+        if want == MISS:
+            cache.fill(page, store)
+            ref.fill(page, store)
+    elif op == 2:  # bare fill (refresh path when already resident)
+        cache.fill(page, store)
+        ref.fill(page, store)
+    else:  # prefetch insert (pollution / redundancy paths)
+        assert cache.insert_prefetch(page) == ref.insert_prefetch(page)
+
+
+@pytest.mark.parametrize("stream", range(8))
+def test_fuzz_scalar_ops_match_reference(stream: int) -> None:
+    rng = child_rng(20240, stream)
+    cache = PageCache(CAPACITY)
+    ref = ReferencePageCache(CAPACITY)
+    for _ in range(N_OPS):
+        _random_op(rng, cache, ref)
+        assert _counters(cache.stats) == _counters(ref.stats)
+        assert cache.resident_pages() == ref.resident_pages()
+        assert cache.dirty_pages() == ref.dirty_pages()
+
+
+@pytest.mark.parametrize("stream", range(4))
+def test_fuzz_scalar_ops_with_universe_attached(stream: int) -> None:
+    """The cid acceleration index must not perturb scalar semantics."""
+    rng = child_rng(20241, stream)
+    cache = PageCache(CAPACITY)
+    cache.attach_universe(np.arange(N_PAGES, dtype=np.int64))
+    ref = ReferencePageCache(CAPACITY)
+    for _ in range(N_OPS):
+        _random_op(rng, cache, ref)
+        assert _counters(cache.stats) == _counters(ref.stats)
+        assert cache.resident_pages() == ref.resident_pages()
+
+
+@pytest.mark.parametrize("stream", range(4))
+def test_fuzz_bulk_runs_match_scalar_replay(stream: int) -> None:
+    """access_run / fill_run vs per-access scalar replay on the reference."""
+    rng = child_rng(20242, stream)
+    universe = np.arange(N_PAGES, dtype=np.int64)
+    cache = PageCache(CAPACITY)
+    cache.attach_universe(universe)
+    ref = ReferencePageCache(CAPACITY)
+    for _ in range(300):
+        kind = int(rng.integers(0, 3))
+        if kind == 0:  # interleave scalar ops so runs start in varied states
+            _random_op(rng, cache, ref)
+        elif kind == 1:  # hit run over currently-resident pages
+            resident = np.asarray(ref.resident_pages(), dtype=np.int64)
+            if len(resident) == 0:
+                continue
+            n = int(rng.integers(1, 12))
+            run = resident[rng.integers(0, len(resident), size=n)]
+            stores = rng.integers(0, 2, size=n).astype(bool)
+            cache.access_run(run, stores)
+            for page, store in zip(run.tolist(), stores.tolist()):
+                assert ref.access(page, store) != MISS
+        else:  # distinct non-resident miss run, bulk fill
+            absent = np.asarray(
+                [p for p in range(N_PAGES) if p not in ref], dtype=np.int64)
+            if len(absent) == 0:
+                continue
+            n = int(rng.integers(1, min(len(absent), CAPACITY) + 1))
+            run = rng.choice(absent, size=n, replace=False)
+            stores = rng.integers(0, 2, size=n).astype(bool)
+            cache.fill_run(run, run, stores)
+            for page, store in zip(run.tolist(), stores.tolist()):
+                assert ref.access(page, store) == MISS
+                ref.fill(page, store)
+        assert _counters(cache.stats) == _counters(ref.stats)
+        assert cache.resident_pages() == ref.resident_pages()
+        assert cache.dirty_pages() == ref.dirty_pages()
+
+
+def test_miss_run_length_contract() -> None:
+    cache = PageCache(4)
+    cache.attach_universe(np.arange(10, dtype=np.int64))
+    cids = np.array([5, 6, 7, 8, 9, 5], dtype=np.int64)
+    # Cold cache: run spans distinct pages, capped at capacity (4).
+    assert cache.miss_run_length(cids, 0, len(cids)) == 4
+    # A repeated page ends the run just before its second occurrence.
+    dup = np.array([5, 6, 5, 7], dtype=np.int64)
+    assert cache.miss_run_length(dup, 0, len(dup)) == 2
+    # A resident page ends the run.
+    cache.fill(7)
+    assert cache.miss_run_length(np.array([5, 6, 7], dtype=np.int64), 0, 3) == 2
+
+
+def test_first_nonresident_spans_chunk_boundaries() -> None:
+    cache = PageCache(4)
+    cache.attach_universe(np.arange(4, dtype=np.int64))
+    for page in range(3):
+        cache.fill(page)
+    n = 5000  # > _SCAN_CHUNK so the windowed scan has to continue
+    cids = np.zeros(n, dtype=np.int64)
+    cids[1::3] = 1
+    cids[2::3] = 2
+    assert cache.first_nonresident(cids, 0, n) == n
+    cids[n - 1] = 3
+    assert cache.first_nonresident(cids, 0, n) == n - 1
+    assert cache.first_nonresident(cids, 10, 10) == 10

@@ -47,6 +47,61 @@ class TestQueue:
             PrefetchQueue(delay_accesses=-1)
 
 
+class TestDuplicatesContract:
+    """drain/landed keep one entry per issue; *_unique coalesce (first wins).
+
+    The simulator's accounting relies on the one-entry-per-issue contract
+    (every issue is charged, even a re-issue of an in-flight page); the
+    systems drivers rely on the coalescing variants to model hardware that
+    merges duplicate in-flight requests.
+    """
+
+    def test_landed_keeps_one_entry_per_issue(self):
+        q = PrefetchQueue(delay_accesses=0)
+        for page in (7, 7, 3):
+            q.issue(page, at_index=0)
+        assert q.landed(0) == [7, 7, 3]
+
+    def test_drain_keeps_one_entry_per_issue(self):
+        q = PrefetchQueue(delay_accesses=4)
+        for page in (5, 9, 5, 5, 2):
+            q.issue(page, at_index=0)
+        assert q.drain() == [5, 9, 5, 5, 2]
+
+    def test_drain_unique_first_occurrence_wins(self):
+        q = PrefetchQueue(delay_accesses=4)
+        for page in (5, 9, 5, 2, 9):
+            q.issue(page, at_index=0)
+        assert q.drain_unique() == [5, 9, 2]
+
+    def test_landed_unique_coalesces_across_landing_indices(self):
+        q = PrefetchQueue(delay_accesses=2)
+        q.issue(4, at_index=0)  # lands at 2
+        q.issue(8, at_index=0)  # lands at 2
+        q.issue(4, at_index=1)  # same page again, lands at 3
+        assert q.landed_unique(3) == [4, 8]
+
+    def test_out_of_order_issue_keeps_landing_then_issue_order(self):
+        # A later-issued prefetch with an earlier at_index takes the
+        # bisected-insert path; duplicates must survive it.
+        q = PrefetchQueue(delay_accesses=3)
+        q.issue(10, at_index=5)  # lands at 8
+        q.issue(11, at_index=2)  # lands at 5: out-of-order insert
+        q.issue(11, at_index=2)  # duplicate of the in-flight page
+        assert len(q) == 3
+        assert q.next_landing == 5
+        assert q.landed(8) == [11, 11, 10]
+
+    def test_drain_after_partial_landing_keeps_remaining_duplicates(self):
+        q = PrefetchQueue(delay_accesses=1)
+        q.issue(6, at_index=0)  # lands at 1
+        q.issue(6, at_index=3)  # lands at 4
+        q.issue(7, at_index=3)
+        assert q.landed(1) == [6]
+        assert q.drain_unique() == [6, 7]
+        assert q.drain() == []
+
+
 @settings(max_examples=50, deadline=None)
 @given(delay=st.integers(0, 10),
        issues=st.lists(st.tuples(st.integers(0, 100), st.integers(0, 50)),

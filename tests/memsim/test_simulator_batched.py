@@ -1,0 +1,113 @@
+"""Bit-identity: span-batched engine vs the scalar reference engine.
+
+The PR 4 batched engine must be indistinguishable from the retained
+per-access event loop: identical ``CacheStats`` dicts, identical miss
+indices, and — because misses stay scalar and landings interleave at the
+same access indices — identical prefetcher interaction order, asserted
+via the CLS prefetcher's learned weights.  Exercised across the four
+Figure 5 application traces with delay ∈ {0, 4} per the PR 4 acceptance
+criteria.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.classic import StridePrefetcher
+from repro.core.cls_prefetcher import CLSPrefetcher, CLSPrefetcherConfig
+from repro.memsim import NullPrefetcher, SimConfig, simulate, span_length_stats
+from repro.patterns.applications import (
+    AppSpec,
+    graph500,
+    mcf,
+    pagerank_graphchi,
+    resnet_training,
+)
+
+APPS = {
+    "resnet": resnet_training,
+    "pagerank": pagerank_graphchi,
+    "mcf": mcf,
+    "graph500": graph500,
+}
+
+N = 50_000
+
+
+def _trace(app: str):
+    return APPS[app](AppSpec(n=N, seed=1))
+
+
+def _config(delay: int) -> SimConfig:
+    return SimConfig(memory_fraction=0.5, prefetch_delay_accesses=delay)
+
+
+def _assert_identical(trace, make_prefetcher, delay: int):
+    config = _config(delay)
+    batched_pf = make_prefetcher()
+    scalar_pf = make_prefetcher()
+    batched = simulate(trace, batched_pf, config,
+                       record_miss_indices=True, engine="batched")
+    scalar = simulate(trace, scalar_pf, config,
+                      record_miss_indices=True, engine="scalar")
+    assert batched.stats.as_dict() == scalar.stats.as_dict()
+    assert batched.miss_indices == scalar.miss_indices
+    assert batched.capacity_pages == scalar.capacity_pages
+    return batched_pf, scalar_pf
+
+
+@pytest.mark.parametrize("app", sorted(APPS))
+@pytest.mark.parametrize("delay", [0, 4])
+def test_null_bit_identical(app: str, delay: int):
+    _assert_identical(_trace(app), NullPrefetcher, delay)
+
+
+@pytest.mark.parametrize("app", sorted(APPS))
+@pytest.mark.parametrize("delay", [0, 4])
+def test_stride_bit_identical(app: str, delay: int):
+    _assert_identical(_trace(app), StridePrefetcher, delay)
+
+
+@pytest.mark.parametrize("app", sorted(APPS))
+@pytest.mark.parametrize("delay", [0, 4])
+def test_cls_bit_identical_including_learned_weights(app: str, delay: int):
+    def make():
+        return CLSPrefetcher(CLSPrefetcherConfig(
+            model="hebbian", vocab_size=64, observe_hits=False, seed=3))
+
+    batched_pf, scalar_pf = _assert_identical(_trace(app), make, delay)
+    np.testing.assert_array_equal(batched_pf.model.w_out, scalar_pf.model.w_out)
+
+
+def test_auto_engine_rejects_batched_for_access_observers():
+    observer = CLSPrefetcher(CLSPrefetcherConfig(
+        model="hebbian", vocab_size=64, observe_hits=True, seed=3))
+    trace = _trace("resnet")
+    with pytest.raises(ValueError):
+        simulate(trace, observer, _config(0), engine="batched")
+    # auto must silently fall back to the scalar engine for observers.
+    auto = simulate(trace, observer, _config(0), record_miss_indices=True)
+    scalar = simulate(
+        trace,
+        CLSPrefetcher(CLSPrefetcherConfig(
+            model="hebbian", vocab_size=64, observe_hits=True, seed=3)),
+        _config(0), record_miss_indices=True, engine="scalar")
+    assert auto.stats.as_dict() == scalar.stats.as_dict()
+    assert auto.miss_indices == scalar.miss_indices
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError):
+        simulate(_trace("resnet"), NullPrefetcher(), engine="vectorized")
+
+
+def test_span_length_stats_consistency():
+    trace = _trace("resnet")
+    stats = span_length_stats(trace, NullPrefetcher(), _config(0))
+    result = simulate(trace, NullPrefetcher(), _config(0))
+    assert stats["demand_misses"] == result.demand_misses
+    assert stats["n_accesses"] == N
+    # Spans partition the hit accesses exactly.
+    hits = stats["n_accesses"] - stats["demand_misses"]
+    assert stats["mean_span"] * stats["n_spans"] == pytest.approx(hits)
