@@ -30,7 +30,7 @@ Quickstart::
     print(f"{run.percent_misses_removed(base):.1f}% of misses removed")
 """
 
-from . import baselines, core, harness, memsim, nn, patterns, systems
+from . import baselines, core, harness, memsim, nn, patterns, systems, telemetry
 
 __version__ = "0.1.0"
 
@@ -42,5 +42,6 @@ __all__ = [
     "nn",
     "patterns",
     "systems",
+    "telemetry",
     "__version__",
 ]

@@ -7,7 +7,9 @@ Three subcommands cover the library's day-to-day uses:
 - ``simulate`` — replay a trace (generated inline or loaded from disk)
   against a prefetcher and print the miss/accuracy report;
 - ``experiment`` — regenerate a paper table/figure (same drivers the
-  benchmarks use).
+  benchmarks use);
+- ``telemetry`` — inspect the JSONL run records written by
+  ``--telemetry-dir`` (see :mod:`repro.telemetry`).
 
 Examples::
 
@@ -17,6 +19,8 @@ Examples::
     python -m repro experiment table2
     python -m repro experiment fig5 --n 20000
     python -m repro --profile simulate --app resnet_training --model hebbian
+    python -m repro simulate --app mcf --model hebbian --telemetry-dir runs/
+    python -m repro telemetry summarize runs/
 
 ``--profile`` (before the subcommand) wraps any run in :mod:`cProfile`
 and prints the 25 hottest functions by cumulative time — the same view
@@ -30,6 +34,7 @@ import cProfile
 import pstats
 import sys
 
+from . import telemetry
 from .baselines import (
     LeapPrefetcher,
     MarkovPrefetcher,
@@ -107,6 +112,12 @@ def build_parser() -> argparse.ArgumentParser:
                      default="full")
     sim.add_argument("--recall", action="store_true",
                      help="enable the Fig. 4 hippocampal recall fast path")
+    sim.add_argument("--telemetry-dir", default=None,
+                     help="observe the run and write windowed series + "
+                          "manifest JSONL into this directory "
+                          "(see `repro telemetry summarize`)")
+    sim.add_argument("--telemetry-interval", type=int, default=None,
+                     help="accesses per telemetry window (default 1000)")
 
     exp = sub.add_parser("experiment",
                          help="regenerate a paper table/figure")
@@ -130,6 +141,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="on-disk JSON result cache for grid cells; "
                           "reruns with the same specs are served from disk")
     exp.add_argument("--csv", help="also write the result rows to a CSV file")
+    exp.add_argument("--telemetry-dir", default=None,
+                     help="write per-run telemetry JSONL for every computed "
+                          "grid cell (fig5/variance) into this directory")
+    exp.add_argument("--telemetry-interval", type=int, default=None,
+                     help="accesses per telemetry window (default 1000)")
+
+    tel = sub.add_parser("telemetry", help="inspect telemetry output")
+    tel_sub = tel.add_subparsers(dest="telemetry_command", required=True)
+    tel_sum = tel_sub.add_parser(
+        "summarize", help="render the runs recorded in a telemetry directory")
+    tel_sum.add_argument("dir", help="directory of <run_id>.jsonl files")
+    tel_sum.add_argument("--rows", type=int, default=20,
+                         help="max table rows per run (subsampled)")
 
     return parser
 
@@ -152,7 +176,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                         prefetch_delay_accesses=args.delay)
     baseline = baseline_misses(trace, sim_cfg)
     prefetcher = _build_prefetcher(args)
-    run = simulate(trace, prefetcher, sim_cfg)
+    sink = None
+    if args.telemetry_dir is not None:
+        sink = telemetry.Telemetry(
+            interval=args.telemetry_interval or telemetry.DEFAULT_INTERVAL)
+    run = simulate(trace, prefetcher, sim_cfg, telemetry=sink)
+    if sink is not None:
+        path = sink.write(args.telemetry_dir)
+        print(f"telemetry: {len(sink.windows)} windows -> {path}")
 
     print(f"trace: {trace.name}, {len(trace)} accesses, "
           f"{trace.footprint_pages()} pages, memory {run.capacity_pages} pages")
@@ -228,7 +259,9 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         config = fig5.Fig5Config(n_accesses=args.n, seed=args.seed)
         result = fig5.run_fig5(config, jobs=args.jobs,
                                cache_dir=args.cache_dir,
-                               trace_cache_dir=args.trace_cache_dir)
+                               trace_cache_dir=args.trace_cache_dir,
+                               telemetry_dir=args.telemetry_dir,
+                               telemetry_interval=args.telemetry_interval)
         headers = ["application", "hebbian_removed_pct", "lstm_removed_pct"]
         for app in config.applications:
             per_model = result.for_app(app)
@@ -242,7 +275,9 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         config = fig5.Fig5Config(n_accesses=args.n, seed=args.seed)
         rows = fig5_seed_sweep(seeds=tuple(range(args.seeds)), config=config,
                                jobs=args.jobs, cache_dir=args.cache_dir,
-                               trace_cache_dir=args.trace_cache_dir)
+                               trace_cache_dir=args.trace_cache_dir,
+                               telemetry_dir=args.telemetry_dir,
+                               telemetry_interval=args.telemetry_interval)
         headers = ["application", "model", "mean_removed_pct", "std", "worst"]
         table_rows = [[r.application, r.model, r.mean, r.std, r.worst]
                       for r in rows]
@@ -313,12 +348,19 @@ def _build_prefetcher(args: argparse.Namespace) -> Prefetcher:
     ))
 
 
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    if args.telemetry_command == "summarize":
+        print(telemetry.summarize_dir(args.dir, max_rows=args.rows))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "generate": cmd_generate,
         "simulate": cmd_simulate,
         "experiment": cmd_experiment,
+        "telemetry": cmd_telemetry,
     }
     handler = handlers[args.command]
     if args.profile:

@@ -285,6 +285,30 @@ class CLSPrefetcher:
     def _live(self) -> SequenceModel:
         return self.manager.live if self.manager is not None else self.model
 
+    def telemetry_counters(self) -> dict[str, int | float]:
+        """Named counters for the telemetry sink.
+
+        Integer values are monotone counters (the sink emits per-window
+        deltas); floats are gauges sampled at the window boundary.
+        Includes the replay scheduler's and episodic store's counters, so
+        a windowed series shows replay firing next to the accuracy it is
+        defending.
+        """
+        stats = self.stats
+        counters: dict[str, int | float] = {
+            "cls_misses_seen": stats.misses_seen,
+            "cls_trained_steps": stats.trained_steps,
+            "cls_replayed_pairs": stats.replayed_pairs,
+            "cls_prefetches_emitted": stats.prefetches_emitted,
+            "cls_suppressed_low_confidence": stats.suppressed_low_confidence,
+            "cls_redeploys": stats.redeploys,
+            "cls_phases_seen": stats.phases_seen,
+            "cls_accuracy_ema": float(self.accuracy_ema),
+        }
+        if self.scheduler is not None:
+            counters.update(self.scheduler.telemetry_counters())
+        return counters
+
     def on_miss(self, event: MissEvent) -> list[int]:
         """Observe a demand miss; return pages to prefetch."""
         return self.on_miss_fast(event.index, event.address, event.page,

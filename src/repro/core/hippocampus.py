@@ -93,6 +93,15 @@ class EpisodicStore:
         counts[episode.phase_id] = counts.get(episode.phase_id, 0) + 1
         self.stored_total += 1
 
+    def telemetry_counters(self) -> dict[str, int | float]:
+        """Named counters for the telemetry sink (ints: monotone; floats:
+        gauges)."""
+        return {
+            "episodes_stored": self.stored_total,
+            "episodes_evicted": self.evicted_total,
+            "episodes_held": float(len(self._episodes)),
+        }
+
     def episodes(self, phase_id: int | None = None) -> list[Episode]:
         if phase_id is None:
             return list(self._episodes)

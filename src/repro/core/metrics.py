@@ -8,6 +8,7 @@ plus the accuracy/coverage/timeliness vocabulary of §5.2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping
 
 import numpy as np
 
@@ -78,6 +79,40 @@ class PrefetchSummary:
         if self.misses_baseline == 0:
             return 0.0
         return 100.0 * (self.misses_baseline - self.misses_with_prefetch) / self.misses_baseline
+
+
+def window_rates(deltas: Mapping[str, int]) -> dict[str, float]:
+    """Per-window rates (§5.2 vocabulary) from counter *deltas*.
+
+    ``deltas`` holds the change of each :class:`~repro.memsim.pagecache.
+    CacheStats` counter over one telemetry window.  The definitions mirror
+    the end-of-run properties on ``CacheStats``, applied to the window:
+
+    - ``miss_rate`` — demand misses per access.
+    - ``accuracy`` — prefetch hits per effective (non-redundant) issued
+      prefetch.  Windowed accuracy is an attribution approximation: a
+      prefetch issued near the end of window *w* may land and hit in
+      *w+1*, so per-window values wobble around the run total.
+    - ``coverage`` — prefetch hits per would-be miss.
+    - ``timeliness`` — fraction of issued prefetches that were *not*
+      redundant on insertion.  A prefetch that lands after its page was
+      already demand-filled (too late, §5.2) or that names a resident
+      page inserts redundantly, so this is the observable too-late-or-
+      useless proxy; 1.0 when nothing was issued.
+    """
+    accesses = deltas["accesses"]
+    misses = deltas["demand_misses"]
+    prefetch_hits = deltas["prefetch_hits"]
+    issued = deltas["prefetches_issued"]
+    redundant = deltas["prefetches_redundant"]
+    effective = issued - redundant
+    would_miss = misses + prefetch_hits
+    return {
+        "miss_rate": misses / accesses if accesses else 0.0,
+        "accuracy": prefetch_hits / effective if effective else 0.0,
+        "coverage": prefetch_hits / would_miss if would_miss else 0.0,
+        "timeliness": 1.0 - redundant / issued if issued else 1.0,
+    }
 
 
 def summarize_prefetch(baseline: SimResult, run: SimResult) -> PrefetchSummary:

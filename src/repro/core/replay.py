@@ -308,6 +308,7 @@ class ReplayScheduler:
     lr_scale: float = REPLAY_LR_SCALE
     seed: int = 0
     replayed_total: int = 0
+    invocations: int = 0
 
     def __post_init__(self) -> None:
         if self.per_step < 0:
@@ -327,6 +328,7 @@ class ReplayScheduler:
         """Run one interleaving round; returns the number of replayed pairs."""
         if self.per_step == 0:
             return 0
+        self.invocations += 1
         count = 0
         if self._generate is not None:
             pairs = self._generate(model, self._rng, self.per_step,
@@ -359,6 +361,18 @@ class ReplayScheduler:
                     count += 1
         self.replayed_total += count
         return count
+
+    def telemetry_counters(self) -> dict[str, int | float]:
+        """Named counters for the telemetry sink (ints: monotone; floats:
+        gauges)."""
+        counters: dict[str, int | float] = {
+            "replay_invocations": self.invocations,
+            "replay_pairs": self.replayed_total,
+        }
+        store = getattr(self.policy, "store", None)
+        if isinstance(store, EpisodicStore):
+            counters.update(store.telemetry_counters())
+        return counters
 
 
 def make_replay_policy(kind: str, **kwargs: Any) -> ReplayPolicy:

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
+from .. import telemetry
 from ..core.cls_prefetcher import CLSPrefetcher, CLSPrefetcherConfig
 from ..core.metrics import PrefetchSummary, summarize_prefetch
 from ..memsim.simulator import SimConfig, baseline_misses, simulate
@@ -107,14 +108,26 @@ def fig5_cell_spec(app: str, model: str, config: Fig5Config) -> dict:
 
 
 def fig5_cell(spec: dict) -> dict:
-    """Run one Figure 5 bar from its spec (module-level: picklable)."""
+    """Run one Figure 5 bar from its spec (module-level: picklable).
+
+    When this process has a telemetry directory configured (see
+    ``repro.telemetry.configure`` / ``run_grid(telemetry_dir=...)``), the
+    prefetcher run is observed and its windowed series + manifest written
+    there as JSONL.  The sink never enters the spec, so the result-cache
+    key is unchanged by observation.
+    """
     config = Fig5Config(applications=(spec["app"],), **spec["config"])
     trace = materialize(spec["app"], AppSpec(n=config.n_accesses,
                                              seed=config.seed))
     sim_cfg = SimConfig(memory_fraction=config.memory_fraction)
     baseline = baseline_misses(trace, sim_cfg)
     prefetcher = make_model_prefetcher(spec["model"], config)
-    run = simulate(trace, prefetcher, sim_cfg)
+    sink = telemetry.maybe_sink()
+    run = simulate(trace, prefetcher, sim_cfg, telemetry=sink)
+    if sink is not None:
+        out_dir = telemetry.configured_dir()
+        assert out_dir is not None
+        sink.write(out_dir)
     summary = summarize_prefetch(baseline, run)
     return asdict(summary)
 
@@ -123,16 +136,21 @@ def run_fig5(config: Fig5Config = Fig5Config(),
              models: tuple[str, ...] = ("hebbian", "lstm"),
              jobs: int | None = None,
              cache_dir: str | Path | None = None,
-             trace_cache_dir: str | Path | None = None) -> Fig5Result:
+             trace_cache_dir: str | Path | None = None,
+             telemetry_dir: str | Path | None = None,
+             telemetry_interval: int | None = None) -> Fig5Result:
     """Run the full Figure 5 grid; returns one summary per (app, model).
 
     ``jobs`` fans the (app, model) cells out across processes;
     ``cache_dir`` memoizes each cell on disk (see ``harness.runner``);
     ``trace_cache_dir`` shares materialized traces across cells and
-    invocations (see ``harness.trace_cache``).
+    invocations (see ``harness.trace_cache``); ``telemetry_dir`` writes a
+    per-run JSONL file per computed cell (see ``repro.telemetry``).
     """
     specs = [fig5_cell_spec(app, model, config)
              for app in config.applications for model in models]
     rows = run_grid(specs, fig5_cell, jobs=jobs, cache_dir=cache_dir,
-                    trace_cache_dir=trace_cache_dir)
+                    trace_cache_dir=trace_cache_dir,
+                    telemetry_dir=telemetry_dir,
+                    telemetry_interval=telemetry_interval)
     return Fig5Result(rows=[PrefetchSummary(**row) for row in rows])

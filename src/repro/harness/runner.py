@@ -148,18 +148,28 @@ def _cache_store(path: Path, spec: dict, result: Any) -> None:
         raise
 
 
-def _init_worker_trace_cache(trace_cache_dir: str) -> None:
-    """ProcessPoolExecutor initializer: point the worker's trace cache at
-    the shared directory (module state does not survive the fork/spawn)."""
-    from . import trace_cache
+def _init_worker(trace_cache_dir: str | None,
+                 telemetry_dir: str | None,
+                 telemetry_interval: int | None) -> None:
+    """ProcessPoolExecutor initializer: re-establish per-process module
+    state (trace cache, telemetry sink directory) that does not survive
+    the fork/spawn."""
+    if trace_cache_dir is not None:
+        from . import trace_cache
 
-    trace_cache.configure(trace_cache_dir)
+        trace_cache.configure(trace_cache_dir)
+    if telemetry_dir is not None:
+        from .. import telemetry
+
+        telemetry.configure(telemetry_dir, telemetry_interval)
 
 
 def run_grid(specs: Sequence[dict], fn: Callable[[dict], object],
              jobs: int | None = None,
              cache_dir: str | Path | None = None,
-             trace_cache_dir: str | Path | None = None) -> list[Any]:
+             trace_cache_dir: str | Path | None = None,
+             telemetry_dir: str | Path | None = None,
+             telemetry_interval: int | None = None) -> list[Any]:
     """Run ``fn(spec)`` for every spec; return results in spec order.
 
     Args:
@@ -178,6 +188,14 @@ def run_grid(specs: Sequence[dict], fn: Callable[[dict], object],
             worker process (or bracketed around the serial loop) for the
             duration of the grid; ``None`` leaves trace generation
             uncached.
+        telemetry_dir: Directory telemetry-aware cells write per-run
+            JSONL into (see ``repro.telemetry``).  Plumbed the same way
+            as ``trace_cache_dir`` — per-process module state, never part
+            of the cell spec, so observed and unobserved grids share
+            result-cache entries.  Cells served from the result cache do
+            not re-run and therefore write no telemetry.
+        telemetry_interval: Window interval for those sinks (``None``
+            keeps the telemetry package default).
     """
     specs = list(specs)
     keys = [spec_key(spec) for spec in specs]
@@ -206,12 +224,19 @@ def run_grid(specs: Sequence[dict], fn: Callable[[dict], object],
 
     if pending:
         workers = resolve_jobs(jobs, len(pending))
+        needs_state = trace_cache_dir is not None or telemetry_dir is not None
         if workers > 1:
-            if trace_cache_dir is not None:
+            if needs_state:
                 pool = ProcessPoolExecutor(
                     max_workers=workers,
-                    initializer=_init_worker_trace_cache,
-                    initargs=(str(trace_cache_dir),))
+                    initializer=_init_worker,
+                    initargs=(
+                        str(trace_cache_dir)
+                        if trace_cache_dir is not None else None,
+                        str(telemetry_dir)
+                        if telemetry_dir is not None else None,
+                        telemetry_interval,
+                    ))
             else:
                 pool = ProcessPoolExecutor(max_workers=workers)
             with pool:
@@ -219,17 +244,24 @@ def run_grid(specs: Sequence[dict], fn: Callable[[dict], object],
                            for key, spec in pending]
                 computed = [(key, spec, future.result())
                             for key, spec, future in futures]
-        else:
-            if trace_cache_dir is not None:
-                from . import trace_cache
+        elif needs_state:
+            from . import trace_cache
+            from .. import telemetry
 
-                previous = trace_cache.configure(trace_cache_dir)
-                try:
-                    computed = [(key, spec, fn(spec)) for key, spec in pending]
-                finally:
-                    trace_cache.configure(previous)
-            else:
+            prev_trace = (trace_cache.configure(trace_cache_dir)
+                          if trace_cache_dir is not None else None)
+            prev_telemetry = (telemetry.configure(telemetry_dir,
+                                                  telemetry_interval)
+                              if telemetry_dir is not None else None)
+            try:
                 computed = [(key, spec, fn(spec)) for key, spec in pending]
+            finally:
+                if trace_cache_dir is not None:
+                    trace_cache.configure(prev_trace)
+                if telemetry_dir is not None:
+                    telemetry.configure(prev_telemetry)
+        else:
+            computed = [(key, spec, fn(spec)) for key, spec in pending]
         for key, spec, result in computed:
             results[key] = result
             if cache_path is not None:

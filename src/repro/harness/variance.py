@@ -39,6 +39,8 @@ def fig5_seed_sweep(seeds: tuple[int, ...] = (0, 1, 2),
                     jobs: int | None = None,
                     cache_dir: str | Path | None = None,
                     trace_cache_dir: str | Path | None = None,
+                    telemetry_dir: str | Path | None = None,
+                    telemetry_interval: int | None = None,
                     ) -> list[VarianceRow]:
     """Run Figure 5 once per seed; aggregate % misses removed.
 
@@ -55,7 +57,9 @@ def fig5_seed_sweep(seeds: tuple[int, ...] = (0, 1, 2),
              for app in config.applications
              for model in models]
     rows = run_grid(specs, fig5_cell, jobs=jobs, cache_dir=cache_dir,
-                    trace_cache_dir=trace_cache_dir)
+                    trace_cache_dir=trace_cache_dir,
+                    telemetry_dir=telemetry_dir,
+                    telemetry_interval=telemetry_interval)
     samples: dict[tuple[str, str], list[float]] = {}
     for row in rows:
         key = (row["trace_name"], row["prefetcher_name"])

@@ -171,6 +171,20 @@ class PageCache:
     def __len__(self) -> int:
         return self._n_resident
 
+    def telemetry_counters(self) -> dict[str, int | float]:
+        """Named counters for the telemetry sink (ints: monotone; floats:
+        gauges)."""
+        stats = self.stats
+        return {
+            "cache_accesses": stats.accesses,
+            "cache_hits": stats.hits,
+            "cache_demand_misses": stats.demand_misses,
+            "cache_prefetch_hits": stats.prefetch_hits,
+            "cache_writebacks": stats.writebacks,
+            "cache_resident": float(self._n_resident),
+            "cache_undemanded": float(self._n_undemanded),
+        }
+
     def __contains__(self, page: int) -> bool:
         return self._lookup(page) is not None
 

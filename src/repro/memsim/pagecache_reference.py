@@ -42,6 +42,21 @@ class ReferencePageCache:
     def __len__(self) -> int:
         return len(self._resident)
 
+    def telemetry_counters(self) -> dict[str, int | float]:
+        """Named counters for the telemetry sink, same names and meanings
+        as the array-backed engine's (ints: monotone; floats: gauges)."""
+        stats = self.stats
+        undemanded = sum(1 for entry in self._resident.values() if entry[0])
+        return {
+            "cache_accesses": stats.accesses,
+            "cache_hits": stats.hits,
+            "cache_demand_misses": stats.demand_misses,
+            "cache_prefetch_hits": stats.prefetch_hits,
+            "cache_writebacks": stats.writebacks,
+            "cache_resident": float(len(self._resident)),
+            "cache_undemanded": float(undemanded),
+        }
+
     def __contains__(self, page: int) -> bool:
         return page in self._resident
 

@@ -29,12 +29,25 @@ configuration in the repo.  The auto null replay additionally restarts on
 the scalar engine when span batching proves degenerate mid-run
 (scattered-miss workloads whose spans are too short to amortize a
 vectorized scan — see ``_FALLBACK_SCALAR``).
+
+Both engines are *segment-capable* (PR 5): each exposes
+``run(start, stop)`` and ``simulate`` drives the run as a sequence of
+segments.  With telemetry disabled there is exactly one segment,
+``[0, n)``, through the identical code path — which is how the null
+sink stays free.  With an enabled :class:`repro.telemetry.Telemetry`
+sink, segments end at window boundaries and the sink snapshots counters
+between them.  Segmentation cannot change results: a boundary merely
+clips the current hit span or miss run, and splitting a bulk
+``access_run``/``fill_run`` is splitting a sequence of scalar
+operations that were already defined element-wise (same clock order,
+same LRU stamps, same victims) — pinned by
+``tests/telemetry/test_engine_parity.py``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -44,6 +57,9 @@ from .pagecache import MISS, CacheStats, PageCache
 from .pagecache_reference import ReferencePageCache
 from .prefetch_queue import PrefetchQueue
 from .prefetcher import Prefetcher
+
+if TYPE_CHECKING:  # pragma: no cover - runtime import would be circular
+    from ..telemetry.nullsink import NullTelemetry as TelemetrySink
 
 #: Below this many accesses, a span is replayed scalar even in the batched
 #: engine: a handful of numpy windowed calls (~1 µs each) costs more than
@@ -135,12 +151,21 @@ class SimResult:
 def simulate(trace: Trace, prefetcher: Prefetcher,
              config: SimConfig = SimConfig(),
              record_miss_indices: bool = False,
-             engine: str = "auto") -> SimResult:
+             engine: str = "auto",
+             telemetry: "TelemetrySink | None" = None) -> SimResult:
     """Replay ``trace`` through a page cache attached to ``prefetcher``.
 
     ``engine`` is ``"auto"`` (batched when the prefetcher permits it),
     ``"batched"`` or ``"scalar"``; the engines are bit-identical, so the
     explicit values exist for equivalence tests and debugging.
+
+    ``telemetry`` optionally attaches a :class:`repro.telemetry.Telemetry`
+    sink.  An enabled sink partitions the run into window-aligned
+    segments: each engine exposes ``run(start, stop)`` and the driver
+    calls the sink between segments, so observation happens strictly at
+    segment boundaries and cannot perturb the simulation.  With no sink
+    (or a :class:`~repro.telemetry.NullTelemetry`) the run is a single
+    ``[0, n)`` segment through the identical engine code.
     """
     if engine not in ("auto", "batched", "scalar"):
         raise ValueError(f"unknown engine {engine!r}")
@@ -157,25 +182,44 @@ def simulate(trace: Trace, prefetcher: Prefetcher,
             "batched engine cannot drive per-access observers; "
             "use engine='scalar' (or 'auto') for wants_accesses prefetchers")
     use_batched = engine == "batched" or (engine == "auto" and on_access is None)
+    sink = telemetry if telemetry is not None and telemetry.enabled else None
+    if sink is not None:
+        sink.begin_run(trace, prefetcher.name, config, capacity)
+    n = len(trace)
     miss_indices: list[int] = []
+    miss_out = miss_indices if record_miss_indices else None
+    eng: _ScalarEngine | _BatchedEngine | _NullReplayEngine
     cache: PageCache | ReferencePageCache
     if use_batched:
         cache = PageCache(capacity_pages=capacity)
-        done = _run_batched(trace, prefetcher, config, cache, queue,
-                            miss_indices if record_miss_indices else None,
-                            allow_fallback=engine == "auto")
+        if getattr(prefetcher, "is_null", False):
+            eng = _NullReplayEngine(trace, config, cache, miss_out,
+                                    allow_fallback=engine == "auto")
+        else:
+            eng = _BatchedEngine(trace, prefetcher, config, cache, queue,
+                                 miss_out)
+        engine_used = "batched"
+        done = _drive(eng, n, sink, cache, queue, prefetcher)
         if not done:
             # Batching proved degenerate mid-run (see _FALLBACK_SCALAR);
             # discard the partial run and restart on the reference engine.
             miss_indices.clear()
             queue = PrefetchQueue(delay_accesses=config.prefetch_delay_accesses)
             cache = ReferencePageCache(capacity_pages=capacity)
-            _run_scalar(trace, prefetcher, config, cache, queue, None,
-                        miss_indices if record_miss_indices else None)
+            if sink is not None:
+                sink.on_fallback_restart()
+            eng = _ScalarEngine(trace, prefetcher, config, cache, queue,
+                                None, miss_out)
+            engine_used = "scalar"
+            _drive(eng, n, sink, cache, queue, prefetcher)
     else:
         cache = ReferencePageCache(capacity_pages=capacity)
-        _run_scalar(trace, prefetcher, config, cache, queue, on_access,
-                    miss_indices if record_miss_indices else None)
+        eng = _ScalarEngine(trace, prefetcher, config, cache, queue,
+                            on_access, miss_out)
+        engine_used = "scalar"
+        _drive(eng, n, sink, cache, queue, prefetcher)
+    if sink is not None:
+        sink.end_run(engine_used)
     return SimResult(
         trace_name=trace.name,
         prefetcher_name=prefetcher.name,
@@ -186,383 +230,508 @@ def simulate(trace: Trace, prefetcher: Prefetcher,
     )
 
 
-def _run_scalar(trace: Trace, prefetcher: Prefetcher, config: SimConfig,
-                cache: PageCache | ReferencePageCache, queue: PrefetchQueue,
-                on_access: Any, miss_out: list[int] | None) -> None:
-    """The retained per-access reference engine (OrderedDict cache)."""
-    # Materialize the trace columns as plain python lists once: indexing a
-    # numpy array element-by-element boxes a fresh scalar per access, which
-    # dominates the loop at trace scale.
-    pages = trace.pages(config.page_size).tolist()
-    stores = (trace.kinds != 0).tolist()  # KIND_STORE marks the page dirty
-    # Fast-path protocol: prefetchers that implement the scalar entry
-    # points skip the per-event dataclass allocations entirely.  The
-    # event-object path stays for external prefetchers.
-    on_miss_fast = getattr(prefetcher, "on_miss_fast", None)
-    on_access_fast = (getattr(prefetcher, "on_access_fast", None)
-                      if on_access is not None else None)
-    is_null = getattr(prefetcher, "is_null", False)
-    if is_null and on_access is None:
-        addresses = stream_ids = timestamps = None
-    else:
-        addresses = trace.addresses.tolist()
-        stream_ids = trace.stream_ids.tolist()
-        timestamps = trace.timestamps.tolist()
+def _drive(eng: "_ScalarEngine | _BatchedEngine | _NullReplayEngine", n: int,
+           sink: "TelemetrySink | None",
+           cache: PageCache | ReferencePageCache, queue: PrefetchQueue,
+           prefetcher: Prefetcher) -> bool:
+    """Run ``eng`` over ``[0, n)``, pausing at the sink's window boundaries.
 
-    access = cache.access
-    fill = cache.fill
-    insert_prefetch = cache.insert_prefetch
-    landed = queue.landed
-    issue = queue.issue
-    on_miss = prefetcher.on_miss
-    max_prefetches = config.max_prefetches_per_miss
-    append_miss = miss_out.append if miss_out is not None else None
+    Without a sink this is exactly one ``run(0, n)`` call — the
+    zero-overhead disabled path.  Returns False when the engine bailed
+    out for the scalar fallback restart (partial state; caller discards).
+    """
+    if sink is None:
+        return eng.run(0, n)
+    start = 0
+    for stop in sink.boundaries(n):
+        if not eng.run(start, stop):
+            return False
+        sink.on_window(stop, cache, len(queue), prefetcher)
+        start = stop
+    return True
 
-    for i, page in enumerate(pages):
-        if queue.next_landing <= i:
-            for landed_page in landed(i):
-                insert_prefetch(landed_page)
 
-        store = stores[i]
-        outcome = access(page, store)
-        hit = outcome is not MISS
-        if not hit:
-            fill(page, store)
-            if append_miss is not None:
-                append_miss(i)
-            if not is_null:
-                if on_miss_fast is not None:
-                    predictions = on_miss_fast(i, addresses[i], page,
-                                               stream_ids[i], timestamps[i])
+class _ScalarEngine:
+    """The retained per-access reference engine (OrderedDict cache).
+
+    Construction materializes the trace columns as plain python lists
+    once — indexing a numpy array element-by-element boxes a fresh scalar
+    per access, which dominates the loop at trace scale — so telemetry
+    segments re-enter :meth:`run` without re-paying the conversion.
+    """
+
+    def __init__(self, trace: Trace, prefetcher: Prefetcher,
+                 config: SimConfig, cache: PageCache | ReferencePageCache,
+                 queue: PrefetchQueue, on_access: Any,
+                 miss_out: list[int] | None) -> None:
+        self._pages: list[int] = trace.pages(config.page_size).tolist()
+        # KIND_STORE marks the page dirty.
+        self._stores: list[bool] = (trace.kinds != 0).tolist()
+        # Fast-path protocol: prefetchers that implement the scalar entry
+        # points skip the per-event dataclass allocations entirely.  The
+        # event-object path stays for external prefetchers.
+        self._on_miss_fast = getattr(prefetcher, "on_miss_fast", None)
+        self._on_access = on_access
+        self._on_access_fast = (getattr(prefetcher, "on_access_fast", None)
+                                if on_access is not None else None)
+        self._is_null: bool = getattr(prefetcher, "is_null", False)
+        self._addresses: list[int] | None
+        self._stream_ids: list[int] | None
+        self._timestamps: list[int] | None
+        if self._is_null and on_access is None:
+            self._addresses = self._stream_ids = self._timestamps = None
+        else:
+            self._addresses = trace.addresses.tolist()
+            self._stream_ids = trace.stream_ids.tolist()
+            self._timestamps = trace.timestamps.tolist()
+        self._prefetcher = prefetcher
+        self._cache = cache
+        self._queue = queue
+        self._max_prefetches = config.max_prefetches_per_miss
+        self._miss_out = miss_out
+
+    def run(self, start: int, stop: int) -> bool:
+        cache = self._cache
+        queue = self._queue
+        pages = self._pages
+        stores = self._stores
+        addresses = self._addresses
+        stream_ids = self._stream_ids
+        timestamps = self._timestamps
+        on_miss_fast = self._on_miss_fast
+        on_access = self._on_access
+        on_access_fast = self._on_access_fast
+        is_null = self._is_null
+        access = cache.access
+        fill = cache.fill
+        insert_prefetch = cache.insert_prefetch
+        landed = queue.landed
+        issue = queue.issue
+        on_miss = self._prefetcher.on_miss
+        max_prefetches = self._max_prefetches
+        miss_out = self._miss_out
+        append_miss = miss_out.append if miss_out is not None else None
+
+        if start == 0 and stop == len(pages):
+            span = enumerate(pages)
+        else:
+            # Telemetry segment: same loop over a slice (the copy is
+            # O(window), paid only when windowing is on).
+            span = enumerate(pages[start:stop], start)
+        for i, page in span:
+            if queue.next_landing <= i:
+                for landed_page in landed(i):
+                    insert_prefetch(landed_page)
+
+            store = stores[i]
+            outcome = access(page, store)
+            hit = outcome is not MISS
+            if not hit:
+                fill(page, store)
+                if append_miss is not None:
+                    append_miss(i)
+                if not is_null:
+                    assert addresses is not None
+                    assert stream_ids is not None and timestamps is not None
+                    if on_miss_fast is not None:
+                        predictions = on_miss_fast(
+                            i, addresses[i], page, stream_ids[i],
+                            timestamps[i])
+                    else:
+                        predictions = on_miss(MissEvent(
+                            index=i,
+                            address=addresses[i],
+                            page=page,
+                            stream_id=stream_ids[i],
+                            timestamp=timestamps[i],
+                        ))
+                    if predictions:
+                        if len(predictions) > max_prefetches:
+                            predictions = predictions[:max_prefetches]
+                        for predicted in predictions:
+                            if predicted != page:
+                                issue(int(predicted), i)
+            if on_access is not None:
+                assert addresses is not None
+                assert stream_ids is not None and timestamps is not None
+                if on_access_fast is not None:
+                    chained = on_access_fast(i, addresses[i], page,
+                                             stream_ids[i], timestamps[i],
+                                             hit)
                 else:
-                    predictions = on_miss(MissEvent(
+                    chained = on_access(AccessEvent(
                         index=i,
                         address=addresses[i],
                         page=page,
                         stream_id=stream_ids[i],
                         timestamp=timestamps[i],
+                        hit=hit,
                     ))
-                if predictions:
-                    if len(predictions) > max_prefetches:
-                        predictions = predictions[:max_prefetches]
-                    for predicted in predictions:
+                if chained:
+                    if len(chained) > max_prefetches:
+                        chained = chained[:max_prefetches]
+                    for predicted in chained:
                         if predicted != page:
                             issue(int(predicted), i)
-        if on_access is not None:
-            if on_access_fast is not None:
-                chained = on_access_fast(i, addresses[i], page,
-                                         stream_ids[i], timestamps[i], hit)
+        return True
+
+
+class _BatchedEngine:
+    """Span-batched engine: bulk hit runs between membership events.
+
+    Residency is constant between two membership-changing events (a
+    demand fill or a prefetch landing), so the next miss is found by a
+    vectorized membership scan and whole hit runs are accounted via
+    ``PageCache.access_run``.  Misses stay scalar so the prefetcher sees
+    the exact callback sequence of the scalar engine.  A telemetry
+    boundary merely clips the current span — splitting an ``access_run``
+    is splitting a bulk of identical scalar accesses, so segmented runs
+    are bit-identical to the single-segment run.
+    """
+
+    def __init__(self, trace: Trace, prefetcher: Prefetcher,
+                 config: SimConfig, cache: PageCache, queue: PrefetchQueue,
+                 miss_out: list[int] | None) -> None:
+        pages_arr = trace.pages(config.page_size)
+        universe, cids = trace.page_index(config.page_size)
+        cache.attach_universe(universe)
+        self._cache = cache
+        self._queue = queue
+        self._cids = cids
+        self._stores_arr = trace.kinds != 0
+        self._pages: list[int] = pages_arr.tolist()
+        self._stores: list[bool] = self._stores_arr.tolist()
+        self._cids_t: list[int] = cids.tolist()
+
+        addresses = trace.addresses
+        stream_ids = trace.stream_ids
+        timestamps = trace.timestamps
+        on_miss_fast = getattr(prefetcher, "on_miss_fast", None)
+        on_miss = prefetcher.on_miss
+        max_prefetches = config.max_prefetches_per_miss
+        fill = cache.fill
+        issue = queue.issue
+        append_miss = miss_out.append if miss_out is not None else None
+
+        def handle_miss(i: int, page: int, store: bool) -> None:
+            fill(page, store)
+            if append_miss is not None:
+                append_miss(i)
+            if on_miss_fast is not None:
+                predictions = on_miss_fast(i, int(addresses[i]), page,
+                                           int(stream_ids[i]),
+                                           int(timestamps[i]))
             else:
-                chained = on_access(AccessEvent(
+                predictions = on_miss(MissEvent(
                     index=i,
-                    address=addresses[i],
+                    address=int(addresses[i]),
                     page=page,
-                    stream_id=stream_ids[i],
-                    timestamp=timestamps[i],
-                    hit=hit,
+                    stream_id=int(stream_ids[i]),
+                    timestamp=int(timestamps[i]),
                 ))
-            if chained:
-                if len(chained) > max_prefetches:
-                    chained = chained[:max_prefetches]
-                for predicted in chained:
+            if predictions:
+                if len(predictions) > max_prefetches:
+                    predictions = predictions[:max_prefetches]
+                for predicted in predictions:
                     if predicted != page:
                         issue(int(predicted), i)
 
+        self._handle_miss = handle_miss
 
-def _run_batched(trace: Trace, prefetcher: Prefetcher, config: SimConfig,
-                 cache: PageCache, queue: PrefetchQueue,
-                 miss_out: list[int] | None,
-                 allow_fallback: bool = False) -> bool:
-    """Span-batched engine: bulk hit runs between membership events.
+    def run(self, start: int, stop: int) -> bool:
+        cache = self._cache
+        queue = self._queue
+        n = stop
+        pages = self._pages
+        stores = self._stores
+        cids = self._cids
+        cids_t = self._cids_t
+        stores_arr = self._stores_arr
+        handle_miss = self._handle_miss
+        insert_prefetch = cache.insert_prefetch
+        first_nonresident = cache.first_nonresident
+        access_run = cache.access_run
+        landed = queue.landed
+        # Demand pages always come from the trace, so they are in the
+        # universe and the cid-indexed slot table is their authoritative
+        # residency index: scalar stretches poke the cache arrays directly
+        # instead of paying the general access() protocol per access.
+        soc = cache._require_universe()
+        last_use = cache._last_use
+        dirty = cache._dirty
+        undemanded = cache._undemanded
+        stats = cache.stats
+        accesses_l = hits_l = misses_l = prefetch_hits_l = 0
 
-    Returns False when the null replay bailed out under ``allow_fallback``
-    (span batching degenerate); the caller restarts on the scalar engine.
-    """
-    pages_arr = trace.pages(config.page_size)
-    universe, cids = trace.page_index(config.page_size)
-    stores_arr = trace.kinds != 0
-    cache.attach_universe(universe)
-    if getattr(prefetcher, "is_null", False):
-        return _replay_null(cache, pages_arr, cids, stores_arr, miss_out,
-                            allow_fallback)
-
-    n = len(pages_arr)
-    pages = pages_arr.tolist()
-    stores = stores_arr.tolist()
-    cids_t = cids.tolist()
-    addresses = trace.addresses
-    stream_ids = trace.stream_ids
-    timestamps = trace.timestamps
-    on_miss_fast = getattr(prefetcher, "on_miss_fast", None)
-    on_miss = prefetcher.on_miss
-    max_prefetches = config.max_prefetches_per_miss
-    fill = cache.fill
-    insert_prefetch = cache.insert_prefetch
-    first_nonresident = cache.first_nonresident
-    access_run = cache.access_run
-    landed = queue.landed
-    issue = queue.issue
-    append_miss = miss_out.append if miss_out is not None else None
-    # Demand pages always come from the trace, so they are in the universe
-    # and the cid-indexed slot table is their authoritative residency
-    # index: scalar stretches poke the cache arrays directly instead of
-    # paying the general access() protocol per access.
-    soc = cache._require_universe()
-    last_use = cache._last_use
-    dirty = cache._dirty
-    undemanded = cache._undemanded
-    stats = cache.stats
-    accesses_l = hits_l = misses_l = prefetch_hits_l = 0
-
-    def handle_miss(i: int, page: int, store: bool) -> None:
-        fill(page, store)
-        if append_miss is not None:
-            append_miss(i)
-        if on_miss_fast is not None:
-            predictions = on_miss_fast(i, int(addresses[i]), page,
-                                       int(stream_ids[i]), int(timestamps[i]))
-        else:
-            predictions = on_miss(MissEvent(
-                index=i,
-                address=int(addresses[i]),
-                page=page,
-                stream_id=int(stream_ids[i]),
-                timestamp=int(timestamps[i]),
-            ))
-        if predictions:
-            if len(predictions) > max_prefetches:
-                predictions = predictions[:max_prefetches]
-            for predicted in predictions:
-                if predicted != page:
-                    issue(int(predicted), i)
-
-    i = 0
-    while i < n:
-        if queue.next_landing <= i:
-            for landed_page in landed(i):
-                insert_prefetch(landed_page)
-        # Residency is constant until the next landing or demand fill:
-        # batch hits up to whichever comes first.
-        stop = queue.next_landing
-        if stop > n:
-            stop = n
-        if stop - i < _BULK_MIN_SPAN:
-            # Short span: the scalar loop wins.  Landings issued inside
-            # the span (e.g. delay 0) are handled by the per-access check.
-            while i < stop:
-                if queue.next_landing <= i:
-                    for landed_page in landed(i):
-                        insert_prefetch(landed_page)
+        i = start
+        while i < n:
+            if queue.next_landing <= i:
+                for landed_page in landed(i):
+                    insert_prefetch(landed_page)
+            # Residency is constant until the next landing or demand fill:
+            # batch hits up to whichever comes first (or the segment end).
+            span_stop = queue.next_landing
+            if span_stop > n:
+                span_stop = n
+            if span_stop - i < _BULK_MIN_SPAN:
+                # Short span: the scalar loop wins.  Landings issued inside
+                # the span (e.g. delay 0) are handled by the per-access
+                # check.
+                while i < span_stop:
+                    if queue.next_landing <= i:
+                        for landed_page in landed(i):
+                            insert_prefetch(landed_page)
+                    accesses_l += 1
+                    slot = soc[cids_t[i]]
+                    if slot >= 0:
+                        hits_l += 1
+                        clock = cache._clock
+                        last_use[slot] = clock
+                        cache._clock = clock + 1
+                        if stores[i]:
+                            dirty[slot] = True
+                        if cache._n_undemanded and undemanded[slot]:
+                            undemanded[slot] = False
+                            cache._n_undemanded -= 1
+                            prefetch_hits_l += 1
+                    else:
+                        misses_l += 1
+                        handle_miss(i, pages[i], stores[i])
+                    i += 1
+                continue
+            j = first_nonresident(cids, i, span_stop)
+            if j > i:
+                access_run(cids[i:j], stores_arr[i:j])
+                i = j
+            if i < span_stop:
                 accesses_l += 1
-                slot = soc[cids_t[i]]
-                if slot >= 0:
-                    hits_l += 1
-                    clock = cache._clock
-                    last_use[slot] = clock
-                    cache._clock = clock + 1
-                    if stores[i]:
-                        dirty[slot] = True
-                    if cache._n_undemanded and undemanded[slot]:
-                        undemanded[slot] = False
-                        cache._n_undemanded -= 1
-                        prefetch_hits_l += 1
-                else:
-                    misses_l += 1
-                    handle_miss(i, pages[i], stores[i])
+                misses_l += 1  # membership known: first_nonresident stopped
+                handle_miss(i, pages[i], stores[i])
                 i += 1
-            continue
-        j = first_nonresident(cids, i, stop)
-        if j > i:
-            access_run(cids[i:j], stores_arr[i:j])
-            i = j
-        if i < stop:
-            accesses_l += 1
-            misses_l += 1  # membership is known: first_nonresident stopped here
-            handle_miss(i, pages[i], stores[i])
-            i += 1
-    stats.accesses += accesses_l
-    stats.hits += hits_l
-    stats.demand_misses += misses_l
-    stats.prefetch_hits += prefetch_hits_l
-    return True
+        stats.accesses += accesses_l
+        stats.hits += hits_l
+        stats.demand_misses += misses_l
+        stats.prefetch_hits += prefetch_hits_l
+        return True
 
 
-def _replay_null(cache: PageCache, pages_arr: np.ndarray, cids: np.ndarray,
-                 stores_arr: np.ndarray, miss_out: list[int] | None,
-                 allow_fallback: bool = False) -> bool:
+class _NullReplayEngine:
     """Null-prefetcher engine: no prefetches are ever issued, so the
     landing queue stays empty and both hit runs *and* demand-miss runs
     resolve in bulk over maximal spans.
 
-    Returns False (partial state, discard the cache) when
+    ``run`` returns False (partial state, discard the cache) when
     ``allow_fallback`` is set and scalar fallbacks dominate — see
-    ``_FALLBACK_SCALAR``."""
-    n = len(cids)
-    first_nonresident = cache.first_nonresident
-    access_run = cache.access_run
-    miss_run_length = cache.miss_run_length
-    fill_run = cache.fill_run
-    # The null engine guarantees no prefetch ever exists: every page is in
-    # the universe, nothing is ever undemanded, and a demand access can
-    # only be HIT or MISS.  Short spans and short miss runs therefore skip
-    # the scalar access()/fill() protocol and poke the cache arrays
-    # directly — same state transitions, none of the generality.
-    soc = cache._require_universe()
-    last_use = cache._last_use
-    dirty = cache._dirty
-    page_arr = cache._page
-    cid_of_slot = cache._cid_of_slot
-    free = cache._free
-    capacity = cache.capacity_pages
-    evict = cache._evict_lru
-    stats = cache.stats
-    # Boxing numpy scalars in the fallbacks is fine while rare; once
-    # enough accesses have gone scalar (a short-span-dominated workload),
-    # pay one tolist() and index plain python lists instead.
-    pages_l: list[int] | None = None
-    cids_l: list[int] | None = None
-    stores_l: list[bool] | None = None
-    n_scalar = 0
-    accesses = hits = misses = 0
-    # After materialization, consecutive short spans flip the loop into a
-    # fully inline scalar walk (no per-span function calls at all); a long
-    # span or long miss run flips it back to the vectorized path.
-    short_mode = False
-    i = 0
-    while i < n:
-        # ``accesses`` counts exactly the scalar-fallback accesses (bulk
-        # paths bypass it): when they dominate, batching is not paying.
-        if allow_fallback and accesses > _FALLBACK_SCALAR and accesses * 2 > i:
-            return False
-        if short_mode and cids_l is not None and stores_l is not None \
-                and pages_l is not None:
-            clock = cache._clock
-            t = i
-            walk_limit = min(n, i + _BULK_MIN_SPAN)
-            while t < walk_limit:
-                slot = soc[cids_l[t]]
-                if slot < 0:
-                    break
-                last_use[slot] = clock
-                clock += 1
-                if stores_l[t]:
-                    dirty[slot] = True
-                t += 1
-            cache._clock = clock
-            span = t - i
-            accesses += span
-            hits += span
-            i = t
-            if i >= n:
-                break
-            if span >= _BULK_MIN_SPAN:
-                short_mode = False  # long span emerging: vectorize the rest
-                continue
-            # ``i`` is a miss.  Resolve it inline when the run is length 1
-            # (next access resident, duplicate, or absent) — the common
-            # case in scattered-miss workloads.
-            cid = cids_l[i]
-            if capacity > 1 and i + 1 < n:
-                c1 = cids_l[i + 1]
-                if c1 != cid and soc[c1] < 0:
-                    short_mode = False  # multi-miss run: vectorized cut
-                    continue
-            accesses += 1
-            misses += 1
-            if cache._n_resident >= capacity:
-                evict(by_prefetch=False)
-            slot = free.pop()
-            page_arr[slot] = pages_l[i]
-            clock = cache._clock
-            last_use[slot] = clock
-            cache._clock = clock + 1
-            if stores_l[i]:
-                dirty[slot] = True
-            soc[cid] = slot
-            cid_of_slot[slot] = cid
-            cache._n_resident += 1
-            if miss_out is not None:
-                miss_out.append(i)
-            i += 1
-            continue
-        j = first_nonresident(cids, i, n)
-        span = j - i
-        if span:
-            if span >= _BULK_MIN_SPAN:
-                access_run(cids[i:j], stores_arr[i:j])
-            else:
-                accesses += span
-                hits += span
+    ``_FALLBACK_SCALAR``.  Materialization state and the fallback
+    account persist across telemetry segments so a windowed run makes
+    the same engine decisions a single-segment run would."""
+
+    def __init__(self, trace: Trace, config: SimConfig, cache: PageCache,
+                 miss_out: list[int] | None, allow_fallback: bool) -> None:
+        self._pages_arr = trace.pages(config.page_size)
+        universe, cids = trace.page_index(config.page_size)
+        cache.attach_universe(universe)
+        self._cache = cache
+        self._cids = cids
+        self._stores_arr = trace.kinds != 0
+        self._n_total = len(cids)
+        self._miss_out = miss_out
+        self._allow_fallback = allow_fallback
+        # Boxing numpy scalars in the fallbacks is fine while rare; once
+        # enough accesses have gone scalar (a short-span-dominated
+        # workload), pay one tolist() and index plain python lists.
+        self._pages_l: list[int] | None = None
+        self._cids_l: list[int] | None = None
+        self._stores_l: list[bool] | None = None
+        self._n_scalar = 0
+        # After materialization, consecutive short spans flip the loop
+        # into a fully inline scalar walk (no per-span function calls at
+        # all); a long span or long miss run flips it back.
+        self._short_mode = False
+        #: Scalar-fallback accesses flushed by earlier segments (the
+        #: fallback heuristic is cumulative over the whole run).
+        self._scalar_accesses = 0
+
+    def run(self, start: int, stop: int) -> bool:
+        cache = self._cache
+        cids = self._cids
+        pages_arr = self._pages_arr
+        stores_arr = self._stores_arr
+        miss_out = self._miss_out
+        allow_fallback = self._allow_fallback
+        n = stop
+        n_total = self._n_total
+        first_nonresident = cache.first_nonresident
+        access_run = cache.access_run
+        miss_run_length = cache.miss_run_length
+        fill_run = cache.fill_run
+        # The null engine guarantees no prefetch ever exists: every page
+        # is in the universe, nothing is ever undemanded, and a demand
+        # access can only be HIT or MISS.  Short spans and short miss runs
+        # therefore skip the scalar access()/fill() protocol and poke the
+        # cache arrays directly — same state transitions, none of the
+        # generality.
+        soc = cache._require_universe()
+        last_use = cache._last_use
+        dirty = cache._dirty
+        page_arr = cache._page
+        cid_of_slot = cache._cid_of_slot
+        free = cache._free
+        capacity = cache.capacity_pages
+        evict = cache._evict_lru
+        stats = cache.stats
+        pages_l = self._pages_l
+        cids_l = self._cids_l
+        stores_l = self._stores_l
+        n_scalar = self._n_scalar
+        short_mode = self._short_mode
+        base_scalar = self._scalar_accesses
+        accesses = hits = misses = 0
+        i = start
+        while i < n:
+            # ``accesses`` counts exactly the scalar-fallback accesses
+            # (bulk paths bypass it): when they dominate, batching is not
+            # paying.
+            if allow_fallback and base_scalar + accesses > _FALLBACK_SCALAR \
+                    and (base_scalar + accesses) * 2 > i:
+                return False
+            if short_mode and cids_l is not None and stores_l is not None \
+                    and pages_l is not None:
                 clock = cache._clock
-                if cids_l is not None and stores_l is not None:
-                    for t in range(i, j):
-                        slot = soc[cids_l[t]]
-                        last_use[slot] = clock
-                        clock += 1
-                        if stores_l[t]:
-                            dirty[slot] = True
-                else:
-                    n_scalar += span
-                    for t in range(i, j):
-                        slot = soc[cids[t]]
-                        last_use[slot] = clock
-                        clock += 1
-                        if stores_arr[t]:
-                            dirty[slot] = True
-                cache._clock = clock
-            i = j
-        if i >= n:
-            break
-        k = miss_run_length(cids, i, n)
-        if k >= _BULK_MIN_RUN:
-            fill_run(pages_arr[i:i + k], cids[i:i + k], stores_arr[i:i + k])
-        else:
-            accesses += k
-            misses += k
-            clock = cache._clock
-            if pages_l is not None and cids_l is not None and stores_l is not None:
-                for t in range(i, i + k):
-                    if cache._n_resident >= capacity:
-                        evict(by_prefetch=False)
-                    slot = free.pop()
-                    page_arr[slot] = pages_l[t]
+                t = i
+                walk_limit = min(n, i + _BULK_MIN_SPAN)
+                while t < walk_limit:
+                    slot = soc[cids_l[t]]
+                    if slot < 0:
+                        break
                     last_use[slot] = clock
                     clock += 1
                     if stores_l[t]:
                         dirty[slot] = True
-                    cid = cids_l[t]
-                    soc[cid] = slot
-                    cid_of_slot[slot] = cid
-                    cache._n_resident += 1
+                    t += 1
+                cache._clock = clock
+                span = t - i
+                accesses += span
+                hits += span
+                i = t
+                if i >= n:
+                    break
+                if span >= _BULK_MIN_SPAN:
+                    short_mode = False  # long span emerging: vectorize
+                    continue
+                # ``i`` is a miss.  Resolve it inline when the run is
+                # length 1 (next access resident, duplicate, or absent) —
+                # the common case in scattered-miss workloads.
+                cid = cids_l[i]
+                if capacity > 1 and i + 1 < n_total:
+                    c1 = cids_l[i + 1]
+                    if c1 != cid and soc[c1] < 0:
+                        short_mode = False  # multi-miss run: vectorized
+                        continue
+                accesses += 1
+                misses += 1
+                if cache._n_resident >= capacity:
+                    evict(by_prefetch=False)
+                slot = free.pop()
+                page_arr[slot] = pages_l[i]
+                clock = cache._clock
+                last_use[slot] = clock
+                cache._clock = clock + 1
+                if stores_l[i]:
+                    dirty[slot] = True
+                soc[cid] = slot
+                cid_of_slot[slot] = cid
+                cache._n_resident += 1
+                if miss_out is not None:
+                    miss_out.append(i)
+                i += 1
+                continue
+            j = first_nonresident(cids, i, n)
+            span = j - i
+            if span:
+                if span >= _BULK_MIN_SPAN:
+                    access_run(cids[i:j], stores_arr[i:j])
+                else:
+                    accesses += span
+                    hits += span
+                    clock = cache._clock
+                    if cids_l is not None and stores_l is not None:
+                        for t in range(i, j):
+                            slot = soc[cids_l[t]]
+                            last_use[slot] = clock
+                            clock += 1
+                            if stores_l[t]:
+                                dirty[slot] = True
+                    else:
+                        n_scalar += span
+                        for t in range(i, j):
+                            slot = soc[cids[t]]
+                            last_use[slot] = clock
+                            clock += 1
+                            if stores_arr[t]:
+                                dirty[slot] = True
+                    cache._clock = clock
+                i = j
+            if i >= n:
+                break
+            k = miss_run_length(cids, i, n)
+            if k >= _BULK_MIN_RUN:
+                fill_run(pages_arr[i:i + k], cids[i:i + k],
+                         stores_arr[i:i + k])
             else:
-                n_scalar += k
-                for t in range(i, i + k):
-                    if cache._n_resident >= capacity:
-                        evict(by_prefetch=False)
-                    slot = free.pop()
-                    page_arr[slot] = pages_arr[t]
-                    last_use[slot] = clock
-                    clock += 1
-                    if stores_arr[t]:
-                        dirty[slot] = True
-                    cid = cids[t]
-                    soc[cid] = slot
-                    cid_of_slot[slot] = cid
-                    cache._n_resident += 1
-            cache._clock = clock
-        if miss_out is not None:
-            miss_out.extend(range(i, i + k))
-        i += k
-        if pages_l is None and n_scalar > _MATERIALIZE_AFTER:
-            pages_l = pages_arr.tolist()
-            cids_l = cids.tolist()
-            stores_l = stores_arr.tolist()
-        short_mode = (pages_l is not None and span < _BULK_MIN_SPAN
-                      and k < _BULK_MIN_RUN)
-    stats.accesses += accesses
-    stats.hits += hits
-    stats.demand_misses += misses
-    return True
+                accesses += k
+                misses += k
+                clock = cache._clock
+                if pages_l is not None and cids_l is not None \
+                        and stores_l is not None:
+                    for t in range(i, i + k):
+                        if cache._n_resident >= capacity:
+                            evict(by_prefetch=False)
+                        slot = free.pop()
+                        page_arr[slot] = pages_l[t]
+                        last_use[slot] = clock
+                        clock += 1
+                        if stores_l[t]:
+                            dirty[slot] = True
+                        cid = cids_l[t]
+                        soc[cid] = slot
+                        cid_of_slot[slot] = cid
+                        cache._n_resident += 1
+                else:
+                    n_scalar += k
+                    for t in range(i, i + k):
+                        if cache._n_resident >= capacity:
+                            evict(by_prefetch=False)
+                        slot = free.pop()
+                        page_arr[slot] = pages_arr[t]
+                        last_use[slot] = clock
+                        clock += 1
+                        if stores_arr[t]:
+                            dirty[slot] = True
+                        cid = cids[t]
+                        soc[cid] = slot
+                        cid_of_slot[slot] = cid
+                        cache._n_resident += 1
+                cache._clock = clock
+            if miss_out is not None:
+                miss_out.extend(range(i, i + k))
+            i += k
+            if pages_l is None and n_scalar > _MATERIALIZE_AFTER:
+                pages_l = pages_arr.tolist()
+                cids_l = cids.tolist()
+                stores_l = stores_arr.tolist()
+            short_mode = (pages_l is not None and span < _BULK_MIN_SPAN
+                          and k < _BULK_MIN_RUN)
+        stats.accesses += accesses
+        stats.hits += hits
+        stats.demand_misses += misses
+        self._pages_l = pages_l
+        self._cids_l = cids_l
+        self._stores_l = stores_l
+        self._n_scalar = n_scalar
+        self._short_mode = short_mode
+        self._scalar_accesses = base_scalar + accesses
+        return True
 
 
 def baseline_misses(trace: Trace, config: SimConfig = SimConfig()) -> SimResult:

@@ -1,0 +1,104 @@
+"""Run-telemetry observability (PR 5).
+
+Zero-overhead-when-disabled instrumentation for the simulator and
+harness.  The pieces:
+
+- :class:`~repro.telemetry.nullsink.NullTelemetry` — the default no-op
+  sink; ``simulate()`` runs the exact pre-telemetry code path when the
+  sink is absent or disabled.
+- :class:`~repro.telemetry.sink.Telemetry` — windowed time series
+  (accuracy, coverage, timeliness, miss rate, queue depth, evictions,
+  replay invocations), named counters/timers, and a per-run provenance
+  manifest, written as one JSONL file per run.
+- :mod:`~repro.telemetry.windowing` / :mod:`~repro.telemetry.manifest` /
+  :mod:`~repro.telemetry.report` — the accumulation, provenance, and
+  rendering layers.
+
+Harness plumbing mirrors :mod:`repro.harness.trace_cache`: the output
+directory is per-process module state set by :func:`configure`, which
+``run_grid`` forwards to worker processes through its initializer, so
+telemetry never enters cell specs or cache keys — observed and
+unobserved grid runs share result-cache entries.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .manifest import SCHEMA_VERSION, build_manifest, run_spec
+from .nullsink import NULL_TELEMETRY, NullTelemetry
+from .report import RunRecords, format_run, iter_runs, load_run, summarize_dir
+from .sink import DEFAULT_INTERVAL, Telemetry
+from .windowing import STAT_FIELDS, WindowAccumulator, snapshot_stats
+
+__all__ = [
+    "DEFAULT_INTERVAL",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "RunRecords",
+    "SCHEMA_VERSION",
+    "STAT_FIELDS",
+    "Telemetry",
+    "WindowAccumulator",
+    "build_manifest",
+    "configure",
+    "configured_dir",
+    "configured_interval",
+    "format_run",
+    "iter_runs",
+    "load_run",
+    "maybe_sink",
+    "run_spec",
+    "snapshot_stats",
+    "summarize_dir",
+]
+
+_telemetry_dir: Path | None = None
+_telemetry_interval: int = DEFAULT_INTERVAL
+
+
+def configure(directory: str | Path | None,
+              interval: int | None = None) -> Path | None:
+    """Set (or clear, with ``None``) this process's telemetry directory.
+
+    Returns the previous directory so callers can restore it (the serial
+    ``run_grid`` path brackets cell execution with configure/restore).
+    """
+    global _telemetry_dir, _telemetry_interval
+    previous = _telemetry_dir
+    if interval is not None:
+        if interval <= 0:
+            raise ValueError("telemetry interval must be positive")
+        _telemetry_interval = interval
+    if directory is None:
+        _telemetry_dir = None
+        return previous
+    path = Path(directory)
+    if path.exists() and not path.is_dir():
+        raise ValueError(f"telemetry_dir {path} exists and is not "
+                         "a directory")
+    path.mkdir(parents=True, exist_ok=True)
+    _telemetry_dir = path
+    return previous
+
+
+def configured_dir() -> Path | None:
+    """The directory run sinks currently write into, if any."""
+    return _telemetry_dir
+
+
+def configured_interval() -> int:
+    """The window interval new sinks are created with."""
+    return _telemetry_interval
+
+
+def maybe_sink() -> Telemetry | None:
+    """A fresh sink when a directory is configured, else None.
+
+    Harness cells call this before ``simulate()`` and, when it returns a
+    sink, hand it to the simulator and :meth:`~repro.telemetry.sink.
+    Telemetry.write` it into :func:`configured_dir` afterwards.
+    """
+    if _telemetry_dir is None:
+        return None
+    return Telemetry(interval=_telemetry_interval)

@@ -1,0 +1,99 @@
+"""Per-run provenance manifests.
+
+A run manifest answers "what produced this JSONL file?" months later:
+the canonical spec of the run (trace identity, prefetcher, simulator
+configuration, telemetry interval) hashed with the same
+:func:`~repro.harness.runner.spec_key` machinery the result cache uses,
+plus the volatile environment (git SHA, wall time, library versions)
+kept under a separate ``env`` key so schema tests can pin the stable
+fields exactly and only assert the volatile ones exist.
+
+Wall-clock and subprocess reads live here, outside the simulation zones,
+so repro-lint's RL002 wall-clock ban on ``core``/``memsim``/``patterns``
+still holds: the simulator only ever hands data *to* the sink.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+import sys
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..harness.runner import spec_key
+from ..memsim.simulator import SimConfig
+from ..patterns.trace import Trace
+
+#: Bump when the JSONL record layout changes; the golden-schema test
+#: (tests/telemetry/test_golden_schema.py) forces the bump to be
+#: deliberate.
+SCHEMA_VERSION = 1
+
+
+def run_spec(trace: Trace, prefetcher_name: str, config: SimConfig,
+             interval: int) -> dict:
+    """Canonical, JSON-serializable spec of one telemetry-observed run."""
+    metadata = {key: value for key, value in sorted(trace.metadata.items())
+                if isinstance(value, (str, int, float, bool, type(None)))}
+    return {
+        "kind": "telemetry_run",
+        "trace": trace.name,
+        "n_accesses": len(trace.addresses),
+        "trace_metadata": metadata,
+        "prefetcher": prefetcher_name,
+        "page_size": config.page_size,
+        "memory_fraction": config.memory_fraction,
+        "capacity_pages": config.capacity_pages,
+        "prefetch_delay_accesses": config.prefetch_delay_accesses,
+        "max_prefetches_per_miss": config.max_prefetches_per_miss,
+        "interval": interval,
+    }
+
+
+def git_sha() -> str | None:
+    """The repository HEAD SHA, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            timeout=5, check=False)
+    except OSError:
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def environment() -> dict:
+    """The volatile provenance fields (never part of the spec hash)."""
+    return {
+        "git_sha": git_sha(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": sys.platform,
+    }
+
+
+def build_manifest(spec: Mapping[str, Any], *, seed: int | None,
+                   engine: str, capacity_pages: int, wall_time_s: float,
+                   n_windows: int) -> dict:
+    """Assemble the manifest record for a finished run.
+
+    ``seed`` is the trace generator's seed when the trace carries one in
+    its metadata; synthetic traces built inline (tests, fixtures) may
+    not, and record null.
+    """
+    spec_hash = spec_key(dict(spec))
+    return {
+        "record": "manifest",
+        "schema_version": SCHEMA_VERSION,
+        "run_id": spec_hash[:16],
+        "spec_hash": spec_hash,
+        "spec": dict(spec),
+        "seed": seed,
+        "engine": engine,
+        "capacity_pages": capacity_pages,
+        "wall_time_s": wall_time_s,
+        "n_windows": n_windows,
+        "env": environment(),
+    }

@@ -1,0 +1,116 @@
+"""Reading and rendering telemetry JSONL files (``repro telemetry``).
+
+A run file is self-describing: the first record is the manifest, the
+middle records are windows, the last is the summary.  These helpers
+parse that layout back and render the per-window accuracy/coverage view
+the CLI's ``telemetry summarize`` subcommand prints.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class RunRecords:
+    """One parsed telemetry run file."""
+
+    path: Path
+    manifest: dict
+    windows: list[dict] = field(default_factory=list)
+    summary: dict = field(default_factory=dict)
+
+
+def load_run(path: str | Path) -> RunRecords:
+    """Parse one ``<run_id>.jsonl`` file; raises ValueError on bad layout."""
+    path = Path(path)
+    manifest: dict | None = None
+    windows: list[dict] = []
+    summary: dict = {}
+    with path.open() as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("record")
+            if kind == "manifest":
+                manifest = record
+            elif kind == "window":
+                windows.append(record)
+            elif kind == "summary":
+                summary = record
+            else:
+                raise ValueError(
+                    f"{path}:{line_no}: unknown record kind {kind!r}")
+    if manifest is None:
+        raise ValueError(f"{path}: no manifest record")
+    return RunRecords(path=path, manifest=manifest, windows=windows,
+                      summary=summary)
+
+
+def iter_runs(directory: str | Path) -> list[RunRecords]:
+    """Load every ``*.jsonl`` run in ``directory``, sorted by filename."""
+    runs = []
+    for path in sorted(Path(directory).glob("*.jsonl")):
+        runs.append(load_run(path))
+    return runs
+
+
+def _sparkline(values: list[float]) -> str:
+    blocks = "▁▂▃▄▅▆▇█"
+    return "".join(blocks[min(int(v * (len(blocks) - 1) + 0.5),
+                              len(blocks) - 1)]
+                   if v == v else "?" for v in values)
+
+
+def format_run(run: RunRecords, max_rows: int = 20) -> str:
+    """Render one run: header, per-window table, sparkline overview."""
+    m = run.manifest
+    spec = m.get("spec", {})
+    lines = [
+        f"run {m.get('run_id')}  trace={spec.get('trace')}  "
+        f"prefetcher={spec.get('prefetcher')}  engine={m.get('engine')}  "
+        f"seed={m.get('seed')}",
+        f"  spec_hash={m.get('spec_hash', '')[:32]}…  "
+        f"windows={m.get('n_windows')}  interval={spec.get('interval')}  "
+        f"wall={m.get('wall_time_s', 0.0):.3f}s",
+    ]
+    if run.windows:
+        accuracy = [float(w["accuracy"]) for w in run.windows]
+        coverage = [float(w["coverage"]) for w in run.windows]
+        miss_rate = [float(w["miss_rate"]) for w in run.windows]
+        lines.append(f"  accuracy  {_sparkline(accuracy)}")
+        lines.append(f"  coverage  {_sparkline(coverage)}")
+        lines.append(f"  miss_rate {_sparkline(miss_rate)}")
+        lines.append("  window        end  accuracy  coverage  miss_rate"
+                     "  queue  evictions")
+        step = max(1, len(run.windows) // max_rows)
+        shown = run.windows[::step]
+        if run.windows[-1] is not shown[-1]:
+            shown.append(run.windows[-1])
+        for w in shown:
+            lines.append(
+                f"  {run.windows.index(w):6d} {w['index_stop']:10d}"
+                f"  {w['accuracy']:8.3f}  {w['coverage']:8.3f}"
+                f"  {w['miss_rate']:9.3f}  {w['queue_depth']:5d}"
+                f"  {w['evictions']:9d}")
+    counters = run.summary.get("counters") or {}
+    if counters:
+        joined = "  ".join(f"{k}={v}" for k, v in counters.items())
+        lines.append(f"  counters: {joined}")
+    timers = run.summary.get("timers") or {}
+    if timers:
+        joined = "  ".join(f"{k}={v:.4f}s" for k, v in timers.items())
+        lines.append(f"  timers: {joined}")
+    return "\n".join(lines)
+
+
+def summarize_dir(directory: str | Path, max_rows: int = 20) -> str:
+    """Render every run in ``directory``; empty-directory message if none."""
+    runs = iter_runs(directory)
+    if not runs:
+        return f"no telemetry runs in {directory}"
+    return "\n\n".join(format_run(run, max_rows=max_rows) for run in runs)

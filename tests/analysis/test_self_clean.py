@@ -14,6 +14,10 @@ from pathlib import Path
 from repro.analysis import lint_paths
 
 SRC = Path(__file__).parents[2] / "src" / "repro"
+TESTS = Path(__file__).parents[1]
+
+#: Deliberately-bad lint inputs; every finding under here is the point.
+LINT_FIXTURES = TESTS / "analysis" / "fixtures"
 
 
 def test_source_tree_exists():
@@ -23,4 +27,14 @@ def test_source_tree_exists():
 def test_repro_lint_clean_on_repo():
     findings = lint_paths([SRC])
     assert findings == [], "repro-lint findings on src/repro:\n" + "\n".join(
+        f.format() for f in findings)
+
+
+def test_tests_tree_has_no_rl001_findings():
+    """The tests must practice the seeding discipline they enforce: no
+    unseeded, legacy, or arithmetic-derived RNG streams anywhere in the
+    tests tree (outside the linter's own bad-input fixtures)."""
+    findings = [f for f in lint_paths([TESTS], select=frozenset({"RL001"}))
+                if LINT_FIXTURES not in Path(f.path).resolve().parents]
+    assert findings == [], "RL001 findings on tests/:\n" + "\n".join(
         f.format() for f in findings)

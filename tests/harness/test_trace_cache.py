@@ -16,8 +16,10 @@ from repro.harness import trace_cache
 from repro.harness.runner import run_grid, spec_key
 from repro.harness.trace_cache import configure, materialize, trace_spec
 from repro.patterns.applications import AppSpec, generate_application
+from repro.seeding import spawn_seeds
 
 _SPEC = AppSpec(n=2_000, seed=3)
+_ALT_SEED = spawn_seeds(_SPEC.seed, 1)[0]
 
 
 def _assert_traces_equal(a, b) -> None:
@@ -64,7 +66,7 @@ class TestMaterialize:
         previous = configure(tmp_path)
         try:
             materialize("mcf", _SPEC)
-            materialize("mcf", AppSpec(n=_SPEC.n, seed=_SPEC.seed + 1))
+            materialize("mcf", AppSpec(n=_SPEC.n, seed=_ALT_SEED))
             materialize("mcf", AppSpec(n=_SPEC.n + 1, seed=_SPEC.seed))
             materialize("pagerank", _SPEC)
         finally:

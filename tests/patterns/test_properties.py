@@ -1,0 +1,103 @@
+"""Property-based tests for the Table 1 generators and Trace persistence.
+
+Two families of properties (PR 5):
+
+- **npz round-trip bit-identity** — any generated trace survives
+  ``Trace.save`` / ``Trace.load`` with every column bit-identical
+  (values *and* dtypes) and its name/metadata intact.  This is the
+  contract the trace-materialization cache and the telemetry manifest
+  both lean on.
+- **page-footprint bounds** — every generator respects the bound its
+  data-structure layout declares: a traversal over ``working_set``
+  elements can touch at most a layout-dependent number of distinct
+  addresses, and therefore at most that many distinct pages, all inside
+  the declared address regions.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.patterns.generators import (  # noqa: E402
+    PATTERN_NAMES,
+    PatternSpec,
+    generate,
+)
+
+_SPECS = st.builds(
+    PatternSpec,
+    n=st.integers(min_value=1, max_value=2_000),
+    element_size=st.sampled_from([1, 8, 64, 256, 4096]),
+    working_set=st.integers(min_value=1, max_value=400),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+
+
+def _declared_bounds(pattern: str, spec: PatternSpec) -> tuple[int, int, int]:
+    """(max distinct addresses, lowest address, end of address region)."""
+    ws = spec.working_set
+    if pattern in ("stride", "pointer_chase"):
+        return ws, spec.base, spec.base + ws * spec.element_size
+    if pattern == "indirect_stride":
+        # Pointer array at base (8-byte slots) + target region at
+        # base + 2*ws*element_size; whichever region ends higher wins.
+        target_end = spec.base + 3 * ws * spec.element_size
+        return 2 * ws, spec.base, max(spec.base + ws * 8, target_end)
+    if pattern == "indirect_index":
+        b_base = spec.base + 2 * ws * 8
+        return 2 * ws, spec.base, b_base + ws * spec.element_size
+    if pattern == "pointer_offset":
+        # Default offsets (0, 16, 32): three fields per node.
+        return 3 * ws, spec.base, spec.base + ws * spec.element_size + 32
+    raise AssertionError(f"unhandled pattern {pattern}")
+
+
+@settings(max_examples=40, deadline=None)
+@given(pattern=st.sampled_from(PATTERN_NAMES), spec=_SPECS)
+def test_generators_respect_declared_footprint(pattern: str,
+                                               spec: PatternSpec) -> None:
+    trace = generate(pattern, spec)
+    assert len(trace) == spec.n
+    max_distinct, low, end = _declared_bounds(pattern, spec)
+    addresses = trace.addresses
+    assert int(addresses.min()) >= low
+    assert int(addresses.max()) < end
+    distinct = int(np.unique(addresses).size)
+    assert distinct <= max_distinct
+    # Distinct pages can never exceed distinct addresses, at any page
+    # size (the simulator's footprint-sized cache depends on this).
+    for page_size in (64, 4096):
+        assert trace.footprint_pages(page_size) <= distinct
+
+
+@settings(max_examples=40, deadline=None)
+@given(pattern=st.sampled_from(PATTERN_NAMES), spec=_SPECS)
+def test_generators_deterministic(pattern: str, spec: PatternSpec) -> None:
+    a = generate(pattern, spec)
+    b = generate(pattern, spec)
+    assert np.array_equal(a.addresses, b.addresses)
+    assert a.metadata == b.metadata
+
+
+@settings(max_examples=25, deadline=None)
+@given(pattern=st.sampled_from(PATTERN_NAMES), spec=_SPECS)
+def test_npz_round_trip_bit_identity(pattern: str, spec: PatternSpec) -> None:
+    trace = generate(pattern, spec)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "trace.npz"
+        trace.save(path)
+        loaded = type(trace).load(path)
+    assert loaded.name == trace.name
+    assert loaded.metadata == trace.metadata
+    for column in ("addresses", "kinds", "stream_ids", "timestamps"):
+        before = getattr(trace, column)
+        after = getattr(loaded, column)
+        assert before.dtype == after.dtype, column
+        assert np.array_equal(before, after), column

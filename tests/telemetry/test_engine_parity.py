@@ -1,0 +1,141 @@
+"""Differential suite: telemetry must never perturb the simulation.
+
+Three claims, pinned across the four Figure 5 applications:
+
+- **engine parity under observation** — the scalar and span-batched
+  engines with an *enabled* sink produce identical ``CacheStats``,
+  identical miss indices, and byte-identical windowed series (the
+  segmented engines stop at the same boundaries, so every window delta
+  agrees).
+- **observation is free of side effects** — a run with telemetry ON is
+  bit-identical to the same run with telemetry OFF: stats, miss indices,
+  and every learned CLS weight array (``_probs_buf`` is excluded: it is
+  write-before-read scratch and differs even between two identical
+  unobserved runs).
+- **fallback restarts are accounted** — when the null-replay engine
+  bails out mid-run, the sink discards its partial windows, counts the
+  restart, and the rewound scalar run's windows match a pure scalar run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cls_prefetcher import CLSPrefetcher, CLSPrefetcherConfig
+from repro.memsim import NullPrefetcher, SimConfig, simulate
+from repro.patterns.applications import (
+    AppSpec,
+    graph500,
+    mcf,
+    pagerank_graphchi,
+    resnet_training,
+)
+from repro.patterns.trace import Trace
+from repro.telemetry import Telemetry
+
+APPS = {
+    "resnet": resnet_training,
+    "pagerank": pagerank_graphchi,
+    "mcf": mcf,
+    "graph500": graph500,
+}
+
+N = 20_000
+INTERVAL = 1500  # deliberately not a divisor of N: last window is ragged
+
+
+def _trace(app: str) -> Trace:
+    return APPS[app](AppSpec(n=N, seed=1))
+
+
+def _cls() -> CLSPrefetcher:
+    return CLSPrefetcher(CLSPrefetcherConfig(
+        model="hebbian", vocab_size=64, observe_hits=False, seed=3))
+
+
+def _config() -> SimConfig:
+    return SimConfig(memory_fraction=0.5, prefetch_delay_accesses=4)
+
+
+def _weight_arrays(prefetcher: CLSPrefetcher) -> dict[str, np.ndarray]:
+    """Every learned/stateful model array except write-only scratch."""
+    return {name: value for name, value in vars(prefetcher.model).items()
+            if isinstance(value, np.ndarray) and name != "_probs_buf"}
+
+
+@pytest.mark.parametrize("app", sorted(APPS))
+def test_windowed_series_identical_across_engines(app: str):
+    trace = _trace(app)
+    sink_b, sink_s = Telemetry(INTERVAL), Telemetry(INTERVAL)
+    batched = simulate(trace, _cls(), _config(), record_miss_indices=True,
+                       engine="batched", telemetry=sink_b)
+    scalar = simulate(trace, _cls(), _config(), record_miss_indices=True,
+                      engine="scalar", telemetry=sink_s)
+    assert batched.stats.as_dict() == scalar.stats.as_dict()
+    assert batched.miss_indices == scalar.miss_indices
+    assert sink_b.windows == sink_s.windows
+    assert sink_b.run_id() == sink_s.run_id()
+    assert len(sink_b.windows) == -(-N // INTERVAL)
+    assert sink_b.manifest()["engine"] == "batched"
+    assert sink_s.manifest()["engine"] == "scalar"
+
+
+@pytest.mark.parametrize("app", sorted(APPS))
+@pytest.mark.parametrize("engine", ["scalar", "batched"])
+def test_observation_is_bit_identical_to_unobserved(app: str, engine: str):
+    trace = _trace(app)
+    observed_pf, bare_pf = _cls(), _cls()
+    sink = Telemetry(INTERVAL)
+    observed = simulate(trace, observed_pf, _config(),
+                        record_miss_indices=True, engine=engine,
+                        telemetry=sink)
+    bare = simulate(trace, bare_pf, _config(),
+                    record_miss_indices=True, engine=engine)
+    assert observed.stats.as_dict() == bare.stats.as_dict()
+    assert observed.miss_indices == bare.miss_indices
+    assert observed.capacity_pages == bare.capacity_pages
+    observed_w, bare_w = _weight_arrays(observed_pf), _weight_arrays(bare_pf)
+    assert observed_w.keys() == bare_w.keys()
+    for name, array in observed_w.items():
+        np.testing.assert_array_equal(array, bare_w[name], err_msg=name)
+    # The sink really observed the run while changing nothing.
+    assert sum(w["accesses"] for w in sink.windows) == N
+    assert sum(w["demand_misses"] for w in sink.windows) \
+        == bare.stats.demand_misses
+
+
+@pytest.mark.parametrize("app", sorted(APPS))
+def test_null_replay_engine_windows_match_scalar(app: str):
+    trace = _trace(app)
+    sink_b, sink_s = Telemetry(INTERVAL), Telemetry(INTERVAL)
+    batched = simulate(trace, NullPrefetcher(), _config(),
+                       record_miss_indices=True, engine="batched",
+                       telemetry=sink_b)
+    scalar = simulate(trace, NullPrefetcher(), _config(),
+                      record_miss_indices=True, engine="scalar",
+                      telemetry=sink_s)
+    assert batched.stats.as_dict() == scalar.stats.as_dict()
+    assert batched.miss_indices == scalar.miss_indices
+    assert sink_b.windows == sink_s.windows
+
+
+def test_fallback_restart_rewinds_windows():
+    # A random-page trace defeats span batching: the null-replay engine
+    # accumulates scalar fallbacks past its budget and restarts scalar.
+    rng = np.random.default_rng(7)
+    addresses = rng.integers(0, 4_000, size=N).astype(np.int64) * 4096
+    trace = Trace(name="uniform_random", addresses=addresses,
+                  metadata={"seed": 7})
+    sink_auto, sink_s = Telemetry(INTERVAL), Telemetry(INTERVAL)
+    auto = simulate(trace, NullPrefetcher(), _config(),
+                    record_miss_indices=True, telemetry=sink_auto)
+    scalar = simulate(trace, NullPrefetcher(), _config(),
+                      record_miss_indices=True, engine="scalar",
+                      telemetry=sink_s)
+    assert sink_auto.counters.get("engine_fallback_restarts") == 1
+    assert sink_auto.manifest()["engine"] == "scalar"
+    assert auto.stats.as_dict() == scalar.stats.as_dict()
+    assert auto.miss_indices == scalar.miss_indices
+    # The partial pre-fallback windows were discarded, not double-counted.
+    assert sink_auto.windows == sink_s.windows

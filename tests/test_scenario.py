@@ -24,18 +24,21 @@ from repro.harness.models import experiment_hebbian_config
 from repro.memsim.prefetcher import NullPrefetcher
 from repro.memsim.simulator import SimConfig, simulate
 from repro.patterns.generators import PatternSpec, pointer_chase, stride
+from repro.seeding import spawn_seeds
 
 
 # Each phase cycles a 500-page working set against a 375-page memory
 # (fraction 0.25 of the 1500-page total), so every phase thrashes and
 # there is real work for learning to remove.
 N = 2_500
+SEED = 0
+PHASE_SEEDS = spawn_seeds(SEED, 3)
 REQUESTS = pointer_chase(PatternSpec(n=N, working_set=500, element_size=4096,
-                                     base=0x1000_0000, seed=1))
+                                     base=0x1000_0000, seed=PHASE_SEEDS[0]))
 SCAN = stride(PatternSpec(n=N, working_set=500, element_size=4096,
-                          base=0x5000_0000, seed=2))
+                          base=0x5000_0000, seed=PHASE_SEEDS[1]))
 FRESH = pointer_chase(PatternSpec(n=N, working_set=500, element_size=4096,
-                                  base=0x9000_0000, seed=3))
+                                  base=0x9000_0000, seed=PHASE_SEEDS[2]))
 TRACE = REQUESTS.concat(SCAN).concat(REQUESTS).concat(FRESH)
 SIM = SimConfig(memory_fraction=0.25)
 
@@ -44,10 +47,10 @@ SIM = SimConfig(memory_fraction=0.25)
 def runs():
     prefetcher = CLSPrefetcher(CLSPrefetcherConfig(
         model="hebbian", vocab_size=2048, encoder="page",
-        hebbian=experiment_hebbian_config(2048, seed=0),
+        hebbian=experiment_hebbian_config(2048, seed=SEED),
         prefetch_length=2, prefetch_width=2, min_confidence=0.25,
         recall=True, replay_policy="full", replay_per_step=1,
-        phase_detection=True, seed=0))
+        phase_detection=True, seed=SEED))
     baseline = simulate(TRACE, NullPrefetcher(), SIM, record_miss_indices=True)
     run = simulate(TRACE, prefetcher, SIM, record_miss_indices=True)
     return baseline, run, prefetcher
