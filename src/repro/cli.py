@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import dataclasses
 import pstats
 import sys
 
@@ -118,6 +119,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "(see `repro telemetry summarize`)")
     sim.add_argument("--telemetry-interval", type=int, default=None,
                      help="accesses per telemetry window (default 1000)")
+    sim.add_argument("--backend",
+                     choices=["auto", "numpy", "numba", "c", "int8"],
+                     default="auto",
+                     help="kernel backend for the simulator and Hebbian "
+                          "hot paths (see repro.nn.backends); 'auto' "
+                          "prefers a compiled backend and falls back to "
+                          "numpy; 'int8' quantizes Hebbian serving only")
 
     exp = sub.add_parser("experiment",
                          help="regenerate a paper table/figure")
@@ -146,6 +154,21 @@ def build_parser() -> argparse.ArgumentParser:
                           "grid cell (fig5/variance) into this directory")
     exp.add_argument("--telemetry-interval", type=int, default=None,
                      help="accesses per telemetry window (default 1000)")
+    exp.add_argument("--backend",
+                     choices=["auto", "numpy", "numba", "c"],
+                     default="auto",
+                     help="kernel backend every grid worker resolves "
+                          "'auto' to; never part of the result-cache key "
+                          "(backends are bit-identical)")
+
+    bench = sub.add_parser("bench", help="inspect benchmark artifacts")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_trend = bench_sub.add_parser(
+        "trend", help="per-workload speedup trajectory across all "
+                      "BENCH_PR*.json files")
+    bench_trend.add_argument("--dir", default=".",
+                             help="directory holding BENCH_PR*.json "
+                                  "(default: current directory)")
 
     tel = sub.add_parser("telemetry", help="inspect telemetry output")
     tel_sub = tel.add_subparsers(dest="telemetry_command", required=True)
@@ -180,7 +203,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if args.telemetry_dir is not None:
         sink = telemetry.Telemetry(
             interval=args.telemetry_interval or telemetry.DEFAULT_INTERVAL)
-    run = simulate(trace, prefetcher, sim_cfg, telemetry=sink)
+    # ``int8`` only reinterprets Hebbian serving; the simulator itself
+    # keeps availability-based selection in that case.
+    sim_backend = "auto" if args.backend == "int8" else args.backend
+    run = simulate(trace, prefetcher, sim_cfg, backend=sim_backend,
+                   telemetry=sink)
     if sink is not None:
         path = sink.write(args.telemetry_dir)
         print(f"telemetry: {len(sink.windows)} windows -> {path}")
@@ -261,7 +288,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
                                cache_dir=args.cache_dir,
                                trace_cache_dir=args.trace_cache_dir,
                                telemetry_dir=args.telemetry_dir,
-                               telemetry_interval=args.telemetry_interval)
+                               telemetry_interval=args.telemetry_interval,
+                               backend=args.backend)
         headers = ["application", "hebbian_removed_pct", "lstm_removed_pct"]
         for app in config.applications:
             per_model = result.for_app(app)
@@ -277,7 +305,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
                                jobs=args.jobs, cache_dir=args.cache_dir,
                                trace_cache_dir=args.trace_cache_dir,
                                telemetry_dir=args.telemetry_dir,
-                               telemetry_interval=args.telemetry_interval)
+                               telemetry_interval=args.telemetry_interval,
+                               backend=args.backend)
         headers = ["application", "model", "mean_removed_pct", "std", "worst"]
         table_rows = [[r.application, r.model, r.mean, r.std, r.worst]
                       for r in rows]
@@ -329,7 +358,11 @@ def _build_prefetcher(args: argparse.Namespace) -> Prefetcher:
 
     model_cfg = {}
     if args.model == "hebbian":
-        model_cfg["hebbian"] = experiment_hebbian_config(args.vocab, args.seed)
+        hebbian_cfg = experiment_hebbian_config(args.vocab, args.seed)
+        backend = getattr(args, "backend", "auto")
+        if backend != "auto":
+            hebbian_cfg = dataclasses.replace(hebbian_cfg, backend=backend)
+        model_cfg["hebbian"] = hebbian_cfg
     else:
         model_cfg["lstm"] = experiment_lstm_config(args.vocab, args.seed)
     return CLSPrefetcher(CLSPrefetcherConfig(
@@ -354,6 +387,21 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    if args.bench_command == "trend":
+        from .harness.bench_trend import find_bench_files, trend_table
+
+        files = find_bench_files(args.dir)
+        if not files:
+            print(f"no BENCH_PR*.json files found in {args.dir}")
+            return 1
+        headers, rows = trend_table(args.dir)
+        print_table(headers, rows,
+                    title="Benchmark speedup trajectory (per-PR, vs that "
+                          "PR's own baseline; '—' = not measured)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -361,6 +409,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": cmd_simulate,
         "experiment": cmd_experiment,
         "telemetry": cmd_telemetry,
+        "bench": cmd_bench,
     }
     handler = handlers[args.command]
     if args.profile:

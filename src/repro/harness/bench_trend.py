@@ -1,0 +1,94 @@
+"""Cross-PR benchmark trajectory: ``repro bench trend``.
+
+Each perf-focused PR leaves a ``BENCH_PR<N>.json`` at the repo root
+recording paired before/after measurements for its workloads.  The file
+layouts differ per PR (sections appear and disappear as the perf
+campaign moves), but every measured cell shares one convention: a dict
+carrying a numeric ``"speedup"``.  This module walks every bench file
+for those cells and pivots them into a per-workload trajectory table,
+so "how did stride-resnet fare across PRs 3→4→6?" is one command
+instead of four ``jq`` invocations.
+
+Cells a PR did not measure (or that report an ``overhead_pct`` instead
+of a speedup, like the PR 5 telemetry-overhead table) render as ``—``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any
+
+#: Bench files match this at the repo root.
+_BENCH_RE = re.compile(r"^BENCH_PR(\d+)\.json$")
+
+#: Top-level provenance keys that are not measurement sections.
+_META_KEYS = frozenset({"pr", "python", "numpy", "cpu_count",
+                        "before_commit"})
+
+
+def find_bench_files(root: str | Path) -> list[tuple[int, Path]]:
+    """``(pr_number, path)`` for every ``BENCH_PR*.json`` under ``root``,
+    sorted by PR number."""
+    found = []
+    for path in Path(root).iterdir():
+        match = _BENCH_RE.match(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    return sorted(found)
+
+
+def extract_speedups(payload: Any, _path: tuple[str, ...] = ()
+                     ) -> dict[str, float]:
+    """Every ``"speedup"``-bearing dict in ``payload``, keyed by its
+    "/"-joined key path (e.g. ``"simulate/stride-resnet"``)."""
+    out: dict[str, float] = {}
+    if not isinstance(payload, dict):
+        return out
+    speedup = payload.get("speedup")
+    if isinstance(speedup, (int, float)) and not isinstance(speedup, bool):
+        out["/".join(_path)] = float(speedup)
+    for key, value in payload.items():
+        if not _path and key in _META_KEYS:
+            continue
+        out.update(extract_speedups(value, _path + (str(key),)))
+    return out
+
+
+def _workload(label: str) -> str:
+    """The pivot key: the leaf of the key path (section names vary per
+    PR, workload names are the stable vocabulary)."""
+    return label.rsplit("/", 1)[-1]
+
+
+def trend_table(root: str | Path) -> tuple[list[str], list[list[object]]]:
+    """Pivot every bench file into ``(headers, rows)``.
+
+    One row per workload (leaf label), one column per PR; cells are that
+    PR's measured speedup for the workload or ``—``.  A workload
+    measured under two sections of the same file keeps the last-walked
+    value — bench files do not reuse workload names across sections.
+    """
+    files = find_bench_files(root)
+    per_pr: list[tuple[int, dict[str, float]]] = []
+    workloads: list[str] = []
+    for pr, path in files:
+        with path.open("r", encoding="utf-8") as fh:
+            speedups = extract_speedups(json.load(fh))
+        by_workload = {_workload(label): value
+                       for label, value in sorted(speedups.items())}
+        per_pr.append((pr, by_workload))
+        for name in by_workload:
+            if name not in workloads:
+                workloads.append(name)
+
+    headers = ["workload"] + [f"PR{pr}" for pr, _ in per_pr]
+    rows: list[list[object]] = []
+    for name in workloads:
+        row: list[object] = [name]
+        for _, by_workload in per_pr:
+            value = by_workload.get(name)
+            row.append("—" if value is None else value)
+        rows.append(row)
+    return headers, rows

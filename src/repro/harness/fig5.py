@@ -138,19 +138,23 @@ def run_fig5(config: Fig5Config = Fig5Config(),
              cache_dir: str | Path | None = None,
              trace_cache_dir: str | Path | None = None,
              telemetry_dir: str | Path | None = None,
-             telemetry_interval: int | None = None) -> Fig5Result:
+             telemetry_interval: int | None = None,
+             backend: str = "auto") -> Fig5Result:
     """Run the full Figure 5 grid; returns one summary per (app, model).
 
     ``jobs`` fans the (app, model) cells out across processes;
     ``cache_dir`` memoizes each cell on disk (see ``harness.runner``);
     ``trace_cache_dir`` shares materialized traces across cells and
     invocations (see ``harness.trace_cache``); ``telemetry_dir`` writes a
-    per-run JSONL file per computed cell (see ``repro.telemetry``).
+    per-run JSONL file per computed cell (see ``repro.telemetry``);
+    ``backend`` pins the kernel backend in every worker without entering
+    the cell specs (see ``harness.runner``).
     """
     specs = [fig5_cell_spec(app, model, config)
              for app in config.applications for model in models]
     rows = run_grid(specs, fig5_cell, jobs=jobs, cache_dir=cache_dir,
                     trace_cache_dir=trace_cache_dir,
                     telemetry_dir=telemetry_dir,
-                    telemetry_interval=telemetry_interval)
+                    telemetry_interval=telemetry_interval,
+                    backend=backend)
     return Fig5Result(rows=[PrefetchSummary(**row) for row in rows])

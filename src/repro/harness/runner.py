@@ -150,10 +150,11 @@ def _cache_store(path: Path, spec: dict, result: Any) -> None:
 
 def _init_worker(trace_cache_dir: str | None,
                  telemetry_dir: str | None,
-                 telemetry_interval: int | None) -> None:
+                 telemetry_interval: int | None,
+                 backend: str = "auto") -> None:
     """ProcessPoolExecutor initializer: re-establish per-process module
-    state (trace cache, telemetry sink directory) that does not survive
-    the fork/spawn."""
+    state (trace cache, telemetry sink directory, kernel backend) that
+    does not survive the fork/spawn."""
     if trace_cache_dir is not None:
         from . import trace_cache
 
@@ -162,6 +163,10 @@ def _init_worker(trace_cache_dir: str | None,
         from .. import telemetry
 
         telemetry.configure(telemetry_dir, telemetry_interval)
+    if backend != "auto":
+        from ..nn import backends
+
+        backends.set_default_backend(backend)
 
 
 def run_grid(specs: Sequence[dict], fn: Callable[[dict], object],
@@ -169,7 +174,8 @@ def run_grid(specs: Sequence[dict], fn: Callable[[dict], object],
              cache_dir: str | Path | None = None,
              trace_cache_dir: str | Path | None = None,
              telemetry_dir: str | Path | None = None,
-             telemetry_interval: int | None = None) -> list[Any]:
+             telemetry_interval: int | None = None,
+             backend: str = "auto") -> list[Any]:
     """Run ``fn(spec)`` for every spec; return results in spec order.
 
     Args:
@@ -196,7 +202,18 @@ def run_grid(specs: Sequence[dict], fn: Callable[[dict], object],
             not re-run and therefore write no telemetry.
         telemetry_interval: Window interval for those sinks (``None``
             keeps the telemetry package default).
+        backend: Kernel backend every cell's ``"auto"`` resolves to
+            (see ``repro.nn.backends``).  Plumbed as per-process ambient
+            state, never into the cell specs: backends are bit-identical
+            by contract, so the same spec maps to the same cache entry
+            regardless of which backend computed it.  ``"auto"`` keeps
+            availability-based selection.
     """
+    from ..nn import backends
+
+    if backend != "auto":
+        # Fail in the caller, not inside a pool worker.
+        backends.resolve_backend(backend)
     specs = list(specs)
     keys = [spec_key(spec) for spec in specs]
     results: dict[str, object] = {}
@@ -224,7 +241,9 @@ def run_grid(specs: Sequence[dict], fn: Callable[[dict], object],
 
     if pending:
         workers = resolve_jobs(jobs, len(pending))
-        needs_state = trace_cache_dir is not None or telemetry_dir is not None
+        needs_state = (trace_cache_dir is not None
+                       or telemetry_dir is not None
+                       or backend != "auto")
         if workers > 1:
             if needs_state:
                 pool = ProcessPoolExecutor(
@@ -236,6 +255,7 @@ def run_grid(specs: Sequence[dict], fn: Callable[[dict], object],
                         str(telemetry_dir)
                         if telemetry_dir is not None else None,
                         telemetry_interval,
+                        backend,
                     ))
             else:
                 pool = ProcessPoolExecutor(max_workers=workers)
@@ -253,6 +273,9 @@ def run_grid(specs: Sequence[dict], fn: Callable[[dict], object],
             prev_telemetry = (telemetry.configure(telemetry_dir,
                                                   telemetry_interval)
                               if telemetry_dir is not None else None)
+            prev_backend = backends.get_default_backend()
+            if backend != "auto":
+                backends.set_default_backend(backend)
             try:
                 computed = [(key, spec, fn(spec)) for key, spec in pending]
             finally:
@@ -260,6 +283,8 @@ def run_grid(specs: Sequence[dict], fn: Callable[[dict], object],
                     trace_cache.configure(prev_trace)
                 if telemetry_dir is not None:
                     telemetry.configure(prev_telemetry)
+                if backend != "auto":
+                    backends.set_default_backend(prev_backend)
         else:
             computed = [(key, spec, fn(spec)) for key, spec in pending]
         for key, spec, result in computed:

@@ -41,6 +41,7 @@ def fig5_seed_sweep(seeds: tuple[int, ...] = (0, 1, 2),
                     trace_cache_dir: str | Path | None = None,
                     telemetry_dir: str | Path | None = None,
                     telemetry_interval: int | None = None,
+                    backend: str = "auto",
                     ) -> list[VarianceRow]:
     """Run Figure 5 once per seed; aggregate % misses removed.
 
@@ -59,7 +60,8 @@ def fig5_seed_sweep(seeds: tuple[int, ...] = (0, 1, 2),
     rows = run_grid(specs, fig5_cell, jobs=jobs, cache_dir=cache_dir,
                     trace_cache_dir=trace_cache_dir,
                     telemetry_dir=telemetry_dir,
-                    telemetry_interval=telemetry_interval)
+                    telemetry_interval=telemetry_interval,
+                    backend=backend)
     samples: dict[tuple[str, str], list[float]] = {}
     for row in rows:
         key = (row["trace_name"], row["prefetcher_name"])

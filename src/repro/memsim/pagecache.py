@@ -37,6 +37,7 @@ this class against it counter-for-counter after every operation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -167,6 +168,12 @@ class PageCache:
         self._cid_of: dict[int, int] = {}
         self._slot_of_cid: np.ndarray | None = None
         self._cid_of_slot = np.full(cap, -1, dtype=np.int64)
+        # Optional compiled scan kernels (see nn/backends): when attached,
+        # the membership scans run as single compiled calls instead of
+        # windowed numpy gathers.
+        self._kern: Any = None
+        self._scan_scratch: np.ndarray | None = None
+        self._scan_stamp = 0
 
     def __len__(self) -> int:
         return self._n_resident
@@ -372,6 +379,21 @@ class PageCache:
         self._slot = extra
         self._slot_of_cid = soc
 
+    def attach_kernels(self, kernels: Any) -> None:
+        """Route the bulk membership scans through compiled kernels.
+
+        Requires :meth:`attach_universe` first (the kernels scan the
+        cid-indexed slot table).  The scratch array plus a monotone stamp
+        give :meth:`miss_run_length` O(run) duplicate detection without
+        per-call clearing.
+        """
+        self._require_universe()
+        self._kern = kernels
+        universe = self._universe
+        assert universe is not None
+        self._scan_scratch = np.zeros(len(universe), dtype=np.int64)
+        self._scan_stamp = 0
+
     def _require_universe(self) -> np.ndarray:
         soc = self._slot_of_cid
         if soc is None:
@@ -382,6 +404,8 @@ class PageCache:
         """Index of the first access in ``cids[start:stop]`` whose page is
         not resident, or ``stop`` if the whole range hits."""
         soc = self._require_universe()
+        if self._kern is not None:
+            return self._kern.first_nonresident(soc, cids, start, stop)
         i = start
         # Geometric window growth: short spans (miss-dense workloads) pay
         # for a small gather, long ones amortize big gathers.
@@ -445,6 +469,13 @@ class PageCache:
         """
         soc = self._require_universe()
         limit = min(stop, start + min(self.capacity_pages, _SCAN_CHUNK))
+        if self._kern is not None:
+            # One linear compiled pass handles residency and the earliest
+            # duplicate cut together (stamped-scratch seen set).
+            self._scan_stamp += 1
+            return self._kern.miss_run_length(
+                soc, cids, start, limit, self._scan_scratch,
+                self._scan_stamp)
         # Scalar fast path: scattered-miss workloads have run length 1 far
         # more often than not, and two scalar reads beat a window gather.
         if start + 1 >= limit:

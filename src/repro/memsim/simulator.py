@@ -51,6 +51,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from ..nn.backends import resolve_backend, sim_kernels
 from ..patterns.trace import Trace
 from .events import AccessEvent, MissEvent
 from .pagecache import MISS, CacheStats, PageCache
@@ -83,6 +84,24 @@ _MATERIALIZE_AFTER = 4096
 #: null prefetcher is stateless and never consulted, so a clean restart
 #: from access 0 is safe and bit-identical.
 _FALLBACK_SCALAR = 8192
+
+#: Spans at least this long still pay for the batched engine when the
+#: membership scans are compiled: the per-span cost drops from ~3 numpy
+#: windowed calls to one C/numba call, moving the scalar/batched
+#: crossover from ~24 accesses down to a handful (measured on
+#: stride-resnet, spans ~1-2: compiled-batched 0.20 M/s vs scalar
+#: 0.38 M/s; stride-graph500, spans ~8: compiled-batched 1.65 M/s vs
+#: scalar 1.04 M/s).
+_BULK_MIN_SPAN_COMPILED = 3
+
+#: The auto-engine probe replays at most this many leading accesses (null,
+#: bulk APIs only) to estimate steady-state span lengths before committing
+#: a non-null run to the batched engine.
+_PROBE_PREFIX = 32_768
+
+#: Below this many accesses the probe is skipped (the run is too short for
+#: engine choice to matter, and the prefix would be all cold misses).
+_PROBE_MIN = 4096
 
 
 @dataclass(frozen=True)
@@ -131,6 +150,12 @@ class SimResult:
     stats: CacheStats
     config: SimConfig
     miss_indices: list[int] = field(default_factory=list, repr=False)
+    #: Which engine actually ran ("batched" or "scalar") and which kernel
+    #: backend the run resolved to ("numpy", "numba" or "c").  The scalar
+    #: engine never touches the compiled kernels, but the resolved name is
+    #: still recorded so telemetry can attribute the run.
+    engine_used: str = "batched"
+    backend_used: str = "numpy"
 
     @property
     def demand_misses(self) -> int:
@@ -152,12 +177,27 @@ def simulate(trace: Trace, prefetcher: Prefetcher,
              config: SimConfig = SimConfig(),
              record_miss_indices: bool = False,
              engine: str = "auto",
+             backend: str = "auto",
              telemetry: "TelemetrySink | None" = None) -> SimResult:
     """Replay ``trace`` through a page cache attached to ``prefetcher``.
 
     ``engine`` is ``"auto"`` (batched when the prefetcher permits it),
     ``"batched"`` or ``"scalar"``; the engines are bit-identical, so the
     explicit values exist for equivalence tests and debugging.
+
+    ``backend`` selects the kernel backend for the batched engine's inner
+    loops — ``"auto"`` (prefer a compiled backend, silently fall back to
+    numpy), ``"numpy"``, ``"numba"`` or ``"c"`` (see
+    ``repro.nn.backends``).  All backends are bit-identical; requesting
+    an unavailable one explicitly raises ``BackendUnavailableError``.
+    The scalar reference engine never touches the kernels.
+
+    On the numpy backend, ``engine="auto"`` additionally probes the trace
+    (a bulk null replay of a short prefix) and picks the scalar engine for
+    short-span workloads whose per-access misses would make span batching
+    a net loss (the PR 4 stride-resnet regression).  Compiled backends
+    skip the probe — their per-span cost is low enough that batching wins
+    everywhere.
 
     ``telemetry`` optionally attaches a :class:`repro.telemetry.Telemetry`
     sink.  An enabled sink partitions the run into window-aligned
@@ -169,6 +209,8 @@ def simulate(trace: Trace, prefetcher: Prefetcher,
     """
     if engine not in ("auto", "batched", "scalar"):
         raise ValueError(f"unknown engine {engine!r}")
+    backend_used = resolve_backend(backend, domain="sim")
+    kern = sim_kernels(backend_used)
     capacity = config.resolve_capacity(trace)
     queue = PrefetchQueue(delay_accesses=config.prefetch_delay_accesses)
     on_access = getattr(prefetcher, "on_access", None)
@@ -182,22 +224,37 @@ def simulate(trace: Trace, prefetcher: Prefetcher,
             "batched engine cannot drive per-access observers; "
             "use engine='scalar' (or 'auto') for wants_accesses prefetchers")
     use_batched = engine == "batched" or (engine == "auto" and on_access is None)
+    is_null = getattr(prefetcher, "is_null", False)
+    if (use_batched and engine == "auto" and not is_null
+            and _probe_prefers_scalar(trace, config, capacity, kern)):
+        # Short-span workload: per-span dispatch (numpy calls, or the
+        # kernel-call + landing bookkeeping of the compiled walk) costs
+        # more than the reference per-access loop (auto must be at least
+        # as good as the better explicit engine choice).  The compiled
+        # threshold is lower — compiled spans are an order of magnitude
+        # cheaper — but spans of ~1 access still lose.
+        use_batched = False
     sink = telemetry if telemetry is not None and telemetry.enabled else None
     if sink is not None:
         sink.begin_run(trace, prefetcher.name, config, capacity)
     n = len(trace)
     miss_indices: list[int] = []
     miss_out = miss_indices if record_miss_indices else None
-    eng: _ScalarEngine | _BatchedEngine | _NullReplayEngine
+    eng: (_ScalarEngine | _BatchedEngine | _NullReplayEngine
+          | _CompiledNullEngine)
     cache: PageCache | ReferencePageCache
     if use_batched:
         cache = PageCache(capacity_pages=capacity)
-        if getattr(prefetcher, "is_null", False):
-            eng = _NullReplayEngine(trace, config, cache, miss_out,
-                                    allow_fallback=engine == "auto")
+        if is_null:
+            if kern is not None:
+                eng = _CompiledNullEngine(trace, config, cache, miss_out,
+                                          kern)
+            else:
+                eng = _NullReplayEngine(trace, config, cache, miss_out,
+                                        allow_fallback=engine == "auto")
         else:
             eng = _BatchedEngine(trace, prefetcher, config, cache, queue,
-                                 miss_out)
+                                 miss_out, kern)
         engine_used = "batched"
         done = _drive(eng, n, sink, cache, queue, prefetcher)
         if not done:
@@ -219,7 +276,7 @@ def simulate(trace: Trace, prefetcher: Prefetcher,
         engine_used = "scalar"
         _drive(eng, n, sink, cache, queue, prefetcher)
     if sink is not None:
-        sink.end_run(engine_used)
+        sink.end_run(engine_used, backend_used)
     return SimResult(
         trace_name=trace.name,
         prefetcher_name=prefetcher.name,
@@ -227,10 +284,61 @@ def simulate(trace: Trace, prefetcher: Prefetcher,
         stats=cache.stats,
         config=config,
         miss_indices=miss_indices,
+        engine_used=engine_used,
+        backend_used=backend_used,
     )
 
 
-def _drive(eng: "_ScalarEngine | _BatchedEngine | _NullReplayEngine", n: int,
+def _probe_prefers_scalar(trace: Trace, config: SimConfig,
+                          capacity: int, kern: Any = None) -> bool:
+    """Cheap span-length probe for the auto engine choice.
+
+    Replays a short prefix of the trace with no prefetcher through the
+    bulk cache APIs and measures the steady-state inter-miss gap — only
+    misses in the *second half* of the prefix count, so compulsory
+    (first-touch) misses of small-footprint workloads don't masquerade as
+    short spans.  A gap below the backend's span threshold
+    (``_BULK_MIN_SPAN`` for numpy, ``_BULK_MIN_SPAN_COMPILED`` when the
+    scans are compiled) means the batched engine would pay per-span
+    dispatch for most spans and lose to the reference loop.
+    Deterministic, allocation-light (the page index is memoized on the
+    trace), and ~prefix/trace_length of a full run; with compiled
+    kernels the probe itself scans through them.
+    """
+    n = len(trace)
+    prefix = min(n, _PROBE_PREFIX)
+    if prefix < _PROBE_MIN:
+        return False
+    universe, cids = trace.page_index(config.page_size)
+    pages = trace.pages(config.page_size)
+    stores = np.zeros(prefix, dtype=bool)
+    cache = PageCache(capacity_pages=capacity)
+    cache.attach_universe(universe)
+    if kern is not None:
+        cache.attach_kernels(kern)
+    half = prefix // 2
+    late_misses = 0
+    i = 0
+    while i < prefix:
+        j = cache.first_nonresident(cids, i, prefix)
+        if j > i:
+            cache.access_run(cids[i:j], stores[: j - i])
+            i = j
+        if i >= prefix:
+            break
+        k = cache.miss_run_length(cids, i, prefix)
+        cache.fill_run(pages[i:i + k], cids[i:i + k], stores[:k])
+        if i + k > half:
+            late_misses += (i + k) - max(i, half)
+        i += k
+    if not late_misses:
+        return False
+    min_span = _BULK_MIN_SPAN if kern is None else _BULK_MIN_SPAN_COMPILED
+    return (prefix - half) / late_misses < min_span
+
+
+def _drive(eng: "_ScalarEngine | _BatchedEngine | _NullReplayEngine | _CompiledNullEngine",
+           n: int,
            sink: "TelemetrySink | None",
            cache: PageCache | ReferencePageCache, queue: PrefetchQueue,
            prefetcher: Prefetcher) -> bool:
@@ -391,7 +499,7 @@ class _BatchedEngine:
 
     def __init__(self, trace: Trace, prefetcher: Prefetcher,
                  config: SimConfig, cache: PageCache, queue: PrefetchQueue,
-                 miss_out: list[int] | None) -> None:
+                 miss_out: list[int] | None, kern: Any = None) -> None:
         pages_arr = trace.pages(config.page_size)
         universe, cids = trace.page_index(config.page_size)
         cache.attach_universe(universe)
@@ -402,6 +510,20 @@ class _BatchedEngine:
         self._pages: list[int] = pages_arr.tolist()
         self._stores: list[bool] = self._stores_arr.tolist()
         self._cids_t: list[int] = cids.tolist()
+        self._kern = kern
+        if kern is not None:
+            # Route the membership scans through the compiled kernels and
+            # bind the hit-walk closure to the cache's state arrays (the
+            # arrays are allocated once; landings/misses mutate them in
+            # place, so the bound pointers stay valid for the whole run).
+            cache.attach_kernels(kern)
+            self._walk_state = np.zeros(4, dtype=np.int64)
+            self._walk = kern.bind_hit_walk(
+                soc=cache._require_universe(),
+                cids=np.ascontiguousarray(cids, dtype=np.int64),
+                stores=self._stores_arr, last_use=cache._last_use,
+                dirty=cache._dirty, undemanded=cache._undemanded,
+                state=self._walk_state)
 
         addresses = trace.addresses
         stream_ids = trace.stream_ids
@@ -439,6 +561,8 @@ class _BatchedEngine:
         self._handle_miss = handle_miss
 
     def run(self, start: int, stop: int) -> bool:
+        if self._kern is not None:
+            return self._run_compiled(start, stop)
         cache = self._cache
         queue = self._queue
         n = stop
@@ -512,6 +636,129 @@ class _BatchedEngine:
         stats.hits += hits_l
         stats.demand_misses += misses_l
         stats.prefetch_hits += prefetch_hits_l
+        return True
+
+    def _run_compiled(self, start: int, stop: int) -> bool:
+        """The same event structure with the hit walk as one compiled call.
+
+        Landings and misses happen at exactly the same access indices as
+        the numpy path (the walk stops at the first non-resident access;
+        spans never contain a landing by construction), so the prefetcher
+        interaction order — and therefore every stat and learned weight —
+        is bit-identical.  The per-span numpy windowing disappears, which
+        is the whole point: short-span workloads stop paying the dispatch
+        floor per span.
+        """
+        cache = self._cache
+        queue = self._queue
+        n = stop
+        pages = self._pages
+        stores = self._stores
+        handle_miss = self._handle_miss
+        insert_prefetch = cache.insert_prefetch
+        landed = queue.landed
+        walk = self._walk
+        state = self._walk_state
+        stats = cache.stats
+        accesses_l = misses_l = 0
+
+        i = start
+        while i < n:
+            if queue.next_landing <= i:
+                for landed_page in landed(i):
+                    insert_prefetch(landed_page)
+            span_stop = queue.next_landing
+            if span_stop > n:
+                span_stop = n
+            # Python-side landings/fills tick the clock and flip
+            # undemanded flags between walks; sync both ways per call.
+            state[0] = cache._clock
+            state[1] = cache._n_undemanded
+            j = walk(i, span_stop)
+            cache._clock = int(state[0])
+            cache._n_undemanded = int(state[1])
+            accesses_l += j - i
+            i = j
+            if i < span_stop:
+                accesses_l += 1
+                misses_l += 1
+                handle_miss(i, pages[i], stores[i])
+                i += 1
+        stats.accesses += accesses_l
+        stats.demand_misses += misses_l
+        stats.prefetch_hits += int(state[2])
+        stats.hits += int(state[3])
+        state[2] = 0
+        state[3] = 0
+        return True
+
+
+class _CompiledNullEngine:
+    """Null-prefetcher replay as one compiled call per segment.
+
+    No prefetch is ever issued, so the whole per-access reference
+    algorithm — hit stamping, LRU victim selection, fills — runs inside
+    the kernel; only the stats flush and miss-index copy stay in Python.
+    Undemanded flags and the out-of-universe overlay are provably
+    untouched (nothing is ever prefetched), and the kernel's batched
+    victim snapshot selects exactly the scalar loop's LRU victims (see
+    the kernel source), so results are bit-identical to both numpy
+    engines.
+    """
+
+    def __init__(self, trace: Trace, config: SimConfig, cache: PageCache,
+                 miss_out: list[int] | None, kern: Any) -> None:
+        pages_arr = trace.pages(config.page_size)
+        universe, cids = trace.page_index(config.page_size)
+        cache.attach_universe(universe)
+        cache.attach_kernels(kern)
+        self._cache = cache
+        self._miss_out = miss_out
+        n = len(cids)
+        # state: [0]=clock [1]=n_resident [2]=free_n [3]=miss_count
+        #        [4]=hits [5]=demand_misses [6]=writebacks (4-6 per-segment)
+        state = np.zeros(8, dtype=np.int64)
+        state[0] = cache._clock
+        state[1] = cache._n_resident
+        state[2] = len(cache._free)
+        self._state = state
+        self._free_arr = np.array(cache._free, dtype=np.int64)
+        self._record = 1 if miss_out is not None else 0
+        self._miss_idx = np.zeros(n if miss_out is not None else 1,
+                                  dtype=np.int64)
+        self._flushed = 0
+        self._run_kern = kern.bind_null_run(
+            cids=np.ascontiguousarray(cids, dtype=np.int64),
+            pages=np.ascontiguousarray(pages_arr, dtype=np.int64),
+            stores=trace.kinds != 0,
+            soc=cache._require_universe(), page_of_slot=cache._page,
+            last_use=cache._last_use, dirty=cache._dirty,
+            cid_of_slot=cache._cid_of_slot, free_slots=self._free_arr,
+            capacity=cache.capacity_pages, miss_idx=self._miss_idx,
+            state=state)
+
+    def run(self, start: int, stop: int) -> bool:
+        self._run_kern(start, stop, self._record)
+        cache = self._cache
+        state = self._state
+        stats = cache.stats
+        stats.accesses += stop - start
+        stats.hits += int(state[4])
+        stats.demand_misses += int(state[5])
+        stats.writebacks += int(state[6])
+        state[4] = 0
+        state[5] = 0
+        state[6] = 0
+        # Mirror the kernel-owned scalars back so telemetry windows (and
+        # any post-run cache use) see consistent state.
+        cache._clock = int(state[0])
+        cache._n_resident = int(state[1])
+        cache._free[:] = self._free_arr[:int(state[2])].tolist()
+        if self._miss_out is not None:
+            miss_n = int(state[3])
+            self._miss_out.extend(
+                self._miss_idx[self._flushed:miss_n].tolist())
+            self._flushed = miss_n
         return True
 
 

@@ -1,0 +1,205 @@
+"""Backend registry for the compiled hot-path kernels (PR 6).
+
+The bit-identity perf campaign (PRs 1-4) bottomed out at numpy's
+~1-3.5 µs-per-call dispatch floor: for the ~200-element arrays the
+Hebbian readout and the span-batched simulator operate on, Python/numpy
+call overhead — not arithmetic — bounds throughput.  This package breaks
+that floor with interchangeable *backends* for the hot kernels:
+
+``numpy``
+    The always-available reference: the existing vectorized code paths,
+    untouched.  Every other backend is defined (and tested) as
+    bit-identical to it.
+``numba``
+    ``@njit`` versions of the kernels, available when the optional
+    ``repro[numba]`` extra is installed.  Exercised by the dedicated CI
+    leg; silently skipped everywhere else.
+``c``
+    The same kernels as a small C file compiled on first use with the
+    system C compiler (``cc``/``gcc``) and loaded through ``cffi``'s ABI
+    mode.  Compiled with ``-fno-fast-math -ffp-contract=off`` so the
+    floating-point arithmetic is exactly numpy's (no FMA contraction, no
+    reassociation).
+``int8``
+    A *serving* mode for the Hebbian readout: scores are read from an
+    int8-quantized mirror of the readout weights while training stays
+    float64.  This is the one backend that is accuracy-bounded rather
+    than bit-identical (see ``nn/quantization.py``); it is never chosen
+    by ``auto``.
+
+Selection is by name or ``"auto"`` (prefer ``numba``, then ``c``, else
+fall back to ``numpy`` with a one-time warning).  Explicitly requesting
+an unavailable backend raises :class:`BackendUnavailableError` — silent
+substitution is reserved for ``auto``.
+
+The registry also carries the *ambient default* that ``"auto"`` resolves
+to (:func:`set_default_backend`).  The harness plumbs a grid-level
+backend choice through this ambient state rather than through cell
+specs: backends are bit-identical by contract, so the same spec must map
+to the same cache entry regardless of which backend computed it.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "BackendUnavailableError",
+    "NN_BACKENDS",
+    "SIM_BACKENDS",
+    "available_backends",
+    "backend_available",
+    "get_default_backend",
+    "hebbian_kernels",
+    "resolve_backend",
+    "set_default_backend",
+    "sim_kernels",
+]
+
+#: Legal backend names per domain.  ``int8`` only reinterprets the
+#: Hebbian serving path, so it has no simulator meaning.
+NN_BACKENDS = ("numpy", "numba", "c", "int8")
+SIM_BACKENDS = ("numpy", "numba", "c")
+
+#: ``auto`` preference order among the compiled backends.
+_AUTO_ORDER = ("numba", "c")
+
+#: Backends force-disabled for this process (test/CI hook: the
+#: ``REPRO_DISABLE_COMPILED`` conftest fixture fills this to prove the
+#: numpy fallback on machines that do have a compiler).
+_disabled: set[str] = set()
+
+_default_backend = "auto"
+_warned_fallback = False
+
+
+class BackendUnavailableError(RuntimeError):
+    """An explicitly requested backend cannot run in this environment."""
+
+
+def _compiled_module(name: str) -> Any:
+    if name == "numba":
+        from . import numba_backend
+        return numba_backend
+    if name == "c":
+        from . import c_backend
+        return c_backend
+    raise ValueError(f"no compiled backend named {name!r}")
+
+
+def _domain_names(domain: str) -> tuple[str, ...]:
+    if domain == "nn":
+        return NN_BACKENDS
+    if domain == "sim":
+        return SIM_BACKENDS
+    raise ValueError(f"unknown backend domain {domain!r}")
+
+
+def backend_available(name: str) -> bool:
+    """Whether ``name`` can actually run here (imports/compiles cleanly)."""
+    if name in _disabled:
+        return False
+    if name in ("numpy", "int8"):
+        return True
+    if name in ("numba", "c"):
+        return bool(_compiled_module(name).available())
+    return False
+
+
+def available_backends(domain: str = "sim") -> tuple[str, ...]:
+    """The usable backend names for ``domain``, in declaration order."""
+    return tuple(name for name in _domain_names(domain)
+                 if backend_available(name))
+
+
+def set_default_backend(name: str) -> None:
+    """Set the process-wide backend that ``"auto"`` resolves to.
+
+    ``"auto"`` (the initial value) restores availability-based selection.
+    A concrete name must be available now — failing early here beats a
+    confusing :class:`BackendUnavailableError` from deep inside a grid
+    worker later.
+    """
+    global _default_backend
+    if name != "auto":
+        if name not in SIM_BACKENDS:
+            raise ValueError(
+                f"unknown default backend {name!r}; expected one of "
+                f"{('auto',) + SIM_BACKENDS}")
+        if not backend_available(name):
+            raise BackendUnavailableError(
+                f"cannot set default backend {name!r}: not available in "
+                "this environment")
+    _default_backend = name
+
+
+def get_default_backend() -> str:
+    return _default_backend
+
+
+def _warn_fallback() -> None:
+    global _warned_fallback
+    if _warned_fallback:
+        return
+    _warned_fallback = True
+    warnings.warn(
+        "no compiled kernel backend is available; falling back to the "
+        "pure-numpy reference kernels (install the optional 'numba' extra "
+        "or make a C compiler available to remove the dispatch floor)",
+        RuntimeWarning, stacklevel=4)
+
+
+def resolve_backend(name: str = "auto", *, domain: str = "sim") -> str:
+    """Resolve a requested backend name to a concrete available one.
+
+    ``"auto"`` resolves to the ambient default if one was set, else to
+    the first available compiled backend, else to ``"numpy"`` (with a
+    one-time :class:`RuntimeWarning`).  Explicit names must exist for the
+    domain and be available, or this raises — silently substituting a
+    different backend than the one the caller pinned would defeat the
+    point of pinning.
+    """
+    names = _domain_names(domain)
+    if name == "auto":
+        ambient = _default_backend
+        if ambient != "auto":
+            return ambient
+        for candidate in _AUTO_ORDER:
+            if backend_available(candidate):
+                return candidate
+        _warn_fallback()
+        return "numpy"
+    if name not in names:
+        raise ValueError(
+            f"unknown backend {name!r} for domain {domain!r}; expected "
+            f"one of {('auto',) + names}")
+    if not backend_available(name):
+        raise BackendUnavailableError(
+            f"backend {name!r} was requested explicitly but is not "
+            "available in this environment (install the 'numba' extra for "
+            "numba, or ensure a C compiler is on PATH for 'c'); "
+            "backend='auto' falls back to numpy instead of raising")
+    return name
+
+
+def hebbian_kernels(name: str, *, rec_pad: np.ndarray, hidden_dim: int,
+                    vocab_size: int) -> Any | None:
+    """Compiled kernel bundle for one Hebbian network, or None.
+
+    ``None`` means "use the inline numpy code" — both the ``numpy``
+    reference and the ``int8`` serving mode run the numpy arithmetic.
+    """
+    if name in ("numpy", "int8"):
+        return None
+    return _compiled_module(name).make_hebbian_kernels(
+        rec_pad=rec_pad, hidden_dim=hidden_dim, vocab_size=vocab_size)
+
+
+def sim_kernels(name: str) -> Any | None:
+    """Compiled simulator kernel bundle, or None for the numpy engines."""
+    if name == "numpy":
+        return None
+    return _compiled_module(name).make_sim_kernels()

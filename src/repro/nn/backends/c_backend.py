@@ -1,0 +1,558 @@
+"""C backend: kernels compiled with the system C compiler, loaded via cffi.
+
+The kernel source below is embedded as a string, compiled on first use
+into ``_build/reprokernels-<sha16>.so`` (hash of the source, so editing
+a kernel transparently rebuilds), and loaded through cffi's ABI mode —
+no build-time dependency, no setuptools plumbing, and the only runtime
+requirements are ``cffi`` (a numpy build dependency, so effectively
+always present) and a ``cc``/``gcc`` on PATH.  Any failure along that
+path — no compiler, compile error, dlopen error — makes the backend
+report unavailable; nothing raises out of :func:`available`.
+
+Bit-identity: every kernel reproduces its numpy counterpart's exact
+arithmetic and observable state transitions (see the per-function notes
+in the C source).  The compile flags are part of that contract:
+``-fno-fast-math -ffp-contract=off`` forbid FMA contraction and
+reassociation, so ``a + s * b`` rounds twice exactly like numpy's
+multiply-then-add.  k-WTA selection (``argpartition``) and the softmax
+stay in numpy under every backend: partial-selection tie order is
+implementation-defined and libm's ``exp`` differs from numpy's SIMD
+``exp`` in the last ulp, so compiling either would break bit-identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from contextlib import suppress
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+_SOURCE = r"""
+/* Compiled hot-path kernels for the repro simulator and Hebbian network.
+ *
+ * Bit-identity contract: every function reproduces the exact arithmetic
+ * and observable state transitions of its numpy counterpart (see
+ * repro/memsim/pagecache.py and repro/nn/hebbian.py).  Must be compiled
+ * with -fno-fast-math -ffp-contract=off so the compiler cannot fuse
+ * a + s*b into one fma (which rounds once where numpy rounds twice) or
+ * reassociate sums.
+ */
+
+#include <stdint.h>
+#include <string.h>
+
+typedef long long i64;
+typedef unsigned char u8;
+
+/* PageCache's free-slot stamp sentinel: np.iinfo(np.int64).max. */
+#define FREE_STAMP 9223372036854775807LL
+
+#define VICTIM_BATCH 64
+
+/* ------------------------------------------------------------------ */
+/* Simulator kernels                                                  */
+/* ------------------------------------------------------------------ */
+
+/* PageCache.first_nonresident: first index in [start, stop) whose page
+ * (compact id) has no slot, or stop.  soc is the cid-indexed slot table
+ * (-1 = non-resident). */
+i64 rk_first_nonresident(const i64 *soc, const i64 *cids, i64 start,
+                         i64 stop)
+{
+    for (i64 i = start; i < stop; i++)
+        if (soc[cids[i]] < 0)
+            return i;
+    return stop;
+}
+
+/* PageCache.miss_run_length: length of the bulk-fillable miss run at
+ * `start` (a known miss): extends while pages are non-resident and
+ * mutually distinct, scanning up to `limit` (the caller applies the
+ * capacity/scan-chunk clamp).  The numpy version cuts at the earliest
+ * second occurrence of any page; a linear scan that stops at the first
+ * repeat of an already-seen cid finds exactly that position.  scratch
+ * (one entry per universe cid) + stamp give O(run) seen-set membership:
+ * scratch[cid] == stamp  <=>  cid seen in this run. */
+i64 rk_miss_run_length(const i64 *soc, const i64 *cids, i64 start,
+                       i64 limit, i64 *scratch, i64 stamp)
+{
+    i64 i = start;
+    for (; i < limit; i++) {
+        i64 cid = cids[i];
+        if (soc[cid] >= 0 || scratch[cid] == stamp)
+            break;
+        scratch[cid] = stamp;
+    }
+    return i - start;
+}
+
+/* The batched engine's hit walk: replay demand accesses from `start`,
+ * stamping LRU recency per access, until the first non-resident access
+ * or `stop`; returns the stop index.  Per-access semantics of
+ * PageCache.access() restricted to hits (the caller guarantees no
+ * landing falls inside [start, stop)).
+ *
+ * state: [0]=clock  [1]=n_undemanded  [2]=prefetch_hits  [3]=hits
+ * ([2] and [3] accumulate; the caller flushes them into CacheStats). */
+i64 rk_hit_walk(const i64 *soc, const i64 *cids, const u8 *stores,
+                i64 *last_use, u8 *dirty, u8 *undemanded,
+                i64 start, i64 stop, i64 *state)
+{
+    i64 clock = state[0];
+    i64 n_und = state[1];
+    i64 pf_hits = state[2];
+    i64 hits = state[3];
+    i64 i = start;
+    for (; i < stop; i++) {
+        i64 slot = soc[cids[i]];
+        if (slot < 0)
+            break;
+        last_use[slot] = clock++;
+        if (stores[i])
+            dirty[slot] = 1;
+        if (n_und && undemanded[slot]) {
+            undemanded[slot] = 0;
+            n_und--;
+            pf_hits++;
+        }
+        hits++;
+    }
+    state[0] = clock;
+    state[1] = n_und;
+    state[2] = pf_hits;
+    state[3] = hits;
+    return i;
+}
+
+/* Full null-prefetcher replay of accesses [start, stop): per-access
+ * hit/miss with exact LRU eviction — the scalar reference algorithm at
+ * C speed.  The null prefetcher never issues, so no page is ever
+ * undemanded and the out-of-universe dict overlay stays empty; both are
+ * provably untouched here.
+ *
+ * Victim selection mirrors PageCache._refill_victims' lazy-LRU batch:
+ * snapshot the VICTIM_BATCH smallest stamps (ascending), drain with a
+ * stamp-match check.  A matching entry is the true LRU minimum — every
+ * slot outside the snapshot was younger at snapshot time and stamps
+ * only grow (or become FREE_STAMP) — so the victim *choice* per miss is
+ * exactly the reference's, regardless of batch boundaries.
+ *
+ * state: [0]=clock [1]=n_resident [2]=free_n [3]=miss_buf_count
+ *        [4]=hits [5]=demand_misses [6]=writebacks
+ * ([4..6] accumulate; the caller flushes them into CacheStats). */
+void rk_null_run(const i64 *cids, const i64 *pages, const u8 *stores,
+                 i64 *soc, i64 *page_of_slot, i64 *last_use, u8 *dirty,
+                 i64 *cid_of_slot, i64 *free_slots, i64 capacity,
+                 i64 start, i64 stop, i64 *miss_idx, i64 record,
+                 i64 *state)
+{
+    i64 clock = state[0];
+    i64 n_res = state[1];
+    i64 free_n = state[2];
+    i64 miss_n = state[3];
+    i64 hits = state[4];
+    i64 misses = state[5];
+    i64 wbacks = state[6];
+    i64 vstamp[VICTIM_BATCH];
+    i64 vslot[VICTIM_BATCH];
+    i64 vn = 0, vi = 0;
+
+    for (i64 i = start; i < stop; i++) {
+        i64 cid = cids[i];
+        i64 slot = soc[cid];
+        if (slot >= 0) {
+            last_use[slot] = clock++;
+            if (stores[i])
+                dirty[slot] = 1;
+            hits++;
+            continue;
+        }
+        misses++;
+        if (record)
+            miss_idx[miss_n] = i;
+        miss_n++;
+        if (free_n > 0) {
+            slot = free_slots[--free_n];
+        } else {
+            for (;;) {
+                if (vi >= vn) {
+                    /* Refill: partial selection of the VICTIM_BATCH
+                     * smallest stamps, kept sorted ascending by
+                     * insertion (free slots carry FREE_STAMP and the
+                     * cache is full here, so only live stamps enter). */
+                    vn = 0;
+                    for (i64 s = 0; s < capacity; s++) {
+                        i64 st = last_use[s];
+                        i64 p;
+                        if (vn == VICTIM_BATCH && st >= vstamp[vn - 1])
+                            continue;
+                        p = (vn < VICTIM_BATCH) ? vn : vn - 1;
+                        while (p > 0 && vstamp[p - 1] > st) {
+                            vstamp[p] = vstamp[p - 1];
+                            vslot[p] = vslot[p - 1];
+                            p--;
+                        }
+                        vstamp[p] = st;
+                        vslot[p] = s;
+                        if (vn < VICTIM_BATCH)
+                            vn++;
+                    }
+                    vi = 0;
+                }
+                {
+                    i64 st = vstamp[vi];
+                    i64 vs = vslot[vi];
+                    vi++;
+                    if (st != FREE_STAMP && last_use[vs] == st) {
+                        slot = vs;
+                        break;
+                    }
+                }
+            }
+            if (dirty[slot]) {
+                wbacks++;
+                dirty[slot] = 0;
+            }
+            soc[cid_of_slot[slot]] = -1;
+            cid_of_slot[slot] = -1;
+            last_use[slot] = FREE_STAMP;
+            n_res--;
+        }
+        page_of_slot[slot] = pages[i];
+        last_use[slot] = clock++;
+        dirty[slot] = stores[i] ? 1 : 0;
+        soc[cid] = slot;
+        cid_of_slot[slot] = cid;
+        n_res++;
+    }
+    state[0] = clock;
+    state[1] = n_res;
+    state[2] = free_n;
+    state[3] = miss_n;
+    state[4] = hits;
+    state[5] = misses;
+    state[6] = wbacks;
+}
+
+/* ------------------------------------------------------------------ */
+/* Hebbian kernels                                                    */
+/* ------------------------------------------------------------------ */
+
+/* hidden_code's recurrent drive: histogram the padded out-neighbor rows
+ * of the active set, then pre[j] += scale * count[j].  counts has
+ * n + 1 bins; the padding sentinel (index n) lands in the last bin and
+ * is never read back — exactly np.bincount(rec_pad[active].ravel())
+ * truncated to [:n].  Multiply-then-add rounds like numpy's
+ * `pre += scale * counts` (two roundings; no fma under
+ * -ffp-contract=off). */
+void rk_pre_accumulate(double *pre, const i64 *rec_pad, i64 width,
+                       const i64 *prev_active, i64 k, double scale,
+                       i64 n, i64 *counts)
+{
+    memset(counts, 0, (size_t)(n + 1) * sizeof(i64));
+    for (i64 r = 0; r < k; r++) {
+        const i64 *row = rec_pad + prev_active[r] * width;
+        for (i64 t = 0; t < width; t++)
+            counts[row[t]]++;
+    }
+    for (i64 j = 0; j < n; j++)
+        pre[j] += scale * (double)counts[j];
+}
+
+/* readout's sparse path: out[cols[t]] += w_flat[flat[t]] in index
+ * order — np.bincount(cols, weights=w_flat.take(flat)) accumulates its
+ * weights in exactly this input order onto a zeroed output. */
+void rk_readout_sparse(const double *w_flat, const i64 *flat,
+                       const i64 *cols, i64 m, double *out)
+{
+    for (i64 t = 0; t < m; t++)
+        out[cols[t]] += w_flat[flat[t]];
+}
+
+/* _learn / train_pairs weight application: w[flat] = clip(w[flat] +
+ * delta, +-wm).  The flat offsets within one call are distinct (one
+ * connected column, or disjoint columns of distinct targets), so the
+ * in-place update equals numpy's gather -> add -> clip -> scatter.
+ * min-then-max ordering matches np.minimum/np.maximum. */
+void rk_learn_apply(double *w_flat, const i64 *flat, const double *delta,
+                    i64 m, double wm)
+{
+    for (i64 t = 0; t < m; t++) {
+        double v = w_flat[flat[t]] + delta[t];
+        if (v > wm)
+            v = wm;
+        if (v < -wm)
+            v = -wm;
+        w_flat[flat[t]] = v;
+    }
+}
+
+/* The error-driven depression term: subtract lr, clip below only. */
+void rk_punish_apply(double *w_flat, const i64 *flat, i64 m, double lr,
+                     double wm)
+{
+    for (i64 t = 0; t < m; t++) {
+        double v = w_flat[flat[t]] - lr;
+        if (v < -wm)
+            v = -wm;
+        w_flat[flat[t]] = v;
+    }
+}
+"""
+
+_CDEF = """
+long long rk_first_nonresident(const long long *soc, const long long *cids,
+                               long long start, long long stop);
+long long rk_miss_run_length(const long long *soc, const long long *cids,
+                             long long start, long long limit,
+                             long long *scratch, long long stamp);
+long long rk_hit_walk(const long long *soc, const long long *cids,
+                      const unsigned char *stores, long long *last_use,
+                      unsigned char *dirty, unsigned char *undemanded,
+                      long long start, long long stop, long long *state);
+void rk_null_run(const long long *cids, const long long *pages,
+                 const unsigned char *stores, long long *soc,
+                 long long *page_of_slot, long long *last_use,
+                 unsigned char *dirty, long long *cid_of_slot,
+                 long long *free_slots, long long capacity,
+                 long long start, long long stop, long long *miss_idx,
+                 long long record, long long *state);
+void rk_pre_accumulate(double *pre, const long long *rec_pad,
+                       long long width, const long long *prev_active,
+                       long long k, double scale, long long n,
+                       long long *counts);
+void rk_readout_sparse(const double *w_flat, const long long *flat,
+                       const long long *cols, long long m, double *out);
+void rk_learn_apply(double *w_flat, const long long *flat,
+                    const double *delta, long long m, double wm);
+void rk_punish_apply(double *w_flat, const long long *flat, long long m,
+                     double lr, double wm);
+"""
+
+#: Bit-identity depends on these: no fast-math value transformations and
+#: no FMA contraction (fuse = one rounding, numpy = two).
+_CFLAGS = ("-O2", "-fPIC", "-shared", "-fno-fast-math", "-ffp-contract=off")
+
+_ffi: Any | None = None
+_lib: Any | None = None
+_load_failed = False
+
+
+def _build_dir() -> Path:
+    return Path(__file__).resolve().parent / "_build"
+
+
+def _compile(out: Path) -> bool:
+    cc = shutil.which("cc") or shutil.which("gcc")
+    if cc is None:
+        return False
+    src_name = so_name = None
+    try:
+        out.parent.mkdir(parents=True, exist_ok=True)
+        fd, src_name = tempfile.mkstemp(suffix=".c", dir=out.parent)
+        with os.fdopen(fd, "w") as handle:
+            handle.write(_SOURCE)
+        fd, so_name = tempfile.mkstemp(suffix=".so.tmp", dir=out.parent)
+        os.close(fd)
+        proc = subprocess.run([cc, *_CFLAGS, "-o", so_name, src_name],
+                              capture_output=True, timeout=120, check=False)
+        if proc.returncode != 0:
+            return False
+        # Atomic publish: concurrent processes race to an identical file.
+        os.replace(so_name, out)
+        so_name = None
+        return True
+    except (OSError, subprocess.SubprocessError):
+        return False
+    finally:
+        for leftover in (src_name, so_name):
+            if leftover is not None:
+                with suppress(OSError):
+                    os.unlink(leftover)
+
+
+def _load() -> tuple[Any, Any] | None:
+    """(ffi, lib) or None; compile failures latch to unavailable."""
+    global _ffi, _lib, _load_failed
+    if _lib is not None:
+        return _ffi, _lib
+    if _load_failed:
+        return None
+    try:
+        from cffi import FFI
+    except ImportError:
+        _load_failed = True
+        return None
+    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+    out = _build_dir() / f"reprokernels-{digest}.so"
+    if not out.exists() and not _compile(out):
+        _load_failed = True
+        return None
+    try:
+        ffi = FFI()
+        ffi.cdef(_CDEF)
+        lib = ffi.dlopen(str(out))
+    except (OSError, Exception) as exc:  # cffi raises its own error types
+        del exc
+        _load_failed = True
+        return None
+    _ffi, _lib = ffi, lib
+    return _ffi, _lib
+
+
+def available() -> bool:
+    return _load() is not None
+
+
+def _i64(ffi: Any, arr: np.ndarray) -> Any:
+    return ffi.from_buffer("long long[]", arr)
+
+
+def _u8(ffi: Any, arr: np.ndarray) -> Any:
+    return ffi.from_buffer("unsigned char[]", arr.view(np.uint8))
+
+
+def _f64(ffi: Any, arr: np.ndarray) -> Any:
+    return ffi.from_buffer("double[]", arr)
+
+
+class CSimKernels:
+    """Simulator kernel bundle (one per ``simulate()`` call).
+
+    ``first_nonresident``/``miss_run_length`` are plain calls (used by
+    ``PageCache`` when kernels are attached); the engine inner loops use
+    the ``bind_*`` closures, which capture the run-stable arrays' buffer
+    pointers once so the per-span/per-segment call passes only scalars.
+    """
+
+    name = "c"
+
+    def __init__(self, ffi: Any, lib: Any) -> None:
+        self._ffi = ffi
+        self._lib = lib
+
+    def first_nonresident(self, soc: np.ndarray, cids: np.ndarray,
+                          start: int, stop: int) -> int:
+        ffi = self._ffi
+        return int(self._lib.rk_first_nonresident(
+            _i64(ffi, soc), _i64(ffi, cids), start, stop))
+
+    def miss_run_length(self, soc: np.ndarray, cids: np.ndarray, start: int,
+                        limit: int, scratch: np.ndarray, stamp: int) -> int:
+        ffi = self._ffi
+        return int(self._lib.rk_miss_run_length(
+            _i64(ffi, soc), _i64(ffi, cids), start, limit,
+            _i64(ffi, scratch), stamp))
+
+    def bind_hit_walk(self, *, soc: np.ndarray, cids: np.ndarray,
+                      stores: np.ndarray, last_use: np.ndarray,
+                      dirty: np.ndarray, undemanded: np.ndarray,
+                      state: np.ndarray) -> Callable[[int, int], int]:
+        ffi = self._ffi
+        fn = self._lib.rk_hit_walk
+        p_soc, p_cids, p_lu, p_state = (_i64(ffi, a) for a in
+                                        (soc, cids, last_use, state))
+        p_stores, p_dirty, p_und = (_u8(ffi, a) for a in
+                                    (stores, dirty, undemanded))
+
+        def run(start: int, stop: int) -> int:
+            return int(fn(p_soc, p_cids, p_stores, p_lu, p_dirty, p_und,
+                          start, stop, p_state))
+
+        return run
+
+    def bind_null_run(self, *, cids: np.ndarray, pages: np.ndarray,
+                      stores: np.ndarray, soc: np.ndarray,
+                      page_of_slot: np.ndarray, last_use: np.ndarray,
+                      dirty: np.ndarray, cid_of_slot: np.ndarray,
+                      free_slots: np.ndarray, capacity: int,
+                      miss_idx: np.ndarray,
+                      state: np.ndarray) -> Callable[[int, int, int], None]:
+        ffi = self._ffi
+        fn = self._lib.rk_null_run
+        (p_cids, p_pages, p_soc, p_pos, p_lu, p_cos, p_free, p_miss,
+         p_state) = (_i64(ffi, a) for a in
+                     (cids, pages, soc, page_of_slot, last_use, cid_of_slot,
+                      free_slots, miss_idx, state))
+        p_stores, p_dirty = _u8(ffi, stores), _u8(ffi, dirty)
+
+        def run(start: int, stop: int, record: int) -> None:
+            fn(p_cids, p_pages, p_stores, p_soc, p_pos, p_lu, p_dirty,
+               p_cos, p_free, capacity, start, stop, p_miss, record,
+               p_state)
+
+        return run
+
+
+class CHebbianKernels:
+    """Hebbian kernel bundle bound to one network's fixed structures.
+
+    Clones share the instance (they share the fixed ``rec_pad``); the
+    ``counts`` scratch is safe to share because every ``pre_accumulate``
+    call fully rewrites it and use is single-threaded.
+    """
+
+    name = "c"
+
+    def __init__(self, ffi: Any, lib: Any, rec_pad: np.ndarray,
+                 hidden_dim: int, vocab_size: int) -> None:
+        self._ffi = ffi
+        self._lib = lib
+        self._rec_pad = np.ascontiguousarray(rec_pad, dtype=np.int64)
+        self._width = int(self._rec_pad.shape[1])
+        self._n = hidden_dim
+        self._vocab = vocab_size
+        self._counts = np.zeros(hidden_dim + 1, dtype=np.int64)
+        self._p_rec = _i64(ffi, self._rec_pad)
+        self._p_counts = _i64(ffi, self._counts)
+
+    def pre_accumulate(self, pre: np.ndarray, prev_active: np.ndarray,
+                       scale: float) -> None:
+        ffi = self._ffi
+        active = np.ascontiguousarray(prev_active, dtype=np.int64)
+        self._lib.rk_pre_accumulate(
+            _f64(ffi, pre), self._p_rec, self._width, _i64(ffi, active),
+            active.size, scale, self._n, self._p_counts)
+
+    def readout_sparse(self, w_flat: np.ndarray, flat: np.ndarray,
+                       cols: np.ndarray) -> np.ndarray:
+        ffi = self._ffi
+        out = np.zeros(self._vocab)
+        self._lib.rk_readout_sparse(_f64(ffi, w_flat), _i64(ffi, flat),
+                                    _i64(ffi, cols), flat.size,
+                                    _f64(ffi, out))
+        return out
+
+    def learn_apply(self, w_flat: np.ndarray, flat: np.ndarray,
+                    delta: np.ndarray, wm: float) -> None:
+        ffi = self._ffi
+        self._lib.rk_learn_apply(_f64(ffi, w_flat), _i64(ffi, flat),
+                                 _f64(ffi, delta), flat.size, wm)
+
+    def punish_apply(self, w_flat: np.ndarray, flat: np.ndarray, lr: float,
+                     wm: float) -> None:
+        ffi = self._ffi
+        self._lib.rk_punish_apply(_f64(ffi, w_flat), _i64(ffi, flat),
+                                  flat.size, lr, wm)
+
+
+def make_sim_kernels() -> CSimKernels:
+    loaded = _load()
+    if loaded is None:
+        raise RuntimeError("C backend is not available")
+    return CSimKernels(*loaded)
+
+
+def make_hebbian_kernels(*, rec_pad: np.ndarray, hidden_dim: int,
+                         vocab_size: int) -> CHebbianKernels:
+    loaded = _load()
+    if loaded is None:
+        raise RuntimeError("C backend is not available")
+    return CHebbianKernels(*loaded, rec_pad=rec_pad, hidden_dim=hidden_dim,
+                           vocab_size=vocab_size)

@@ -1,0 +1,285 @@
+"""Numba backend: ``@njit`` mirrors of the C kernels.
+
+Installed via the optional ``repro[numba]`` extra and exercised by the
+dedicated CI leg; on numpy-only installs the import guard below makes
+:func:`available` return False and the registry falls back.
+
+The kernel bodies are line-for-line ports of the C source in
+``c_backend.py`` (see the bit-identity notes there).  Numba's default
+``fastmath=False`` mode neither contracts ``a + s * b`` into an fma nor
+reassociates sums, so the float arithmetic rounds exactly like numpy's.
+``cache=False`` everywhere: on-disk caching trades a few hundred ms of
+first-call JIT for a cache-invalidation class of bug we don't want in an
+equivalence-tested backend.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+try:
+    from numba import njit
+
+    _AVAILABLE = True
+except ImportError:  # numpy-only install: registry falls back
+    njit = None
+    _AVAILABLE = False
+
+
+def available() -> bool:
+    return _AVAILABLE
+
+
+#: PageCache's free-slot stamp sentinel.
+_FREE_STAMP = np.iinfo(np.int64).max
+
+_VICTIM_BATCH = 64
+
+
+if _AVAILABLE:  # pragma: no cover - exercised only in the numba CI leg
+
+    @njit(cache=False)
+    def _first_nonresident(soc, cids, start, stop):
+        for i in range(start, stop):
+            if soc[cids[i]] < 0:
+                return i
+        return stop
+
+    @njit(cache=False)
+    def _miss_run_length(soc, cids, start, limit, scratch, stamp):
+        i = start
+        while i < limit:
+            cid = cids[i]
+            if soc[cid] >= 0 or scratch[cid] == stamp:
+                break
+            scratch[cid] = stamp
+            i += 1
+        return i - start
+
+    @njit(cache=False)
+    def _hit_walk(soc, cids, stores, last_use, dirty, undemanded,
+                  start, stop, state):
+        clock = state[0]
+        n_und = state[1]
+        pf_hits = state[2]
+        hits = state[3]
+        i = start
+        while i < stop:
+            slot = soc[cids[i]]
+            if slot < 0:
+                break
+            last_use[slot] = clock
+            clock += 1
+            if stores[i]:
+                dirty[slot] = True
+            if n_und and undemanded[slot]:
+                undemanded[slot] = False
+                n_und -= 1
+                pf_hits += 1
+            hits += 1
+            i += 1
+        state[0] = clock
+        state[1] = n_und
+        state[2] = pf_hits
+        state[3] = hits
+        return i
+
+    @njit(cache=False)
+    def _null_run(cids, pages, stores, soc, page_of_slot, last_use, dirty,
+                  cid_of_slot, free_slots, capacity, start, stop, miss_idx,
+                  record, state):
+        clock = state[0]
+        n_res = state[1]
+        free_n = state[2]
+        miss_n = state[3]
+        hits = state[4]
+        misses = state[5]
+        wbacks = state[6]
+        vstamp = np.empty(_VICTIM_BATCH, dtype=np.int64)
+        vslot = np.empty(_VICTIM_BATCH, dtype=np.int64)
+        vn = 0
+        vi = 0
+        for i in range(start, stop):
+            cid = cids[i]
+            slot = soc[cid]
+            if slot >= 0:
+                last_use[slot] = clock
+                clock += 1
+                if stores[i]:
+                    dirty[slot] = True
+                hits += 1
+                continue
+            misses += 1
+            if record:
+                miss_idx[miss_n] = i
+            miss_n += 1
+            if free_n > 0:
+                free_n -= 1
+                slot = free_slots[free_n]
+            else:
+                while True:
+                    if vi >= vn:
+                        vn = 0
+                        for s in range(capacity):
+                            st = last_use[s]
+                            if vn == _VICTIM_BATCH and st >= vstamp[vn - 1]:
+                                continue
+                            p = vn if vn < _VICTIM_BATCH else vn - 1
+                            while p > 0 and vstamp[p - 1] > st:
+                                vstamp[p] = vstamp[p - 1]
+                                vslot[p] = vslot[p - 1]
+                                p -= 1
+                            vstamp[p] = st
+                            vslot[p] = s
+                            if vn < _VICTIM_BATCH:
+                                vn += 1
+                        vi = 0
+                    st = vstamp[vi]
+                    vs = vslot[vi]
+                    vi += 1
+                    if st != _FREE_STAMP and last_use[vs] == st:
+                        slot = vs
+                        break
+                if dirty[slot]:
+                    wbacks += 1
+                    dirty[slot] = False
+                soc[cid_of_slot[slot]] = -1
+                cid_of_slot[slot] = -1
+                last_use[slot] = _FREE_STAMP
+                n_res -= 1
+            page_of_slot[slot] = pages[i]
+            last_use[slot] = clock
+            clock += 1
+            dirty[slot] = stores[i]
+            soc[cid] = slot
+            cid_of_slot[slot] = cid
+            n_res += 1
+        state[0] = clock
+        state[1] = n_res
+        state[2] = free_n
+        state[3] = miss_n
+        state[4] = hits
+        state[5] = misses
+        state[6] = wbacks
+
+    @njit(cache=False)
+    def _pre_accumulate(pre, rec_pad, prev_active, scale, n, counts):
+        counts[:] = 0
+        for r in range(prev_active.size):
+            row = prev_active[r]
+            for t in range(rec_pad.shape[1]):
+                counts[rec_pad[row, t]] += 1
+        for j in range(n):
+            pre[j] += scale * counts[j]
+
+    @njit(cache=False)
+    def _readout_sparse(w_flat, flat, cols, out):
+        for t in range(flat.size):
+            out[cols[t]] += w_flat[flat[t]]
+
+    @njit(cache=False)
+    def _learn_apply(w_flat, flat, delta, wm):
+        for t in range(flat.size):
+            v = w_flat[flat[t]] + delta[t]
+            if v > wm:
+                v = wm
+            if v < -wm:
+                v = -wm
+            w_flat[flat[t]] = v
+
+    @njit(cache=False)
+    def _punish_apply(w_flat, flat, lr, wm):
+        for t in range(flat.size):
+            v = w_flat[flat[t]] - lr
+            if v < -wm:
+                v = -wm
+            w_flat[flat[t]] = v
+
+
+class NumbaSimKernels:
+    """Simulator kernel bundle; same interface as ``CSimKernels``."""
+
+    name = "numba"
+
+    def first_nonresident(self, soc: np.ndarray, cids: np.ndarray,
+                          start: int, stop: int) -> int:
+        return int(_first_nonresident(soc, cids, start, stop))
+
+    def miss_run_length(self, soc: np.ndarray, cids: np.ndarray, start: int,
+                        limit: int, scratch: np.ndarray, stamp: int) -> int:
+        return int(_miss_run_length(soc, cids, start, limit, scratch, stamp))
+
+    def bind_hit_walk(self, *, soc: np.ndarray, cids: np.ndarray,
+                      stores: np.ndarray, last_use: np.ndarray,
+                      dirty: np.ndarray, undemanded: np.ndarray,
+                      state: np.ndarray) -> Callable[[int, int], int]:
+        def run(start: int, stop: int) -> int:
+            return int(_hit_walk(soc, cids, stores, last_use, dirty,
+                                 undemanded, start, stop, state))
+
+        return run
+
+    def bind_null_run(self, *, cids: np.ndarray, pages: np.ndarray,
+                      stores: np.ndarray, soc: np.ndarray,
+                      page_of_slot: np.ndarray, last_use: np.ndarray,
+                      dirty: np.ndarray, cid_of_slot: np.ndarray,
+                      free_slots: np.ndarray, capacity: int,
+                      miss_idx: np.ndarray,
+                      state: np.ndarray) -> Callable[[int, int, int], None]:
+        def run(start: int, stop: int, record: int) -> None:
+            _null_run(cids, pages, stores, soc, page_of_slot, last_use,
+                      dirty, cid_of_slot, free_slots, capacity, start, stop,
+                      miss_idx, record, state)
+
+        return run
+
+
+class NumbaHebbianKernels:
+    """Hebbian kernel bundle; same interface as ``CHebbianKernels``."""
+
+    name = "numba"
+
+    def __init__(self, rec_pad: np.ndarray, hidden_dim: int,
+                 vocab_size: int) -> None:
+        self._rec_pad = np.ascontiguousarray(rec_pad, dtype=np.int64)
+        self._n = hidden_dim
+        self._vocab = vocab_size
+        self._counts = np.zeros(hidden_dim + 1, dtype=np.int64)
+
+    def pre_accumulate(self, pre: np.ndarray, prev_active: np.ndarray,
+                       scale: float) -> None:
+        active = np.ascontiguousarray(prev_active, dtype=np.int64)
+        _pre_accumulate(pre, self._rec_pad, active, scale, self._n,
+                        self._counts)
+
+    def readout_sparse(self, w_flat: np.ndarray, flat: np.ndarray,
+                       cols: np.ndarray) -> np.ndarray:
+        out = np.zeros(self._vocab)
+        _readout_sparse(w_flat, np.ascontiguousarray(flat, dtype=np.int64),
+                        np.ascontiguousarray(cols, dtype=np.int64), out)
+        return out
+
+    def learn_apply(self, w_flat: np.ndarray, flat: np.ndarray,
+                    delta: np.ndarray, wm: float) -> None:
+        _learn_apply(w_flat, np.ascontiguousarray(flat, dtype=np.int64),
+                     delta, wm)
+
+    def punish_apply(self, w_flat: np.ndarray, flat: np.ndarray, lr: float,
+                     wm: float) -> None:
+        _punish_apply(w_flat, np.ascontiguousarray(flat, dtype=np.int64),
+                      lr, wm)
+
+
+def make_sim_kernels() -> NumbaSimKernels:
+    if not _AVAILABLE:
+        raise RuntimeError("numba backend is not available")
+    return NumbaSimKernels()
+
+
+def make_hebbian_kernels(*, rec_pad: np.ndarray, hidden_dim: int,
+                         vocab_size: int) -> NumbaHebbianKernels:
+    if not _AVAILABLE:
+        raise RuntimeError("numba backend is not available")
+    return NumbaHebbianKernels(rec_pad, hidden_dim, vocab_size)

@@ -37,6 +37,23 @@ class QuantizedTensor:
         return self.q.astype(np.float64) * self.scale
 
 
+def snap_to_grid(values: np.ndarray, scale: float,
+                 bits: int = 8) -> np.ndarray:
+    """Round ``values`` onto the symmetric ``bits``-bit grid of ``scale``.
+
+    The float-valued counterpart of :class:`QuantizedTensor` for callers
+    that keep a *fixed* scale (the Hebbian ``int8`` serving mirror pins
+    ``scale = weight_max / 127`` so the grid never moves as weights
+    train): every output is ``k * scale`` for an integer ``k`` in
+    ``[-qmax, qmax]``, and the elementwise error is at most
+    ``scale / 2``.
+    """
+    if bits < 2 or bits > 16:
+        raise ValueError("bits must be in [2, 16]")
+    qmax = float(2 ** (bits - 1) - 1)
+    return np.clip(np.round(values / scale), -qmax, qmax) * scale
+
+
 def quantization_error(values: np.ndarray, bits: int = 8) -> float:
     """Relative L2 error introduced by quantizing ``values``."""
     qt = QuantizedTensor.quantize(values, bits)

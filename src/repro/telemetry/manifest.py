@@ -28,8 +28,10 @@ from ..patterns.trace import Trace
 
 #: Bump when the JSONL record layout changes; the golden-schema test
 #: (tests/telemetry/test_golden_schema.py) forces the bump to be
-#: deliberate.
-SCHEMA_VERSION = 1
+#: deliberate.  v2: kernel backend recorded under ``env`` (volatile —
+#: ``auto`` resolves per machine; backends are bit-identical so the
+#: backend can never change a result).
+SCHEMA_VERSION = 2
 
 
 def run_spec(trace: Trace, prefetcher_name: str, config: SimConfig,
@@ -76,12 +78,15 @@ def environment() -> dict:
 
 def build_manifest(spec: Mapping[str, Any], *, seed: int | None,
                    engine: str, capacity_pages: int, wall_time_s: float,
-                   n_windows: int) -> dict:
+                   n_windows: int, backend: str = "unknown") -> dict:
     """Assemble the manifest record for a finished run.
 
     ``seed`` is the trace generator's seed when the trace carries one in
     its metadata; synthetic traces built inline (tests, fixtures) may
-    not, and record null.
+    not, and record null.  ``backend`` (the resolved kernel backend) is
+    recorded under ``env``: backends are bit-identical by contract, so
+    like the numpy version it is provenance, not part of the result's
+    identity — and ``auto`` resolves differently per machine.
     """
     spec_hash = spec_key(dict(spec))
     return {
@@ -95,5 +100,5 @@ def build_manifest(spec: Mapping[str, Any], *, seed: int | None,
         "capacity_pages": capacity_pages,
         "wall_time_s": wall_time_s,
         "n_windows": n_windows,
-        "env": environment(),
+        "env": {**environment(), "backend": backend},
     }

@@ -49,8 +49,8 @@ class NullTelemetry:
     def on_fallback_restart(self) -> None:
         pass
 
-    def end_run(self, engine: str) -> None:
-        del engine
+    def end_run(self, engine: str, backend: str = "unknown") -> None:
+        del engine, backend
 
     def counter(self, name: str, amount: int = 1) -> None:
         del name, amount

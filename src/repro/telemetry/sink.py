@@ -62,6 +62,7 @@ class Telemetry(NullTelemetry):
         self._seed: int | None = None
         self._capacity_pages = 0
         self._engine = "unknown"
+        self._backend = "unknown"
         self._started_at = 0.0
         self._wall_time_s = 0.0
         self._final_stats: dict | None = None
@@ -85,6 +86,7 @@ class Telemetry(NullTelemetry):
         self._seed = int(seed) if isinstance(seed, int) else None
         self._capacity_pages = capacity_pages
         self._engine = "unknown"
+        self._backend = "unknown"
         self._final_stats = None
         self._finished = False
         self._started_at = time.perf_counter()
@@ -103,9 +105,10 @@ class Telemetry(NullTelemetry):
         self.counter("engine_fallback_restarts")
         self._acc.reset()
 
-    def end_run(self, engine: str) -> None:
+    def end_run(self, engine: str, backend: str = "unknown") -> None:
         self._wall_time_s = time.perf_counter() - self._started_at
         self._engine = engine
+        self._backend = backend
         if self.windows:
             last = self.windows[-1]
             self._final_stats = {
@@ -139,6 +142,7 @@ class Telemetry(NullTelemetry):
             raise RuntimeError("no run observed (begin_run never called)")
         return build_manifest(
             self._spec, seed=self._seed, engine=self._engine,
+            backend=self._backend,
             capacity_pages=self._capacity_pages,
             wall_time_s=self._wall_time_s, n_windows=len(self.windows))
 

@@ -2,12 +2,39 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
+from repro.nn import backends
 from repro.nn.hebbian import HebbianConfig, SparseHebbianNetwork
 from repro.nn.lstm import LSTMConfig, OnlineLSTM
 from repro.patterns.generators import PatternSpec
+
+
+def _disable_compiled_backends() -> None:
+    """Honor ``REPRO_DISABLE_COMPILED`` for the whole test session.
+
+    ``REPRO_DISABLE_COMPILED=1`` forces every backend resolution to the
+    pure-numpy reference even on machines with a working compiler or
+    numba — the CI leg that proves a numpy-only install passes the full
+    suite sets it.  A comma list (``REPRO_DISABLE_COMPILED=numba,c``)
+    disables just those backends.
+
+    Runs at conftest *import* (before any test module is collected):
+    the cross-backend suites snapshot ``available_backends()`` into
+    module-level parametrize lists, so the disable must land first.
+    """
+    raw = os.environ.get("REPRO_DISABLE_COMPILED", "").strip()
+    if not raw:
+        return
+    names = (backends.SIM_BACKENDS if raw == "1"
+             else tuple(n.strip() for n in raw.split(",") if n.strip()))
+    backends._disabled.update(n for n in names if n != "numpy")
+
+
+_disable_compiled_backends()
 
 
 @pytest.fixture

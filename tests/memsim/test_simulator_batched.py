@@ -17,6 +17,7 @@ import pytest
 from repro.baselines.classic import StridePrefetcher
 from repro.core.cls_prefetcher import CLSPrefetcher, CLSPrefetcherConfig
 from repro.memsim import NullPrefetcher, SimConfig, simulate, span_length_stats
+from repro.nn.backends import available_backends
 from repro.patterns.applications import (
     AppSpec,
     graph500,
@@ -24,6 +25,11 @@ from repro.patterns.applications import (
     pagerank_graphchi,
     resnet_training,
 )
+from repro.patterns.trace import Trace
+
+#: PR 6: every available compiled backend must be indistinguishable from
+#: the numpy reference on the same grid of workloads.
+COMPILED = [b for b in available_backends("sim") if b != "numpy"]
 
 APPS = {
     "resnet": resnet_training,
@@ -78,6 +84,83 @@ def test_cls_bit_identical_including_learned_weights(app: str, delay: int):
 
     batched_pf, scalar_pf = _assert_identical(_trace(app), make, delay)
     np.testing.assert_array_equal(batched_pf.model.w_out, scalar_pf.model.w_out)
+
+
+@pytest.mark.parametrize("backend", COMPILED or ["__none__"])
+@pytest.mark.parametrize("app", sorted(APPS))
+@pytest.mark.parametrize("delay", [0, 4])
+def test_compiled_backend_bit_identical_to_numpy(app: str, delay: int,
+                                                 backend: str):
+    """Compiled null-replay + hit-walk kernels vs the numpy engines:
+    identical stats and miss indices on the full Figure 5 grid."""
+    if backend == "__none__":
+        pytest.skip("no compiled backend available in this environment")
+    trace = _trace(app)
+    config = _config(delay)
+    for make in (NullPrefetcher, StridePrefetcher):
+        compiled = simulate(trace, make(), config, record_miss_indices=True,
+                            backend=backend)
+        reference = simulate(trace, make(), config, record_miss_indices=True,
+                             backend="numpy")
+        assert compiled.stats.as_dict() == reference.stats.as_dict()
+        assert compiled.miss_indices == reference.miss_indices
+        assert compiled.backend_used == backend
+
+
+@pytest.mark.parametrize("backend", COMPILED or ["__none__"])
+@pytest.mark.parametrize("app", sorted(APPS))
+def test_compiled_backend_cls_weights_match_numpy(app: str, backend: str):
+    """Full CLS pipeline (hebbian kernels + sim kernels live at once):
+    the learned weights are bit-identical across backends."""
+    if backend == "__none__":
+        pytest.skip("no compiled backend available in this environment")
+
+    def make():
+        return CLSPrefetcher(CLSPrefetcherConfig(
+            model="hebbian", vocab_size=64, observe_hits=False, seed=3))
+
+    trace = _trace(app)
+    config = _config(4)
+    compiled_pf, reference_pf = make(), make()
+    compiled = simulate(trace, compiled_pf, config,
+                        record_miss_indices=True, backend=backend)
+    reference = simulate(trace, reference_pf, config,
+                         record_miss_indices=True, backend="numpy")
+    assert compiled.stats.as_dict() == reference.stats.as_dict()
+    assert compiled.miss_indices == reference.miss_indices
+    np.testing.assert_array_equal(compiled_pf.model.w_out,
+                                  reference_pf.model.w_out)
+
+
+@pytest.mark.parametrize("backend", COMPILED or ["__none__"])
+def test_compiled_backend_fuzz_random_traces(backend: str):
+    """Randomized page streams (uniform, zipf-ish, strided bursts) stay
+    bit-identical between the compiled and numpy backends."""
+    if backend == "__none__":
+        pytest.skip("no compiled backend available in this environment")
+    rng = np.random.default_rng(77)
+    for trial in range(6):
+        n = int(rng.integers(3000, 12_000))
+        kind = trial % 3
+        if kind == 0:
+            pages = rng.integers(0, 400, size=n)
+        elif kind == 1:
+            pages = np.minimum(rng.geometric(0.02, size=n), 500)
+        else:
+            base = np.repeat(rng.integers(0, 50, size=n // 16 + 1) * 64,
+                             16)[:n]
+            pages = base + np.tile(np.arange(16), n // 16 + 1)[:n]
+        trace = Trace(name=f"fuzz{trial}",
+                      addresses=pages.astype(np.int64) * 4096,
+                      metadata={"seed": trial})
+        for delay, make in ((0, NullPrefetcher), (4, StridePrefetcher)):
+            compiled = simulate(trace, make(), _config(delay),
+                                record_miss_indices=True, backend=backend)
+            reference = simulate(trace, make(), _config(delay),
+                                 record_miss_indices=True, backend="numpy")
+            assert compiled.stats.as_dict() == reference.stats.as_dict(), \
+                f"trial {trial} delay {delay}"
+            assert compiled.miss_indices == reference.miss_indices
 
 
 def test_auto_engine_rejects_batched_for_access_observers():

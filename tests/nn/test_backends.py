@@ -1,0 +1,277 @@
+"""Backend registry, fallback, and serving-mode contracts (PR 6).
+
+Three families of claims:
+
+- **registry behavior** — name validation, ``auto`` resolution, the
+  explicit-request-raises / auto-falls-back asymmetry, the one-time
+  fallback warning, and the numba-absent import path;
+- **cross-backend bit-identity** — every available compiled backend's
+  Hebbian kernels reproduce the numpy reference exactly, over long
+  randomized streams (the simulator-side twin lives in
+  ``tests/memsim/test_engine_auto.py``);
+- **int8 serving contract** — the one deliberate exception to
+  bit-identity: training weights stay float64 (identical to numpy when
+  learning does not read the served scores), the serving mirror sits on
+  the quantization grid, and its error is bounded by ``scale / 2``.
+
+Plus the harness plumbing: the resolved backend lands in the telemetry
+manifest's ``env`` (provenance), and never in a ``run_grid`` cache key
+(identity).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.harness.runner import run_grid
+from repro.memsim import NullPrefetcher, SimConfig, simulate
+from repro.nn import backends
+from repro.nn.backends import (
+    BackendUnavailableError,
+    available_backends,
+    backend_available,
+    resolve_backend,
+)
+from repro.nn.hebbian import HebbianConfig, SparseHebbianNetwork
+from repro.nn.quantization import snap_to_grid
+from repro.patterns.applications import AppSpec, pagerank_graphchi
+from repro.seeding import spawn_seeds
+from repro.telemetry import Telemetry
+
+COMPILED = [b for b in available_backends("sim") if b != "numpy"]
+
+
+def _require_compiled(backend: str) -> None:
+    if backend == "__none__":
+        pytest.skip("no compiled backend available in this environment")
+
+
+# ----------------------------------------------------------------------
+# Registry behavior
+# ----------------------------------------------------------------------
+def test_numpy_and_int8_always_available():
+    assert backend_available("numpy")
+    assert backend_available("int8")
+    assert "numpy" in available_backends("sim")
+    assert "int8" in available_backends("nn")
+    assert "int8" not in backends.SIM_BACKENDS
+
+
+def test_unknown_backend_name_rejected():
+    with pytest.raises(ValueError, match="unknown backend"):
+        resolve_backend("cuda")
+    with pytest.raises(ValueError, match="unknown backend"):
+        resolve_backend("int8", domain="sim")  # int8 is nn-only
+    with pytest.raises(ValueError, match="backend"):
+        HebbianConfig(vocab_size=16, backend="cuda")
+
+
+def test_auto_never_resolves_to_int8():
+    assert resolve_backend("auto", domain="nn") != "int8"
+
+
+def test_explicit_unavailable_backend_raises(monkeypatch):
+    monkeypatch.setattr(backends, "_disabled", {"numba", "c"})
+    for name in ("numba", "c"):
+        with pytest.raises(BackendUnavailableError):
+            resolve_backend(name)
+    # The same hard-request contract through the two public surfaces.
+    with pytest.raises(BackendUnavailableError):
+        SparseHebbianNetwork(HebbianConfig(vocab_size=16, backend="c"))
+    trace = pagerank_graphchi(AppSpec(n=2000, seed=1))
+    with pytest.raises(BackendUnavailableError):
+        simulate(trace, NullPrefetcher(), SimConfig(memory_fraction=0.5),
+                 backend="c")
+
+
+def test_auto_fallback_warns_once(monkeypatch):
+    monkeypatch.setattr(backends, "_disabled", {"numba", "c"})
+    monkeypatch.setattr(backends, "_warned_fallback", False)
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        assert resolve_backend("auto") == "numpy"
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert resolve_backend("auto") == "numpy"  # silent the second time
+
+
+def test_set_default_backend_validates(monkeypatch):
+    monkeypatch.setattr(backends, "_disabled", {"numba", "c"})
+    monkeypatch.setattr(backends, "_default_backend", "auto")
+    with pytest.raises(BackendUnavailableError):
+        backends.set_default_backend("c")
+    with pytest.raises(ValueError):
+        backends.set_default_backend("int8")  # nn-only: no sim meaning
+    backends.set_default_backend("numpy")
+    assert resolve_backend("auto") == "numpy"
+    backends.set_default_backend("auto")
+    assert backends.get_default_backend() == "auto"
+
+
+def test_numba_absent_import_is_clean():
+    """The numba module must import (and report itself unavailable)
+    without numba installed; a hard request then raises, never falls
+    back silently."""
+    from repro.nn.backends import numba_backend
+
+    assert isinstance(numba_backend.available(), bool)
+    if not numba_backend.available():
+        with pytest.raises(RuntimeError):
+            numba_backend.make_sim_kernels()
+        with pytest.raises(RuntimeError):
+            numba_backend.make_hebbian_kernels(
+                rec_pad=np.zeros((4, 2), dtype=np.int64), hidden_dim=4,
+                vocab_size=8)
+
+
+# ----------------------------------------------------------------------
+# Cross-backend Hebbian bit-identity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", COMPILED or ["__none__"])
+@pytest.mark.parametrize("mode", ["onehot", "signature"])
+def test_compiled_hebbian_matches_numpy_bit_identical(backend, mode):
+    _require_compiled(backend)
+    config = HebbianConfig(vocab_size=64, hidden_dim=300, input_mode=mode,
+                           recurrent_strength=0.1, seed=11)
+    ref = SparseHebbianNetwork(dataclasses.replace(config, backend="numpy"))
+    fast = SparseHebbianNetwork(dataclasses.replace(config, backend=backend))
+    rng = np.random.default_rng(99)
+    sequence = rng.integers(0, config.vocab_size, size=600)
+    for i, class_id in enumerate(sequence):
+        p_ref = ref.step(int(class_id))
+        p_fast = fast.step(int(class_id))
+        assert np.array_equal(p_ref, p_fast), f"probs diverged at step {i}"
+        if i % 37 == 0:
+            assert (ref.predict_rollout(width=2, length=3)
+                    == fast.predict_rollout(width=2, length=3))
+    pairs = [(int(a), int(b)) for a, b in
+             rng.integers(0, config.vocab_size, size=(50, 2))]
+    ref.train_pairs(pairs, lr_scale=0.1)
+    fast.train_pairs(pairs, lr_scale=0.1)
+    np.testing.assert_array_equal(ref.w_out, fast.w_out)
+
+
+@pytest.mark.parametrize("backend", COMPILED or ["__none__"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_compiled_hebbian_fuzz(backend, seed):
+    """Randomized interleavings of step/train_pair/train_pairs/readout
+    stay bit-identical to numpy."""
+    _require_compiled(backend)
+    net_seed, stream_seed = spawn_seeds(seed, 2)
+    config = HebbianConfig(vocab_size=48, hidden_dim=200, seed=net_seed)
+    ref = SparseHebbianNetwork(dataclasses.replace(config, backend="numpy"))
+    fast = SparseHebbianNetwork(dataclasses.replace(config, backend=backend))
+    rng = np.random.default_rng(stream_seed)
+    for _ in range(300):
+        op = rng.integers(0, 4)
+        if op == 0:
+            c = int(rng.integers(0, config.vocab_size))
+            assert np.array_equal(ref.step(c), fast.step(c))
+        elif op == 1:
+            a, b = rng.integers(0, config.vocab_size, size=2)
+            assert (ref.train_pair(int(a), int(b), lr_scale=0.2)
+                    == fast.train_pair(int(a), int(b), lr_scale=0.2))
+        elif op == 2:
+            pairs = [(int(a), int(b)) for a, b in
+                     rng.integers(0, config.vocab_size, size=(5, 2))]
+            ref.train_pairs(pairs, lr_scale=0.1)
+            fast.train_pairs(pairs, lr_scale=0.1)
+        else:
+            c = int(rng.integers(0, config.vocab_size))
+            np.testing.assert_array_equal(ref.readout(ref.hidden_code(c)),
+                                          fast.readout(fast.hidden_code(c)))
+    np.testing.assert_array_equal(ref.w_out, fast.w_out)
+
+
+# ----------------------------------------------------------------------
+# int8 serving contract (the documented bit-identity exception)
+# ----------------------------------------------------------------------
+def _int8_pair() -> tuple[SparseHebbianNetwork, SparseHebbianNetwork]:
+    """Same seed, punish_wrong off: learning never reads the served
+    scores, so the float64 training weights must match exactly and only
+    serving differs."""
+    config = HebbianConfig(vocab_size=64, hidden_dim=300, seed=11,
+                           punish_wrong=False)
+    return (SparseHebbianNetwork(dataclasses.replace(config,
+                                                     backend="numpy")),
+            SparseHebbianNetwork(dataclasses.replace(config,
+                                                     backend="int8")))
+
+
+def test_int8_training_weights_identical_serving_on_grid():
+    ref, quant = _int8_pair()
+    rng = np.random.default_rng(17)
+    for class_id in rng.integers(0, 64, size=500):
+        ref.step(int(class_id))
+        quant.step(int(class_id))
+    np.testing.assert_array_equal(ref.w_out, quant.w_out)
+    scale = quant._q_scale
+    # The mirror is exactly the grid snap of the live weights...
+    np.testing.assert_array_equal(quant._serve_w,
+                                  snap_to_grid(quant.w_out, scale))
+    # ...every mirror value is an integer multiple of the scale...
+    steps = quant._serve_w / scale
+    np.testing.assert_allclose(steps, np.round(steps), atol=1e-9)
+    assert float(np.abs(steps).max()) <= 127.0
+    # ...and the elementwise serving error is bounded by scale / 2.
+    assert float(np.abs(quant._serve_w - quant.w_out).max()) \
+        <= scale / 2 + 1e-12
+
+
+def test_int8_readout_error_bounded():
+    """Score error is at most (active rows) * scale / 2 — the documented
+    accuracy-delta bound for the serving backend."""
+    ref, quant = _int8_pair()
+    rng = np.random.default_rng(23)
+    for class_id in rng.integers(0, 64, size=500):
+        ref.step(int(class_id))
+        quant.step(int(class_id))
+    scale = quant._q_scale
+    for class_id in range(0, 64, 5):
+        active = quant.hidden_code(class_id)
+        bound = len(active) * scale / 2 + 1e-9
+        delta = np.abs(quant.readout(active) - ref.readout(active))
+        assert float(delta.max()) <= bound
+
+
+# ----------------------------------------------------------------------
+# Harness plumbing: manifest provenance, cache-key identity
+# ----------------------------------------------------------------------
+def test_backend_recorded_in_telemetry_manifest():
+    trace = pagerank_graphchi(AppSpec(n=3000, seed=2))
+    sink = Telemetry(interval=1000)
+    result = simulate(trace, NullPrefetcher(), SimConfig(memory_fraction=0.5),
+                      backend="numpy", telemetry=sink)
+    assert result.backend_used == "numpy"
+    assert sink.manifest()["env"]["backend"] == "numpy"
+
+
+def _cell(spec: dict) -> dict:
+    return {"value": spec["x"] * 2}
+
+
+def _poisoned_cell(spec: dict) -> dict:
+    raise AssertionError("cell recomputed: backend leaked into the "
+                         f"cache key for {spec!r}")
+
+
+def test_run_grid_cache_key_excludes_backend(tmp_path):
+    specs = [{"x": 3}, {"x": 4}]
+    first = run_grid(specs, _cell, jobs=1, cache_dir=tmp_path,
+                     backend="numpy")
+    assert first == [{"value": 6}, {"value": 8}]
+    other = COMPILED[0] if COMPILED else "numpy"
+    # Same specs under a different backend: every cell must be served
+    # from the cache (the poisoned fn raises if any cell recomputes).
+    second = run_grid(specs, _poisoned_cell, jobs=1, cache_dir=tmp_path,
+                      backend=other)
+    assert second == first
+
+
+def test_run_grid_rejects_unavailable_backend(monkeypatch, tmp_path):
+    monkeypatch.setattr(backends, "_disabled", {"numba", "c"})
+    with pytest.raises(BackendUnavailableError):
+        run_grid([{"x": 1}], _cell, jobs=1, cache_dir=tmp_path, backend="c")

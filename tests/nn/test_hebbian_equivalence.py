@@ -9,13 +9,22 @@ trajectory — over long random sequences, in both input modes, and across
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 import pytest
 
+from repro.nn.backends import available_backends
 from repro.nn.hebbian import HebbianConfig, SparseHebbianNetwork
 from repro.nn.hebbian_reference import DenseHebbianReference
 
 N_STEPS = 1000
+
+#: PR 6: the dense-reference equivalence must hold for every available
+#: backend, not just the numpy kernels ("int8" is excluded by design —
+#: it is accuracy-bounded, not bit-identical; see tests/nn/test_backends).
+BACKENDS = ["numpy"] + [b for b in available_backends("nn")
+                        if b not in ("numpy", "int8")]
 
 
 def _configs() -> dict[str, HebbianConfig]:
@@ -28,9 +37,10 @@ def _configs() -> dict[str, HebbianConfig]:
     }
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("mode", ["onehot", "signature"])
-def test_step_probs_bit_identical(mode):
-    config = _configs()[mode]
+def test_step_probs_bit_identical(mode, backend):
+    config = dataclasses.replace(_configs()[mode], backend=backend)
     fast = SparseHebbianNetwork(config)
     ref = DenseHebbianReference(config)
     rng = np.random.default_rng(99)
@@ -43,10 +53,11 @@ def test_step_probs_bit_identical(mode):
     assert fast.train_steps == ref.train_steps
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("mode", ["onehot", "signature"])
-def test_clone_round_trip(mode):
+def test_clone_round_trip(mode, backend):
     """A clone taken mid-stream matches both its source and the reference."""
-    config = _configs()[mode]
+    config = dataclasses.replace(_configs()[mode], backend=backend)
     fast = SparseHebbianNetwork(config)
     ref = DenseHebbianReference(config)
     rng = np.random.default_rng(7)
@@ -75,8 +86,9 @@ def test_clone_round_trip(mode):
     np.testing.assert_array_equal(fast.w_out, before)
 
 
-def test_train_pair_bit_identical():
-    config = _configs()["onehot"]
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_train_pair_bit_identical(backend):
+    config = dataclasses.replace(_configs()["onehot"], backend=backend)
     fast = SparseHebbianNetwork(config)
     ref = DenseHebbianReference(config)
     rng = np.random.default_rng(3)
@@ -174,15 +186,16 @@ def test_sparse_readout_matches_dense_row_sum():
     np.testing.assert_array_equal(net.readout(foreign), dense)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("punish_wrong", [False, True])
 @pytest.mark.parametrize("batch", [
     [(3, 9)],                                  # single pair
     [(3, 9), (9, 4), (4, 17), (17, 30)],       # distinct targets: vectorized
     [(3, 9), (9, 4), (4, 9), (17, 30)],        # duplicate target: fallback
 ])
-def test_train_pairs_matches_per_pair_loop(punish_wrong, batch):
+def test_train_pairs_matches_per_pair_loop(punish_wrong, batch, backend):
     config = HebbianConfig(vocab_size=64, hidden_dim=300, seed=11,
-                           punish_wrong=punish_wrong)
+                           punish_wrong=punish_wrong, backend=backend)
     batched = SparseHebbianNetwork(config)
     looped = SparseHebbianNetwork(config)
     ref = DenseHebbianReference(config)

@@ -80,7 +80,8 @@ def test_fixture_shape_and_volatile_fields_present():
     assert manifest["record"] == "manifest"
     assert summary["record"] == "summary"
     assert len(windows) == manifest["n_windows"] == 5
-    assert set(manifest["env"]) == {"git_sha", "numpy", "platform", "python"}
+    assert set(manifest["env"]) == {"backend", "git_sha", "numpy",
+                                    "platform", "python"}
     assert isinstance(manifest["wall_time_s"], float)
     assert manifest["run_id"] == manifest["spec_hash"][:16]
     assert manifest["seed"] == 5
