@@ -15,7 +15,8 @@ from repro.harness.interference import InterferenceConfig, run_interference
 from repro.harness.models import experiment_lstm
 
 
-def ascii_curve(label: str, steps, values, width: int = 40) -> None:
+def ascii_curve(label: str, steps: list[int], values: list[float],
+                width: int = 40) -> None:
     print(f"  {label}")
     for step, value in zip(steps, values):
         bar = "#" * int(round(value * width))

@@ -19,7 +19,7 @@ from repro.core import CLSPrefetcher, CLSPrefetcherConfig
 from repro.harness.models import experiment_hebbian_config
 from repro.harness.reporting import print_table
 from repro.memsim import MissEvent, SimConfig, baseline_misses, simulate
-from repro.patterns import PatternSpec, pointer_chase, stride
+from repro.patterns import PatternSpec, Trace, pointer_chase, stride
 
 
 class PairHistoryPrefetcher:
@@ -49,7 +49,7 @@ class PairHistoryPrefetcher:
         return [page for page, _ in ranked[: self.degree]]
 
 
-def phased_trace():
+def phased_trace() -> Trace:
     """pointer-chase -> stride -> pointer-chase (the same chase returns)."""
     chase = pointer_chase(PatternSpec(n=2_500, working_set=150,
                                       element_size=4096, seed=7))

@@ -3,8 +3,9 @@
 The paper's claims only reproduce if every run is bit-deterministic given
 a spec, and the ``sha256(spec)`` disk cache in :mod:`repro.harness.runner`
 silently serves stale results if any hidden input sneaks into a cell.
-This package enforces those invariants mechanically, with repro-specific
-AST rules:
+This package enforces those invariants mechanically.
+
+Per-file AST rules:
 
 ========  ============================================================
 RL001     unseeded/legacy/arithmetic-derived NumPy RNG seeding
@@ -16,19 +17,38 @@ RL006     public functions missing type annotations
 RL007     bare/swallowed exceptions in simulator hot paths
 ========  ============================================================
 
+Whole-program dataflow rules (the RL100 series, built on
+:mod:`repro.analysis.dataflow` — project symbol table, call graph,
+def-use chains, inter-procedural taint):
+
+========  ============================================================
+RL101     volatile data (env, clock, ids, ambient backend/telemetry
+          state) flowing into ``spec_key``/cache-key computation
+RL102     compiled-backend kernel signature/registration drift vs the
+          numpy reference; reference imports from hot paths
+RL103     shared mutable module globals, ambient state writes outside
+          ``zone=init`` functions, cross-class attribute writes
+========  ============================================================
+
 Run via ``repro-lint [paths]`` or ``python -m repro.analysis [paths]``.
-Suppress a single line with ``# repro-lint: disable=RLxxx``.
+Suppress a single line with ``# repro-lint: disable=RLxxx``; sanction a
+deliberate ambient-state zone with ``# repro-lint: zone=<name>`` (on a
+``def`` line, the zone covers the whole function).  ``--format sarif``
+emits SARIF 2.1.0 for CI code scanning.
 """
 
 from __future__ import annotations
 
 from .engine import iter_python_files, lint_file, lint_paths
 from .finding import Finding
-from .rules import ALL_RULES, RULES_BY_CODE, Rule, get_rules
+from .rules import (ALL_RULES, PROJECT_RULES, RULES_BY_CODE, ProjectRule,
+                    Rule, get_rules)
 
 __all__ = [
     "ALL_RULES",
     "Finding",
+    "PROJECT_RULES",
+    "ProjectRule",
     "RULES_BY_CODE",
     "Rule",
     "get_rules",

@@ -1,0 +1,50 @@
+"""Whole-program dataflow layer under repro-lint (PR 7).
+
+The per-line rules RL001-RL007 see one file at a time; the RL100-series
+contract rules need facts that only exist across files: which module a
+name was imported from, who calls whom, which expressions a value can
+flow through, and where ambient per-process state lives.  This package
+derives those facts once per lint invocation:
+
+- :mod:`~repro.analysis.dataflow.modules` — module discovery and import
+  resolution (absolute, relative, and star imports over the linted set).
+- :mod:`~repro.analysis.dataflow.symbols` — the project-wide symbol
+  table mapping qualified dotted names to definitions.
+- :mod:`~repro.analysis.dataflow.callgraph` — functions, methods, and
+  resolved call edges (decorator- and cycle-tolerant).
+- :mod:`~repro.analysis.dataflow.defuse` — intra-procedural def-use
+  chains per function.
+- :mod:`~repro.analysis.dataflow.taint` — the conservative
+  inter-procedural taint fixpoint RL101 runs on.
+- :mod:`~repro.analysis.dataflow.project` — :class:`ProjectContext`,
+  the facade the project rules receive, plus the shared ambient-state
+  inventory RL101 and RL103 both read.
+
+Everything here is *conservative in the no-false-positive direction*:
+unresolvable constructs (dynamic dispatch, ``getattr``, aliasing through
+data structures) drop out of the analysis rather than guessing, so a
+finding always corresponds to a flow the AST actually shows.
+"""
+
+from __future__ import annotations
+
+from .callgraph import CallGraph, FunctionInfo
+from .defuse import FunctionFlow
+from .modules import ModuleInfo, ModuleTable, module_name_for
+from .project import AmbientGlobal, ProjectContext
+from .symbols import SymbolTable
+from .taint import TaintEngine, TaintHit
+
+__all__ = [
+    "AmbientGlobal",
+    "CallGraph",
+    "FunctionFlow",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ModuleTable",
+    "ProjectContext",
+    "SymbolTable",
+    "TaintEngine",
+    "TaintHit",
+    "module_name_for",
+]

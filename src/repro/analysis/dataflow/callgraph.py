@@ -1,0 +1,187 @@
+"""Project call graph: functions, methods, and resolved call edges.
+
+Each project function/method becomes a :class:`FunctionInfo`; call
+expressions inside it resolve — through the symbol table — to either a
+project qualname (an edge) or an external dotted name (recorded for the
+taint source matching).  Resolution is deliberately conservative:
+
+- plain names and imported names resolve precisely;
+- ``self.method()`` / ``cls.method()`` resolve within the enclosing
+  class only (no inheritance walking — an over-approximation there
+  could invent flows that do not exist);
+- ``ClassName(...)`` resolves to ``ClassName.__init__`` when the class
+  is a project class;
+- anything dynamic (``getattr``, subscripted callables, call results)
+  stays unresolved.
+
+Decorated functions keep their own identity: ``functools.wraps``-style
+wrappers forward to the wrapped function at runtime, so treating calls
+to the decorated name as calls to the analyzed body is the standard
+(and here conservative) reading.  Cycles are fine — the graph is plain
+edges; fixpoint users iterate until stable.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .modules import ModuleInfo, ModuleTable
+from .symbols import SymbolTable, dotted_name
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    node: ast.Call
+    callee: str | None        # project qualname when resolved
+    external: str | None      # absolute dotted name when not a project def
+
+
+@dataclass
+class FunctionInfo:
+    """A project function or method with its resolved call sites."""
+
+    qualname: str
+    module: ModuleInfo
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    owner_class: str | None = None
+    calls: list[CallSite] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def param_names(self) -> list[str]:
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        return names
+
+    def self_name(self) -> str | None:
+        """The receiver parameter name for methods (usually ``self``)."""
+        if self.owner_class is None:
+            return None
+        args = self.node.args
+        ordered = args.posonlyargs + args.args
+        if not ordered:
+            return None
+        decorators = {dotted_name(d) if not isinstance(d, ast.Call)
+                      else dotted_name(d.func)
+                      for d in self.node.decorator_list}
+        if "staticmethod" in decorators:
+            return None
+        return ordered[0].arg
+
+
+class _BodyVisitor(ast.NodeVisitor):
+    """Collects calls belonging to one function, skipping nested defs."""
+
+    def __init__(self, graph: "CallGraph", owner: FunctionInfo) -> None:
+        self.graph = graph
+        self.owner = owner
+        self._depth = 0
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested defs are separate FunctionInfos
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self.generic_visit(node)  # lambda bodies belong to the enclosing fn
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.owner.calls.append(self.graph.resolve_call(self.owner, node))
+        self.generic_visit(node)
+
+
+class CallGraph:
+    def __init__(self, modules: ModuleTable, symbols: SymbolTable) -> None:
+        self._modules = modules
+        self.symbols = symbols
+        self._functions: dict[str, FunctionInfo] = {}
+        for info in modules.modules():
+            self._index(info)
+        for fn in self._functions.values():
+            _BodyVisitor(self, fn).generic_visit(fn.node)
+
+    def _index(self, info: ModuleInfo) -> None:
+        def add(node: ast.AST, qual: str, owner: str | None) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = FunctionInfo(qualname=qual, module=info, node=node,
+                                  owner_class=owner)
+                self._functions[qual] = fn
+                for item in node.body:  # nested defs, one level at a time
+                    walk(item, qual, None)
+
+        def walk(node: ast.AST, prefix: str, owner: str | None) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                add(node, f"{prefix}.{node.name}", owner)
+            elif isinstance(node, ast.ClassDef):
+                cls_qual = f"{prefix}.{node.name}"
+                for item in node.body:
+                    walk(item, cls_qual, node.name)
+
+        for node in info.tree.body:
+            walk(node, info.name, None)
+
+    def function(self, qualname: str) -> FunctionInfo | None:
+        return self._functions.get(qualname)
+
+    def functions(self) -> list[FunctionInfo]:
+        return [self._functions[name] for name in sorted(self._functions)]
+
+    def resolve_call(self, owner: FunctionInfo, node: ast.Call) -> CallSite:
+        func = node.func
+        # self.method() / cls.method() within the enclosing class.
+        self_name = owner.self_name()
+        if (self_name is not None and isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in (self_name, "cls")):
+            prefix = owner.qualname.rpartition(".")[0]
+            target = f"{prefix}.{func.attr}"
+            if target in self._functions:
+                return CallSite(node=node, callee=target, external=None)
+            return CallSite(node=node, callee=None, external=None)
+        dotted = dotted_name(func)
+        if dotted is None:
+            return CallSite(node=node, callee=None, external=None)
+        resolved = self.symbols.resolve(owner.module, dotted)
+        if resolved is None:
+            # Unknown head: a builtin (``id``, ``print``) or a local
+            # variable holding a callable.  Record the dotted text so
+            # source matching can still catch builtins by name.
+            return CallSite(node=node, callee=None,
+                            external=dotted if "." not in dotted else None)
+        symbol = self.symbols.lookup(resolved)
+        if symbol is None:
+            return CallSite(node=node, callee=None, external=resolved)
+        if symbol.kind == "class":
+            init = f"{resolved}.__init__"
+            if init in self._functions:
+                return CallSite(node=node, callee=init, external=None)
+            return CallSite(node=node, callee=None, external=None)
+        return CallSite(node=node, callee=resolved, external=None)
+
+    def callees(self, qualname: str) -> set[str]:
+        fn = self._functions.get(qualname)
+        if fn is None:
+            return set()
+        return {site.callee for site in fn.calls if site.callee is not None}
+
+    def transitive_callees(self, qualname: str) -> set[str]:
+        """All project functions reachable from ``qualname`` (cycle-safe)."""
+        seen: set[str] = set()
+        stack = [qualname]
+        while stack:
+            current = stack.pop()
+            for callee in self.callees(current):
+                if callee not in seen:
+                    seen.add(callee)
+                    stack.append(callee)
+        return seen

@@ -1,0 +1,183 @@
+"""Intra-procedural def-use chains.
+
+For one function body, :class:`FunctionFlow` records every *definition*
+of a local name (parameters, assignments, loop/with targets, walrus,
+aug-assigns), every *use*, and the container/attribute mutations that
+make a name's value change without rebinding it.  The taint engine
+treats the chains flow-insensitively — a name is as tainted as the
+union of its definitions — which over-approximates branches but never
+invents a def that is not in the code.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Definition:
+    name: str
+    lineno: int
+    value: ast.expr | None      # None for params / for-targets / del
+    kind: str                   # "param" | "assign" | "aug" | "target" | "mutate"
+
+
+@dataclass
+class FunctionFlow:
+    """Def-use facts for one function body."""
+
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    defs: dict[str, list[Definition]] = field(default_factory=dict)
+    uses: dict[str, list[int]] = field(default_factory=dict)
+    #: names the function declares ``global`` and assigns somewhere.
+    global_writes: dict[str, int] = field(default_factory=dict)
+    #: names declared ``global`` (written or not).
+    global_names: set[str] = field(default_factory=set)
+
+    def _add_def(self, definition: Definition) -> None:
+        self.defs.setdefault(definition.name, []).append(definition)
+
+    def definitions(self, name: str) -> list[Definition]:
+        return self.defs.get(name, [])
+
+    def use_lines(self, name: str) -> list[int]:
+        return self.uses.get(name, [])
+
+
+def _target_names(target: ast.expr) -> list[tuple[str, ast.expr]]:
+    """(name, full-target) pairs bound by an assignment target."""
+    if isinstance(target, ast.Name):
+        return [(target.id, target)]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: list[tuple[str, ast.expr]] = []
+        for elt in target.elts:
+            out.extend(_target_names(elt))
+        return out
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return []
+
+
+def _mutation_base(target: ast.expr) -> str | None:
+    """Root name mutated by a subscript/attribute store target."""
+    while isinstance(target, (ast.Subscript, ast.Attribute)):
+        target = target.value
+    if isinstance(target, ast.Name):
+        return target.id
+    return None
+
+
+class _FlowVisitor(ast.NodeVisitor):
+    def __init__(self, flow: FunctionFlow) -> None:
+        self.flow = flow
+
+    # -- scope boundaries -------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.flow._add_def(Definition(node.name, node.lineno, None, "assign"))
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.flow._add_def(Definition(node.name, node.lineno, None, "assign"))
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.flow._add_def(Definition(node.name, node.lineno, None, "assign"))
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self.generic_visit(node)
+
+    # -- definitions ------------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            for name, _ in _target_names(target):
+                self.flow._add_def(
+                    Definition(name, node.lineno, node.value, "assign"))
+            base = _mutation_base(target)
+            if base is not None and not isinstance(target, ast.Name):
+                self.flow._add_def(
+                    Definition(base, node.lineno, node.value, "mutate"))
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            for name, _ in _target_names(node.target):
+                self.flow._add_def(
+                    Definition(name, node.lineno, node.value, "assign"))
+            base = _mutation_base(node.target)
+            if base is not None and not isinstance(node.target, ast.Name):
+                self.flow._add_def(
+                    Definition(base, node.lineno, node.value, "mutate"))
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        for name, _ in _target_names(node.target):
+            self.flow._add_def(Definition(name, node.lineno, node.value, "aug"))
+        base = _mutation_base(node.target)
+        if base is not None and not isinstance(node.target, ast.Name):
+            self.flow._add_def(
+                Definition(base, node.lineno, node.value, "mutate"))
+        self.generic_visit(node)
+
+    def visit_NamedExpr(self, node: ast.NamedExpr) -> None:
+        if isinstance(node.target, ast.Name):
+            self.flow._add_def(Definition(node.target.id, node.lineno,
+                                          node.value, "assign"))
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        for name, _ in _target_names(node.target):
+            self.flow._add_def(Definition(name, node.lineno, node.iter,
+                                          "target"))
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        for name, _ in _target_names(node.target):
+            self.flow._add_def(Definition(name, node.lineno, node.iter,
+                                          "target"))
+        self.generic_visit(node)
+
+    def visit_withitem(self, node: ast.withitem) -> None:
+        if node.optional_vars is not None:
+            for name, _ in _target_names(node.optional_vars):
+                self.flow._add_def(Definition(name, node.context_expr.lineno,
+                                              node.context_expr, "target"))
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        # Comprehension targets live in a child scope at runtime, but for
+        # flow-insensitive taint the iterable -> target edge is what counts.
+        for name, _ in _target_names(node.target):
+            self.flow._add_def(Definition(name, node.iter.lineno, node.iter,
+                                          "target"))
+        self.generic_visit(node)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.name:
+            self.flow._add_def(Definition(node.name, node.lineno, None,
+                                          "target"))
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.flow.global_names.update(node.names)
+
+    # -- uses -------------------------------------------------------------
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.flow.uses.setdefault(node.id, []).append(node.lineno)
+
+
+def build_flow(node: ast.FunctionDef | ast.AsyncFunctionDef) -> FunctionFlow:
+    """Def-use chains for one function body (params included as defs)."""
+    flow = FunctionFlow(node=node)
+    args = node.args
+    for arg in (args.posonlyargs + args.args + args.kwonlyargs
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])):
+        flow._add_def(Definition(arg.arg, arg.lineno, None, "param"))
+    visitor = _FlowVisitor(flow)
+    for stmt in node.body:
+        visitor.visit(stmt)
+    for name in flow.global_names:
+        for definition in flow.definitions(name):
+            if definition.kind in ("assign", "aug"):
+                flow.global_writes.setdefault(name, definition.lineno)
+    return flow

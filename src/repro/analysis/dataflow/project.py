@@ -1,0 +1,358 @@
+"""Project-level analysis context handed to the RL100-series rules.
+
+Built once per lint invocation from every file the engine parsed.  On
+top of the module/symbol/call-graph layers it derives the **ambient
+state inventory** that RL101 (cache-key purity) and RL103 (concurrency
+hazards) both read:
+
+- module-level globals, with mutability classification;
+- every mutation of those globals (``global`` rebinding, container
+  mutation, cross-module attribute writes);
+- instance attributes written via ``self.`` per class, split by whether
+  the write happens inside ``__init__``;
+- ``# repro-lint: zone=<name>`` annotations, resolved to the line
+  ranges they sanction (a marker on a ``def`` line covers the whole
+  function, a marker on any other line covers that line).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from ..context import FileContext
+from .callgraph import CallGraph
+from .modules import ModuleInfo, ModuleTable
+from .symbols import SymbolTable, dotted_name
+from .taint import TaintEngine
+
+#: Containers whose module-level presence means shared mutable state.
+MUTABLE_FACTORIES = frozenset({
+    "dict", "list", "set", "bytearray", "deque", "defaultdict",
+    "OrderedDict", "Counter", "ChainMap",
+})
+
+#: Wrappers that make an otherwise-mutable literal read-only.
+IMMUTABLE_WRAPPERS = frozenset({"MappingProxyType", "frozenset", "tuple"})
+
+#: Method names that mutate their receiver in place.
+MUTATOR_METHODS = frozenset({
+    "append", "add", "update", "pop", "clear", "setdefault", "extend",
+    "insert", "remove", "discard", "popitem", "appendleft", "popleft",
+    "sort", "reverse", "__setitem__",
+})
+
+_ZONE_DIRECTIVE = re.compile(r"#\s*repro-lint:\s*zone=([A-Za-z0-9_-]+)")
+
+
+def is_mutable_value(node: ast.expr) -> bool:
+    """Whether a module-level RHS builds a mutable container."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name is None:
+            return False
+        base = name.rpartition(".")[2]
+        if base in IMMUTABLE_WRAPPERS:
+            return False
+        return base in MUTABLE_FACTORIES
+    return False
+
+
+@dataclass(frozen=True)
+class AmbientGlobal:
+    """One module-level global participating in per-process state."""
+
+    module: str
+    name: str
+    lineno: int
+    display_path: str
+    mutable: bool
+    constant_styled: bool     # ALL_CAPS naming (leading underscores ok)
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.module}.{self.name}"
+
+
+@dataclass(frozen=True)
+class GlobalMutation:
+    """One write to ambient module state (rebinding or container op)."""
+
+    target: str              # qualname of the global being written
+    display_path: str
+    lineno: int
+    function: str | None     # enclosing function qualname, if any
+    kind: str                # "global-rebind" | "container" | "cross-module"
+
+
+@dataclass
+class ClassAttrWrites:
+    """Where a class writes its own instance attributes."""
+
+    qualname: str
+    init_attrs: set[str] = field(default_factory=set)
+    method_attrs: set[str] = field(default_factory=set)   # outside __init__
+
+
+class ProjectContext:
+    """Everything the project-scope rules know about one lint run."""
+
+    def __init__(self, contexts: list[FileContext]) -> None:
+        self.contexts = contexts
+        self.modules = ModuleTable()
+        self._module_of: dict[str, ModuleInfo] = {}
+        for ctx in contexts:
+            info = self.modules.add(ctx.path, ctx.tree, ctx.display_path)
+            self._module_of[ctx.display_path] = info
+        self.symbols = SymbolTable(self.modules)
+        self.callgraph = CallGraph(self.modules, self.symbols)
+        self._zones: dict[str, dict[int, str]] = {
+            ctx.display_path: collect_zone_lines(ctx.source)
+            for ctx in contexts
+        }
+
+    def module_for(self, display_path: str) -> ModuleInfo | None:
+        return self._module_of.get(display_path)
+
+    # -- zone annotations -------------------------------------------------
+    def zone_at(self, display_path: str, lineno: int) -> str | None:
+        """Zone sanctioning ``lineno``: a marker on the line itself, or
+        on the ``def`` line of the innermost enclosing function."""
+        zones = self._zones.get(display_path, {})
+        direct = zones.get(lineno)
+        if direct is not None:
+            return direct
+        for start, end, zone in self._function_zone_ranges(display_path):
+            if start <= lineno <= end:
+                return zone
+        return None
+
+    @cached_property
+    def _zone_ranges(self) -> dict[str, list[tuple[int, int, str]]]:
+        out: dict[str, list[tuple[int, int, str]]] = {}
+        for ctx in self.contexts:
+            zones = self._zones.get(ctx.display_path, {})
+            ranges: list[tuple[int, int, str]] = []
+            if zones:
+                for node in ast.walk(ctx.tree):
+                    if isinstance(node, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        zone = zones.get(node.lineno)
+                        if zone is not None:
+                            end = getattr(node, "end_lineno", node.lineno)
+                            ranges.append((node.lineno, end or node.lineno,
+                                           zone))
+            out[ctx.display_path] = ranges
+        return out
+
+    def _function_zone_ranges(self,
+                              display_path: str) -> list[tuple[int, int, str]]:
+        return self._zone_ranges.get(display_path, [])
+
+    # -- ambient state inventory ------------------------------------------
+    @cached_property
+    def ambient_globals(self) -> dict[str, AmbientGlobal]:
+        out: dict[str, AmbientGlobal] = {}
+        for info in self.modules.modules():
+            for node in info.tree.body:
+                targets: list[ast.expr]
+                value: ast.expr | None
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, ast.AnnAssign):
+                    targets, value = [node.target], node.value
+                else:
+                    continue
+                if value is None:
+                    continue
+                for target in targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    name = target.id
+                    if name.startswith("__") and name.endswith("__"):
+                        continue
+                    bare = name.lstrip("_")
+                    g = AmbientGlobal(
+                        module=info.name, name=name, lineno=node.lineno,
+                        display_path=info.display_path,
+                        mutable=is_mutable_value(value),
+                        constant_styled=bool(bare) and bare == bare.upper())
+                    out[g.qualname] = g
+        return out
+
+    @cached_property
+    def global_mutations(self) -> list[GlobalMutation]:
+        out: list[GlobalMutation] = []
+        for fn in self.callgraph.functions():
+            info = fn.module
+            seen_globals: set[str] = set()
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.Global):
+                    seen_globals.update(node.names)
+            for node in ast.walk(fn.node):
+                if isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (node.targets
+                               if isinstance(node, ast.Assign)
+                               else [node.target])
+                    for target in targets:
+                        out.extend(self._mutation_for_target(
+                            fn.qualname, info, target, node.lineno,
+                            seen_globals))
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    out.extend(self._mutation_for_target(
+                        fn.qualname, info, node.target, node.lineno,
+                        seen_globals))
+                elif isinstance(node, ast.Delete):
+                    for target in node.targets:
+                        out.extend(self._mutation_for_target(
+                            fn.qualname, info, target, node.lineno,
+                            seen_globals))
+                elif isinstance(node, ast.Call):
+                    mutation = self._mutator_call(fn.qualname, info, node)
+                    if mutation is not None:
+                        out.append(mutation)
+        return out
+
+    def _mutation_for_target(self, function: str, info: ModuleInfo,
+                             target: ast.expr, lineno: int,
+                             declared_global: set[str]) -> list[GlobalMutation]:
+        out: list[GlobalMutation] = []
+        if isinstance(target, ast.Name):
+            if target.id in declared_global:
+                qual = f"{info.name}.{target.id}"
+                out.append(GlobalMutation(
+                    target=qual, display_path=info.display_path,
+                    lineno=lineno, function=function,
+                    kind="global-rebind"))
+            return out
+        # Subscript/attribute store: find the root and classify.
+        root = target
+        while isinstance(root, (ast.Subscript, ast.Attribute)):
+            root = root.value
+        if not isinstance(root, ast.Name):
+            return out
+        if isinstance(target, ast.Subscript):
+            qual = self._global_qualname(info, target.value, declared_global)
+            if qual is not None:
+                out.append(GlobalMutation(
+                    target=qual, display_path=info.display_path,
+                    lineno=lineno, function=function, kind="container"))
+        elif isinstance(target, ast.Attribute):
+            qual = self._cross_module_attr(info, target)
+            if qual is not None:
+                out.append(GlobalMutation(
+                    target=qual, display_path=info.display_path,
+                    lineno=lineno, function=function, kind="cross-module"))
+        return out
+
+    def _global_qualname(self, info: ModuleInfo, base: ast.expr,
+                         declared_global: set[str]) -> str | None:
+        """Qualname when ``base`` names a module-level global."""
+        if isinstance(base, ast.Name):
+            qual = f"{info.name}.{base.id}"
+            if qual in self.ambient_globals:
+                return qual
+            return None
+        if isinstance(base, ast.Attribute):
+            return self._cross_module_attr(info, base)
+        return None
+
+    def _cross_module_attr(self, info: ModuleInfo,
+                           attr: ast.Attribute) -> str | None:
+        """Qualname when ``mod.attr`` targets another module's global."""
+        dotted = dotted_name(attr)
+        if dotted is None:
+            return None
+        resolved = self.symbols.resolve(info, dotted)
+        if resolved is None:
+            return None
+        if resolved in self.ambient_globals:
+            return resolved
+        module_part = resolved.rpartition(".")[0]
+        if self.modules.get(module_part) is not None \
+                and resolved in self.ambient_globals:
+            return resolved
+        return None
+
+    def _mutator_call(self, function: str, info: ModuleInfo,
+                      node: ast.Call) -> GlobalMutation | None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr in MUTATOR_METHODS):
+            return None
+        qual = self._global_qualname(info, func.value, set())
+        if qual is None:
+            return None
+        kind = ("container" if qual.rpartition(".")[0] == info.name
+                else "cross-module")
+        return GlobalMutation(target=qual, display_path=info.display_path,
+                              lineno=node.lineno, function=function,
+                              kind=kind)
+
+    @cached_property
+    def class_attr_writes(self) -> dict[str, ClassAttrWrites]:
+        out: dict[str, ClassAttrWrites] = {}
+        for fn in self.callgraph.functions():
+            if fn.owner_class is None:
+                continue
+            self_name = fn.self_name()
+            if self_name is None:
+                continue
+            cls = fn.qualname.rpartition(".")[0]
+            writes = out.setdefault(cls, ClassAttrWrites(qualname=cls))
+            bucket = (writes.init_attrs if fn.name == "__init__"
+                      else writes.method_attrs)
+            for node in ast.walk(fn.node):
+                targets: list[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                    targets = [node.target]
+                for target in targets:
+                    if (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == self_name):
+                        bucket.add(target.attr)
+        return out
+
+    # -- taint ------------------------------------------------------------
+    @cached_property
+    def taint(self) -> TaintEngine:
+        ambient = {
+            g.qualname: f"ambient per-process state {g.qualname}"
+            for g in self.ambient_globals.values()
+            if self._is_ambient(g)
+        }
+        return TaintEngine(self.callgraph, ambient_globals=ambient)
+
+    def _is_ambient(self, g: AmbientGlobal) -> bool:
+        """Globals that behave as per-process state: rebound via
+        ``global`` anywhere, or mutable containers that get mutated."""
+        for mutation in self.global_mutations:
+            if mutation.target == g.qualname:
+                return True
+        return False
+
+
+def collect_zone_lines(source: str) -> dict[int, str]:
+    """Map line number -> zone name for ``# repro-lint: zone=`` markers."""
+    import io
+    import tokenize
+
+    zones: dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _ZONE_DIRECTIVE.search(tok.string)
+            if match is not None:
+                zones[tok.start[0]] = match.group(1)
+    except tokenize.TokenError:
+        return zones
+    return zones

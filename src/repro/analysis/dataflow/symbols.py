@@ -1,0 +1,133 @@
+"""Project-wide symbol table: qualified names -> definitions.
+
+Built on top of :class:`~repro.analysis.dataflow.modules.ModuleTable`,
+this answers two questions the RL100 rules keep asking:
+
+- what does local name ``backends.get_default_backend`` mean *in this
+  module* (absolute dotted name, following absolute/relative/star
+  imports and chains of module re-exports)?
+- is that dotted name a function/class/method defined *in the project*,
+  and if so, where?
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from .modules import ModuleInfo, ModuleTable
+
+#: Resolution fuel: import chains (module re-exporting a re-export)
+#: longer than this are treated as unresolvable rather than looped on.
+_MAX_HOPS = 16
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """One project definition reachable by qualified dotted name."""
+
+    qualname: str              # e.g. ``repro.harness.runner.spec_key``
+    kind: str                  # "function" | "class" | "method"
+    module: ModuleInfo
+    node: ast.AST
+    owner_class: str | None = None   # class name for methods
+
+
+class SymbolTable:
+    def __init__(self, table: ModuleTable) -> None:
+        self._modules = table
+        self._symbols: dict[str, Symbol] = {}
+        for info in table.modules():
+            self._index_module(info)
+
+    def _index_module(self, info: ModuleInfo) -> None:
+        for node in info.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._symbols[f"{info.name}.{node.name}"] = Symbol(
+                    qualname=f"{info.name}.{node.name}", kind="function",
+                    module=info, node=node)
+            elif isinstance(node, ast.ClassDef):
+                cls_qual = f"{info.name}.{node.name}"
+                self._symbols[cls_qual] = Symbol(
+                    qualname=cls_qual, kind="class", module=info, node=node)
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        qual = f"{cls_qual}.{item.name}"
+                        self._symbols[qual] = Symbol(
+                            qualname=qual, kind="method", module=info,
+                            node=item, owner_class=node.name)
+
+    def lookup(self, qualname: str) -> Symbol | None:
+        return self._symbols.get(qualname)
+
+    def symbols(self) -> list[Symbol]:
+        return [self._symbols[name] for name in sorted(self._symbols)]
+
+    def _module_binding(self, info: ModuleInfo, head: str) -> str | None:
+        """What top-level name ``head`` means inside ``info``, if known."""
+        target = info.imports.get(head)
+        if target is not None:
+            return target
+        if self.lookup(f"{info.name}.{head}") is not None:
+            return f"{info.name}.{head}"
+        for starred in info.star_imports:
+            star_mod = self._modules.get(starred)
+            if star_mod is None:
+                continue
+            resolved = self._module_binding(star_mod, head)
+            if resolved is not None:
+                return resolved
+        return None
+
+    def resolve(self, info: ModuleInfo, dotted: str) -> str | None:
+        """Absolute dotted name of ``dotted`` as seen from ``info``.
+
+        Follows import bindings hop by hop: if the head resolves to a
+        project module, the next segment is looked up in *that* module's
+        bindings (so ``from . import runner`` + ``runner.spec_key``
+        lands on ``repro.harness.runner.spec_key`` even through
+        re-exports).  Unresolvable names return the best-effort absolute
+        form for external packages, or ``None`` when the head is not a
+        known binding at all.
+        """
+        head, _, rest = dotted.partition(".")
+        target = self._module_binding(info, head)
+        if target is None:
+            return None
+        for _ in range(_MAX_HOPS):
+            current = f"{target}.{rest}" if rest else target
+            if not rest:
+                return current
+            if self.lookup(current) is not None:
+                return current
+            mod = self._modules.get(target)
+            if mod is None:
+                return current
+            seg, _, rest2 = rest.partition(".")
+            hop = self._module_binding(mod, seg)
+            if hop is None:
+                # ``target`` is a project module but ``seg`` is not a
+                # binding in it — e.g. a module-level data global.
+                return current
+            target, rest = hop, rest2
+        return None
+
+    def resolve_expr(self, info: ModuleInfo, node: ast.expr) -> str | None:
+        """Absolute dotted name of a Name/Attribute chain, or None."""
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        return self.resolve(info, dotted)
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a pure Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))

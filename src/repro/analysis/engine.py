@@ -1,10 +1,19 @@
 """File walker + rule driver for repro-lint.
 
-``lint_paths`` is the single entry point: it expands files/directories,
-parses each Python file once, runs every active rule over the shared
-:class:`~repro.analysis.context.FileContext`, filters findings through
-``# repro-lint: disable=`` comments, and returns a deterministically
-sorted list of :class:`~repro.analysis.finding.Finding`.
+``lint_paths`` is the single entry point and runs in two phases:
+
+1. **Per-file** — parse each Python file once into a
+   :class:`~repro.analysis.context.FileContext` and run every active
+   per-file rule over it (syntax errors become ``RL000`` findings).
+2. **Project** — build one
+   :class:`~repro.analysis.dataflow.project.ProjectContext` from all
+   parsed files and run the active whole-program rules (the RL100
+   series) once over it.
+
+Findings from both phases flow through the same
+``# repro-lint: disable=`` suppression filter (keyed per file) and come
+back as one deterministically sorted list of
+:class:`~repro.analysis.finding.Finding`.
 """
 
 from __future__ import annotations
@@ -13,9 +22,10 @@ from collections.abc import Iterable, Iterator, Sequence
 from pathlib import Path
 
 from .context import FileContext
+from .dataflow.project import ProjectContext
 from .finding import Finding
-from .rules import Rule, get_rules
-from .suppress import collect_suppressions, is_suppressed
+from .rules import ProjectRule, Rule, get_rules
+from .suppress import Suppressions, collect_suppressions, is_suppressed
 
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".mypy_cache", ".ruff_cache",
                         ".pytest_cache", "build", "dist"})
@@ -35,19 +45,30 @@ def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
             raise FileNotFoundError(f"not a Python file or directory: {path}")
 
 
-def lint_file(path: Path, rules: Sequence[type[Rule]],
-              display_path: str | None = None) -> list[Finding]:
-    """Lint one file; a syntax error becomes an ``RL000`` finding."""
+def _parse(path: Path,
+           display_path: str | None) -> FileContext | Finding:
     try:
-        ctx = FileContext.parse(path, display_path=display_path)
+        return FileContext.parse(path, display_path=display_path)
     except (SyntaxError, UnicodeDecodeError) as exc:
         line = getattr(exc, "lineno", 1) or 1
-        return [Finding(path=display_path or str(path), line=line, col=0,
-                        code="RL000", message=f"could not parse file: {exc}")]
+        return Finding(path=display_path or str(path), line=line, col=0,
+                       code="RL000", message=f"could not parse file: {exc}")
+
+
+def lint_file(path: Path, rules: Sequence[type[Rule]],
+              display_path: str | None = None) -> list[Finding]:
+    """Run per-file rules on one file; syntax errors become ``RL000``.
+
+    Project (RL100-series) rules need the whole program and only run
+    through :func:`lint_paths`.
+    """
+    parsed = _parse(path, display_path)
+    if isinstance(parsed, Finding):
+        return [parsed]
     findings: list[Finding] = []
     for rule_cls in rules:
-        findings.extend(rule_cls(ctx).run())
-    suppressions = collect_suppressions(ctx.source)
+        findings.extend(rule_cls(parsed).run())
+    suppressions = collect_suppressions(parsed.source)
     return [f for f in findings if not is_suppressed(f, suppressions)]
 
 
@@ -55,8 +76,34 @@ def lint_paths(paths: Iterable[str | Path],
                select: frozenset[str] | None = None,
                ignore: frozenset[str] | None = None) -> list[Finding]:
     """Lint every Python file under ``paths`` with the active rule set."""
-    rules = get_rules(select=select, ignore=ignore)
+    file_rules, project_rules = get_rules(select=select, ignore=ignore)
+
+    contexts: list[FileContext] = []
     findings: list[Finding] = []
+    suppressions: dict[str, Suppressions] = {}
     for path in iter_python_files(paths):
-        findings.extend(lint_file(path, rules, display_path=str(path)))
-    return sorted(findings)
+        parsed = _parse(path, display_path=str(path))
+        if isinstance(parsed, Finding):
+            findings.append(parsed)
+            continue
+        contexts.append(parsed)
+        suppressions[parsed.display_path] = collect_suppressions(parsed.source)
+        for rule_cls in file_rules:
+            findings.extend(rule_cls(parsed).run())
+
+    if project_rules and contexts:
+        findings.extend(_run_project_rules(contexts, project_rules))
+
+    empty: Suppressions = {}
+    return sorted(f for f in findings
+                  if not is_suppressed(f, suppressions.get(f.path, empty)))
+
+
+def _run_project_rules(
+        contexts: list[FileContext],
+        project_rules: Sequence[type[ProjectRule]]) -> list[Finding]:
+    project = ProjectContext(contexts)
+    findings: list[Finding] = []
+    for rule_cls in project_rules:
+        findings.extend(rule_cls(project).run())
+    return findings

@@ -11,10 +11,13 @@ output formats.
 from __future__ import annotations
 
 import ast
-from typing import ClassVar
+from typing import TYPE_CHECKING, ClassVar
 
 from ..context import FileContext
 from ..finding import Finding
+
+if TYPE_CHECKING:
+    from ..dataflow.project import ProjectContext
 
 
 class Rule(ast.NodeVisitor):
@@ -44,3 +47,30 @@ class Rule(ast.NodeVisitor):
             code=self.code,
             message=message,
         ))
+
+
+class ProjectRule:
+    """Base class for whole-program rules (the RL100 series).
+
+    Unlike per-file :class:`Rule` visitors, a project rule runs **once**
+    per lint invocation over the :class:`~repro.analysis.dataflow.
+    project.ProjectContext` built from every parsed file, and may emit
+    findings into any of them.  Suppression comments and ``zone=``
+    annotations are applied by the engine per finding, exactly as for
+    file rules.
+    """
+
+    code: ClassVar[str] = "RL100"
+    summary: ClassVar[str] = ""
+
+    def __init__(self, project: "ProjectContext") -> None:
+        self.project = project
+        self.findings: list[Finding] = []
+
+    def run(self) -> list[Finding]:
+        raise NotImplementedError
+
+    def report_at(self, display_path: str, line: int, col: int,
+                  message: str) -> None:
+        self.findings.append(Finding(path=display_path, line=line, col=col,
+                                     code=self.code, message=message))

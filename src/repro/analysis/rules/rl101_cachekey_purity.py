@@ -1,0 +1,59 @@
+"""RL101 — cache-key purity: volatile data must never reach a spec hash.
+
+The distributed grid runner's whole correctness story rests on
+``spec_key(spec)`` being a pure function of the spec: the sha256 key is
+the cache identity, so any hidden input — ``os.environ``, wall clock,
+object ids, ambient backend state (``repro.nn.backends``), telemetry
+module state — lets two runs of the *same* spec land on different keys
+(cold cache forever) or two *different* effective configurations share
+one key (silently wrong results served from disk).  PR 6 proved the
+"backend never enters the key" half dynamically for the paths its test
+executed; this rule proves it statically for every path.
+
+Two checks, both over the whole-program taint engine in
+:mod:`repro.analysis.dataflow.taint`:
+
+1. **Flow check** — any value influenced by a volatile source that
+   reaches an argument of ``spec_key()`` / ``canonicalize_spec()``
+   (directly or through project calls) is flagged at the call site
+   where it enters the sink.
+2. **Hermetic-body check** — a volatile source appearing *lexically
+   inside* a cache-key function (``spec_key``, ``canonicalize_spec``,
+   ``trace_spec``) is flagged immediately, flow or not: the key
+   computation itself must be hermetic.
+
+Volatile sources include project ambient state automatically: every
+module-level global that some function rebinds via ``global`` (or
+mutates cross-module) is per-process state, so e.g. reading
+``backends._default_backend`` — even through the
+``get_default_backend()`` accessor — taints the value.
+"""
+
+from __future__ import annotations
+
+from .base import ProjectRule
+from ..finding import Finding
+
+
+class CacheKeyPurityRule(ProjectRule):
+    code = "RL101"
+    summary = ("volatile data (env, clock, ids, ambient backend/telemetry "
+               "state) flowing into spec_key/cache-key computation")
+
+    def run(self) -> list[Finding]:
+        for hit in self.project.taint.hits():
+            sources = ", ".join(hit.sources)
+            if hit.in_body:
+                message = (f"volatile source {sources} inside cache-key "
+                           f"function {hit.sink}(); the key computation "
+                           "must be hermetic")
+            elif hit.via is None:
+                message = (f"value influenced by {sources} reaches "
+                           f"{hit.sink}(); cache keys must be pure "
+                           "functions of the spec")
+            else:
+                message = (f"value influenced by {sources} reaches "
+                           f"{hit.sink}() inside {hit.via}(); cache keys "
+                           "must be pure functions of the spec")
+            self.report_at(hit.display_path, hit.lineno, hit.col, message)
+        return self.findings

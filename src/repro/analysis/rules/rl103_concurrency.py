@@ -1,0 +1,230 @@
+"""RL103 — concurrency hazards: ambient state the process-pool forgets.
+
+The grid runner fans specs out over ``ProcessPoolExecutor`` workers.
+Workers inherit module state exactly once (at ``_init_worker``); any
+later mutation of module-level state in the parent silently diverges
+from the children, and any mutation inside a worker is invisible to its
+siblings.  The same shapes become data races the moment anything moves
+to threads.  Three structural checks:
+
+(a) **Mutable module globals** — a module-level name bound to a mutable
+    container (``dict``/``list``/``set``/``deque``/...) is shared
+    per-process state.  Constant-styled names (``ALL_CAPS``, leading
+    underscores allowed) are exempt: naming them as constants is the
+    project's declared intent, and RL103(b) still fires if anything
+    actually mutates them.  Everything else needs a
+    ``# repro-lint: zone=<name>`` marker acknowledging the hazard.
+
+(b) **Ambient writes outside zones** — rebinding a module global via
+    ``global``, mutating a module-level container, or writing another
+    module's attribute from a function is only sanctioned inside a
+    zone-annotated function (``zone=init`` for one-time process setup
+    being the convention).
+
+(c) **Foreign instance-attribute writes** — a method of class A writing
+    ``obj.attr`` where ``obj`` is an instance of class B couples the
+    two classes' state without any visible contract.  Writes to
+    locally-constructed objects (built inside the same function) are
+    exempt, as are functions holding a lock (a ``with ...lock...:``
+    block) and zone-annotated functions.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import ProjectRule
+from ..dataflow.callgraph import FunctionInfo
+from ..dataflow.symbols import dotted_name
+from ..finding import Finding
+
+
+def _holds_lock(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Whether the function body enters a ``with``-block on a lock."""
+    for item in ast.walk(node):
+        if not isinstance(item, (ast.With, ast.AsyncWith)):
+            continue
+        for withitem in item.items:
+            expr = withitem.context_expr
+            if isinstance(expr, ast.Call):
+                expr = expr.func
+            name = dotted_name(expr)
+            if name is None:
+                continue
+            leaf = name.rpartition(".")[2].lower()
+            if "lock" in leaf or leaf in ("semaphore", "condition"):
+                return True
+    return False
+
+
+class ConcurrencyHazardRule(ProjectRule):
+    code = "RL103"
+    summary = ("shared mutable module globals, ambient state writes "
+               "outside init zones, cross-class instance attribute "
+               "writes without a lock")
+
+    def run(self) -> list[Finding]:
+        self._check_mutable_globals()
+        self._check_ambient_writes()
+        self._check_foreign_attr_writes()
+        return self.findings
+
+    # -- (a) mutable module-global declarations ---------------------------
+    def _check_mutable_globals(self) -> None:
+        for g in self.project.ambient_globals.values():
+            if not g.mutable or g.constant_styled:
+                continue
+            if self.project.zone_at(g.display_path, g.lineno) is not None:
+                continue
+            self.report_at(
+                g.display_path, g.lineno, 0,
+                f"module-level mutable global {g.name} is shared "
+                "per-process state; rename to constant style if it is "
+                "never mutated, or mark the declaration with "
+                "'# repro-lint: zone=<name>' to acknowledge the hazard")
+
+    # -- (b) ambient writes outside sanctioned zones ----------------------
+    def _check_ambient_writes(self) -> None:
+        for mutation in self.project.global_mutations:
+            zone = self.project.zone_at(mutation.display_path,
+                                        mutation.lineno)
+            if zone is not None:
+                continue
+            where = (f" in {mutation.function}()"
+                     if mutation.function else "")
+            if mutation.kind == "global-rebind":
+                what = f"rebinds module global {mutation.target}"
+            elif mutation.kind == "container":
+                what = f"mutates module-level container {mutation.target}"
+            else:
+                what = ("writes another module's state "
+                        f"{mutation.target}")
+            self.report_at(
+                mutation.display_path, mutation.lineno, 0,
+                f"ambient state write{where}: {what}; pool workers fork "
+                "module state once, so mutations after import diverge "
+                "silently — move into a '# repro-lint: zone=init' "
+                "function or pass the value explicitly")
+
+    # -- (c) cross-class instance attribute writes ------------------------
+    def _check_foreign_attr_writes(self) -> None:
+        for fn in self.project.callgraph.functions():
+            zones = self.project.zone_at(fn.module.display_path,
+                                         fn.node.lineno)
+            if zones is not None:
+                continue
+            if _holds_lock(fn.node):
+                continue
+            local_objects = self._locally_constructed(fn)
+            self_name = fn.self_name()
+            for node in ast.walk(fn.node):
+                targets: list[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                    targets = [node.target]
+                for target in targets:
+                    self._check_attr_target(fn, target,
+                                            getattr(node, "lineno", 1),
+                                            self_name, local_objects)
+
+    def _check_attr_target(self, fn: FunctionInfo, target: ast.expr,
+                           lineno: int, self_name: str | None,
+                           local_objects: set[str]) -> None:
+        if not isinstance(target, ast.Attribute):
+            return
+        base = target.value
+        if not isinstance(base, ast.Name):
+            return
+        name = base.id
+        if self_name is not None and name in (self_name, "cls"):
+            return
+        if name in local_objects:
+            return
+        owner = self._param_or_local_class(fn, name)
+        if owner is None:
+            return
+        if fn.owner_class is not None and owner == fn.owner_class:
+            # Writing a sibling instance of the same class (e.g. a
+            # builder producing its twin) shares the class's own
+            # invariants; not a cross-class coupling.
+            return
+        zone = self.project.zone_at(fn.module.display_path, lineno)
+        if zone is not None:
+            return
+        self.report_at(
+            fn.module.display_path, lineno, 0,
+            f"{fn.qualname}() writes {name}.{target.attr} on an instance "
+            f"of another class ({owner}); cross-class state writes need "
+            "a lock, a zone marker, or a method on the owning class")
+
+    def _locally_constructed(self, fn: FunctionInfo) -> set[str]:
+        """Names bound in this function to freshly-constructed objects
+        (class calls, literals, comprehensions, copies)."""
+        local: set[str] = set()
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not self._is_fresh_value(fn, node.value):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    local.add(target.id)
+                elif isinstance(target, ast.Tuple):
+                    for elt in target.elts:
+                        if isinstance(elt, ast.Name):
+                            local.add(elt.id)
+        return local
+
+    def _is_fresh_value(self, fn: FunctionInfo, value: ast.expr) -> bool:
+        if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.Tuple,
+                              ast.ListComp, ast.DictComp, ast.SetComp,
+                              ast.Constant)):
+            return True
+        if isinstance(value, ast.Call):
+            name = dotted_name(value.func)
+            if name is None:
+                return False
+            leaf = name.rpartition(".")[2]
+            if leaf in ("copy", "deepcopy", "replace"):
+                return True
+            resolved = self.project.symbols.resolve(fn.module, name)
+            if resolved is not None:
+                symbol = self.project.symbols.lookup(resolved)
+                if symbol is not None and symbol.kind == "class":
+                    return True
+            # Capitalized bare constructor (project class not in the
+            # linted set, or a dataclass factory): treat as fresh.
+            return bool(leaf[:1].isupper())
+        return False
+
+    def _param_or_local_class(self, fn: FunctionInfo,
+                              name: str) -> str | None:
+        """Class qualname when ``name`` is a parameter annotated with a
+        known project class; else ``None``.
+
+        Only annotated/known-class receivers are flagged — a bare
+        untyped parameter could be anything, and guessing would drown
+        the signal in false positives.
+        """
+        args = fn.node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.arg != name or arg.annotation is None:
+                continue
+            ann = arg.annotation
+            if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+                try:
+                    ann = ast.parse(ann.value, mode="eval").body
+                except SyntaxError:
+                    return None
+            dotted = dotted_name(ann)
+            if dotted is None:
+                return None
+            resolved = self.project.symbols.resolve(fn.module, dotted)
+            if resolved is None:
+                return None
+            symbol = self.project.symbols.lookup(resolved)
+            if symbol is not None and symbol.kind == "class":
+                return resolved
+            return None
+        return None

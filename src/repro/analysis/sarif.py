@@ -1,0 +1,88 @@
+"""SARIF 2.1.0 serialization for repro-lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is what CI code
+scanning ingests; ``repro-lint --format sarif`` emits one run with the
+full rule catalogue in ``tool.driver.rules`` (so dashboards can show
+rule help even for rules with zero findings this run) and one result
+per finding.  Output is deterministic: rules sort by code, results
+inherit the engine's (path, line, col, code) ordering, and no
+timestamps or absolute paths are embedded.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .finding import Finding
+from .rules import ALL_RULES, PROJECT_RULES
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _rule_catalogue() -> list[dict[str, object]]:
+    rules = sorted(ALL_RULES + PROJECT_RULES, key=lambda r: r.code)
+    return [
+        {
+            "id": rule.code,
+            "name": rule.__name__,
+            "shortDescription": {"text": rule.summary or rule.code},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in rules
+    ]
+
+
+def _rule_index() -> dict[str, int]:
+    rules = sorted(ALL_RULES + PROJECT_RULES, key=lambda r: r.code)
+    return {rule.code: i for i, rule in enumerate(rules)}
+
+
+def _result(finding: Finding, rule_index: dict[str, int]) -> dict[str, object]:
+    result: dict[str, object] = {
+        "ruleId": finding.code,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding.path.replace("\\", "/"),
+                    "uriBaseId": "SRCROOT",
+                },
+                "region": {
+                    "startLine": max(finding.line, 1),
+                    # SARIF columns are 1-based; Finding.col is 0-based.
+                    "startColumn": finding.col + 1,
+                },
+            },
+        }],
+    }
+    index = rule_index.get(finding.code)
+    if index is not None:
+        result["ruleIndex"] = index
+    return result
+
+
+def to_sarif(findings: Sequence[Finding]) -> dict[str, object]:
+    """The full SARIF log object for one lint run."""
+    rule_index = _rule_index()
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://github.com/repro/repro#static-analysis",
+                    "rules": _rule_catalogue(),
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": "file:///", "description": {
+                    "text": "repository root the linter ran from"}},
+            },
+            "results": [_result(f, rule_index) for f in findings],
+        }],
+    }

@@ -20,6 +20,9 @@ from .finding import Finding
 
 _DIRECTIVE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
 
+#: Line number -> suppressed rule codes for one file.
+Suppressions = dict[int, frozenset[str]]
+
 
 def collect_suppressions(source: str) -> dict[int, frozenset[str]]:
     """Map line number -> set of suppressed rule codes (upper-cased)."""

@@ -33,7 +33,7 @@ from .runner import spec_key
 _cache_dir: Path | None = None
 
 
-def configure(cache_dir: str | Path | None) -> Path | None:
+def configure(cache_dir: str | Path | None) -> Path | None:  # repro-lint: zone=init
     """Set (or clear, with ``None``) this process's trace cache directory.
 
     Creates the directory on demand and returns the previous setting so

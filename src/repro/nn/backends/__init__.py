@@ -70,7 +70,7 @@ _AUTO_ORDER = ("numba", "c")
 #: Backends force-disabled for this process (test/CI hook: the
 #: ``REPRO_DISABLE_COMPILED`` conftest fixture fills this to prove the
 #: numpy fallback on machines that do have a compiler).
-_disabled: set[str] = set()
+_disabled: set[str] = set()  # repro-lint: zone=init
 
 _default_backend = "auto"
 _warned_fallback = False
@@ -115,7 +115,7 @@ def available_backends(domain: str = "sim") -> tuple[str, ...]:
                  if backend_available(name))
 
 
-def set_default_backend(name: str) -> None:
+def set_default_backend(name: str) -> None:  # repro-lint: zone=init
     """Set the process-wide backend that ``"auto"`` resolves to.
 
     ``"auto"`` (the initial value) restores availability-based selection.
@@ -140,7 +140,7 @@ def get_default_backend() -> str:
     return _default_backend
 
 
-def _warn_fallback() -> None:
+def _warn_fallback() -> None:  # repro-lint: zone=init
     global _warned_fallback
     if _warned_fallback:
         return

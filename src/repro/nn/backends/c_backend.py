@@ -377,7 +377,7 @@ def _compile(out: Path) -> bool:
                     os.unlink(leftover)
 
 
-def _load() -> tuple[Any, Any] | None:
+def _load() -> tuple[Any, Any] | None:  # repro-lint: zone=init
     """(ffi, lib) or None; compile failures latch to unavailable."""
     global _ffi, _lib, _load_failed
     if _lib is not None:

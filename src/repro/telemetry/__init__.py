@@ -57,7 +57,7 @@ _telemetry_dir: Path | None = None
 _telemetry_interval: int = DEFAULT_INTERVAL
 
 
-def configure(directory: str | Path | None,
+def configure(directory: str | Path | None,  # repro-lint: zone=init
               interval: int | None = None) -> Path | None:
     """Set (or clear, with ``None``) this process's telemetry directory.
 

@@ -1,0 +1,10 @@
+"""RL101 positive: a volatile source inside the cache-key computation."""
+
+from __future__ import annotations
+
+import os
+
+
+def spec_key(spec: dict) -> str:
+    salt = os.environ.get("REPRO_SALT", "")
+    return f"{salt}:{sorted(spec)}"

@@ -1,0 +1,5 @@
+"""RL102 positive fixture: one backend module misses a factory."""
+
+from __future__ import annotations
+
+SIM_BACKENDS = ("numpy", "c")

@@ -1,0 +1,7 @@
+"""Drifted backend: ``make_sim_kernels`` registration is missing."""
+
+from __future__ import annotations
+
+
+def available() -> bool:
+    return True

@@ -1,0 +1,11 @@
+"""Reference backend: defines the full factory surface."""
+
+from __future__ import annotations
+
+
+def available() -> bool:
+    return True
+
+
+def make_sim_kernels() -> object:
+    return object()

@@ -1,0 +1,5 @@
+"""RL103 positive: unguarded module-level mutable registry."""
+
+from __future__ import annotations
+
+_registry: dict[str, int] = {}

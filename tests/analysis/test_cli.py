@@ -51,7 +51,7 @@ class TestOutput:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("RL001", "RL004", "RL007"):
+        for code in ("RL001", "RL004", "RL007", "RL101", "RL102", "RL103"):
             assert code in out
 
     def test_select_flag(self, capsys):
@@ -59,6 +59,67 @@ class TestOutput:
         codes = {line.split()[1] for line in
                  capsys.readouterr().out.splitlines() if ": RL" in line}
         assert codes == {"RL006"}
+
+
+class TestSarif:
+    def test_sarif_log_shape(self, capsys):
+        assert main(["--format", "sarif", str(FIXTURES / "rl006_bad.py")]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        (result,) = run["results"]
+        assert result["ruleId"] == "RL006"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+
+    def test_sarif_catalogue_covers_all_rules(self, capsys):
+        assert main(["--format", "sarif",
+                     str(FIXTURES / "core" / "clean.py")]) == 0
+        log = json.loads(capsys.readouterr().out)
+        ids = [r["id"] for r in log["runs"][0]["tool"]["driver"]["rules"]]
+        assert ids == sorted(ids)
+        for code in ("RL001", "RL007", "RL101", "RL102", "RL103"):
+            assert code in ids
+
+    def test_sarif_result_links_rule_index(self, capsys):
+        main(["--format", "sarif", str(FIXTURES / "rl003_bad.py")])
+        log = json.loads(capsys.readouterr().out)
+        run = log["runs"][0]
+        (result,) = run["results"]
+        rules = run["tool"]["driver"]["rules"]
+        assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_project_rule_finding_serializes(self, capsys):
+        assert main(["--format", "sarif",
+                     str(FIXTURES / "rl103_bad.py")]) == 1
+        log = json.loads(capsys.readouterr().out)
+        (result,) = log["runs"][0]["results"]
+        assert result["ruleId"] == "RL103"
+
+
+class TestOutputFileAndStats:
+    def test_output_writes_file_and_keeps_exit_code(self, tmp_path, capsys):
+        report = tmp_path / "report.sarif"
+        code = main(["--format", "sarif", "--output", str(report),
+                     str(FIXTURES / "rl004_bad.py")])
+        assert code == 1
+        assert capsys.readouterr().out == ""
+        log = json.loads(report.read_text())
+        assert log["runs"][0]["results"][0]["ruleId"] == "RL004"
+
+    def test_output_on_clean_run_writes_empty_report(self, tmp_path):
+        report = tmp_path / "report.json"
+        assert main(["--format", "json", "--output", str(report),
+                     str(FIXTURES / "core" / "clean.py")]) == 0
+        assert json.loads(report.read_text()) == []
+
+    def test_stats_histogram_on_stderr(self, capsys):
+        assert main(["--stats", str(FIXTURES / "rl003_bad.py")]) == 1
+        err = capsys.readouterr().err
+        assert "stats: total=1" in err
+        assert "stats: RL003=1" in err
+        assert "stats: RL101=0" in err
 
 
 def test_module_entry_point_runs():

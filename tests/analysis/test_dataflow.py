@@ -1,0 +1,354 @@
+"""Unit tests for the whole-program dataflow layer.
+
+Synthetic packages are written to ``tmp_path`` and parsed through
+:class:`~repro.analysis.dataflow.project.ProjectContext`, exactly as the
+engine builds it — covering module naming, import resolution (relative,
+aliased, star), symbol re-export chains, call-graph edges (cycles,
+decorators, ``functools.wraps`` wrappers, methods, constructors),
+def-use chains, and the taint engine's flow composition.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.context import FileContext
+from repro.analysis.dataflow import ProjectContext, module_name_for
+from repro.analysis.dataflow.defuse import build_flow
+
+
+def build_project(root: Path, files: dict[str, str]) -> ProjectContext:
+    contexts = []
+    for relpath, source in sorted(files.items()):
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    for relpath in sorted(files):
+        path = root / relpath
+        contexts.append(FileContext.parse(path, display_path=str(path)))
+    return ProjectContext(contexts)
+
+
+class TestModuleNaming:
+    def test_package_chain(self, tmp_path):
+        (tmp_path / "pkg" / "sub").mkdir(parents=True)
+        (tmp_path / "pkg" / "__init__.py").write_text("")
+        (tmp_path / "pkg" / "sub" / "__init__.py").write_text("")
+        target = tmp_path / "pkg" / "sub" / "mod.py"
+        target.write_text("")
+        assert module_name_for(target) == "pkg.sub.mod"
+
+    def test_file_outside_any_package(self, tmp_path):
+        target = tmp_path / "standalone.py"
+        target.write_text("")
+        assert module_name_for(target) == "standalone"
+
+    def test_package_init_names_the_package(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        target = tmp_path / "pkg" / "__init__.py"
+        target.write_text("")
+        assert module_name_for(target) == "pkg"
+
+
+class TestImportResolution:
+    def test_relative_import_resolves(self, tmp_path):
+        project = build_project(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/a.py": "VALUE = 1\n",
+            "pkg/b.py": "from .a import VALUE\n",
+        })
+        info = project.modules.get("pkg.b")
+        assert info.imports["VALUE"] == "pkg.a.VALUE"
+
+    def test_relative_import_from_package_init(self, tmp_path):
+        project = build_project(tmp_path, {
+            "pkg/__init__.py": "from .a import VALUE\n",
+            "pkg/a.py": "VALUE = 1\n",
+        })
+        info = project.modules.get("pkg")
+        assert info.imports["VALUE"] == "pkg.a.VALUE"
+
+    def test_star_import_resolves_symbols(self, tmp_path):
+        project = build_project(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/a.py": "def helper() -> int:\n    return 1\n",
+            "pkg/b.py": ("from .a import *\n"
+                         "\n"
+                         "\n"
+                         "def caller() -> int:\n"
+                         "    return helper()\n"),
+        })
+        fn = project.callgraph.function("pkg.b.caller")
+        assert {s.callee for s in fn.calls} == {"pkg.a.helper"}
+
+    def test_reexport_chain_resolves(self, tmp_path):
+        project = build_project(tmp_path, {
+            "pkg/__init__.py": "from .impl import helper\n",
+            "pkg/impl.py": "def helper() -> int:\n    return 1\n",
+            "user.py": ("import pkg\n"
+                        "\n"
+                        "\n"
+                        "def go() -> int:\n"
+                        "    return pkg.helper()\n"),
+        })
+        fn = project.callgraph.function("user.go")
+        assert {s.callee for s in fn.calls} == {"pkg.impl.helper"}
+
+
+class TestCallGraph:
+    def test_cycle_is_finite(self, tmp_path):
+        project = build_project(tmp_path, {
+            "mod.py": ("def even(n: int) -> bool:\n"
+                       "    return n == 0 or odd(n - 1)\n"
+                       "\n"
+                       "\n"
+                       "def odd(n: int) -> bool:\n"
+                       "    return n != 0 and even(n - 1)\n"),
+        })
+        reach = project.callgraph.transitive_callees("mod.even")
+        assert reach == {"mod.even", "mod.odd"}
+
+    def test_decorated_function_keeps_identity(self, tmp_path):
+        project = build_project(tmp_path, {
+            "mod.py": ("import functools\n"
+                       "\n"
+                       "\n"
+                       "def logged(fn):\n"
+                       "    @functools.wraps(fn)\n"
+                       "    def wrapper(*args, **kwargs):\n"
+                       "        return fn(*args, **kwargs)\n"
+                       "    return wrapper\n"
+                       "\n"
+                       "\n"
+                       "@logged\n"
+                       "def work() -> int:\n"
+                       "    return 1\n"
+                       "\n"
+                       "\n"
+                       "def caller() -> int:\n"
+                       "    return work()\n"),
+        })
+        # A call to the decorated name still reaches the analyzed body.
+        assert project.callgraph.callees("mod.caller") == {"mod.work"}
+        # The nested functools.wraps wrapper is indexed on its own.
+        assert project.callgraph.function("mod.logged.wrapper") is not None
+
+    def test_constructor_resolves_to_init(self, tmp_path):
+        project = build_project(tmp_path, {
+            "mod.py": ("class Widget:\n"
+                       "    def __init__(self, size: int) -> None:\n"
+                       "        self.size = size\n"
+                       "\n"
+                       "\n"
+                       "def build() -> Widget:\n"
+                       "    return Widget(3)\n"),
+        })
+        assert project.callgraph.callees("mod.build") == \
+            {"mod.Widget.__init__"}
+
+    def test_self_method_resolves_within_class(self, tmp_path):
+        project = build_project(tmp_path, {
+            "mod.py": ("class Runner:\n"
+                       "    def step(self) -> int:\n"
+                       "        return 1\n"
+                       "\n"
+                       "    def run(self) -> int:\n"
+                       "        return self.step()\n"),
+        })
+        assert project.callgraph.callees("mod.Runner.run") == \
+            {"mod.Runner.step"}
+
+
+class TestDefUse:
+    def _flow(self, source: str):
+        node = ast.parse(source).body[0]
+        return build_flow(node)
+
+    def test_params_and_assigns_are_definitions(self):
+        flow = self._flow("def f(a, b):\n"
+                          "    c = a + b\n"
+                          "    return c\n")
+        assert set(flow.defs) == {"a", "b", "c"}
+        kinds = {d.kind for d in flow.defs["a"]}
+        assert kinds == {"param"}
+
+    def test_loop_and_with_targets(self):
+        flow = self._flow("def f(items):\n"
+                          "    with open('x') as fh:\n"
+                          "        for line in fh:\n"
+                          "            items.append(line)\n")
+        assert "fh" in flow.defs
+        assert "line" in flow.defs
+
+    def test_subscript_store_marks_base_mutated(self):
+        flow = self._flow("def f(table, key, value):\n"
+                          "    table[key] = value\n")
+        kinds = {d.kind for d in flow.defs["table"]}
+        assert "mutate" in kinds
+
+    def test_global_declaration_recorded(self):
+        flow = self._flow("def f(value):\n"
+                          "    global _state\n"
+                          "    _state = value\n")
+        assert "_state" in flow.global_names
+
+
+class TestTaintFlows:
+    def test_volatile_flows_through_helper_into_sink(self, tmp_path):
+        project = build_project(tmp_path, {
+            "keys.py": ("def spec_key(spec: dict) -> str:\n"
+                        "    return str(sorted(spec))\n"),
+            "app.py": ("import os\n"
+                       "\n"
+                       "from keys import spec_key\n"
+                       "\n"
+                       "\n"
+                       "def decorate(spec: dict) -> dict:\n"
+                       "    spec['host'] = os.environ.get('HOST')\n"
+                       "    return spec\n"
+                       "\n"
+                       "\n"
+                       "def key_of(spec: dict) -> str:\n"
+                       "    return spec_key(decorate(spec))\n"),
+        })
+        hits = project.taint.hits()
+        assert len(hits) == 1
+        assert hits[0].sink == "spec_key"
+        assert hits[0].sources == ("os.environ",)
+
+    def test_pure_flow_produces_no_hits(self, tmp_path):
+        project = build_project(tmp_path, {
+            "keys.py": ("def spec_key(spec: dict) -> str:\n"
+                        "    return str(sorted(spec))\n"),
+            "app.py": ("from keys import spec_key\n"
+                       "\n"
+                       "\n"
+                       "def key_of(spec: dict) -> str:\n"
+                       "    return spec_key(dict(spec))\n"),
+        })
+        assert project.taint.hits() == []
+
+    def test_executor_config_does_not_taint_results(self, tmp_path):
+        project = build_project(tmp_path, {
+            "keys.py": ("def spec_key(spec: dict) -> str:\n"
+                        "    return str(sorted(spec))\n"),
+            "app.py": ("import os\n"
+                       "\n"
+                       "from concurrent.futures import ProcessPoolExecutor\n"
+                       "from keys import spec_key\n"
+                       "\n"
+                       "\n"
+                       "def run(fn, specs: list) -> list:\n"
+                       "    pool = ProcessPoolExecutor("
+                       "max_workers=os.cpu_count())\n"
+                       "    with pool:\n"
+                       "        futures = [pool.submit(fn, s) "
+                       "for s in specs]\n"
+                       "        done = [f.result() for f in futures]\n"
+                       "    return [spec_key(s) for s in specs]\n"),
+        })
+        assert project.taint.hits() == []
+
+    def test_ambient_global_read_is_a_source(self, tmp_path):
+        project = build_project(tmp_path, {
+            "state.py": ("_mode = 'auto'\n"
+                         "\n"
+                         "\n"
+                         "def set_mode(mode: str) -> None:"
+                         "  # repro-lint: zone=init\n"
+                         "    global _mode\n"
+                         "    _mode = mode\n"
+                         "\n"
+                         "\n"
+                         "def get_mode() -> str:\n"
+                         "    return _mode\n"),
+            "keys.py": ("def spec_key(spec: dict) -> str:\n"
+                        "    return str(sorted(spec))\n"),
+            "app.py": ("from keys import spec_key\n"
+                       "from state import get_mode\n"
+                       "\n"
+                       "\n"
+                       "def key_of(spec: dict) -> str:\n"
+                       "    return spec_key({'m': get_mode(), **spec})\n"),
+        })
+        hits = project.taint.hits()
+        assert len(hits) == 1
+        assert "state._mode" in hits[0].sources[0]
+
+
+class TestAmbientInventory:
+    def test_rebound_global_is_ambient(self, tmp_path):
+        project = build_project(tmp_path, {
+            "mod.py": ("_state = 'a'\n"
+                       "\n"
+                       "\n"
+                       "def flip() -> None:\n"
+                       "    global _state\n"
+                       "    _state = 'b'\n"),
+        })
+        assert "mod._state" in project.ambient_globals
+        targets = {m.target for m in project.global_mutations}
+        assert targets == {"mod._state"}
+
+    def test_cross_module_attribute_write_detected(self, tmp_path):
+        project = build_project(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/state.py": "_flags = 'off'\n",
+            "pkg/user.py": ("from . import state\n"
+                            "\n"
+                            "\n"
+                            "def poke() -> None:\n"
+                            "    state._flags = 'on'\n"),
+        })
+        kinds = {(m.target, m.kind) for m in project.global_mutations}
+        assert ("pkg.state._flags", "cross-module") in kinds
+
+    def test_untouched_global_is_not_a_taint_source(self, tmp_path):
+        project = build_project(tmp_path, {
+            "mod.py": ("_LIMIT = 10\n"
+                       "\n"
+                       "\n"
+                       "def read() -> int:\n"
+                       "    return _LIMIT\n"),
+        })
+        assert project.taint.hits() == []
+
+
+class TestZones:
+    def test_def_line_zone_covers_function_body(self, tmp_path):
+        project = build_project(tmp_path, {
+            "mod.py": ("def setup() -> None:  # repro-lint: zone=init\n"
+                       "    x = 1\n"
+                       "    del x\n"),
+        })
+        path = str(tmp_path / "mod.py")
+        assert project.zone_at(path, 1) == "init"
+        assert project.zone_at(path, 3) == "init"
+        assert project.zone_at(path, 4) is None
+
+    def test_non_def_zone_is_line_scoped(self, tmp_path):
+        project = build_project(tmp_path, {
+            "mod.py": ("_cache = {}  # repro-lint: zone=init\n"
+                       "_other = {}\n"),
+        })
+        path = str(tmp_path / "mod.py")
+        assert project.zone_at(path, 1) == "init"
+        assert project.zone_at(path, 2) is None
+
+
+@pytest.mark.parametrize("source", [
+    "def f(:\n",          # syntax error upstream: engine turns into RL000
+])
+def test_project_context_not_built_from_broken_files(tmp_path, source):
+    """The engine only hands successfully-parsed files to the project
+    phase; a broken file must not abort whole-program analysis."""
+    from repro.analysis import lint_paths
+    good = tmp_path / "good.py"
+    good.write_text("_registry: dict[str, int] = {}\n")
+    bad = tmp_path / "broken.py"
+    bad.write_text(source)
+    codes = sorted(f.code for f in lint_paths([tmp_path]))
+    assert codes == ["RL000", "RL103"]

@@ -1,5 +1,6 @@
-"""Each rule RL001-RL007: one positive fixture (exactly one finding, the
-right code) and the shared clean fixture as the negative case."""
+"""Each rule RL001-RL007 and RL101-RL103: one positive fixture (exactly
+one finding, the right code) and the shared clean fixture as the
+negative case."""
 
 from __future__ import annotations
 
@@ -7,11 +8,12 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis import ALL_RULES, lint_paths
+from repro.analysis import ALL_RULES, PROJECT_RULES, lint_paths
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
-# fixture file -> the single expected finding code
+# fixture file (or directory, for project rules) -> the single expected
+# finding code
 POSITIVE_FIXTURES = {
     "rl001_bad.py": "RL001",
     "rl001_derived_seed.py": "RL001",
@@ -22,6 +24,9 @@ POSITIVE_FIXTURES = {
     "rl005_bad.py": "RL005",
     "rl006_bad.py": "RL006",
     "memsim/rl007_bad.py": "RL007",
+    "rl101_bad.py": "RL101",
+    "rl102_pkg": "RL102",
+    "rl103_bad.py": "RL103",
 }
 
 
@@ -35,7 +40,7 @@ def test_positive_fixture_triggers_exactly_once(relpath, code):
 
 def test_every_rule_has_a_positive_fixture():
     covered = set(POSITIVE_FIXTURES.values())
-    assert covered == {rule.code for rule in ALL_RULES}
+    assert covered == {rule.code for rule in ALL_RULES + PROJECT_RULES}
 
 
 def test_clean_fixture_has_no_findings():
@@ -101,6 +106,47 @@ class TestSuppression:
             "def _f(x: float) -> bool:\n"
             "    return x == 0.1\n")
         assert [f.code for f in lint_paths([target])] == ["RL003"]
+
+
+class TestZoneDirective:
+    def test_zone_on_declaration_line_silences_rl103(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "_registry: dict[str, int] = {}  # repro-lint: zone=init\n")
+        assert lint_paths([target]) == []
+
+    def test_zone_on_def_line_covers_whole_function(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "_state = 'a'\n"
+            "\n"
+            "\n"
+            "def _configure(value: str) -> None:  # repro-lint: zone=init\n"
+            "    global _state\n"
+            "    _state = value\n")
+        assert lint_paths([target]) == []
+
+    def test_unzoned_global_rebind_fires(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "_state = 'a'\n"
+            "\n"
+            "\n"
+            "def _configure(value: str) -> None:\n"
+            "    global _state\n"
+            "    _state = value\n")
+        assert [f.code for f in lint_paths([target])] == ["RL103"]
+
+    def test_disable_comment_silences_project_findings_too(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "_registry: dict[str, int] = {}  # repro-lint: disable=RL103\n")
+        assert lint_paths([target]) == []
+
+    def test_constant_styled_mutable_global_is_exempt(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("_FACTORIES: dict[str, int] = {}\n")
+        assert lint_paths([target]) == []
 
 
 class TestSelectIgnore:

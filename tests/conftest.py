@@ -13,7 +13,7 @@ from repro.nn.lstm import LSTMConfig, OnlineLSTM
 from repro.patterns.generators import PatternSpec
 
 
-def _disable_compiled_backends() -> None:
+def _disable_compiled_backends() -> None:  # repro-lint: zone=init
     """Honor ``REPRO_DISABLE_COMPILED`` for the whole test session.
 
     ``REPRO_DISABLE_COMPILED=1`` forces every backend resolution to the
