@@ -161,6 +161,39 @@ def build_parser() -> argparse.ArgumentParser:
                           "'auto' to; never part of the result-cache key "
                           "(backends are bit-identical)")
 
+    fleet = sub.add_parser(
+        "fleet", help="run a multi-tenant fleet of simulation lanes in "
+                      "one batched loop")
+    fleet.add_argument("--tenants", type=int, default=64,
+                       help="number of concurrent lanes")
+    fleet.add_argument("--pattern", action="append", choices=PATTERN_NAMES,
+                       default=None,
+                       help="pattern(s) lanes cycle through (repeatable; "
+                            "default: all Table 1 patterns)")
+    fleet.add_argument("--n", type=int, default=4000,
+                       help="accesses per lane")
+    fleet.add_argument("--working-set", type=int, default=200)
+    fleet.add_argument("--model",
+                       choices=["none", "nextline", "stride", "markov",
+                                "leap", "hebbian"],
+                       default="none",
+                       help="per-lane prefetcher ('hebbian' clones one "
+                            "CLS prototype per lane)")
+    fleet.add_argument("--vocab", type=int, default=256)
+    fleet.add_argument("--memory-fraction", type=float, default=0.5)
+    fleet.add_argument("--delay", type=int, default=0,
+                       help="prefetch landing delay in accesses")
+    fleet.add_argument("--width", type=int, default=256,
+                       help="cohort slot count (lanes beyond it queue "
+                            "and refill freed slots)")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--backend",
+                       choices=["auto", "numpy", "numba", "c"],
+                       default="auto")
+    fleet.add_argument("--manifest-dir", default=None,
+                       help="write the fleet JSONL manifest (aggregate "
+                            "rollup + one record per tenant) here")
+
     bench = sub.add_parser("bench", help="inspect benchmark artifacts")
     bench_sub = bench.add_subparsers(dest="bench_command", required=True)
     bench_trend = bench_sub.add_parser(
@@ -381,6 +414,63 @@ def _build_prefetcher(args: argparse.Namespace) -> Prefetcher:
     ))
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from .harness.fleet import run_fleet, write_fleet_manifest
+    from .memsim.fleet import FleetLaneSpec
+
+    patterns = args.pattern or list(PATTERN_NAMES)
+    sim_cfg = SimConfig(memory_fraction=args.memory_fraction,
+                        prefetch_delay_accesses=args.delay)
+    prototype = None
+    if args.model == "hebbian":
+        from .nn.hebbian import SparseHebbianNetwork
+
+        hebbian_cfg = experiment_hebbian_config(args.vocab, args.seed)
+        if args.backend != "auto":
+            hebbian_cfg = dataclasses.replace(hebbian_cfg,
+                                              backend=args.backend)
+        prototype = SparseHebbianNetwork(hebbian_cfg)
+
+    def lane_prefetcher() -> Prefetcher:
+        if args.model == "none":
+            return NullPrefetcher()
+        if args.model == "nextline":
+            return NextLinePrefetcher()
+        if args.model == "stride":
+            return StridePrefetcher()
+        if args.model == "markov":
+            return MarkovPrefetcher()
+        if args.model == "leap":
+            return LeapPrefetcher()
+        assert prototype is not None
+        # All lanes share the prototype's fixed structures and memo
+        # caches via clone(); learned weights stay per-lane.
+        return CLSPrefetcher(CLSPrefetcherConfig(
+            model="hebbian", vocab_size=args.vocab,
+            hebbian=prototype.config, seed=args.seed),
+            model=prototype.clone())
+
+    specs = []
+    for tenant in range(args.tenants):
+        pattern = patterns[tenant % len(patterns)]
+        trace = generate(pattern, PatternSpec(
+            n=args.n, working_set=args.working_set,
+            seed=args.seed + tenant))
+        specs.append(FleetLaneSpec(trace=trace,
+                                   prefetcher=lane_prefetcher(),
+                                   config=sim_cfg))
+    report = run_fleet(specs, backend=args.backend, max_width=args.width)
+    rollup = report.rollup()
+    print_table(["metric", "value"],
+                [[key, value] for key, value in rollup.items()],
+                title=f"Fleet — {args.tenants} tenants x {args.n} "
+                      f"accesses ({args.model})")
+    if args.manifest_dir is not None:
+        path = write_fleet_manifest(report, args.manifest_dir)
+        print(f"manifest: {path}")
+    return 0
+
+
 def cmd_telemetry(args: argparse.Namespace) -> int:
     if args.telemetry_command == "summarize":
         print(telemetry.summarize_dir(args.dir, max_rows=args.rows))
@@ -389,7 +479,11 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     if args.bench_command == "trend":
-        from .harness.bench_trend import find_bench_files, trend_table
+        from .harness.bench_trend import (
+            find_bench_files,
+            fleet_table,
+            trend_table,
+        )
 
         files = find_bench_files(args.dir)
         if not files:
@@ -399,6 +493,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print_table(headers, rows,
                     title="Benchmark speedup trajectory (per-PR, vs that "
                           "PR's own baseline; '—' = not measured)")
+        fleet_headers, fleet_rows = fleet_table(args.dir)
+        if fleet_rows:
+            print()
+            print_table(fleet_headers, fleet_rows,
+                        title="Fleet throughput (batched engine vs "
+                              "N sequential simulate() calls)")
     return 0
 
 
@@ -408,6 +508,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": cmd_generate,
         "simulate": cmd_simulate,
         "experiment": cmd_experiment,
+        "fleet": cmd_fleet,
         "telemetry": cmd_telemetry,
         "bench": cmd_bench,
     }

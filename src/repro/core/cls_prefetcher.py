@@ -195,12 +195,19 @@ class CLSPrefetcher:
     _PHASE_FEATURE_BINS = 256
     _PHASE_REGION_BITS = 12
 
-    def __init__(self, config: CLSPrefetcherConfig = CLSPrefetcherConfig()) -> None:
+    def __init__(self, config: CLSPrefetcherConfig = CLSPrefetcherConfig(),
+                 *, model: SequenceModel | None = None) -> None:
         self.config = config
         self.name = f"cls-{config.model}"
         self.encoder = make_encoder(config.encoder, config.vocab_size,
                                     config.granularity)
-        self.model: SequenceModel = config.build_model()
+        # ``model`` injects a prebuilt network — fleet lanes clone one
+        # prototype so thousands of lanes share the fixed structures
+        # (masks, index lists, memo caches) instead of re-deriving them
+        # per lane.  The caller owns making the instance independent
+        # (e.g. ``prototype.clone()``).
+        self.model: SequenceModel = model if model is not None \
+            else config.build_model()
         self.history = MissHistory(capacity=max(16, config.prefetch_length + 2))
         self.training_policy = make_training_policy(config.training,
                                                     **config.training_kwargs)

@@ -42,8 +42,17 @@ def find_bench_files(root: str | Path) -> list[tuple[int, Path]]:
 def extract_speedups(payload: Any, _path: tuple[str, ...] = ()
                      ) -> dict[str, float]:
     """Every ``"speedup"``-bearing dict in ``payload``, keyed by its
-    "/"-joined key path (e.g. ``"simulate/stride-resnet"``)."""
+    "/"-joined key path (e.g. ``"simulate/stride-resnet"``).
+
+    Lists are walked too (elements keyed by index), so scaling curves —
+    sequences of measurement dicts, as the PR 8 fleet bench emits —
+    contribute their cells instead of being silently skipped.
+    """
     out: dict[str, float] = {}
+    if isinstance(payload, list):
+        for i, value in enumerate(payload):
+            out.update(extract_speedups(value, _path + (str(i),)))
+        return out
     if not isinstance(payload, dict):
         return out
     speedup = payload.get("speedup")
@@ -56,10 +65,36 @@ def extract_speedups(payload: Any, _path: tuple[str, ...] = ()
     return out
 
 
+def extract_fleet_cells(payload: Any, _path: tuple[str, ...] = ()
+                        ) -> list[tuple[str, dict]]:
+    """Fleet throughput cells: dicts carrying ``tenants`` and
+    ``fleet_events_per_sec``, with their "/"-joined key paths."""
+    out: list[tuple[str, dict]] = []
+    if isinstance(payload, list):
+        for i, value in enumerate(payload):
+            out.extend(extract_fleet_cells(value, _path + (str(i),)))
+        return out
+    if not isinstance(payload, dict):
+        return out
+    if ("tenants" in payload and "fleet_events_per_sec" in payload):
+        out.append(("/".join(_path), payload))
+    for key, value in payload.items():
+        if not _path and key in _META_KEYS:
+            continue
+        out.extend(extract_fleet_cells(value, _path + (str(key),)))
+    return out
+
+
 def _workload(label: str) -> str:
     """The pivot key: the leaf of the key path (section names vary per
-    PR, workload names are the stable vocabulary)."""
-    return label.rsplit("/", 1)[-1]
+    PR, workload names are the stable vocabulary).  A bare list index is
+    no vocabulary at all, so numeric leaves keep their named parent
+    (``fleet/stride/2`` pivots as ``stride/2``, not ``2``)."""
+    parts = label.split("/")
+    leaf = parts[-1]
+    if leaf.isdigit() and len(parts) > 1:
+        return "/".join(parts[-2:])
+    return leaf
 
 
 def trend_table(root: str | Path) -> tuple[list[str], list[list[object]]]:
@@ -91,4 +126,29 @@ def trend_table(root: str | Path) -> tuple[list[str], list[list[object]]]:
             value = by_workload.get(name)
             row.append("—" if value is None else value)
         rows.append(row)
+    return headers, rows
+
+
+def fleet_table(root: str | Path) -> tuple[list[str], list[list[object]]]:
+    """Fleet throughput cells across all bench files, flattened.
+
+    One row per (PR, workload, tenant count): the fleet's events/sec,
+    the N-sequential-``simulate()`` events/sec when measured, and the
+    speedup.  Empty when no bench file carries fleet measurements.
+    """
+    headers = ["PR", "workload", "tenants", "fleet_events_per_sec",
+               "sequential_events_per_sec", "speedup"]
+    rows: list[list[object]] = []
+    for pr, path in find_bench_files(root):
+        with path.open("r", encoding="utf-8") as fh:
+            cells = extract_fleet_cells(json.load(fh))
+        for label, cell in sorted(cells):
+            named = [p for p in label.split("/") if not p.isdigit()]
+            workload = named[-1] if named else label
+            rows.append([
+                f"PR{pr}", workload, cell["tenants"],
+                cell["fleet_events_per_sec"],
+                cell.get("sequential_events_per_sec", "—"),
+                cell.get("speedup", "—"),
+            ])
     return headers, rows

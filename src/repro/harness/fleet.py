@@ -1,0 +1,243 @@
+"""Shard scheduler and telemetry rollups for fleet simulation.
+
+:func:`run_fleet` packs an arbitrary number of tenant lanes — each an
+independent (trace, prefetcher, config) stream — into vectorized
+:class:`~repro.memsim.fleet.FleetCohort` shards:
+
+- Lanes are **grouped by their (hashable) ``SimConfig``** so every
+  cohort is homogeneous in page size, delay and capacity policy; cohort
+  dimensions are sized over the group once.
+- Each group runs through a **fixed-width cohort** (``max_width`` slots)
+  with drain-and-refill: a finished lane's result is harvested and its
+  slot immediately reloaded from the pending queue, so the batched loop
+  stays full until the tail.
+- The scheduler records a **per-lane latency proxy** — wall-clock from a
+  lane's load to the step on which it finished (step-boundary
+  resolution; lanes share every step's work, so this measures fleet
+  residency, not isolated lane cost) — and aggregate events/sec.
+
+Rollups flow out three ways: the returned :class:`FleetReport`, optional
+:class:`~repro.telemetry.Telemetry` counters/timers on a caller-provided
+sink, and a JSONL manifest (:func:`write_fleet_manifest`) with one
+aggregate record plus one per-tenant record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..memsim.fleet import FleetCohort, FleetLaneSpec
+from ..memsim.simulator import SimConfig, SimResult
+from ..telemetry import Telemetry
+from ..telemetry.manifest import SCHEMA_VERSION, environment
+
+__all__ = ["FleetReport", "LaneOutcome", "run_fleet",
+           "write_fleet_manifest"]
+
+
+@dataclass(frozen=True)
+class LaneOutcome:
+    """One tenant lane's result plus its scheduler-side measurements."""
+
+    result: SimResult
+    accesses: int
+    #: Wall-clock seconds from the lane's load to the step it finished
+    #: on.  A *fleet residency* proxy, not an isolated per-lane cost —
+    #: every step advances all co-resident lanes.
+    wall_time_s: float
+
+
+@dataclass
+class FleetReport:
+    """Aggregate outcome of one :func:`run_fleet` invocation."""
+
+    outcomes: list[LaneOutcome] = field(repr=False)
+    backend: str
+    n_cohorts: int
+    wall_time_s: float
+
+    @property
+    def n_lanes(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(o.accesses for o in self.outcomes)
+
+    @property
+    def events_per_sec(self) -> float:
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.total_accesses / self.wall_time_s
+
+    def lane_latency_percentiles(self) -> tuple[float, float]:
+        """(p50, p99) of the per-lane latency proxy, in seconds."""
+        if not self.outcomes:
+            return (0.0, 0.0)
+        latencies = np.array([o.wall_time_s for o in self.outcomes])
+        return (float(np.percentile(latencies, 50)),
+                float(np.percentile(latencies, 99)))
+
+    def rollup(self) -> dict:
+        """JSON-ready aggregate summary (the manifest's headline record)."""
+        p50, p99 = self.lane_latency_percentiles()
+        return {
+            "n_lanes": self.n_lanes,
+            "n_cohorts": self.n_cohorts,
+            "backend": self.backend,
+            "total_accesses": self.total_accesses,
+            "wall_time_s": round(self.wall_time_s, 6),
+            "events_per_sec": round(self.events_per_sec, 1),
+            "lane_latency_p50_s": round(p50, 6),
+            "lane_latency_p99_s": round(p99, 6),
+        }
+
+
+def run_fleet(specs: Sequence[FleetLaneSpec], *, backend: str = "auto",
+              max_width: int = 256, record_miss_indices: bool = False,
+              telemetry: Telemetry | None = None) -> FleetReport:
+    """Run every lane spec through config-grouped vectorized cohorts.
+
+    Results come back in spec order and are bit-identical to running
+    each spec through ``simulate()`` on its own (the fleet engine's
+    contract; see ``tests/memsim/test_fleet_engine.py``).
+
+    Args:
+        specs: One entry per tenant lane.  Prefetcher instances must not
+            be shared between lanes.
+        backend: Kernel backend for the fleet walks (as in ``simulate``).
+        max_width: Cohort slot count; lanes beyond it queue and refill
+            freed slots.  Memory per cohort scales with
+            ``width * max_trace_len``.
+        record_miss_indices: Keep per-lane miss indices in the results.
+        telemetry: Optional sink; receives ``fleet_lanes_completed`` /
+            ``fleet_accesses`` counters and a ``fleet_wall`` timer.
+    """
+    if max_width <= 0:
+        raise ValueError("max_width must be positive")
+    outcomes: list[LaneOutcome | None] = [None] * len(specs)
+    # Bucket by config identity first (no dataclass hash per lane — specs
+    # overwhelmingly share config instances), then merge equal-but-
+    # distinct configs so cohort grouping stays semantic.
+    by_id: dict[int, tuple[SimConfig, list[int]]] = {}
+    for index, spec in enumerate(specs):
+        entry = by_id.get(id(spec.config))
+        if entry is None:
+            entry = (spec.config, [])
+            by_id[id(spec.config)] = entry
+        entry[1].append(index)
+    groups: dict[SimConfig, list[int]] = {}
+    for config, bucket in by_id.values():
+        groups.setdefault(config, []).extend(bucket)
+
+    started = time.perf_counter()
+    n_cohorts = 0
+    backend_used = backend
+    for indices in groups.values():
+        group = [specs[i] for i in indices]
+        cohort = FleetCohort.for_specs(
+            group, width=min(len(group), max_width), backend=backend,
+            record_miss_indices=record_miss_indices)
+        backend_used = cohort.backend_used
+        n_cohorts += 1
+        pending = list(zip(indices, group))
+        pending.reverse()
+        slot_spec: dict[int, int] = {}
+        load_at: dict[int, float] = {}
+
+        def refill(slots: list[int]) -> None:
+            batch_slots: list[int] = []
+            batch_specs: list[FleetLaneSpec] = []
+            for slot in slots:
+                if not pending:
+                    break
+                index, spec = pending.pop()
+                slot_spec[slot] = index
+                batch_slots.append(slot)
+                batch_specs.append(spec)
+            # One batched load per step: slot-vector writes and cache
+            # resets amortize across the refill batch (the per-lane load
+            # cost is the fleet's throughput floor at scale).
+            cohort.load_many(batch_slots, batch_specs)
+            stamp = time.perf_counter()
+            for slot in batch_slots:
+                load_at[slot] = stamp
+
+        refill(cohort.free_slots())
+        while cohort.active_count():
+            finished = cohort.step()
+            now = time.perf_counter()
+            for slot in finished:
+                index = slot_spec.pop(slot)
+                result = cohort.harvest(slot)
+                accesses = len(specs[index].trace)
+                outcomes[index] = LaneOutcome(
+                    result=result, accesses=accesses,
+                    wall_time_s=now - load_at.pop(slot))
+                if telemetry is not None:
+                    telemetry.counter("fleet_lanes_completed")
+                    telemetry.counter("fleet_accesses", accesses)
+            if pending and finished:
+                refill(finished)
+    wall = time.perf_counter() - started
+    if telemetry is not None:
+        telemetry.timers["fleet_wall"] = (
+            telemetry.timers.get("fleet_wall", 0.0) + wall)
+    final = [o for o in outcomes if o is not None]
+    assert len(final) == len(specs)
+    return FleetReport(outcomes=final, backend=backend_used,
+                       n_cohorts=n_cohorts, wall_time_s=wall)
+
+
+def write_fleet_manifest(report: FleetReport,
+                         directory: str | Path) -> Path:
+    """Write the fleet's JSONL manifest into ``directory``.
+
+    Line 1 is the aggregate ``fleet_manifest`` record (rollup +
+    provenance); each following line is one ``fleet_lane`` per-tenant
+    record.  Written atomically (tmp + rename), named by a content-free
+    timestamp-less scheme: ``fleet-<n_lanes>x-<backend>.jsonl`` —
+    reruns of the same shape overwrite.
+    """
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    head = {
+        "record": "fleet_manifest",
+        "schema_version": SCHEMA_VERSION,
+        **report.rollup(),
+        "env": environment(),
+    }
+    lanes = []
+    for outcome in report.outcomes:
+        result = outcome.result
+        lanes.append({
+            "record": "fleet_lane",
+            "trace": result.trace_name,
+            "prefetcher": result.prefetcher_name,
+            "capacity_pages": result.capacity_pages,
+            "accesses": outcome.accesses,
+            "demand_misses": result.stats.demand_misses,
+            "prefetch_hits": result.stats.prefetch_hits,
+            "wall_time_s": round(outcome.wall_time_s, 6),
+        })
+    path = out_dir / f"fleet-{report.n_lanes}x-{report.backend}.jsonl"
+    fd, tmp = tempfile.mkstemp(dir=out_dir, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            for record in [head, *lanes]:
+                fh.write(json.dumps(record, sort_keys=True))
+                fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return path

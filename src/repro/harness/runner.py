@@ -40,16 +40,22 @@ CACHE_VERSION = 1
 def resolve_jobs(jobs: int | None, n_cells: int) -> int:
     """Resolve a ``jobs`` argument to an effective worker count.
 
-    ``None`` auto-detects: one worker per available core, capped at the
-    number of cells (a pool larger than the grid only adds spawn cost).
-    Explicit values are likewise capped at ``n_cells``.  Anything that
-    resolves to fewer than two workers means "run serially" — on a
-    single-core machine process fan-out is pure IPC overhead (measured
-    0.85x in BENCH_PR1.json), so auto-detection deliberately falls back
-    to the in-process loop there.
+    ``None`` auto-detects: one worker per *available* core — the
+    process's CPU affinity mask where the platform exposes it
+    (``sched_getaffinity``; containers and batch schedulers routinely
+    restrict it well below ``os.cpu_count()``), the total core count
+    otherwise — capped at the number of cells (a pool larger than the
+    grid only adds spawn cost).  Explicit values are likewise capped at
+    ``n_cells``.  Anything that resolves to fewer than two workers means
+    "run serially" — on a single-core machine process fan-out is pure
+    IPC overhead (measured 0.85x in BENCH_PR1.json), so auto-detection
+    deliberately falls back to the in-process loop there.
     """
     if jobs is None:
-        jobs = os.cpu_count() or 1
+        try:
+            jobs = len(os.sched_getaffinity(0))
+        except (AttributeError, OSError):
+            jobs = os.cpu_count() or 1
     return max(1, min(jobs, n_cells))
 
 

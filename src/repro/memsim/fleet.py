@@ -1,0 +1,530 @@
+"""The multi-tenant fleet engine: N simulation lanes in one batched loop.
+
+One ``simulate()`` call advances one (trace, prefetcher, cache) lane and
+pays the Python/numpy dispatch floor per event.  :class:`FleetCohort`
+runs up to ``width`` independent lanes against a single
+:class:`~repro.memsim.fleet_cache.FleetPageCache`, advancing *every*
+lane per vectorized operation:
+
+* **Lockstep rounds.**  Each :meth:`FleetCohort.step` processes due
+  prefetch landings per lane, then walks all active lanes through their
+  hit runs at once (``FleetPageCache.hit_walk``, or one compiled
+  ``rk_fleet_hit_walk`` call routed through ``repro.nn.backends``), then
+  resolves the stalled lanes' demand misses with one batched
+  ``fill_step``.  Miss *handling* (prefetcher callbacks, queue issues)
+  stays scalar per lane so every prefetcher sees the exact callback
+  sequence of the single-tenant engines.
+* **Null lanes run to completion.**  Lanes with the null prefetcher
+  never issue, so with a compiled backend each is replayed start-to-end
+  inside one ``rk_fleet_null_run`` call per cohort step.
+* **Drain and refill.**  Finished lanes report a
+  :class:`~repro.memsim.simulator.SimResult` and their slot is free for
+  :meth:`FleetCohort.load` — the shard scheduler in
+  ``repro.harness.fleet`` keeps cohorts full from a pending queue.
+
+Bit-identity per lane: round boundaries mirror the scalar engine's event
+order exactly — landings are processed before the access they precede
+(``next_landing <= pos``), the walk limit is clamped to the next landing
+so residency is constant inside a walk, and a miss advances the lane by
+one access after fill + prediction issue.  Combined with the
+fuzz-pinned fleet cache, an N-lane cohort reproduces the stats, miss
+indices, and learned prefetcher state of N independent ``simulate()``
+calls (``tests/memsim/test_fleet_engine.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from ..nn.backends import resolve_backend, sim_kernels
+from ..patterns.trace import Trace
+from .events import MissEvent
+from .fleet_cache import FleetPageCache
+from .prefetch_queue import NO_PENDING, PrefetchQueue
+from .prefetcher import Prefetcher
+from .simulator import SimConfig, SimResult
+
+__all__ = ["FleetCohort", "FleetLaneSpec"]
+
+
+@dataclass(frozen=True)
+class FleetLaneSpec:
+    """One tenant lane: a trace replayed against a prefetcher instance.
+
+    Each lane needs its *own* prefetcher instance (lanes learn
+    independently); traces and configs may be shared freely.
+
+    Deliberately *not* a ``run_grid`` cache-key spec: it binds live
+    objects (the trace arrays, a stateful prefetcher) for the engine's
+    identity-keyed sharing, so it never enters ``spec_key``.
+    """
+
+    trace: Trace  # repro-lint: disable=RL005  (live object, not a cache key)
+    prefetcher: Prefetcher  # repro-lint: disable=RL005  (stateful, per-lane)
+    config: SimConfig = SimConfig()
+
+
+@dataclass
+class _PackedTrace:
+    """Load-ready per-(trace, config) data, shared across lanes.
+
+    Keyed by ``(id(trace), id(config))`` — identity, not equality, so the
+    hot path skips hashing the config dataclass per lane.  Both objects
+    are kept in the entry, pinning their ids for the cache's lifetime
+    (no stale-id aliasing); equal-but-distinct configs simply pack
+    twice, which costs memory, never correctness.
+    """
+
+    trace: Trace
+    config: SimConfig
+    n: int
+    capacity: int
+    cids: np.ndarray
+    pages: np.ndarray
+    stores: np.ndarray
+    universe_size: int
+    cid_of: dict[int, int]
+
+
+@dataclass
+class _Lane:
+    """Mutable per-slot state while a lane is in flight."""
+
+    spec: FleetLaneSpec
+    queue: PrefetchQueue
+    miss_indices: list[int] | None
+    is_null: bool
+    on_miss_fast: Any
+    on_miss: Any
+    max_prefetches: int
+    addresses: np.ndarray | None
+    stream_ids: np.ndarray | None
+    timestamps: np.ndarray | None
+
+
+class FleetCohort:
+    """A fixed-width shard of concurrently simulated tenant lanes.
+
+    Args:
+        width: Number of lane slots (T).
+        slot_capacity: Maximum per-lane cache capacity this cohort hosts.
+        universe_capacity: Maximum per-lane page-universe size.
+        trace_capacity: Maximum per-lane trace length.
+        backend: Kernel backend name for the fleet walks (``"auto"`` /
+            ``"numpy"`` / ``"numba"`` / ``"c"``, as in ``simulate``).
+        record_miss_indices: Collect per-lane miss indices in results.
+    """
+
+    def __init__(self, width: int, *, slot_capacity: int,
+                 universe_capacity: int, trace_capacity: int,
+                 backend: str = "auto",
+                 record_miss_indices: bool = False) -> None:
+        if width <= 0 or trace_capacity <= 0:
+            raise ValueError("fleet cohort dimensions must be positive")
+        self.width = width
+        self.trace_capacity = trace_capacity
+        self.backend_used = resolve_backend(backend, domain="sim")
+        self._kern = sim_kernels(self.backend_used)
+        self.cache = FleetPageCache(width, slot_capacity, universe_capacity)
+        shape = (width, trace_capacity)
+        self._cids2d = np.zeros(shape, dtype=np.int64)
+        self._pages2d = np.zeros(shape, dtype=np.int64)
+        self._stores2d = np.zeros(shape, dtype=bool)
+        # Trace-row indirection: lane t reads trace row _trace_row[t], so
+        # lanes replaying the same (trace, config) share one packed row
+        # and a refill of a pooled trace copies nothing.  Rows are
+        # refcounted; W rows always suffice (distinct packs <= lanes).
+        self._trace_row = np.zeros(width, dtype=np.int64)
+        self._row_refs = np.zeros(width, dtype=np.int64)
+        self._row_key: list[int | None] = [None] * width
+        self._row_of: dict[int, int] = {}
+        self._free_rows = list(range(width - 1, -1, -1))
+        self._n_len = np.zeros(width, dtype=np.int64)
+        self._pos = np.zeros(width, dtype=np.int64)
+        self._limit = np.zeros(width, dtype=np.int64)
+        self._next_landing = np.full(width, NO_PENDING, dtype=np.int64)
+        self._active = np.zeros(width, dtype=bool)
+        self._is_null = np.zeros(width, dtype=bool)
+        self._lanes: list[_Lane | None] = [None] * width
+        self._results: list[SimResult | None] = [None] * width
+        self._record = record_miss_indices
+        # page -> cid dicts shared across lanes replaying the same trace
+        # (keyed by the memoized universe array's identity; the array is
+        # kept in the value so the id stays live).
+        self._cid_cache: dict[int, tuple[np.ndarray, dict[int, int]]] = {}
+        # Packed per-(trace, config) load data, shared across lanes
+        # replaying the same trace (identity-keyed; see _PackedTrace).
+        self._pack_cache: dict[tuple[int, int], _PackedTrace] = {}
+        self._hit_walk: Callable[[int], None] | None = None
+        self._null_run: Callable[[int, int], None] | None = None
+        if self._kern is not None:
+            cache = self.cache
+            self._lanes_buf = np.zeros(width, dtype=np.int64)
+            self._miss_n = np.zeros(width, dtype=np.int64)
+            self._miss_idx = np.zeros(
+                shape if record_miss_indices else (width, 1), dtype=np.int64)
+            self._hit_walk = self._kern.bind_fleet_hit_walk(
+                lanes_buf=self._lanes_buf, trace_row=self._trace_row,
+                soc=cache.soc, cids=self._cids2d,
+                stores=self._stores2d, last_use=cache.last_use,
+                dirty=cache.dirty, undemanded=cache.undemanded,
+                pos=self._pos, limit=self._limit, clock=cache.clock,
+                n_undemanded=cache.n_undemanded,
+                prefetch_hits=cache.prefetch_hits, hits=cache.hits,
+                accesses=cache.accesses)
+            if record_miss_indices:
+                # The kernel records into lane rows of a (T, L) matrix
+                # with the trace-matrix stride; without recording the
+                # buffer stays a (T, 1) stub and record=0 never writes.
+                self._null_run = self._kern.bind_fleet_null_run(
+                    lanes_buf=self._lanes_buf, trace_row=self._trace_row,
+                    soc=cache.soc,
+                    cids=self._cids2d, pages=self._pages2d,
+                    stores=self._stores2d, page_of_slot=cache.page_of_slot,
+                    last_use=cache.last_use, dirty=cache.dirty,
+                    cid_of_slot=cache.cid_of_slot, capacity=cache.capacity,
+                    n_len=self._n_len, pos=self._pos, clock=cache.clock,
+                    n_resident=cache.n_resident, hits=cache.hits,
+                    demand_misses=cache.demand_misses,
+                    writebacks=cache.writebacks, accesses=cache.accesses,
+                    miss_idx=self._miss_idx, miss_n=self._miss_n)
+            else:
+                self._null_run = self._kern.bind_fleet_null_run(
+                    lanes_buf=self._lanes_buf, trace_row=self._trace_row,
+                    soc=cache.soc,
+                    cids=self._cids2d, pages=self._pages2d,
+                    stores=self._stores2d, page_of_slot=cache.page_of_slot,
+                    last_use=cache.last_use, dirty=cache.dirty,
+                    cid_of_slot=cache.cid_of_slot, capacity=cache.capacity,
+                    n_len=self._n_len, pos=self._pos, clock=cache.clock,
+                    n_resident=cache.n_resident, hits=cache.hits,
+                    demand_misses=cache.demand_misses,
+                    writebacks=cache.writebacks, accesses=cache.accesses,
+                    miss_idx=self._miss_idx, miss_n=self._miss_n)
+
+    @classmethod
+    def for_specs(cls, specs: list[FleetLaneSpec], *, width: int | None = None,
+                  backend: str = "auto",
+                  record_miss_indices: bool = False) -> "FleetCohort":
+        """Size a cohort to host any lane drawn from ``specs``."""
+        if not specs:
+            raise ValueError("for_specs requires at least one lane spec")
+        slot_cap = 1
+        uni_cap = 1
+        trace_cap = 1
+        seen: dict[tuple[int, int], tuple[int, int, int]] = {}
+        for spec in specs:
+            # Fleets routinely replay a shared trace pool across many
+            # lanes; size each distinct (trace, config) pair once.
+            # Identity keys are safe here: every keyed object is held
+            # live by `specs` for the whole loop.
+            key = (id(spec.trace), id(spec.config))
+            dims = seen.get(key)
+            if dims is None:
+                universe, _ = spec.trace.page_index(spec.config.page_size)
+                dims = (spec.config.resolve_capacity(spec.trace),
+                        len(universe), len(spec.trace))
+                seen[key] = dims
+            slot_cap = max(slot_cap, dims[0])
+            uni_cap = max(uni_cap, dims[1])
+            trace_cap = max(trace_cap, dims[2])
+        return cls(width if width is not None else len(specs),
+                   slot_capacity=slot_cap, universe_capacity=uni_cap,
+                   trace_capacity=trace_cap, backend=backend,
+                   record_miss_indices=record_miss_indices)
+
+    # ------------------------------------------------------------------
+    # Lane lifecycle
+    # ------------------------------------------------------------------
+    def free_slots(self) -> list[int]:
+        """Slots currently available for :meth:`load`."""
+        return [s for s in range(self.width)
+                if not self._active[s] and self._results[s] is None]
+
+    def active_count(self) -> int:
+        return int(np.count_nonzero(self._active))
+
+    def _packed(self, spec: FleetLaneSpec) -> _PackedTrace:
+        """Load-ready (trace, config) data, built once per distinct pair."""
+        trace = spec.trace
+        config = spec.config
+        key = (id(trace), id(config))
+        packed = self._pack_cache.get(key)
+        if packed is not None:
+            return packed
+        n = len(trace)
+        if n == 0 or n > self.trace_capacity:
+            raise ValueError(
+                f"trace length {n} outside (0, {self.trace_capacity}]")
+        universe, cids = trace.page_index(config.page_size)
+        cached = self._cid_cache.get(id(universe))
+        if cached is None or cached[0] is not universe:
+            cached = (universe,
+                      {int(p): i for i, p in enumerate(universe.tolist())})
+            self._cid_cache[id(universe)] = cached
+        packed = _PackedTrace(
+            trace=trace, config=config, n=n,
+            capacity=config.resolve_capacity(trace),
+            cids=cids,
+            pages=trace.pages(config.page_size),
+            stores=trace.kinds != 0,
+            universe_size=len(universe),
+            cid_of=cached[1])
+        self._pack_cache[key] = packed
+        return packed
+
+    def load(self, slot: int, spec: FleetLaneSpec) -> None:
+        """Admit a lane into ``slot`` (which must be free or harvested)."""
+        self.load_many([slot], [spec])
+
+    def load_many(self, slots: list[int], specs: list[FleetLaneSpec]) -> None:
+        """Admit one lane per ``(slot, spec)`` pair in a single batch.
+
+        Per-lane load cost is the fleet's throughput floor at scale (the
+        compiled walks amortize everything else), so the cache resets and
+        slot-vector writes happen once per batch.  Validation runs for
+        the whole batch before any state is touched.
+        """
+        if len(slots) != len(specs):
+            raise ValueError("load_many needs one spec per slot")
+        if not slots:
+            return
+        packs: list[_PackedTrace] = []
+        for slot, spec in zip(slots, specs):
+            if self._active[slot]:
+                raise ValueError(f"slot {slot} is still active")
+            prefetcher = spec.prefetcher
+            on_access = getattr(prefetcher, "on_access", None)
+            if on_access is not None and getattr(prefetcher,
+                                                 "wants_accesses", True):
+                raise ValueError(
+                    "fleet engine cannot drive per-access observers; run "
+                    "wants_accesses prefetchers through simulate() instead")
+            packs.append(self._packed(spec))
+        lanes = np.asarray(slots, dtype=np.int64)
+        self.cache.attach_lanes(
+            lanes,
+            np.array([p.capacity for p in packs], dtype=np.int64),
+            np.array([p.universe_size for p in packs], dtype=np.int64),
+            [p.cid_of for p in packs])
+        nulls: list[bool] = []
+        rows: list[int] = []
+        for slot, spec, packed in zip(slots, specs, packs):
+            trace = spec.trace
+            prefetcher = spec.prefetcher
+            row = self._row_of.get(id(packed))
+            if row is None:
+                row = self._free_rows.pop()
+                n = packed.n
+                self._cids2d[row, :n] = packed.cids
+                self._pages2d[row, :n] = packed.pages
+                self._stores2d[row, :n] = packed.stores
+                self._row_of[id(packed)] = row
+                self._row_key[row] = id(packed)
+            self._row_refs[row] += 1
+            rows.append(row)
+            is_null = bool(getattr(prefetcher, "is_null", False))
+            nulls.append(is_null)
+            if is_null:
+                addresses = stream_ids = timestamps = None
+            else:
+                addresses = trace.addresses
+                stream_ids = trace.stream_ids
+                timestamps = trace.timestamps
+            self._lanes[slot] = _Lane(
+                spec=spec,
+                queue=PrefetchQueue(
+                    delay_accesses=spec.config.prefetch_delay_accesses),
+                miss_indices=[] if self._record else None,
+                is_null=is_null,
+                on_miss_fast=getattr(prefetcher, "on_miss_fast", None),
+                on_miss=prefetcher.on_miss,
+                max_prefetches=spec.config.max_prefetches_per_miss,
+                addresses=addresses, stream_ids=stream_ids,
+                timestamps=timestamps)
+            self._results[slot] = None
+        self._trace_row[lanes] = rows
+        self._n_len[lanes] = [p.n for p in packs]
+        self._pos[lanes] = 0
+        self._limit[lanes] = 0
+        self._next_landing[lanes] = NO_PENDING
+        self._is_null[lanes] = nulls
+        if self._kern is not None:
+            self._miss_n[lanes] = 0
+        self._active[lanes] = True
+
+    def harvest(self, slot: int) -> SimResult:
+        """Take the finished lane's result, freeing the slot for reuse."""
+        result = self._results[slot]
+        if result is None:
+            raise ValueError(f"slot {slot} has no finished result")
+        self._results[slot] = None
+        self._lanes[slot] = None
+        return result
+
+    def _finish_many(self, slots: list[int]) -> None:
+        lanes = np.asarray(slots, dtype=np.int64)
+        stats = self.cache.lanes_stats(lanes)
+        capacities = self.cache.capacity[lanes].tolist()
+        for slot, lane_stats, capacity in zip(slots, stats, capacities):
+            lane = self._lanes[slot]
+            assert lane is not None
+            spec = lane.spec
+            miss_indices = lane.miss_indices \
+                if lane.miss_indices is not None else []
+            self._results[slot] = SimResult(
+                trace_name=spec.trace.name,
+                prefetcher_name=spec.prefetcher.name,
+                capacity_pages=capacity,
+                stats=lane_stats,
+                config=spec.config,
+                miss_indices=miss_indices,
+                engine_used="fleet",
+                backend_used=self.backend_used)
+        self._active[lanes] = False
+        for row in self._trace_row[lanes].tolist():
+            self._row_refs[row] -= 1
+            if self._row_refs[row] == 0:
+                key = self._row_key[row]
+                assert key is not None
+                del self._row_of[key]
+                self._row_key[row] = None
+                self._free_rows.append(row)
+
+    # ------------------------------------------------------------------
+    # The batched loop
+    # ------------------------------------------------------------------
+    def step(self) -> list[int]:
+        """Advance every active lane one round; returns finished slots.
+
+        A round is: due landings -> lockstep hit walk (limit = next
+        landing or end-of-trace) -> one batched fill for every stalled
+        lane -> scalar prefetcher callbacks for those misses.  Null
+        lanes skip the round structure entirely on compiled backends
+        (one ``rk_fleet_null_run`` drives each to completion).
+        """
+        finished: list[int] = []
+        act = np.flatnonzero(self._active)
+        if act.size == 0:
+            return finished
+        if self._null_run is not None:
+            null_lanes = act[self._is_null[act]]
+            if null_lanes.size:
+                self._lanes_buf[:null_lanes.size] = null_lanes
+                self._null_run(int(null_lanes.size), int(self._record))
+                null_slots = null_lanes.tolist()
+                if self._record:
+                    for slot in null_slots:
+                        lane = self._lanes[slot]
+                        assert lane is not None \
+                            and lane.miss_indices is not None
+                        lane.miss_indices.extend(
+                            self._miss_idx[slot, :self._miss_n[slot]]
+                            .tolist())
+                self._finish_many(null_slots)
+                finished.extend(null_slots)
+                act = act[~self._is_null[act]]
+                if act.size == 0:
+                    return finished
+        pos = self._pos
+        next_landing = self._next_landing
+        cache = self.cache
+        due = act[next_landing[act] <= pos[act]]
+        for slot in due.tolist():
+            lane = self._lanes[slot]
+            assert lane is not None
+            queue = lane.queue
+            for page in queue.landed(int(pos[slot])):
+                cache.insert_prefetch(slot, page)
+            next_landing[slot] = queue.next_landing
+        self._limit[act] = np.minimum(self._n_len[act], next_landing[act])
+        limit_view = self._limit
+        if self._hit_walk is not None:
+            self._lanes_buf[:act.size] = act
+            self._hit_walk(int(act.size))
+        else:
+            cache.hit_walk(act, self._cids2d, self._stores2d, pos,
+                           limit_view, trace_row=self._trace_row)
+        missed = act[pos[act] < limit_view[act]]
+        if missed.size:
+            p = pos[missed]
+            rows_m = self._trace_row[missed]
+            cids = self._cids2d[rows_m, p]
+            pages = self._pages2d[rows_m, p]
+            stores = self._stores2d[rows_m, p]
+            cache.fill_step(missed, cids, pages, stores)
+            for slot, i, page in zip(missed.tolist(), p.tolist(),
+                                     pages.tolist()):
+                lane = self._lanes[slot]
+                assert lane is not None
+                if lane.miss_indices is not None:
+                    lane.miss_indices.append(i)
+                if lane.is_null:
+                    continue
+                assert lane.addresses is not None
+                assert lane.stream_ids is not None
+                assert lane.timestamps is not None
+                if lane.on_miss_fast is not None:
+                    predictions = lane.on_miss_fast(
+                        i, int(lane.addresses[i]), page,
+                        int(lane.stream_ids[i]), int(lane.timestamps[i]))
+                else:
+                    predictions = lane.on_miss(MissEvent(
+                        index=i, address=int(lane.addresses[i]), page=page,
+                        stream_id=int(lane.stream_ids[i]),
+                        timestamp=int(lane.timestamps[i])))
+                if predictions:
+                    if len(predictions) > lane.max_prefetches:
+                        predictions = predictions[:lane.max_prefetches]
+                    queue = lane.queue
+                    for predicted in predictions:
+                        if predicted != page:
+                            queue.issue(int(predicted), i)
+                    next_landing[slot] = queue.next_landing
+            pos[missed] = p + 1
+        done = act[pos[act] >= self._n_len[act]].tolist()
+        if done:
+            self._finish_many(done)
+            finished.extend(done)
+        return finished
+
+    def run_to_completion(self) -> dict[int, SimResult]:
+        """Step until every loaded lane finishes; results keyed by slot."""
+        results: dict[int, SimResult] = {}
+        while self.active_count():
+            for slot in self.step():
+                results[slot] = self.harvest(slot)
+        return results
+
+
+def run_cohort(specs: list[FleetLaneSpec], *, backend: str = "auto",
+               record_miss_indices: bool = False,
+               width: int | None = None) -> list[SimResult]:
+    """Run ``specs`` through one cohort; results in spec order.
+
+    Convenience wrapper for tests and small fleets — the shard scheduler
+    in ``repro.harness.fleet`` handles drain/refill at scale.
+    """
+    cohort = FleetCohort.for_specs(specs, width=width, backend=backend,
+                                   record_miss_indices=record_miss_indices)
+    pending = list(enumerate(specs))
+    pending.reverse()
+    slot_to_spec: dict[int, int] = {}
+    out: list[SimResult | None] = [None] * len(specs)
+    for slot in cohort.free_slots():
+        if not pending:
+            break
+        index, spec = pending.pop()
+        cohort.load(slot, spec)
+        slot_to_spec[slot] = index
+    while cohort.active_count():
+        for slot in cohort.step():
+            out[slot_to_spec.pop(slot)] = cohort.harvest(slot)
+            if pending:
+                index, spec = pending.pop()
+                cohort.load(slot, spec)
+                slot_to_spec[slot] = index
+    return [r for r in out if r is not None]

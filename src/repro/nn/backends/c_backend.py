@@ -241,6 +241,192 @@ void rk_null_run(const i64 *cids, const i64 *pages, const u8 *stores,
 }
 
 /* ------------------------------------------------------------------ */
+/* Fleet (tenant-axis) simulator kernels                              */
+/* ------------------------------------------------------------------ */
+
+/* The fleet engine's lockstep hit walk: rk_hit_walk per tenant lane
+ * over the (tenant, slot) matrices of FleetPageCache.  For each lane t
+ * in lanes[0..n_lanes), replays demand accesses from pos[t] until the
+ * first non-resident access or limit[t], with per-access semantics of
+ * the scalar cache (LRU stamp, dirty, undemanded clear + prefetch hit).
+ * su/sl/ss are the row strides of the (T, U) slot table, the (R, L)
+ * trace matrices, and the (T, S) slot matrices respectively.  Trace
+ * rows are indirected through trace_row (lanes replaying the same
+ * trace share one packed row).  Stats are written straight into the
+ * cache's per-lane counter vectors, so no state flush is needed after
+ * the call. */
+void rk_fleet_hit_walk(const i64 *lanes, i64 n_lanes,
+                       const i64 *trace_row,
+                       const i64 *soc, i64 su,
+                       const i64 *cids, const u8 *stores, i64 sl,
+                       i64 *last_use, u8 *dirty, u8 *undemanded, i64 ss,
+                       i64 *pos, const i64 *limit,
+                       i64 *clock, i64 *n_und, i64 *pf_hits, i64 *hits,
+                       i64 *accesses)
+{
+    for (i64 k = 0; k < n_lanes; k++) {
+        i64 t = lanes[k];
+        i64 r = trace_row[t];
+        const i64 *l_soc = soc + t * su;
+        const i64 *l_cids = cids + r * sl;
+        const u8 *l_stores = stores + r * sl;
+        i64 *l_lu = last_use + t * ss;
+        u8 *l_dirty = dirty + t * ss;
+        u8 *l_und = undemanded + t * ss;
+        i64 ck = clock[t];
+        i64 nu = n_und[t];
+        i64 ph = pf_hits[t];
+        i64 h = hits[t];
+        i64 start = pos[t];
+        i64 stop = limit[t];
+        i64 i = start;
+        for (; i < stop; i++) {
+            i64 slot = l_soc[l_cids[i]];
+            if (slot < 0)
+                break;
+            l_lu[slot] = ck++;
+            if (l_stores[i])
+                l_dirty[slot] = 1;
+            if (nu && l_und[slot]) {
+                l_und[slot] = 0;
+                nu--;
+                ph++;
+            }
+            h++;
+        }
+        accesses[t] += i - start;
+        pos[t] = i;
+        clock[t] = ck;
+        n_und[t] = nu;
+        pf_hits[t] = ph;
+        hits[t] = h;
+    }
+}
+
+/* Fleet null replay: rk_null_run per tenant lane, each lane driven from
+ * pos[t] to completion (n_len[t]) in this one call.  Slot allocation is
+ * the fleet cache's virgin-ascending scheme (below capacity the next
+ * slot is n_resident; at capacity the evicted slot is reused), which is
+ * unobservable vs the free list — see fleet_cache.py.  The per-lane
+ * victim snapshot only scans slots [0, capacity[t]): higher slots can
+ * never have been occupied.  Trace rows are indirected through
+ * trace_row (shared packed rows); miss indices stay lane-indexed and
+ * land in the lane's row of the (T, L) miss_idx matrix with count
+ * miss_n[t]. */
+void rk_fleet_null_run(const i64 *lanes, i64 n_lanes,
+                       const i64 *trace_row,
+                       i64 *soc, i64 su,
+                       const i64 *cids, const i64 *pages, const u8 *stores,
+                       i64 sl,
+                       i64 *page_of_slot, i64 *last_use, u8 *dirty,
+                       i64 *cid_of_slot, i64 ss,
+                       const i64 *capacity, const i64 *n_len,
+                       i64 *pos, i64 *clock, i64 *n_resident,
+                       i64 *hits, i64 *demand_misses, i64 *writebacks,
+                       i64 *accesses, i64 *miss_idx, i64 *miss_n,
+                       i64 record)
+{
+    for (i64 k = 0; k < n_lanes; k++) {
+        i64 t = lanes[k];
+        i64 r = trace_row[t];
+        i64 *l_soc = soc + t * su;
+        const i64 *l_cids = cids + r * sl;
+        const i64 *l_pages = pages + r * sl;
+        const u8 *l_stores = stores + r * sl;
+        i64 *l_pg = page_of_slot + t * ss;
+        i64 *l_lu = last_use + t * ss;
+        u8 *l_dirty = dirty + t * ss;
+        i64 *l_cos = cid_of_slot + t * ss;
+        i64 *l_miss = miss_idx + t * sl;
+        i64 cap = capacity[t];
+        i64 ck = clock[t];
+        i64 n_res = n_resident[t];
+        i64 mn = miss_n[t];
+        i64 h = hits[t];
+        i64 misses = demand_misses[t];
+        i64 wbacks = writebacks[t];
+        i64 vstamp[VICTIM_BATCH];
+        i64 vslot[VICTIM_BATCH];
+        i64 vn = 0, vi = 0;
+        i64 start = pos[t];
+        i64 stop = n_len[t];
+
+        for (i64 i = start; i < stop; i++) {
+            i64 cid = l_cids[i];
+            i64 slot = l_soc[cid];
+            if (slot >= 0) {
+                l_lu[slot] = ck++;
+                if (l_stores[i])
+                    l_dirty[slot] = 1;
+                h++;
+                continue;
+            }
+            misses++;
+            if (record)
+                l_miss[mn] = i;
+            mn++;
+            if (n_res < cap) {
+                slot = n_res;
+            } else {
+                for (;;) {
+                    if (vi >= vn) {
+                        vn = 0;
+                        for (i64 s = 0; s < cap; s++) {
+                            i64 st = l_lu[s];
+                            i64 p;
+                            if (vn == VICTIM_BATCH && st >= vstamp[vn - 1])
+                                continue;
+                            p = (vn < VICTIM_BATCH) ? vn : vn - 1;
+                            while (p > 0 && vstamp[p - 1] > st) {
+                                vstamp[p] = vstamp[p - 1];
+                                vslot[p] = vslot[p - 1];
+                                p--;
+                            }
+                            vstamp[p] = st;
+                            vslot[p] = s;
+                            if (vn < VICTIM_BATCH)
+                                vn++;
+                        }
+                        vi = 0;
+                    }
+                    {
+                        i64 st = vstamp[vi];
+                        i64 vs = vslot[vi];
+                        vi++;
+                        if (st != FREE_STAMP && l_lu[vs] == st) {
+                            slot = vs;
+                            break;
+                        }
+                    }
+                }
+                if (l_dirty[slot]) {
+                    wbacks++;
+                    l_dirty[slot] = 0;
+                }
+                l_soc[l_cos[slot]] = -1;
+                l_cos[slot] = -1;
+                l_lu[slot] = FREE_STAMP;
+                n_res--;
+            }
+            l_pg[slot] = l_pages[i];
+            l_lu[slot] = ck++;
+            l_dirty[slot] = l_stores[i] ? 1 : 0;
+            l_soc[cid] = slot;
+            l_cos[slot] = cid;
+            n_res++;
+        }
+        accesses[t] += stop - start;
+        pos[t] = stop;
+        clock[t] = ck;
+        n_resident[t] = n_res;
+        miss_n[t] = mn;
+        hits[t] = h;
+        demand_misses[t] = misses;
+        writebacks[t] = wbacks;
+    }
+}
+
+/* ------------------------------------------------------------------ */
 /* Hebbian kernels                                                    */
 /* ------------------------------------------------------------------ */
 
@@ -323,6 +509,30 @@ void rk_null_run(const long long *cids, const long long *pages,
                  long long *free_slots, long long capacity,
                  long long start, long long stop, long long *miss_idx,
                  long long record, long long *state);
+void rk_fleet_hit_walk(const long long *lanes, long long n_lanes,
+                       const long long *trace_row,
+                       const long long *soc, long long su,
+                       const long long *cids, const unsigned char *stores,
+                       long long sl, long long *last_use,
+                       unsigned char *dirty, unsigned char *undemanded,
+                       long long ss, long long *pos, const long long *limit,
+                       long long *clock, long long *n_und,
+                       long long *pf_hits, long long *hits,
+                       long long *accesses);
+void rk_fleet_null_run(const long long *lanes, long long n_lanes,
+                       const long long *trace_row,
+                       long long *soc, long long su,
+                       const long long *cids, const long long *pages,
+                       const unsigned char *stores, long long sl,
+                       long long *page_of_slot, long long *last_use,
+                       unsigned char *dirty, long long *cid_of_slot,
+                       long long ss, const long long *capacity,
+                       const long long *n_len, long long *pos,
+                       long long *clock, long long *n_resident,
+                       long long *hits, long long *demand_misses,
+                       long long *writebacks, long long *accesses,
+                       long long *miss_idx, long long *miss_n,
+                       long long record);
 void rk_pre_accumulate(double *pre, const long long *rec_pad,
                        long long width, const long long *prev_active,
                        long long k, double scale, long long n,
@@ -486,6 +696,79 @@ class CSimKernels:
             fn(p_cids, p_pages, p_stores, p_soc, p_pos, p_lu, p_dirty,
                p_cos, p_free, capacity, start, stop, p_miss, record,
                p_state)
+
+        return run
+
+    def bind_fleet_hit_walk(self, *, lanes_buf: np.ndarray,
+                            trace_row: np.ndarray, soc: np.ndarray,
+                            cids: np.ndarray, stores: np.ndarray,
+                            last_use: np.ndarray, dirty: np.ndarray,
+                            undemanded: np.ndarray, pos: np.ndarray,
+                            limit: np.ndarray, clock: np.ndarray,
+                            n_undemanded: np.ndarray,
+                            prefetch_hits: np.ndarray, hits: np.ndarray,
+                            accesses: np.ndarray) -> Callable[[int], None]:
+        """Tenant-axis hit walk over FleetPageCache's (T, slot) matrices.
+
+        The returned closure runs the walk for the first ``n_lanes``
+        entries of ``lanes_buf`` (the engine writes the active-lane
+        prefix before each call).  Row strides come from the 2-D array
+        shapes; lane ``t`` reads trace row ``trace_row[t]``; stats land
+        directly in the per-lane counter vectors.
+        """
+        ffi = self._ffi
+        fn = self._lib.rk_fleet_hit_walk
+        su = int(soc.shape[1])
+        sl = int(cids.shape[1])
+        ss = int(last_use.shape[1])
+        (p_lanes, p_row, p_soc, p_cids, p_lu, p_pos, p_limit, p_clock,
+         p_nund, p_pf, p_hits, p_acc) = (_i64(ffi, a) for a in
+                                         (lanes_buf, trace_row, soc, cids,
+                                          last_use, pos, limit, clock,
+                                          n_undemanded, prefetch_hits,
+                                          hits, accesses))
+        p_stores, p_dirty, p_und = (_u8(ffi, a) for a in
+                                    (stores, dirty, undemanded))
+
+        def run(n_lanes: int) -> None:
+            fn(p_lanes, n_lanes, p_row, p_soc, su, p_cids, p_stores, sl,
+               p_lu, p_dirty, p_und, ss, p_pos, p_limit, p_clock, p_nund,
+               p_pf, p_hits, p_acc)
+
+        return run
+
+    def bind_fleet_null_run(self, *, lanes_buf: np.ndarray,
+                            trace_row: np.ndarray, soc: np.ndarray,
+                            cids: np.ndarray, pages: np.ndarray,
+                            stores: np.ndarray, page_of_slot: np.ndarray,
+                            last_use: np.ndarray, dirty: np.ndarray,
+                            cid_of_slot: np.ndarray, capacity: np.ndarray,
+                            n_len: np.ndarray, pos: np.ndarray,
+                            clock: np.ndarray, n_resident: np.ndarray,
+                            hits: np.ndarray, demand_misses: np.ndarray,
+                            writebacks: np.ndarray, accesses: np.ndarray,
+                            miss_idx: np.ndarray,
+                            miss_n: np.ndarray) -> Callable[[int, int], None]:
+        """Tenant-axis null replay: each listed lane runs to completion."""
+        ffi = self._ffi
+        fn = self._lib.rk_fleet_null_run
+        su = int(soc.shape[1])
+        sl = int(cids.shape[1])
+        ss = int(last_use.shape[1])
+        (p_lanes, p_row, p_soc, p_cids, p_pages, p_pg, p_lu, p_cos, p_cap,
+         p_n, p_pos, p_clock, p_nres, p_hits, p_miss, p_wb, p_acc, p_midx,
+         p_mn) = (_i64(ffi, a) for a in
+                  (lanes_buf, trace_row, soc, cids, pages, page_of_slot,
+                   last_use, cid_of_slot, capacity, n_len, pos, clock,
+                   n_resident, hits, demand_misses, writebacks, accesses,
+                   miss_idx, miss_n))
+        p_stores, p_dirty = _u8(ffi, stores), _u8(ffi, dirty)
+
+        def run(n_lanes: int, record: int) -> None:
+            fn(p_lanes, n_lanes, p_row, p_soc, su, p_cids, p_pages,
+               p_stores, sl, p_pg, p_lu, p_dirty, p_cos, ss, p_cap, p_n,
+               p_pos, p_clock, p_nres, p_hits, p_miss, p_wb, p_acc, p_midx,
+               p_mn, record)
 
         return run
 

@@ -165,6 +165,127 @@ if _AVAILABLE:  # pragma: no cover - exercised only in the numba CI leg
         state[6] = wbacks
 
     @njit(cache=False)
+    def _fleet_hit_walk(lanes, n_lanes, trace_row, soc, cids, stores,
+                        last_use, dirty, undemanded, pos, limit, clock,
+                        n_und, pf_hits, hits, accesses):
+        for k in range(n_lanes):
+            t = lanes[k]
+            r = trace_row[t]
+            ck = clock[t]
+            nu = n_und[t]
+            ph = pf_hits[t]
+            h = hits[t]
+            start = pos[t]
+            stop = limit[t]
+            i = start
+            while i < stop:
+                slot = soc[t, cids[r, i]]
+                if slot < 0:
+                    break
+                last_use[t, slot] = ck
+                ck += 1
+                if stores[r, i]:
+                    dirty[t, slot] = True
+                if nu and undemanded[t, slot]:
+                    undemanded[t, slot] = False
+                    nu -= 1
+                    ph += 1
+                h += 1
+                i += 1
+            accesses[t] += i - start
+            pos[t] = i
+            clock[t] = ck
+            n_und[t] = nu
+            pf_hits[t] = ph
+            hits[t] = h
+
+    @njit(cache=False)
+    def _fleet_null_run(lanes, n_lanes, trace_row, soc, cids, pages, stores,
+                        page_of_slot, last_use, dirty, cid_of_slot,
+                        capacity, n_len, pos, clock, n_resident, hits,
+                        demand_misses, writebacks, accesses, miss_idx,
+                        miss_n, record):
+        vstamp = np.empty(_VICTIM_BATCH, dtype=np.int64)
+        vslot = np.empty(_VICTIM_BATCH, dtype=np.int64)
+        for k in range(n_lanes):
+            t = lanes[k]
+            r = trace_row[t]
+            cap = capacity[t]
+            ck = clock[t]
+            n_res = n_resident[t]
+            mn = miss_n[t]
+            h = hits[t]
+            misses = demand_misses[t]
+            wbacks = writebacks[t]
+            vn = 0
+            vi = 0
+            start = pos[t]
+            stop = n_len[t]
+            for i in range(start, stop):
+                cid = cids[r, i]
+                slot = soc[t, cid]
+                if slot >= 0:
+                    last_use[t, slot] = ck
+                    ck += 1
+                    if stores[r, i]:
+                        dirty[t, slot] = True
+                    h += 1
+                    continue
+                misses += 1
+                if record:
+                    miss_idx[t, mn] = i
+                mn += 1
+                if n_res < cap:
+                    slot = n_res
+                else:
+                    while True:
+                        if vi >= vn:
+                            vn = 0
+                            for s in range(cap):
+                                st = last_use[t, s]
+                                if vn == _VICTIM_BATCH \
+                                        and st >= vstamp[vn - 1]:
+                                    continue
+                                p = vn if vn < _VICTIM_BATCH else vn - 1
+                                while p > 0 and vstamp[p - 1] > st:
+                                    vstamp[p] = vstamp[p - 1]
+                                    vslot[p] = vslot[p - 1]
+                                    p -= 1
+                                vstamp[p] = st
+                                vslot[p] = s
+                                if vn < _VICTIM_BATCH:
+                                    vn += 1
+                            vi = 0
+                        st = vstamp[vi]
+                        vs = vslot[vi]
+                        vi += 1
+                        if st != _FREE_STAMP and last_use[t, vs] == st:
+                            slot = vs
+                            break
+                    if dirty[t, slot]:
+                        wbacks += 1
+                        dirty[t, slot] = False
+                    soc[t, cid_of_slot[t, slot]] = -1
+                    cid_of_slot[t, slot] = -1
+                    last_use[t, slot] = _FREE_STAMP
+                    n_res -= 1
+                page_of_slot[t, slot] = pages[r, i]
+                last_use[t, slot] = ck
+                ck += 1
+                dirty[t, slot] = stores[r, i]
+                soc[t, cid] = slot
+                cid_of_slot[t, slot] = cid
+                n_res += 1
+            accesses[t] += stop - start
+            pos[t] = stop
+            clock[t] = ck
+            n_resident[t] = n_res
+            miss_n[t] = mn
+            hits[t] = h
+            demand_misses[t] = misses
+            writebacks[t] = wbacks
+
+    @njit(cache=False)
     def _pre_accumulate(pre, rec_pad, prev_active, scale, n, counts):
         counts[:] = 0
         for r in range(prev_active.size):
@@ -232,6 +353,44 @@ class NumbaSimKernels:
             _null_run(cids, pages, stores, soc, page_of_slot, last_use,
                       dirty, cid_of_slot, free_slots, capacity, start, stop,
                       miss_idx, record, state)
+
+        return run
+
+    def bind_fleet_hit_walk(self, *, lanes_buf: np.ndarray,
+                            trace_row: np.ndarray, soc: np.ndarray,
+                            cids: np.ndarray, stores: np.ndarray,
+                            last_use: np.ndarray, dirty: np.ndarray,
+                            undemanded: np.ndarray, pos: np.ndarray,
+                            limit: np.ndarray, clock: np.ndarray,
+                            n_undemanded: np.ndarray,
+                            prefetch_hits: np.ndarray, hits: np.ndarray,
+                            accesses: np.ndarray) -> Callable[[int], None]:
+        def run(n_lanes: int) -> None:
+            _fleet_hit_walk(lanes_buf, n_lanes, trace_row, soc, cids,
+                            stores, last_use, dirty, undemanded, pos, limit,
+                            clock, n_undemanded, prefetch_hits, hits,
+                            accesses)
+
+        return run
+
+    def bind_fleet_null_run(self, *, lanes_buf: np.ndarray,
+                            trace_row: np.ndarray, soc: np.ndarray,
+                            cids: np.ndarray, pages: np.ndarray,
+                            stores: np.ndarray, page_of_slot: np.ndarray,
+                            last_use: np.ndarray, dirty: np.ndarray,
+                            cid_of_slot: np.ndarray, capacity: np.ndarray,
+                            n_len: np.ndarray, pos: np.ndarray,
+                            clock: np.ndarray, n_resident: np.ndarray,
+                            hits: np.ndarray, demand_misses: np.ndarray,
+                            writebacks: np.ndarray, accesses: np.ndarray,
+                            miss_idx: np.ndarray,
+                            miss_n: np.ndarray) -> Callable[[int, int], None]:
+        def run(n_lanes: int, record: int) -> None:
+            _fleet_null_run(lanes_buf, n_lanes, trace_row, soc, cids, pages,
+                            stores, page_of_slot, last_use, dirty,
+                            cid_of_slot, capacity, n_len, pos, clock,
+                            n_resident, hits, demand_misses, writebacks,
+                            accesses, miss_idx, miss_n, record)
 
         return run
 

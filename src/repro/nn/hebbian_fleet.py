@@ -1,0 +1,319 @@
+"""Tenant-axis batched Hebbian stepping for fleets of learners.
+
+:class:`HebbianFleet` stacks T independent copies of one
+:class:`~repro.nn.hebbian.SparseHebbianNetwork` prototype into a single
+lane-major weight tensor and advances *all* lanes per vectorized
+operation.  The fixed structures — projection masks, CSR index lists,
+the hidden-code memo, and the Eq. 1 delta cache — are shared with the
+prototype (they are identical across lanes by construction), so the
+per-step work that remains per lane is exactly the learned-weight
+arithmetic:
+
+* **Batched learn** — every lane's Eq. 1 column update (and the
+  error-driven punish term) lands in a disjoint block of the flat weight
+  tensor, so the whole fleet applies as one ``learn_apply`` /
+  ``punish_apply`` call per step.
+* **Batched readout** — the per-lane connected-entry gathers concatenate
+  into one ``bincount`` (or one ``rk_readout_sparse`` call) over a
+  ``T * vocab`` accumulator, reshaped to per-lane score rows.
+* **Batched softmax** — one row-wise max-shifted softmax over the
+  ``(T, vocab)`` score matrix.
+
+Every batched path is bit-identical to T independent networks stepping
+the same class streams (``tests/nn/test_hebbian_fleet.py`` pins this per
+backend): lane blocks are disjoint so the update order across lanes
+cannot matter, the shared caches are pure memoization over fixed
+structures, and the row softmax performs the same elementwise
+arithmetic as the scalar one.
+
+Out of scope (both raise at construction): ``plastic_hidden`` lanes
+diverge in their *fixed* projections, and the ``int8`` serving mirror
+would need a per-lane quantized shadow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .backends import hebbian_kernels
+from .hebbian import (
+    _DELTA_CACHE_CAP,
+    _READOUT_IDX_CAP,
+    SparseHebbianNetwork,
+)
+
+__all__ = ["HebbianFleet"]
+
+
+class HebbianFleet:
+    """T lanes of one Hebbian prototype, stepped in lockstep.
+
+    Each lane starts from the prototype's *current* learned weights and
+    then learns independently.  ``step_all`` is the batched equivalent
+    of calling ``step`` on T independent clones with one class per lane.
+    """
+
+    def __init__(self, prototype: SparseHebbianNetwork,
+                 n_lanes: int) -> None:
+        if n_lanes <= 0:
+            raise ValueError("n_lanes must be positive")
+        config = prototype.config
+        if config.plastic_hidden:
+            raise ValueError(
+                "HebbianFleet requires fixed hidden projections "
+                "(plastic_hidden lanes diverge structurally)")
+        if prototype._backend == "int8":
+            raise ValueError(
+                "HebbianFleet does not support the int8 serving mirror")
+        self.prototype = prototype
+        self.n_lanes = n_lanes
+        self.vocab_size = config.vocab_size
+        self.hidden_dim = config.hidden_dim
+        self._block = self.hidden_dim * self.vocab_size
+        # Lane-major stacked weights; the flat alias is what every
+        # batched update and readout indexes with +t*block offsets.
+        self.w_out = np.broadcast_to(
+            prototype.w_out, (n_lanes,) + prototype.w_out.shape).copy()
+        self._w_flat = self.w_out.reshape(-1)
+        # A second kernel bundle over the widened T*vocab accumulator;
+        # learn/punish are vocab-independent so it serves those too.
+        self._kern = None
+        if prototype._kern is not None:
+            self._kern = hebbian_kernels(
+                prototype._backend, rec_pad=prototype._rec_pad,
+                hidden_dim=self.hidden_dim,
+                vocab_size=n_lanes * self.vocab_size)
+        self._prev_class: list[int | None] = [None] * n_lanes
+        self._prev_active: list[np.ndarray | None] = [None] * n_lanes
+        self._prev_pred: list[int | None] = [None] * n_lanes
+        self._last_scores: np.ndarray | None = None
+        self._last_probs: np.ndarray | None = None
+        self._last_active: list[np.ndarray | None] = [None] * n_lanes
+        # Lanes continue the prototype's training history, as clones do.
+        self.train_steps = np.full(n_lanes, prototype.train_steps,
+                                   dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Shared-structure helpers (prototype caches, per-lane offsets)
+    # ------------------------------------------------------------------
+    def _delta_for(self, active: np.ndarray, target: int,
+                   lr_scale: float) -> np.ndarray:
+        """Eq. 1 column delta for (code, target) — same memo as scalar.
+
+        Deltas depend only on the code's membership and the fixed
+        learning-rate constants, never on lane weights, so one cached
+        delta serves every lane.
+        """
+        proto = self.prototype
+        config = proto.config
+        lr = config.lr * lr_scale
+        key = (id(active), target, lr_scale)
+        delta = proto._delta_cache.get(key)
+        if delta is None:
+            rows = proto._out_rows[target]
+            mask = proto._code_masks.get(id(active))
+            if mask is not None:
+                is_active = mask[rows]
+            else:
+                scratch = proto._scratch_active
+                scratch[active] = True
+                is_active = scratch[rows]
+                scratch[active] = False
+            delta = np.where(is_active, lr, -lr * config.negative_scale)
+            if mask is not None:
+                if len(proto._delta_cache) >= _DELTA_CACHE_CAP:
+                    proto._delta_cache.clear()
+                proto._delta_cache[key] = delta
+        return delta
+
+    def _readout_entry(self,
+                       active: np.ndarray) -> tuple[np.ndarray,
+                                                    np.ndarray] | None:
+        """(cols, flat) sparse-readout indices, or None for foreign codes
+        (which take the scalar path's dense row-sum fallback)."""
+        proto = self.prototype
+        entry = proto._readout_idx.get(id(active))
+        if entry is None:
+            if id(active) not in proto._code_masks:
+                return None
+            rows_i, cols = proto.mask_out[active].nonzero()
+            flat = (active[rows_i] * self.vocab_size + cols).astype(np.intp)
+            entry = (cols.astype(np.intp), flat)
+            if len(proto._readout_idx) >= _READOUT_IDX_CAP:
+                proto._readout_idx.clear()
+            proto._readout_idx[id(active)] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # The batched step
+    # ------------------------------------------------------------------
+    def step_all(self, classes: list[int] | np.ndarray, train: bool = True,
+                 lr_scale: float = 1.0) -> np.ndarray:
+        """Advance every lane one step; returns ``(T, vocab)`` probs.
+
+        Lane ``t`` consumes ``classes[t]``.  Equivalent, bit for bit, to
+        ``net_t.step(classes[t], train, lr_scale)`` on T independent
+        networks.
+        """
+        proto = self.prototype
+        config = proto.config
+        lanes = [int(c) for c in classes]
+        if len(lanes) != self.n_lanes:
+            raise ValueError(
+                f"expected {self.n_lanes} classes, got {len(lanes)}")
+        for input_class in lanes:
+            if not 0 <= input_class < self.vocab_size:
+                raise ValueError(
+                    f"class {input_class} outside vocab "
+                    f"[0, {self.vocab_size})")
+        if train:
+            self._learn_all(lanes, lr_scale)
+
+        actives = [proto.hidden_code(input_class, self._prev_active[t])
+                   for t, input_class in enumerate(lanes)]
+        scores = self._readout_all(actives)
+        probs = self._probabilities_all(scores)
+
+        punish = config.punish_wrong
+        for t, input_class in enumerate(lanes):
+            self._prev_class[t] = input_class
+            self._prev_active[t] = actives[t]
+            self._prev_pred[t] = (int(scores[t].argmax()) if punish
+                                  else None)
+            self._last_active[t] = actives[t]
+        self._last_scores = scores
+        self._last_probs = probs
+        return probs
+
+    def _learn_all(self, lanes: list[int], lr_scale: float) -> None:
+        """One fused Eq. 1 (+punish) application across all lanes.
+
+        Per-lane offsets live in disjoint ``t * block`` ranges and a
+        lane's target and punished columns are distinct, so applying all
+        potentiation/depression updates, then all punish updates, equals
+        the scalar per-lane interleaving.
+        """
+        proto = self.prototype
+        config = proto.config
+        lr = config.lr * lr_scale
+        wm = config.weight_max
+        vocab = self.vocab_size
+        flats: list[np.ndarray] = []
+        deltas: list[np.ndarray] = []
+        punish_flats: list[np.ndarray] = []
+        for t, target in enumerate(lanes):
+            prev_active = self._prev_active[t]
+            if prev_active is None:
+                continue
+            offset = t * self._block
+            flats.append(proto._out_flat[target] + offset)
+            deltas.append(self._delta_for(prev_active, target, lr_scale))
+            self.train_steps[t] += 1
+            predicted = self._prev_pred[t]
+            if (config.punish_wrong and predicted is not None
+                    and predicted != target):
+                wrong = prev_active[proto.mask_out[prev_active, predicted]]
+                if wrong.size:
+                    punish_flats.append(
+                        wrong * vocab + predicted + offset)
+        if flats:
+            flat = np.concatenate(flats)
+            w_flat = self._w_flat
+            if self._kern is not None:
+                self._kern.learn_apply(w_flat, flat,
+                                       np.concatenate(deltas), wm)
+            else:
+                vals = w_flat.take(flat)
+                vals += np.concatenate(deltas)
+                np.minimum(vals, wm, out=vals)
+                np.maximum(vals, -wm, out=vals)
+                w_flat[flat] = vals
+        if punish_flats:
+            wrong_flat = np.concatenate(punish_flats)
+            w_flat = self._w_flat
+            if self._kern is not None:
+                self._kern.punish_apply(w_flat, wrong_flat, lr, wm)
+            else:
+                wvals = w_flat.take(wrong_flat)
+                wvals -= lr
+                np.maximum(wvals, -wm, out=wvals)
+                w_flat[wrong_flat] = wvals
+
+    def _readout_all(self, actives: list[np.ndarray]) -> np.ndarray:
+        """(T, vocab) scores via one concatenated sparse accumulation."""
+        vocab = self.vocab_size
+        flats: list[np.ndarray] = []
+        cols_list: list[np.ndarray] = []
+        dense_lanes: list[int] = []
+        for t, active in enumerate(actives):
+            entry = self._readout_entry(active)
+            if entry is None:
+                dense_lanes.append(t)
+                continue
+            cols, flat = entry
+            flats.append(flat + t * self._block)
+            cols_list.append(cols + t * vocab)
+        if flats:
+            flat_all = np.concatenate(flats)
+            cols_all = np.concatenate(cols_list)
+            if self._kern is not None:
+                scores = self._kern.readout_sparse(
+                    self._w_flat, flat_all, cols_all)
+            else:
+                scores = np.bincount(cols_all,
+                                     weights=self._w_flat.take(flat_all),
+                                     minlength=self.n_lanes * vocab)
+            scores = scores.reshape(self.n_lanes, vocab)
+        else:
+            scores = np.zeros((self.n_lanes, vocab))
+        for t in dense_lanes:
+            scores[t] = np.add.reduce(
+                self.w_out[t].take(actives[t], axis=0), axis=0)
+        return scores
+
+    def _probabilities_all(self, scores: np.ndarray) -> np.ndarray:
+        """Row-wise max-shifted softmax, same arithmetic as the scalar
+        :meth:`SparseHebbianNetwork.probabilities` per row."""
+        x = scores / self.prototype._temperature
+        x -= x.max(axis=1, keepdims=True)
+        np.exp(x, out=x)
+        x /= x.sum(axis=1, keepdims=True)
+        return x
+
+    # ------------------------------------------------------------------
+    # Lane extraction
+    # ------------------------------------------------------------------
+    def reset_state(self) -> None:
+        """Clear every lane's sequence context (weights are kept)."""
+        for t in range(self.n_lanes):
+            self._prev_class[t] = None
+            self._prev_active[t] = None
+            self._prev_pred[t] = None
+            self._last_active[t] = None
+        self._last_scores = None
+        self._last_probs = None
+
+    def lane_network(self, lane: int) -> SparseHebbianNetwork:
+        """Materialize lane ``lane`` as a standalone scalar network.
+
+        The clone shares the fixed structures with the prototype (as
+        ``SparseHebbianNetwork.clone`` does) and carries the lane's
+        learned weights and sequence state, so stepping it continues the
+        lane bit-identically.
+        """
+        net = self.prototype.clone()
+        net.w_out = self.w_out[lane].copy()
+        net._prev_class = self._prev_class[lane]
+        net._prev_active = self._prev_active[lane]
+        net._prev_pred = self._prev_pred[lane]
+        net._last_active = self._last_active[lane]
+        if self._last_scores is not None:
+            net._last_scores = self._last_scores[lane].copy()
+        else:
+            net._last_scores = None
+        if self._last_probs is not None:
+            net._last_probs = self._last_probs[lane].copy()
+        else:
+            net._last_probs = None
+        net.train_steps = int(self.train_steps[lane])
+        return net

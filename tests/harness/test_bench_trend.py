@@ -1,0 +1,123 @@
+"""``repro bench trend``: extraction, pivoting, fleet rendering.
+
+The bench files' layouts drift per PR — sections appear and disappear,
+workload keys are disjoint across files, and the PR 8 fleet bench nests
+measurements inside *lists* (scaling curves).  The extractor and pivot
+must tolerate all of it without dropping cells or crashing.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.harness.bench_trend import (
+    extract_fleet_cells,
+    extract_speedups,
+    find_bench_files,
+    fleet_table,
+    trend_table,
+)
+
+
+def _write(tmp_path, name: str, payload: dict) -> None:
+    (tmp_path / name).write_text(json.dumps(payload))
+
+
+class TestExtractSpeedups:
+    def test_nested_dicts_keyed_by_path(self):
+        payload = {"simulate": {"stride-resnet": {"speedup": 2.5},
+                                "null": {"speedup": 1.0}}}
+        assert extract_speedups(payload) == {
+            "simulate/stride-resnet": 2.5, "simulate/null": 1.0}
+
+    def test_meta_keys_skipped_and_bools_ignored(self):
+        payload = {"pr": 6, "cpu_count": {"speedup": 99.0},
+                   "section": {"a": {"speedup": True},
+                               "b": {"speedup": 3.0}}}
+        assert extract_speedups(payload) == {"section/b": 3.0}
+
+    def test_lists_are_walked(self):
+        """Scaling curves (lists of measurement dicts) contribute their
+        cells instead of being silently skipped."""
+        payload = {"fleet": {"stride-null": [
+            {"tenants": 1, "speedup": 0.9},
+            {"tenants": 100, "speedup": 3.5},
+        ]}}
+        assert extract_speedups(payload) == {
+            "fleet/stride-null/0": 0.9, "fleet/stride-null/1": 3.5}
+
+    def test_non_dict_payload_is_empty(self):
+        assert extract_speedups([1, "x", None]) == {}
+
+
+class TestTrendTable:
+    def test_disjoint_workload_keys_across_files(self, tmp_path):
+        """Files measuring entirely different workloads pivot into one
+        table with '—' for the unmeasured cells."""
+        _write(tmp_path, "BENCH_PR3.json",
+               {"sim": {"alpha": {"speedup": 2.0}}})
+        _write(tmp_path, "BENCH_PR8.json",
+               {"fleet": {"beta": [{"tenants": 10, "speedup": 4.0}]}})
+        headers, rows = trend_table(tmp_path)
+        assert headers == ["workload", "PR3", "PR8"]
+        table = {row[0]: row[1:] for row in rows}
+        assert table["alpha"] == [2.0, "—"]
+        assert table["beta/0"] == ["—", 4.0]
+
+    def test_numeric_leaves_keep_named_parent(self, tmp_path):
+        _write(tmp_path, "BENCH_PR8.json",
+               {"fleet": {"a": [{"speedup": 1.5}],
+                          "b": [{"speedup": 2.5}]}})
+        _, rows = trend_table(tmp_path)
+        names = {row[0] for row in rows}
+        # Without the parent, both list cells would collide on "0".
+        assert names == {"a/0", "b/0"}
+
+    def test_find_bench_files_sorted_by_pr(self, tmp_path):
+        _write(tmp_path, "BENCH_PR10.json", {})
+        _write(tmp_path, "BENCH_PR3.json", {})
+        (tmp_path / "BENCH_notes.json").write_text("{}")
+        assert [pr for pr, _ in find_bench_files(tmp_path)] == [3, 10]
+
+
+class TestFleetTable:
+    def test_extracts_fleet_cells_with_provenance(self, tmp_path):
+        _write(tmp_path, "BENCH_PR8.json", {
+            "pr": 8,
+            "fleet": {"stride-null": [
+                {"tenants": 1, "fleet_events_per_sec": 1e5,
+                 "sequential_events_per_sec": 1.1e5, "speedup": 0.91},
+                {"tenants": 1000, "fleet_events_per_sec": 9e5,
+                 "sequential_events_per_sec": 2e5, "speedup": 4.5},
+            ]}})
+        headers, rows = fleet_table(tmp_path)
+        assert headers[0] == "PR"
+        assert rows == [
+            ["PR8", "stride-null", 1, 1e5, 1.1e5, 0.91],
+            ["PR8", "stride-null", 1000, 9e5, 2e5, 4.5],
+        ]
+
+    def test_empty_without_fleet_measurements(self, tmp_path):
+        _write(tmp_path, "BENCH_PR3.json",
+               {"sim": {"alpha": {"speedup": 2.0}}})
+        _, rows = fleet_table(tmp_path)
+        assert rows == []
+
+    def test_extract_fleet_cells_requires_both_fields(self):
+        payload = {"a": {"tenants": 5},
+                   "b": {"fleet_events_per_sec": 1.0},
+                   "c": {"tenants": 5, "fleet_events_per_sec": 1.0}}
+        labels = [label for label, _ in extract_fleet_cells(payload)]
+        assert labels == ["c"]
+
+
+def test_trend_tolerates_existing_repo_files():
+    """The real repo-root bench files must keep parsing as the layout
+    evolves (regression guard for the PR 8 list-bearing file)."""
+    files = find_bench_files(".")
+    if not files:
+        return
+    headers, rows = trend_table(".")
+    assert headers[0] == "workload"
+    assert rows
+    fleet_table(".")

@@ -1,0 +1,122 @@
+"""The fleet shard scheduler: grouping, refill, rollups, manifests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.baselines.classic import StridePrefetcher
+from repro.core.cls_prefetcher import CLSPrefetcher, CLSPrefetcherConfig
+from repro.harness.fleet import run_fleet, write_fleet_manifest
+from repro.memsim.fleet import FleetLaneSpec
+from repro.memsim.prefetcher import NullPrefetcher
+from repro.memsim.simulator import SimConfig, simulate
+from repro.nn.hebbian import SparseHebbianNetwork
+from repro.patterns import PatternSpec, generate
+from repro.telemetry import Telemetry
+
+PATTERNS = ("stride", "indirect_stride", "pointer_offset")
+
+
+def _specs(n_lanes: int, config: SimConfig, n: int = 1200) -> list:
+    return [FleetLaneSpec(
+        trace=generate(PATTERNS[i % len(PATTERNS)],
+                       PatternSpec(n=n, working_set=160, seed=i)),
+        prefetcher=StridePrefetcher(), config=config)
+        for i in range(n_lanes)]
+
+
+def test_mixed_configs_group_into_separate_cohorts() -> None:
+    """Lanes with different SimConfigs run in different cohorts, and
+    every lane still matches its sequential reference."""
+    fast = SimConfig()
+    delayed = SimConfig(prefetch_delay_accesses=4)
+    specs = _specs(3, fast) + _specs(3, delayed)
+    report = run_fleet(specs, max_width=2, record_miss_indices=True)
+    assert report.n_cohorts == 2
+    assert report.n_lanes == 6
+    for spec, outcome in zip(specs, report.outcomes):
+        reference = simulate(spec.trace, StridePrefetcher(),
+                             config=spec.config, backend="numpy",
+                             record_miss_indices=True)
+        assert outcome.result.stats.as_dict() == reference.stats.as_dict()
+        assert outcome.result.miss_indices == reference.miss_indices
+        assert outcome.result.trace_name == spec.trace.name
+        assert outcome.accesses == len(spec.trace)
+        assert outcome.wall_time_s >= 0.0
+
+
+def test_rollup_and_telemetry_counters() -> None:
+    sink = Telemetry()
+    specs = _specs(5, SimConfig())
+    report = run_fleet(specs, max_width=3, telemetry=sink)
+    rollup = report.rollup()
+    assert rollup["n_lanes"] == 5
+    assert rollup["total_accesses"] == sum(len(s.trace) for s in specs)
+    assert rollup["events_per_sec"] > 0
+    assert rollup["lane_latency_p99_s"] >= rollup["lane_latency_p50_s"] >= 0
+    assert sink.counters["fleet_lanes_completed"] == 5
+    assert sink.counters["fleet_accesses"] == rollup["total_accesses"]
+    assert sink.timers["fleet_wall"] > 0
+
+
+def test_manifest_jsonl_round_trip(tmp_path) -> None:
+    specs = _specs(4, SimConfig())
+    report = run_fleet(specs, max_width=2)
+    path = write_fleet_manifest(report, tmp_path)
+    lines = [json.loads(line)
+             for line in path.read_text().strip().splitlines()]
+    head, lanes = lines[0], lines[1:]
+    assert head["record"] == "fleet_manifest"
+    assert head["n_lanes"] == 4
+    assert "env" in head and "python" in head["env"]
+    assert len(lanes) == 4
+    for spec, lane in zip(specs, lanes):
+        assert lane["record"] == "fleet_lane"
+        assert lane["trace"] == spec.trace.name
+        assert lane["accesses"] == len(spec.trace)
+
+
+def test_rejects_nonpositive_width() -> None:
+    with pytest.raises(ValueError):
+        run_fleet(_specs(1, SimConfig()), max_width=0)
+
+
+def test_injected_model_clone_matches_config_built() -> None:
+    """CLSPrefetcher(model=prototype.clone()) — the fleet's cheap lane
+    construction — behaves bit-identically to building from config."""
+    trace = generate("stride", PatternSpec(n=1500, working_set=200,
+                                           seed=3))
+    config = CLSPrefetcherConfig(seed=9)
+    prototype = config.build_model()
+    assert isinstance(prototype, SparseHebbianNetwork)
+    injected = CLSPrefetcher(config, model=prototype.clone())
+    built = CLSPrefetcher(config)
+    sim_cfg = SimConfig()
+    got = simulate(trace, injected, config=sim_cfg, backend="numpy",
+                   record_miss_indices=True)
+    want = simulate(trace, built, config=sim_cfg, backend="numpy",
+                    record_miss_indices=True)
+    assert got.stats.as_dict() == want.stats.as_dict()
+    assert got.miss_indices == want.miss_indices
+
+
+def test_fleet_cls_lanes_from_one_prototype() -> None:
+    """run_fleet with prototype-cloned CLS lanes reproduces independent
+    simulate() runs lane for lane."""
+    cls_config = CLSPrefetcherConfig(seed=5)
+    prototype = cls_config.build_model()
+    traces = [generate(p, PatternSpec(n=1200, working_set=160, seed=i))
+              for i, p in enumerate(PATTERNS)]
+    sim_cfg = SimConfig()
+    specs = [FleetLaneSpec(
+        trace=t,
+        prefetcher=CLSPrefetcher(cls_config, model=prototype.clone()),
+        config=sim_cfg) for t in traces]
+    report = run_fleet(specs)
+    for trace, outcome in zip(traces, report.outcomes):
+        reference = simulate(trace, CLSPrefetcher(cls_config),
+                             config=sim_cfg, backend="numpy")
+        assert (outcome.result.stats.as_dict()
+                == reference.stats.as_dict())

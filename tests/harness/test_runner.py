@@ -89,10 +89,28 @@ class TestRunGrid:
 
 
 class TestResolveJobs:
-    def test_auto_detects_from_cpu_count(self):
+    def test_auto_detects_from_available_cores(self):
         import os
 
-        cores = os.cpu_count() or 1
+        try:
+            cores = len(os.sched_getaffinity(0))
+        except (AttributeError, OSError):
+            cores = os.cpu_count() or 1
+        assert resolve_jobs(None, 64) == min(cores, 64)
+
+    def test_auto_honors_affinity_mask(self, monkeypatch):
+        import repro.harness.runner as runner_mod
+
+        monkeypatch.setattr(runner_mod.os, "sched_getaffinity",
+                            lambda pid: {0, 1, 2}, raising=False)
+        assert resolve_jobs(None, 64) == 3
+
+    def test_auto_falls_back_without_affinity_api(self, monkeypatch):
+        import repro.harness.runner as runner_mod
+
+        monkeypatch.delattr(runner_mod.os, "sched_getaffinity",
+                            raising=False)
+        cores = runner_mod.os.cpu_count() or 1
         assert resolve_jobs(None, 64) == min(cores, 64)
 
     def test_auto_caps_at_grid_size(self):

@@ -1,0 +1,217 @@
+"""Fuzz-pins the (tenant, slot) FleetPageCache against the reference.
+
+Every lane of :class:`repro.memsim.fleet_cache.FleetPageCache` must be
+observationally identical to an independent
+:class:`repro.memsim.ReferencePageCache`: same scalar return values,
+same residency order, and every ``CacheStats`` counter equal after every
+operation — under arbitrary cross-lane interleavings (lanes share the
+victim-queue matrices and the batched refill path, so interleaving is
+exactly what could break isolation).
+
+The vectorized entry points (``hit_walk`` / ``fill_step``) are checked
+against per-access scalar replays of the same streams on reference
+caches, and a hypothesis sweep drives randomized op sequences through a
+lane wedged between two noisy neighbors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim import CacheStats, ReferencePageCache
+from repro.memsim.fleet_cache import FleetPageCache
+from repro.memsim.pagecache import MISS
+from repro.seeding import child_rng
+
+#: Tight page universe relative to capacity so evictions, redundant
+#: prefetches and prefetch hits occur constantly (as in the single-tenant
+#: fuzz suite).
+N_PAGES = 24
+#: Prefetches draw from a wider range so the out-of-universe dict overlay
+#: (speculative prefetch pages) is exercised too.
+N_PREFETCH_PAGES = N_PAGES + 8
+CAPACITIES = (8, 3, 8, 5, 1)
+N_OPS = 1_500
+
+
+def _counters(stats: CacheStats) -> dict:
+    return stats.as_dict()
+
+
+def _make_fleet() -> tuple[FleetPageCache, list[ReferencePageCache]]:
+    fleet = FleetPageCache(len(CAPACITIES), slot_capacity=max(CAPACITIES),
+                          universe_capacity=N_PAGES)
+    universe = np.arange(N_PAGES, dtype=np.int64)
+    refs = []
+    for lane, cap in enumerate(CAPACITIES):
+        fleet.attach_lane(lane, cap, universe)
+        refs.append(ReferencePageCache(cap))
+    return fleet, refs
+
+
+def _random_op(rng: np.random.Generator, fleet: FleetPageCache, lane: int,
+               ref: ReferencePageCache) -> None:
+    op = int(rng.integers(0, 4))
+    store = bool(rng.integers(0, 2))
+    if op == 0:  # demand access (miss left unfilled: cold re-probe)
+        page = int(rng.integers(0, N_PAGES))
+        assert fleet.access(lane, page, store) == ref.access(page, store)
+    elif op == 1:  # access-then-fill, the simulator's miss protocol
+        page = int(rng.integers(0, N_PAGES))
+        got = fleet.access(lane, page, store)
+        want = ref.access(page, store)
+        assert got == want
+        if want == MISS:
+            fleet.fill(lane, page, store)
+            ref.fill(page, store)
+    elif op == 2:  # bare fill (refresh path when already resident)
+        page = int(rng.integers(0, N_PAGES))
+        fleet.fill(lane, page, store)
+        ref.fill(page, store)
+    else:  # prefetch insert, possibly out-of-universe (overlay path)
+        page = int(rng.integers(0, N_PREFETCH_PAGES))
+        assert fleet.insert_prefetch(lane, page) == ref.insert_prefetch(page)
+
+
+def _assert_lane_matches(fleet: FleetPageCache, lane: int,
+                         ref: ReferencePageCache) -> None:
+    assert _counters(fleet.lane_stats(lane)) == _counters(ref.stats)
+    assert fleet.resident_pages(lane) == ref.resident_pages()
+    assert fleet.lane_len(lane) == len(ref)
+
+
+@pytest.mark.parametrize("stream", range(6))
+def test_fuzz_interleaved_scalar_ops_match_reference(stream: int) -> None:
+    rng = child_rng(20480, stream)
+    fleet, refs = _make_fleet()
+    for _ in range(N_OPS):
+        lane = int(rng.integers(0, len(CAPACITIES)))
+        _random_op(rng, fleet, lane, refs[lane])
+        _assert_lane_matches(fleet, lane, refs[lane])
+    for lane, ref in enumerate(refs):
+        _assert_lane_matches(fleet, lane, ref)
+
+
+@pytest.mark.parametrize("stream", range(4))
+def test_fuzz_vectorized_steps_match_reference(stream: int) -> None:
+    """hit_walk / fill_step vs per-access scalar replay on the reference.
+
+    Each round mirrors the fleet engine: walk every lane through its hit
+    run (limit = stream length), then resolve the stalled lanes' misses
+    with one ``fill_step``.  Prefetch inserts between rounds put
+    undemanded pages in front of the walk and pollution in front of the
+    batched evictions.
+    """
+    rng = child_rng(20481, stream)
+    n_lanes = len(CAPACITIES)
+    length = 400
+    fleet, refs = _make_fleet()
+    cids2d = rng.integers(0, N_PAGES, size=(n_lanes, length)).astype(np.int64)
+    stores2d = rng.integers(0, 2, size=(n_lanes, length)).astype(bool)
+    pos = np.zeros(n_lanes, dtype=np.int64)
+    limit = np.full(n_lanes, length, dtype=np.int64)
+    ref_pos = [0] * n_lanes
+    while True:
+        active = np.flatnonzero(pos < limit)
+        if active.size == 0:
+            break
+        if int(rng.integers(0, 3)) == 0:  # prefetch noise between rounds
+            lane = int(active[rng.integers(0, active.size)])
+            page = int(rng.integers(0, N_PREFETCH_PAGES))
+            assert (fleet.insert_prefetch(lane, page)
+                    == refs[lane].insert_prefetch(page))
+        fleet.hit_walk(active, cids2d, stores2d, pos, limit)
+        # Reference replay of the same hit runs, per access.
+        for lane in active.tolist():
+            ref = refs[lane]
+            while ref_pos[lane] < int(pos[lane]):
+                i = ref_pos[lane]
+                outcome = ref.access(int(cids2d[lane, i]),
+                                     bool(stores2d[lane, i]))
+                assert outcome != MISS
+                ref_pos[lane] += 1
+            _assert_lane_matches(fleet, lane, ref)
+        miss_lanes = active[pos[active] < limit[active]]
+        if miss_lanes.size:
+            p = pos[miss_lanes]
+            cids = cids2d[miss_lanes, p]
+            stores = stores2d[miss_lanes, p]
+            fleet.fill_step(miss_lanes, cids, cids, stores)
+            pos[miss_lanes] = p + 1
+            for lane, page, store in zip(miss_lanes.tolist(), cids.tolist(),
+                                         stores.tolist()):
+                ref = refs[lane]
+                assert ref.access(int(page), bool(store)) == MISS
+                ref.fill(int(page), bool(store))
+                ref_pos[lane] += 1
+                _assert_lane_matches(fleet, lane, ref)
+    for lane, ref in enumerate(refs):
+        _assert_lane_matches(fleet, lane, ref)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=st.lists(st.tuples(st.integers(0, 3), st.integers(0, N_PAGES + 3),
+                              st.booleans()),
+                    min_size=1, max_size=120),
+       capacity=st.integers(1, 6))
+def test_hypothesis_lane_matches_reference(
+        ops: list[tuple[int, int, bool]], capacity: int) -> None:
+    """A lane wedged between two busy neighbors stays bit-identical."""
+    fleet = FleetPageCache(3, slot_capacity=8, universe_capacity=N_PAGES)
+    universe = np.arange(N_PAGES, dtype=np.int64)
+    for lane, cap in enumerate((8, capacity, 4)):
+        fleet.attach_lane(lane, cap, universe)
+    ref = ReferencePageCache(capacity)
+    noise = 0
+    for op, page, store in ops:
+        # Neighbor churn on lanes 0 and 2: must not leak into lane 1.
+        fleet.fill(0, noise % N_PAGES, store=bool(noise % 2))
+        fleet.insert_prefetch(2, noise % (N_PAGES + 3))
+        noise += 1
+        if op == 0:
+            assert fleet.access(1, page, store) == ref.access(page, store)
+        elif op == 1:
+            got = fleet.access(1, page, store)
+            want = ref.access(page, store)
+            assert got == want
+            if want == MISS:
+                fleet.fill(1, page, store)
+                ref.fill(page, store)
+        elif op == 2:
+            fleet.fill(1, page, store)
+            ref.fill(page, store)
+        else:
+            assert fleet.insert_prefetch(1, page) == ref.insert_prefetch(page)
+        _assert_lane_matches(fleet, 1, ref)
+
+
+def test_reset_lane_reuses_slot_cleanly() -> None:
+    """Drain-and-refill: a reset lane behaves like a fresh cache."""
+    fleet, refs = _make_fleet()
+    rng = child_rng(20482, 0)
+    for _ in range(300):
+        lane = int(rng.integers(0, len(CAPACITIES)))
+        _random_op(rng, fleet, lane, refs[lane])
+    fleet.attach_lane(2, 4, np.arange(N_PAGES, dtype=np.int64))
+    ref = ReferencePageCache(4)
+    for _ in range(300):
+        _random_op(rng, fleet, 2, ref)
+        _assert_lane_matches(fleet, 2, ref)
+    # The untouched neighbors kept their state across the refill.
+    _assert_lane_matches(fleet, 0, refs[0])
+    _assert_lane_matches(fleet, 1, refs[1])
+
+
+def test_attach_lane_validates_dimensions() -> None:
+    fleet = FleetPageCache(2, slot_capacity=4, universe_capacity=8)
+    with pytest.raises(ValueError):
+        fleet.attach_lane(0, 5, np.arange(8, dtype=np.int64))
+    with pytest.raises(ValueError):
+        fleet.attach_lane(0, 0, np.arange(8, dtype=np.int64))
+    with pytest.raises(ValueError):
+        fleet.attach_lane(0, 4, np.arange(9, dtype=np.int64))
+    with pytest.raises(ValueError):
+        FleetPageCache(0, 1, 1)

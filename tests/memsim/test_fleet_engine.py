@@ -1,0 +1,170 @@
+"""Fleet-vs-sequential bit-identity for the multi-tenant engine.
+
+A :class:`repro.memsim.fleet.FleetCohort` running N lanes must be
+observationally identical to N independent ``simulate()`` calls: the
+same :class:`CacheStats` counters, the same miss indices, and — for
+learning prefetchers — the same learned weights, on every backend
+(pure-numpy lockstep and the compiled fleet kernels) and with nonzero
+prefetch landing delays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.classic import StridePrefetcher
+from repro.core.cls_prefetcher import CLSPrefetcher, CLSPrefetcherConfig
+from repro.memsim.fleet import FleetCohort, FleetLaneSpec, run_cohort
+from repro.memsim.prefetcher import NullPrefetcher
+from repro.memsim.simulator import SimConfig, SimResult, simulate
+from repro.nn.backends import available_backends
+from repro.patterns import PatternSpec, generate
+
+BACKENDS = list(available_backends("sim"))
+COMPILED = [b for b in BACKENDS if b != "numpy"]
+
+PATTERNS = ("stride", "pointer_chase", "indirect_stride", "pointer_offset")
+
+
+def _traces(n: int = 2500, working_set: int = 240) -> list:
+    return [generate(pattern, PatternSpec(n=n, working_set=working_set,
+                                          seed=seed))
+            for seed, pattern in enumerate(PATTERNS)]
+
+
+def _reference(spec: FleetLaneSpec, prefetcher) -> SimResult:
+    return simulate(spec.trace, prefetcher, config=spec.config,
+                    backend="numpy", record_miss_indices=True)
+
+
+def _assert_matches(got: SimResult, want: SimResult) -> None:
+    assert got.stats.as_dict() == want.stats.as_dict()
+    assert got.miss_indices == want.miss_indices
+    assert got.capacity_pages == want.capacity_pages
+    assert got.engine_used == "fleet"
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("delay", [0, 3])
+def test_null_fleet_matches_sequential(backend: str, delay: int) -> None:
+    config = SimConfig(prefetch_delay_accesses=delay)
+    specs = [FleetLaneSpec(trace=t, prefetcher=NullPrefetcher(),
+                           config=config) for t in _traces()]
+    results = run_cohort(specs, backend=backend, record_miss_indices=True)
+    assert [r.backend_used for r in results] == [backend] * len(specs)
+    for spec, got in zip(specs, results):
+        _assert_matches(got, _reference(spec, NullPrefetcher()))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cls_fleet_matches_sequential_including_weights(
+        backend: str) -> None:
+    """Learning lanes reproduce stats, misses AND learned CLS weights."""
+    config = SimConfig(prefetch_delay_accesses=2)
+    specs = [FleetLaneSpec(trace=t,
+                           prefetcher=CLSPrefetcher(CLSPrefetcherConfig(
+                               seed=7)),
+                           config=config) for t in _traces(n=1800)]
+    results = run_cohort(specs, backend=backend, record_miss_indices=True)
+    for spec, got in zip(specs, results):
+        reference_prefetcher = CLSPrefetcher(CLSPrefetcherConfig(seed=7))
+        _assert_matches(got, _reference(spec, reference_prefetcher))
+        fleet_model = spec.prefetcher.model
+        reference_model = reference_prefetcher.model
+        for attr in ("w_in", "w_out"):
+            fleet_w = getattr(fleet_model, attr, None)
+            if fleet_w is not None:
+                assert np.array_equal(fleet_w,
+                                      getattr(reference_model, attr))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_mixed_cohort_null_and_learning_lanes(backend: str) -> None:
+    """Null and CLS lanes share one cohort without cross-talk (the null
+    fast path runs alongside the round loop)."""
+    config = SimConfig()
+    traces = _traces(n=1500)
+    specs = []
+    for i, trace in enumerate(traces):
+        if i % 2 == 0:
+            specs.append(FleetLaneSpec(trace=trace,
+                                       prefetcher=NullPrefetcher(),
+                                       config=config))
+        else:
+            specs.append(FleetLaneSpec(
+                trace=trace,
+                prefetcher=CLSPrefetcher(CLSPrefetcherConfig(seed=3)),
+                config=config))
+    results = run_cohort(specs, backend=backend, record_miss_indices=True)
+    for i, (spec, got) in enumerate(zip(specs, results)):
+        reference_prefetcher = (NullPrefetcher() if i % 2 == 0 else
+                                CLSPrefetcher(CLSPrefetcherConfig(seed=3)))
+        _assert_matches(got, _reference(spec, reference_prefetcher))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_drain_refill_narrow_cohort(backend: str) -> None:
+    """More lanes than slots: finished lanes drain and pending specs
+    refill their slots; results still map back to spec order."""
+    config = SimConfig()
+    base = _traces(n=1200)
+    # 10 lanes through a width-3 cohort, lengths varied so lanes finish
+    # out of order.
+    specs = [FleetLaneSpec(trace=base[i % len(base)].slice(
+                 0, 600 + 97 * i, name=f"lane{i}"),
+                 prefetcher=StridePrefetcher(), config=config)
+             for i in range(10)]
+    results = run_cohort(specs, backend=backend, record_miss_indices=True,
+                         width=3)
+    assert len(results) == len(specs)
+    for spec, got in zip(specs, results):
+        assert got.trace_name == spec.trace.name
+        _assert_matches(got, _reference(spec, StridePrefetcher()))
+
+
+def test_rejects_per_access_observers() -> None:
+    class Watcher(StridePrefetcher):
+        wants_accesses = True
+
+        def on_access(self, event) -> None:
+            pass
+
+    trace = _traces(n=600)[0]
+    specs = [FleetLaneSpec(trace=trace, prefetcher=Watcher())]
+    with pytest.raises(ValueError, match="per-access"):
+        run_cohort(specs)
+
+
+def test_load_validates_slot_and_trace() -> None:
+    trace = _traces(n=600)[0]
+    spec = FleetLaneSpec(trace=trace, prefetcher=NullPrefetcher())
+    cohort = FleetCohort.for_specs([spec], width=1)
+    cohort.load(0, spec)
+    with pytest.raises(ValueError, match="still active"):
+        cohort.load(0, spec)
+    long_spec = FleetLaneSpec(trace=_traces(n=900)[1],
+                              prefetcher=NullPrefetcher())
+    cohort.run_to_completion()
+    with pytest.raises(ValueError, match="outside"):
+        cohort.load(0, long_spec)
+
+
+@pytest.mark.parametrize("backend", COMPILED or ["__none__"])
+def test_compiled_and_numpy_fleets_agree(backend: str) -> None:
+    """Cross-backend equivalence of the fleet itself (not just vs the
+    scalar engine): compiled fleet kernels == numpy lockstep."""
+    if backend == "__none__":
+        pytest.skip("no compiled sim backend available")
+    config = SimConfig(prefetch_delay_accesses=1)
+    specs = [FleetLaneSpec(trace=t, prefetcher=StridePrefetcher(),
+                           config=config) for t in _traces(n=2000)]
+    compiled = run_cohort(specs, backend=backend, record_miss_indices=True)
+    numpy_specs = [FleetLaneSpec(trace=s.trace,
+                                 prefetcher=StridePrefetcher(),
+                                 config=config) for s in specs]
+    plain = run_cohort(numpy_specs, backend="numpy",
+                       record_miss_indices=True)
+    for got, want in zip(compiled, plain):
+        assert got.stats.as_dict() == want.stats.as_dict()
+        assert got.miss_indices == want.miss_indices

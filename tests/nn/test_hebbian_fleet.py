@@ -1,0 +1,128 @@
+"""Per-lane bit-identity of the tenant-axis batched Hebbian fleet.
+
+A :class:`repro.nn.hebbian_fleet.HebbianFleet` stepping T class streams
+must reproduce T independent clones of the prototype stepping the same
+streams — identical probabilities every step, identical learned weights
+at the end, and a materialized ``lane_network`` must continue its lane
+bit-identically — on every float backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.backends import available_backends
+from repro.nn.hebbian import HebbianConfig, SparseHebbianNetwork
+from repro.nn.hebbian_fleet import HebbianFleet
+from repro.seeding import child_rng
+
+#: int8 serves from a quantized mirror the fleet deliberately rejects.
+BACKENDS = [b for b in available_backends("nn") if b != "int8"]
+
+N_LANES = 5
+VOCAB = 48
+ROUNDS = 160
+
+
+def _prototype(backend: str, *, punish: bool = True,
+               pretrain: int = 40) -> SparseHebbianNetwork:
+    net = SparseHebbianNetwork(HebbianConfig(
+        vocab_size=VOCAB, hidden_dim=240, punish_wrong=punish, seed=11,
+        backend=backend))
+    rng = child_rng(30480, 0)
+    for _ in range(pretrain):
+        net.step(int(rng.integers(0, VOCAB)))
+    net.reset_state()
+    return net
+
+
+def _streams(seed_stream: int) -> np.ndarray:
+    rng = child_rng(30481, seed_stream)
+    # Skewed per-lane streams: lane t cycles mostly within its own band
+    # so transitions repeat (exercising the shared memo) but lanes learn
+    # different weights.
+    base = rng.integers(0, VOCAB, size=(ROUNDS, N_LANES))
+    band = (np.arange(N_LANES) * 7) % VOCAB
+    mix = rng.integers(0, 4, size=(ROUNDS, N_LANES)) > 0
+    return np.where(mix, (base % 11) + band[None, :], base) % VOCAB
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("punish", [True, False])
+def test_fleet_matches_independent_clones(backend: str,
+                                          punish: bool) -> None:
+    proto = _prototype(backend, punish=punish)
+    fleet = HebbianFleet(proto, N_LANES)
+    clones = [proto.clone() for _ in range(N_LANES)]
+    streams = _streams(0)
+    for step in range(ROUNDS):
+        probs = fleet.step_all(streams[step])
+        for t, clone in enumerate(clones):
+            want = clone.step(int(streams[step, t]))
+            assert np.array_equal(probs[t], want), (backend, step, t)
+    for t, clone in enumerate(clones):
+        assert np.array_equal(fleet.w_out[t], clone.w_out), (backend, t)
+        assert int(fleet.train_steps[t]) == clone.train_steps
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_lane_network_continues_bit_identically(backend: str) -> None:
+    proto = _prototype(backend)
+    fleet = HebbianFleet(proto, N_LANES)
+    clones = [proto.clone() for _ in range(N_LANES)]
+    streams = _streams(1)
+    half = ROUNDS // 2
+    for step in range(half):
+        fleet.step_all(streams[step])
+        for t, clone in enumerate(clones):
+            clone.step(int(streams[step, t]))
+    for t, clone in enumerate(clones):
+        lane = fleet.lane_network(t)
+        assert np.array_equal(lane.w_out, clone.w_out)
+        for step in range(half, ROUNDS):
+            got = lane.step(int(streams[step, t]))
+            want = clone.step(int(streams[step, t]))
+            assert np.array_equal(got, want), (backend, step, t)
+
+
+def test_fleet_starts_from_prototype_weights() -> None:
+    proto = _prototype("numpy")
+    fleet = HebbianFleet(proto, 3)
+    for t in range(3):
+        assert np.array_equal(fleet.w_out[t], proto.w_out)
+    # Lane weights are copies: learning must not write back.
+    fleet.step_all([0, 1, 2])
+    fleet.step_all([1, 2, 3])
+    assert np.array_equal(proto.w_out,
+                          _prototype("numpy").w_out)
+
+
+def test_rejects_unsupported_prototypes() -> None:
+    plastic = SparseHebbianNetwork(HebbianConfig(
+        vocab_size=16, hidden_dim=64, plastic_hidden=True,
+        backend="numpy"))
+    with pytest.raises(ValueError, match="plastic_hidden"):
+        HebbianFleet(plastic, 2)
+    int8 = SparseHebbianNetwork(HebbianConfig(
+        vocab_size=16, hidden_dim=64, backend="int8"))
+    with pytest.raises(ValueError, match="int8"):
+        HebbianFleet(int8, 2)
+    with pytest.raises(ValueError, match="positive"):
+        HebbianFleet(_prototype("numpy", pretrain=0), 0)
+
+
+def test_rollout_from_lane_network_matches() -> None:
+    """predict_rollout on a materialized lane equals the clone's."""
+    proto = _prototype("numpy")
+    fleet = HebbianFleet(proto, 2)
+    clones = [proto.clone() for _ in range(2)]
+    streams = _streams(2)
+    for step in range(60):
+        fleet.step_all(streams[step, :2])
+        for t, clone in enumerate(clones):
+            clone.step(int(streams[step, t]))
+    for t, clone in enumerate(clones):
+        lane = fleet.lane_network(t)
+        assert lane.predict_rollout(width=2, length=3) == \
+            clone.predict_rollout(width=2, length=3)
