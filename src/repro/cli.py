@@ -187,6 +187,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cohort slot count (lanes beyond it queue "
                             "and refill freed slots)")
     fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for cohort sharding "
+                            "(default: auto-detect from CPU affinity; "
+                            "under two means run serially in-process)")
     fleet.add_argument("--backend",
                        choices=["auto", "numpy", "numba", "c"],
                        default="auto")
@@ -416,9 +420,48 @@ def _build_prefetcher(args: argparse.Namespace) -> Prefetcher:
 
 def cmd_fleet(args: argparse.Namespace) -> int:
     from .harness.fleet import run_fleet, write_fleet_manifest
+    from .harness.runner import resolve_jobs
     from .memsim.fleet import FleetLaneSpec
 
     patterns = args.pattern or list(PATTERN_NAMES)
+    workers = resolve_jobs(args.jobs, args.tenants)
+    if workers > 1:
+        # Sharded path: JSON lane jobs, materialized inside each worker
+        # (see harness.fleet.materialize_lane_spec — same lane recipe as
+        # the in-process builder below).
+        from .harness.fleet import run_fleet_jobs, write_fleet_jobs_manifest
+
+        job_kind = ("cls-hebbian" if args.model == "hebbian"
+                    else args.model)
+        lane_jobs = []
+        for tenant in range(args.tenants):
+            job: dict = {
+                "pattern": patterns[tenant % len(patterns)],
+                "n": args.n,
+                "working_set": args.working_set,
+                "seed": args.seed + tenant,
+                "prefetcher": job_kind,
+                "sim": {"memory_fraction": args.memory_fraction,
+                        "prefetch_delay_accesses": args.delay},
+            }
+            if job_kind == "cls-hebbian":
+                job["cls"] = {"vocab": args.vocab, "seed": args.seed}
+            lane_jobs.append(job)
+        jobs_report = run_fleet_jobs(lane_jobs, jobs=workers,
+                                     backend=args.backend,
+                                     max_width=args.width)
+        rollup = jobs_report.rollup()
+        print_table(["metric", "value"],
+                    [[key, value] for key, value in rollup.items()],
+                    title=f"Fleet — {args.tenants} tenants x {args.n} "
+                          f"accesses ({args.model}, "
+                          f"{jobs_report.jobs} jobs)")
+        if args.manifest_dir is not None:
+            path = write_fleet_jobs_manifest(jobs_report,
+                                             args.manifest_dir)
+            print(f"manifest: {path}")
+        return 0
+
     sim_cfg = SimConfig(memory_fraction=args.memory_fraction,
                         prefetch_delay_accesses=args.delay)
     prototype = None

@@ -1,0 +1,217 @@
+"""Stacked Hebbian stepping for groups of CLS lanes in a fleet cohort.
+
+:class:`CLSFleetGroup` is the bridge between the cohort engine
+(``memsim/fleet.py``) and the tenant-axis batched network
+(``nn/hebbian_fleet.py``): same-config CLS lanes adopt their models into
+one :class:`~repro.nn.hebbian_fleet.HebbianFleet` and, at each cohort
+round, every stalled lane's miss flows through **one** stacked
+step/replay/rollout call per group instead of L scalar
+``on_miss_fast`` calls.
+
+Bit-identity contract — each statement below names its scalar
+counterpart in :meth:`CLSPrefetcher.on_miss_fast` → ``_ingest`` →
+``_predict``, and the phases preserve every within-lane ordering
+(cross-lane order is free: lanes share no mutable state, and the
+prototype's memo caches are pure memoization over fixed structures):
+
+* **Phase A (observe, per lane)** — miss counter, encoder observe,
+  phase detection, confidence/EMA update against the *previous* probs,
+  training-policy decision, episode record, recall store: everything in
+  ``_ingest`` before the inlined ``model.step`` hot branch.
+* **Phase B (stacked step)** — one ``HebbianFleet.step_lanes`` call
+  replaces each lane's ``self._last_probs = self.model.step(...)``.
+* **Phase C (stacked replay)** — the trained-lane bookkeeping, with
+  ``ReplayScheduler.select_pairs`` drawing each lane's episodes (same
+  RNG stream, same counters as ``scheduler.step``) and one
+  ``train_pairs_lanes`` call applying them.
+* **Phase D (advance, per lane)** — history push and ``_prev_class``,
+  the ``_ingest`` tail.
+* **Phase E (stacked predict)** — the ``_predict`` accuracy gate per
+  lane, one ``rollout_lanes`` call for the survivors, then each lane's
+  ``_decode_rollout`` (the literal scalar decode tail).
+
+Eligibility is decided by :meth:`CLSPrefetcher.fleet_steppable` and
+grouping by :meth:`CLSPrefetcher.fleet_group_key`; ineligible lanes
+keep the scalar per-miss path in the cohort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.hebbian import SparseHebbianNetwork
+from ..nn.hebbian_fleet import HebbianFleet
+from .cls_prefetcher import CLSPrefetcher
+from .hippocampus import Episode
+from .history import MissRecord
+from .recall import HippocampalRecall
+
+__all__ = ["CLSFleetGroup"]
+
+
+class CLSFleetGroup:
+    """Same-config CLS lanes stepped through one :class:`HebbianFleet`.
+
+    Members adopt their live networks into fleet slots (:meth:`adopt`)
+    and take them back, bit-identical, when their lane finishes
+    (:meth:`release`); in between, :meth:`handle_misses` drives each
+    cohort round's stalled-lane misses through the stacked path.
+    """
+
+    def __init__(self, prefetcher: CLSPrefetcher,
+                 capacity: int = 16) -> None:
+        model = prefetcher.model
+        assert isinstance(model, SparseHebbianNetwork)
+        # The prototype contributes only fixed structures and memo
+        # caches (reserve mode never reads its weights), so the first
+        # member's model serves as-is.
+        self._fleet = HebbianFleet(model, max(capacity, 1), reserve=True)
+        self._members: dict[int, CLSPrefetcher] = {}
+
+    def adopt(self, prefetcher: CLSPrefetcher) -> int:
+        """Move a lane's model into the fleet; returns its slot."""
+        model = prefetcher.model
+        assert isinstance(model, SparseHebbianNetwork)
+        slot = self._fleet.acquire_lane(model)
+        self._members[slot] = prefetcher
+        return slot
+
+    def release(self, slot: int, prefetcher: CLSPrefetcher) -> None:
+        """Hand the slot's state back to the lane's own model."""
+        model = prefetcher.model
+        assert isinstance(model, SparseHebbianNetwork)
+        self._fleet.release_lane(slot, model)
+        del self._members[slot]
+
+    def handle_misses(self, slots: list[int], addresses: list[int],
+                      pages: list[int],
+                      timestamps: list[int]) -> list[list[int]]:
+        """One cohort round of misses, stacked; returns per-lane pages.
+
+        ``slots[i]`` missed on ``addresses[i]`` (page ``pages[i]``) at
+        ``timestamps[i]``; the result row ``i`` equals what
+        ``on_miss_fast`` would have returned for that lane.
+        """
+        n = len(slots)
+        results: list[list[int]] = [[] for _ in range(n)]
+        fleet = self._fleet
+
+        # Phase A — everything in _ingest before the model step.
+        live: list[int] = []
+        lanes: list[int] = []
+        classes: list[int] = []
+        trains: list[bool] = []
+        phases: list[int] = []
+        for row in range(n):
+            p = self._members[slots[row]]
+            address = addresses[row]
+            p.stats.misses_seen += 1
+            class_id = p._encoder_observe(address)
+            if class_id is None:
+                continue  # scalar: _ingest returns None -> []
+            phase = -1
+            detector = p.phase_detector
+            if p._hinted_phase is not None:
+                phase = p._hinted_phase
+            elif detector is not None:
+                phase = detector.observe(
+                    (address >> p._region_shift) % p._PHASE_FEATURE_BINS)
+                p.stats.phases_seen = detector.n_phases
+            scored_probs = p._last_probs
+            confidence = (scored_probs.item(class_id)
+                          if scored_probs is not None else 0.0)
+            transition = (None if p._prev_class is None
+                          else (p._prev_class, class_id))
+            if scored_probs is not None:
+                ema_top = p._ema_top
+                if ema_top is not None and ema_top[0] is scored_probs:
+                    covered = class_id in ema_top[1]
+                else:
+                    top = np.argpartition(scored_probs,
+                                          -p._width)[-p._width:]
+                    covered = class_id in top
+                alpha = p._alpha
+                p.accuracy_ema = ((1 - alpha) * p.accuracy_ema
+                                  + alpha * float(covered))
+            train = (transition is not None
+                     and p._should_train(confidence))
+            if transition is not None and p.scheduler is not None:
+                p.scheduler.record(Episode(
+                    input_class=transition[0],
+                    target_class=transition[1],
+                    phase_id=phase,
+                    confidence=confidence,
+                    timestamp=timestamps[row],
+                ))
+            if p.recall_memory is not None and transition is not None:
+                if (p.recall_memory.occupancy()
+                        > p.config.recall_occupancy_reset):
+                    p.recall_memory = HippocampalRecall(
+                        p.recall_memory.config)
+                p.recall_memory.store(*transition)
+            live.append(row)
+            lanes.append(slots[row])
+            classes.append(class_id)
+            trains.append(train)
+            phases.append(phase)
+        if not live:
+            return results
+
+        # Phase B — the stacked model step.
+        probs = fleet.step_lanes(lanes, classes, trains)
+        for i, row in enumerate(live):
+            self._members[slots[row]]._last_probs = probs[i]
+
+        # Phase C — trained-step bookkeeping and stacked replay.
+        replay_lanes: list[int] = []
+        replay_pairs: list[list[tuple[int, int]]] = []
+        replay_scales: list[float] = []
+        for i, row in enumerate(live):
+            if not trains[i]:
+                continue
+            p = self._members[slots[row]]
+            p.stats.trained_steps += 1
+            scheduler = p.scheduler
+            if scheduler is None:
+                continue
+            phase = phases[i]
+            pairs = scheduler.select_pairs(phase if phase >= 0 else None)
+            p.stats.replayed_pairs += len(pairs)
+            if pairs:
+                replay_lanes.append(lanes[i])
+                replay_pairs.append(pairs)
+                replay_scales.append(scheduler.lr_scale)
+        if replay_lanes:
+            fleet.train_pairs_lanes(replay_lanes, replay_pairs,
+                                    replay_scales)
+
+        # Phase D — the _ingest tail.
+        for i, row in enumerate(live):
+            p = self._members[slots[row]]
+            p._history_push(MissRecord(classes[i], addresses[row],
+                                       timestamps[row]))
+            p._prev_class = classes[i]
+
+        # Phase E — the accuracy gate, one stacked rollout, and the
+        # scalar decode tail per surviving lane.
+        roll_rows: list[int] = []
+        roll_lanes: list[int] = []
+        widths: list[int] = []
+        lengths: list[int] = []
+        for i, row in enumerate(live):
+            p = self._members[slots[row]]
+            if (p._min_accuracy > 0
+                    and p.accuracy_ema < p._min_accuracy):
+                p.stats.suppressed_low_confidence += 1
+                continue
+            roll_rows.append(row)
+            roll_lanes.append(lanes[i])
+            widths.append(p._width)
+            lengths.append(p._length)
+        if roll_rows:
+            rollouts = fleet.rollout_lanes(roll_lanes, widths, lengths)
+            for row, rollout in zip(roll_rows, rollouts):
+                p = self._members[slots[row]]
+                results[row] = p._decode_rollout(addresses[row],
+                                                 pages[row], rollout)
+        return results

@@ -316,6 +316,39 @@ class CLSPrefetcher:
             counters.update(self.scheduler.telemetry_counters())
         return counters
 
+    def fleet_steppable(self) -> bool:
+        """True when the fleet engine may batch this prefetcher's misses.
+
+        The stacked path (``core/cls_fleet.py``) mirrors exactly the
+        inlined rollout-mode hot branch of ``_ingest``: a Hebbian model
+        with fixed hidden projections and a float serving path, no
+        availability manager, no batch-accumulate training policy, and
+        a replay scheduler (if any) whose ``step`` reduces to
+        ``train_pairs`` (non-generative, no ``on_replayed`` hook).
+        Everything else keeps the scalar per-miss path.
+        """
+        model = self.model
+        scheduler = self.scheduler
+        return (isinstance(model, SparseHebbianNetwork)
+                and not model.config.plastic_hidden
+                and model._backend != "int8"
+                and self.manager is None
+                and not self._direct
+                and self._batch_policy is None
+                and not self.wants_accesses
+                and (scheduler is None
+                     or (scheduler._generate is None
+                         and scheduler._on_replayed is None)))
+
+    def fleet_group_key(self) -> tuple[HebbianConfig, str]:
+        """Lanes with equal keys may share one :class:`HebbianFleet`:
+        equal configs build value-identical fixed structures (the
+        construction is seeded by the config), and the backend decides
+        which kernel bundle steps them."""
+        model = self.model
+        assert isinstance(model, SparseHebbianNetwork)
+        return (model.config, model._backend)
+
     def on_miss(self, event: MissEvent) -> list[int]:
         """Observe a demand miss; return pages to prefetch."""
         return self.on_miss_fast(event.index, event.address, event.page,
@@ -506,6 +539,14 @@ class CLSPrefetcher:
         if model_rollout is None:
             model_rollout = self._live.predict_rollout
         rollout = model_rollout(self._width, self._length)
+        return self._decode_rollout(miss_address, miss_page, rollout)
+
+    def _decode_rollout(self, miss_address: int, miss_page: int,
+                        rollout: list[list[tuple[int, float]]]) -> list[int]:
+        """Decode a beam rollout into page prefetches (the ``_predict``
+        tail).  Split out so the fleet miss path — which computes the
+        rollout batched across lanes — shares the recall consult, the
+        decode loop, and every counter with the scalar path verbatim."""
         if rollout and self._ema_memo_ok and self._last_probs is not None:
             # Memoize the first step's top-width classes for the next
             # miss's accuracy-EMA update (same probs vector, same set).

@@ -362,6 +362,32 @@ class ReplayScheduler:
         self.replayed_total += count
         return count
 
+    def select_pairs(self,
+                     current_phase: int | None = None
+                     ) -> list[tuple[int, int]]:
+        """The fleet-path split of :meth:`step`: same bookkeeping, same
+        RNG draws, but the *caller* applies the training.
+
+        Valid only for policies the batched fleet path accepts —
+        non-generative, no ``on_replayed`` hook — on models whose
+        ``train_pairs`` is sequential-equivalent: under those conditions
+        ``step`` reduces to ``model.train_pairs(select_pairs(...))``, so
+        handing the pairs out lets a fleet fuse the training across
+        lanes while every counter and every RNG draw stays identical.
+        """
+        if self._generate is not None or self._on_replayed is not None:
+            raise ValueError("select_pairs requires a non-generative "
+                             "policy without an on_replayed hook")
+        if self.per_step == 0:
+            return []
+        self.invocations += 1
+        episodes = self._select(self._rng, self.per_step,
+                                exclude_phase=current_phase)
+        if not episodes:
+            return []
+        self.replayed_total += len(episodes)
+        return [(e.input_class, e.target_class) for e in episodes]
+
     def telemetry_counters(self) -> dict[str, int | float]:
         """Named counters for the telemetry sink (ints: monotone; floats:
         gauges)."""

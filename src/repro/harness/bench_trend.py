@@ -135,9 +135,12 @@ def fleet_table(root: str | Path) -> tuple[list[str], list[list[object]]]:
     One row per (PR, workload, tenant count): the fleet's events/sec,
     the N-sequential-``simulate()`` events/sec when measured, and the
     speedup.  Empty when no bench file carries fleet measurements.
+    ``jobs`` is the sharding worker count for multi-process cells; PR≤8
+    bench files (and single-process cells) lack it and render ``—``.
     """
-    headers = ["PR", "workload", "tenants", "fleet_events_per_sec",
-               "sequential_events_per_sec", "speedup"]
+    headers = ["PR", "workload", "tenants", "jobs",
+               "fleet_events_per_sec", "sequential_events_per_sec",
+               "speedup"]
     rows: list[list[object]] = []
     for pr, path in find_bench_files(root):
         with path.open("r", encoding="utf-8") as fh:
@@ -147,6 +150,7 @@ def fleet_table(root: str | Path) -> tuple[list[str], list[list[object]]]:
             workload = named[-1] if named else label
             rows.append([
                 f"PR{pr}", workload, cell["tenants"],
+                cell.get("jobs", "—"),
                 cell["fleet_events_per_sec"],
                 cell.get("sequential_events_per_sec", "—"),
                 cell.get("speedup", "—"),

@@ -24,10 +24,12 @@ aggregate record plus one per-tenant record.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import tempfile
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
@@ -38,9 +40,11 @@ from ..memsim.fleet import FleetCohort, FleetLaneSpec
 from ..memsim.simulator import SimConfig, SimResult
 from ..telemetry import Telemetry
 from ..telemetry.manifest import SCHEMA_VERSION, environment
+from .runner import _init_worker, resolve_jobs
 
-__all__ = ["FleetReport", "LaneOutcome", "run_fleet",
-           "write_fleet_manifest"]
+__all__ = ["FleetJobsReport", "FleetReport", "LaneOutcome",
+           "materialize_lane_spec", "run_fleet", "run_fleet_jobs",
+           "write_fleet_jobs_manifest", "write_fleet_manifest"]
 
 
 @dataclass(frozen=True)
@@ -103,6 +107,7 @@ class FleetReport:
 
 def run_fleet(specs: Sequence[FleetLaneSpec], *, backend: str = "auto",
               max_width: int = 256, record_miss_indices: bool = False,
+              stacked_cls: bool = True,
               telemetry: Telemetry | None = None) -> FleetReport:
     """Run every lane spec through config-grouped vectorized cohorts.
 
@@ -118,6 +123,10 @@ def run_fleet(specs: Sequence[FleetLaneSpec], *, backend: str = "auto",
             freed slots.  Memory per cohort scales with
             ``width * max_trace_len``.
         record_miss_indices: Keep per-lane miss indices in the results.
+        stacked_cls: Let cohorts batch same-config CLS lanes through the
+            stacked Hebbian path (``False`` keeps the scalar per-miss
+            path; both are bit-identical — this is the zero-regression
+            escape hatch).
         telemetry: Optional sink; receives ``fleet_lanes_completed`` /
             ``fleet_accesses`` counters and a ``fleet_wall`` timer.
     """
@@ -145,7 +154,8 @@ def run_fleet(specs: Sequence[FleetLaneSpec], *, backend: str = "auto",
         group = [specs[i] for i in indices]
         cohort = FleetCohort.for_specs(
             group, width=min(len(group), max_width), backend=backend,
-            record_miss_indices=record_miss_indices)
+            record_miss_indices=record_miss_indices,
+            stacked_cls=stacked_cls)
         backend_used = cohort.backend_used
         n_cohorts += 1
         pending = list(zip(indices, group))
@@ -229,6 +239,311 @@ def write_fleet_manifest(report: FleetReport,
             "wall_time_s": round(outcome.wall_time_s, 6),
         })
     path = out_dir / f"fleet-{report.n_lanes}x-{report.backend}.jsonl"
+    fd, tmp = tempfile.mkstemp(dir=out_dir, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            for record in [head, *lanes]:
+                fh.write(json.dumps(record, sort_keys=True))
+                fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return path
+
+
+# ----------------------------------------------------------------------
+# Cross-process cohort sharding.
+#
+# Live lane specs (trace arrays, stateful prefetchers) don't cross a
+# process boundary cheaply, so the sharded entry point takes
+# JSON-serializable *lane jobs* and each worker materializes its shard's
+# specs locally — the same recipe the CLI uses, so `repro fleet --jobs N`
+# and `--jobs 1` build identical lanes.
+
+
+@dataclass
+class FleetJobsReport:
+    """Aggregate outcome of one :func:`run_fleet_jobs` invocation.
+
+    ``lanes`` holds one JSON-ready per-tenant rollup dict per job, in
+    job order (each carries the full ``CacheStats`` under ``"stats"``
+    plus the scheduler-side ``accesses``/``wall_time_s`` measurements).
+    """
+
+    lanes: list[dict] = field(repr=False)
+    backend: str
+    jobs: int
+    n_shards: int
+    wall_time_s: float
+
+    @property
+    def n_lanes(self) -> int:
+        return len(self.lanes)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(lane["accesses"] for lane in self.lanes)
+
+    @property
+    def events_per_sec(self) -> float:
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.total_accesses / self.wall_time_s
+
+    def lane_latency_percentiles(self) -> tuple[float, float]:
+        """(p50, p99) of the per-lane latency proxy, in seconds."""
+        if not self.lanes:
+            return (0.0, 0.0)
+        latencies = np.array([lane["wall_time_s"] for lane in self.lanes])
+        return (float(np.percentile(latencies, 50)),
+                float(np.percentile(latencies, 99)))
+
+    def rollup(self) -> dict:
+        """JSON-ready aggregate summary (the manifest's headline record)."""
+        p50, p99 = self.lane_latency_percentiles()
+        return {
+            "n_lanes": self.n_lanes,
+            "n_shards": self.n_shards,
+            "jobs": self.jobs,
+            "backend": self.backend,
+            "total_accesses": self.total_accesses,
+            "wall_time_s": round(self.wall_time_s, 6),
+            "events_per_sec": round(self.events_per_sec, 1),
+            "lane_latency_p50_s": round(p50, 6),
+            "lane_latency_p99_s": round(p99, 6),
+        }
+
+
+def materialize_lane_spec(job: dict, prototypes: dict,
+                          backend: str = "auto") -> FleetLaneSpec:
+    """Build one live :class:`FleetLaneSpec` from a JSON lane job.
+
+    Job shape::
+
+        {"pattern": str, "n": int, "working_set": int, "seed": int,
+         "prefetcher": "none" | "nextline" | "stride" | "markov"
+                       | "leap" | "cls-hebbian",
+         "sim": {...SimConfig kwargs...},            # optional
+         "cls": {"vocab": int, "seed": int}}         # cls-hebbian only
+
+    ``prototypes`` is a caller-held cache keyed by the CLS model recipe:
+    same-recipe lanes in a shard clone one prototype, so they share
+    fixed structures and memo caches exactly like the CLI's lane
+    builder (and land in one stacked cohort group).
+    """
+    from ..patterns.generators import PatternSpec, generate
+
+    trace = generate(job["pattern"], PatternSpec(
+        n=int(job["n"]), working_set=int(job.get("working_set", 200)),
+        seed=int(job.get("seed", 0))))
+    config = SimConfig(**job.get("sim", {}))
+    kind = job.get("prefetcher", "none")
+    if kind == "none":
+        from ..memsim.prefetcher import NullPrefetcher
+
+        prefetcher: object = NullPrefetcher()
+    elif kind == "nextline":
+        from ..baselines import NextLinePrefetcher
+
+        prefetcher = NextLinePrefetcher()
+    elif kind == "stride":
+        from ..baselines import StridePrefetcher
+
+        prefetcher = StridePrefetcher()
+    elif kind == "markov":
+        from ..baselines import MarkovPrefetcher
+
+        prefetcher = MarkovPrefetcher()
+    elif kind == "leap":
+        from ..baselines import LeapPrefetcher
+
+        prefetcher = LeapPrefetcher()
+    elif kind == "cls-hebbian":
+        from ..core.cls_prefetcher import CLSPrefetcher, CLSPrefetcherConfig
+        from ..nn.hebbian import SparseHebbianNetwork
+        from .models import experiment_hebbian_config
+
+        cls_job = job.get("cls", {})
+        vocab = int(cls_job.get("vocab", 256))
+        cls_seed = int(cls_job.get("seed", job.get("seed", 0)))
+        key = (vocab, cls_seed, backend)
+        prototype = prototypes.get(key)
+        if prototype is None:
+            hebbian_cfg = experiment_hebbian_config(vocab, cls_seed)
+            if backend != "auto":
+                hebbian_cfg = dataclasses.replace(hebbian_cfg,
+                                                  backend=backend)
+            prototype = SparseHebbianNetwork(hebbian_cfg)
+            prototypes[key] = prototype
+        prefetcher = CLSPrefetcher(CLSPrefetcherConfig(
+            model="hebbian", vocab_size=vocab,
+            hebbian=prototype.config, seed=cls_seed),
+            model=prototype.clone())
+    else:
+        raise ValueError(f"unknown lane-job prefetcher {kind!r}")
+    return FleetLaneSpec(trace=trace, prefetcher=prefetcher,  # type: ignore[arg-type]
+                         config=config)
+
+
+def _run_fleet_shard(shard_jobs: list[dict], backend: str, max_width: int,
+                     record_miss_indices: bool,
+                     stacked_cls: bool) -> dict:
+    """One shard's worth of lane jobs, run in-process; returns rollups.
+
+    Module-level so it pickles to pool workers.  The returned dict is
+    plain JSON-ready data — per-tenant ``LaneOutcome`` rollups stream
+    back over the pool's result pipe, never live simulator objects.
+    """
+    prototypes: dict = {}
+    specs = [materialize_lane_spec(job, prototypes, backend=backend)
+             for job in shard_jobs]
+    report = run_fleet(specs, backend=backend, max_width=max_width,
+                       record_miss_indices=record_miss_indices,
+                       stacked_cls=stacked_cls)
+    lanes = []
+    for outcome in report.outcomes:
+        result = outcome.result
+        lane = {
+            "record": "fleet_lane",
+            "trace": result.trace_name,
+            "prefetcher": result.prefetcher_name,
+            "capacity_pages": result.capacity_pages,
+            "accesses": outcome.accesses,
+            "demand_misses": result.stats.demand_misses,
+            "prefetch_hits": result.stats.prefetch_hits,
+            "wall_time_s": round(outcome.wall_time_s, 6),
+            "stats": result.stats.as_dict(),
+        }
+        if record_miss_indices:
+            lane["miss_indices"] = list(result.miss_indices)
+        lanes.append(lane)
+    return {"backend": report.backend, "lanes": lanes}
+
+
+def run_fleet_jobs(lane_jobs: Sequence[dict], *, jobs: int | None = None,
+                   backend: str = "auto", max_width: int = 256,
+                   record_miss_indices: bool = False,
+                   stacked_cls: bool = True,
+                   trace_cache_dir: str | Path | None = None,
+                   telemetry_dir: str | Path | None = None,
+                   telemetry_interval: int | None = None
+                   ) -> FleetJobsReport:
+    """Shard lane jobs across worker processes, one cohort run per shard.
+
+    Reuses ``run_grid``'s worker plumbing: :func:`resolve_jobs` picks
+    the worker count (CPU-affinity aware; anything under two means run
+    serially in-process) and ``_init_worker`` re-establishes each
+    worker's ambient state — trace cache, telemetry sink, kernel
+    backend — exactly as grid cells get it.  Jobs shard contiguously so
+    the flattened per-lane rollups come back in job order; per-shard
+    results are bit-identical to a single-process run (each shard is
+    just :func:`run_fleet` over its own lanes, and lanes never share
+    state).
+
+    Args:
+        lane_jobs: JSON-serializable lane descriptions (see
+            :func:`materialize_lane_spec` for the shape).
+        jobs: Worker processes; ``None`` auto-detects.
+        backend: Kernel backend, resolved fail-fast in the caller.
+        stacked_cls: As in :func:`run_fleet`.
+        trace_cache_dir / telemetry_dir / telemetry_interval: Ambient
+            per-process state, plumbed like ``run_grid``.
+    """
+    from ..nn import backends
+
+    if backend != "auto":
+        # Fail in the caller, not inside a pool worker.
+        backends.resolve_backend(backend)
+    lane_jobs = list(lane_jobs)
+    started = time.perf_counter()
+    workers = resolve_jobs(jobs, len(lane_jobs)) if lane_jobs else 1
+    if workers > 1:
+        base, extra = divmod(len(lane_jobs), workers)
+        shards: list[list[dict]] = []
+        pos = 0
+        for index in range(workers):
+            size = base + (1 if index < extra else 0)
+            if size:
+                shards.append(lane_jobs[pos:pos + size])
+                pos += size
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(
+                str(trace_cache_dir)
+                if trace_cache_dir is not None else None,
+                str(telemetry_dir)
+                if telemetry_dir is not None else None,
+                telemetry_interval,
+                backend,
+            ))
+        with pool:
+            futures = [pool.submit(_run_fleet_shard, shard, backend,
+                                   max_width, record_miss_indices,
+                                   stacked_cls)
+                       for shard in shards]
+            shard_results = [future.result() for future in futures]
+        lanes = [lane for shard_result in shard_results
+                 for lane in shard_result["lanes"]]
+        backend_used = (shard_results[0]["backend"] if shard_results
+                        else backend)
+        n_shards = len(shards)
+    else:
+        # Serial fallback: bracket the ambient state around the loop the
+        # same way run_grid's serial path does (backend is passed
+        # explicitly to the shard, so only trace cache and telemetry are
+        # ambient here).
+        from . import trace_cache
+        from .. import telemetry as telemetry_mod
+
+        prev_trace = (trace_cache.configure(trace_cache_dir)
+                      if trace_cache_dir is not None else None)
+        prev_telemetry = (telemetry_mod.configure(telemetry_dir,
+                                                  telemetry_interval)
+                          if telemetry_dir is not None else None)
+        try:
+            shard_result = _run_fleet_shard(lane_jobs, backend, max_width,
+                                            record_miss_indices,
+                                            stacked_cls)
+        finally:
+            if trace_cache_dir is not None:
+                trace_cache.configure(prev_trace)
+            if telemetry_dir is not None:
+                telemetry_mod.configure(prev_telemetry)
+        lanes = shard_result["lanes"]
+        backend_used = shard_result["backend"]
+        n_shards = 1
+    wall = time.perf_counter() - started
+    return FleetJobsReport(lanes=lanes, backend=backend_used,
+                           jobs=workers, n_shards=n_shards,
+                           wall_time_s=wall)
+
+
+def write_fleet_jobs_manifest(report: FleetJobsReport,
+                              directory: str | Path) -> Path:
+    """Write a sharded run's single aggregated JSONL manifest.
+
+    Same schema as :func:`write_fleet_manifest` — one
+    ``fleet_manifest`` head (rollup grows ``jobs``/``n_shards``) plus
+    one ``fleet_lane`` record per tenant, regardless of how many
+    processes produced them.  Named
+    ``fleet-<n_lanes>x-<jobs>j-<backend>.jsonl``.
+    """
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    head = {
+        "record": "fleet_manifest",
+        "schema_version": SCHEMA_VERSION,
+        **report.rollup(),
+        "env": environment(),
+    }
+    lanes = [{key: value for key, value in lane.items()
+              if key not in ("stats", "miss_indices")}
+             for lane in report.lanes]
+    path = (out_dir / f"fleet-{report.n_lanes}x-{report.jobs}j-"
+            f"{report.backend}.jsonl")
     fd, tmp = tempfile.mkstemp(dir=out_dir, suffix=".tmp")
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as fh:

@@ -103,6 +103,11 @@ class _Lane:
     addresses: np.ndarray | None
     stream_ids: np.ndarray | None
     timestamps: np.ndarray | None
+    # Stacked-CLS membership: the lane's misses route through one
+    # batched CLSFleetGroup call per round instead of per-lane model
+    # steps (None/-1 = the scalar callback path).
+    cls_group: Any = None
+    cls_slot: int = -1
 
 
 class FleetCohort:
@@ -116,12 +121,18 @@ class FleetCohort:
         backend: Kernel backend name for the fleet walks (``"auto"`` /
             ``"numpy"`` / ``"numba"`` / ``"c"``, as in ``simulate``).
         record_miss_indices: Collect per-lane miss indices in results.
+        stacked_cls: Batch same-config learned (CLS/Hebbian) lanes
+            through one stacked model call per round
+            (``core/cls_fleet.py``).  ``False`` keeps every lane on the
+            scalar per-miss callback path — the zero-regression escape
+            hatch; both paths are bit-identical per lane.
     """
 
     def __init__(self, width: int, *, slot_capacity: int,
                  universe_capacity: int, trace_capacity: int,
                  backend: str = "auto",
-                 record_miss_indices: bool = False) -> None:
+                 record_miss_indices: bool = False,
+                 stacked_cls: bool = True) -> None:
         if width <= 0 or trace_capacity <= 0:
             raise ValueError("fleet cohort dimensions must be positive")
         self.width = width
@@ -158,6 +169,9 @@ class FleetCohort:
         # Packed per-(trace, config) load data, shared across lanes
         # replaying the same trace (identity-keyed; see _PackedTrace).
         self._pack_cache: dict[tuple[int, int], _PackedTrace] = {}
+        # fleet_group_key -> CLSFleetGroup for stacked learned lanes.
+        self._stacked_cls = stacked_cls
+        self._cls_groups: dict[Any, Any] = {}
         self._hit_walk: Callable[[int], None] | None = None
         self._null_run: Callable[[int, int], None] | None = None
         if self._kern is not None:
@@ -208,7 +222,8 @@ class FleetCohort:
     @classmethod
     def for_specs(cls, specs: list[FleetLaneSpec], *, width: int | None = None,
                   backend: str = "auto",
-                  record_miss_indices: bool = False) -> "FleetCohort":
+                  record_miss_indices: bool = False,
+                  stacked_cls: bool = True) -> "FleetCohort":
         """Size a cohort to host any lane drawn from ``specs``."""
         if not specs:
             raise ValueError("for_specs requires at least one lane spec")
@@ -234,7 +249,8 @@ class FleetCohort:
         return cls(width if width is not None else len(specs),
                    slot_capacity=slot_cap, universe_capacity=uni_cap,
                    trace_capacity=trace_cap, backend=backend,
-                   record_miss_indices=record_miss_indices)
+                   record_miss_indices=record_miss_indices,
+                   stacked_cls=stacked_cls)
 
     # ------------------------------------------------------------------
     # Lane lifecycle
@@ -334,7 +350,7 @@ class FleetCohort:
                 addresses = trace.addresses
                 stream_ids = trace.stream_ids
                 timestamps = trace.timestamps
-            self._lanes[slot] = _Lane(
+            lane = _Lane(
                 spec=spec,
                 queue=PrefetchQueue(
                     delay_accesses=spec.config.prefetch_delay_accesses),
@@ -345,6 +361,20 @@ class FleetCohort:
                 max_prefetches=spec.config.max_prefetches_per_miss,
                 addresses=addresses, stream_ids=stream_ids,
                 timestamps=timestamps)
+            if self._stacked_cls:
+                steppable = getattr(prefetcher, "fleet_steppable", None)
+                if steppable is not None and steppable():
+                    # Deferred import: core.cls_fleet imports back into
+                    # this package for the prefetcher types.
+                    from ..core.cls_fleet import CLSFleetGroup
+                    group_key = prefetcher.fleet_group_key()
+                    group = self._cls_groups.get(group_key)
+                    if group is None:
+                        group = CLSFleetGroup(prefetcher)
+                        self._cls_groups[group_key] = group
+                    lane.cls_group = group
+                    lane.cls_slot = group.adopt(prefetcher)
+            self._lanes[slot] = lane
             self._results[slot] = None
         self._trace_row[lanes] = rows
         self._n_len[lanes] = [p.n for p in packs]
@@ -372,6 +402,13 @@ class FleetCohort:
         for slot, lane_stats, capacity in zip(slots, stats, capacities):
             lane = self._lanes[slot]
             assert lane is not None
+            if lane.cls_group is not None:
+                # Hand the stacked model state back so the prefetcher
+                # leaves the cohort exactly as simulate() would have
+                # left it (learned weights included).
+                lane.cls_group.release(lane.cls_slot, lane.spec.prefetcher)
+                lane.cls_group = None
+                lane.cls_slot = -1
             spec = lane.spec
             miss_indices = lane.miss_indices \
                 if lane.miss_indices is not None else []
@@ -393,6 +430,18 @@ class FleetCohort:
                 del self._row_of[key]
                 self._row_key[row] = None
                 self._free_rows.append(row)
+
+    def _issue(self, slot: int, lane: _Lane, i: int, page: int,
+               predictions: list[int]) -> None:
+        """Queue one miss's predictions — identical for both miss paths."""
+        if predictions:
+            if len(predictions) > lane.max_prefetches:
+                predictions = predictions[:lane.max_prefetches]
+            queue = lane.queue
+            for predicted in predictions:
+                if predicted != page:
+                    queue.issue(int(predicted), i)
+            self._next_landing[slot] = queue.next_landing
 
     # ------------------------------------------------------------------
     # The batched loop
@@ -456,6 +505,9 @@ class FleetCohort:
             pages = self._pages2d[rows_m, p]
             stores = self._stores2d[rows_m, p]
             cache.fill_step(missed, cids, pages, stores)
+            # group -> (slot, i, page, lane) rows gathered for one
+            # stacked call after the scalar lanes are served.
+            stacked: dict[Any, list[tuple[int, int, int, _Lane]]] = {}
             for slot, i, page in zip(missed.tolist(), p.tolist(),
                                      pages.tolist()):
                 lane = self._lanes[slot]
@@ -463,6 +515,10 @@ class FleetCohort:
                 if lane.miss_indices is not None:
                     lane.miss_indices.append(i)
                 if lane.is_null:
+                    continue
+                if lane.cls_group is not None:
+                    stacked.setdefault(id(lane.cls_group), []).append(
+                        (slot, i, page, lane))
                     continue
                 assert lane.addresses is not None
                 assert lane.stream_ids is not None
@@ -476,14 +532,20 @@ class FleetCohort:
                         index=i, address=int(lane.addresses[i]), page=page,
                         stream_id=int(lane.stream_ids[i]),
                         timestamp=int(lane.timestamps[i])))
-                if predictions:
-                    if len(predictions) > lane.max_prefetches:
-                        predictions = predictions[:lane.max_prefetches]
-                    queue = lane.queue
-                    for predicted in predictions:
-                        if predicted != page:
-                            queue.issue(int(predicted), i)
-                    next_landing[slot] = queue.next_landing
+                self._issue(slot, lane, i, page, predictions)
+            for rows in stacked.values():
+                group = rows[0][3].cls_group
+                addresses = [int(lane.addresses[i])  # type: ignore[index]
+                             for _, i, _, lane in rows]
+                timestamps = [int(lane.timestamps[i])  # type: ignore[index]
+                              for _, i, _, lane in rows]
+                predictions_rows = group.handle_misses(
+                    [lane.cls_slot for _, _, _, lane in rows],
+                    addresses, [page for _, _, page, _ in rows],
+                    timestamps)
+                for (slot, i, page, lane), predictions in zip(
+                        rows, predictions_rows):
+                    self._issue(slot, lane, i, page, predictions)
             pos[missed] = p + 1
         done = act[pos[act] >= self._n_len[act]].tolist()
         if done:
@@ -502,14 +564,16 @@ class FleetCohort:
 
 def run_cohort(specs: list[FleetLaneSpec], *, backend: str = "auto",
                record_miss_indices: bool = False,
-               width: int | None = None) -> list[SimResult]:
+               width: int | None = None,
+               stacked_cls: bool = True) -> list[SimResult]:
     """Run ``specs`` through one cohort; results in spec order.
 
     Convenience wrapper for tests and small fleets — the shard scheduler
     in ``repro.harness.fleet`` handles drain/refill at scale.
     """
     cohort = FleetCohort.for_specs(specs, width=width, backend=backend,
-                                   record_miss_indices=record_miss_indices)
+                                   record_miss_indices=record_miss_indices,
+                                   stacked_cls=stacked_cls)
     pending = list(enumerate(specs))
     pending.reverse()
     slot_to_spec: dict[int, int] = {}

@@ -13,6 +13,7 @@ from .costs import (
     lstm_training_ops,
 )
 from .hebbian import HebbianConfig, SparseHebbianNetwork
+from .hebbian_fleet import HebbianFleet
 from .layers import SGD, cross_entropy, glorot, sigmoid, softmax
 from .lstm import LSTM, LSTMConfig, OnlineLSTM
 from .quantization import QuantizedTensor, quantization_error, quantize_lstm
@@ -30,6 +31,7 @@ __all__ = [
     "lstm_inference_ops",
     "lstm_training_ops",
     "HebbianConfig",
+    "HebbianFleet",
     "SparseHebbianNetwork",
     "SGD",
     "cross_entropy",

@@ -661,6 +661,29 @@ class SparseHebbianNetwork:
             setattr(twin, attr, None if src is None else src.copy())
         return twin
 
+    def restore_state(self, *, w_out: np.ndarray, prev_class: int | None,
+                      prev_active: np.ndarray | None, prev_pred: int | None,
+                      last_active: np.ndarray | None,
+                      last_scores: np.ndarray | None,
+                      last_probs: np.ndarray | None,
+                      train_steps: int) -> None:
+        """Install externally-held learned state wholesale.
+
+        The hand-back half of the :class:`~repro.nn.hebbian_fleet.
+        HebbianFleet` adoption protocol: a fleet slot carries this
+        network's weights and sequence context while batched stepping
+        owns the lane, and returns them here when the lane leaves.  The
+        ``w_out`` setter rebuilds the flat (and serving) aliases.
+        """
+        self.w_out = w_out
+        self._prev_class = prev_class
+        self._prev_active = prev_active
+        self._prev_pred = prev_pred
+        self._last_active = last_active
+        self._last_scores = last_scores
+        self._last_probs = last_probs
+        self.train_steps = train_steps
+
     def evaluate_sequence(self, classes: list[int]) -> float:
         probs = evaluate_sequence_probs(self, classes)
         return float(probs.mean()) if probs.size else 0.0

@@ -26,6 +26,28 @@ cannot matter, the shared caches are pure memoization over fixed
 structures, and the row softmax performs the same elementwise
 arithmetic as the scalar one.
 
+Beyond the lockstep ``step_all``, the fleet exposes the *subset* entry
+points the cohort miss path needs (only the lanes that missed this
+cohort round advance):
+
+* ``acquire_lane``/``release_lane`` adopt a live scalar network into a
+  fleet slot and hand its (bit-identical) state back out, so lanes can
+  join and leave mid-run as cohort lanes drain and refill.
+* ``step_lanes`` steps an arbitrary lane subset with per-lane train
+  flags — the batched mirror of ``SparseHebbianNetwork.step``.
+* ``train_pairs_lanes`` replays per-lane episode batches — the batched
+  mirror of ``train_pairs`` (round-barriered so in-lane pair order is
+  preserved exactly).
+* ``rollout_lanes`` runs per-lane beam rollouts with one batched
+  readout per depth — the mirror of ``predict_rollout``.
+
+Adopted networks may come from *different* :class:`SparseHebbianNetwork`
+instances built from an equal config: the fixed structures are then
+value-identical (construction is seeded by the config) even though the
+cache dicts differ.  The hidden-code memo is content-keyed, and every
+id-keyed cache miss (delta, readout indices) falls back to the same
+arithmetic it would have cached, so adoption preserves bit-identity.
+
 Out of scope (both raise at construction): ``plastic_hidden`` lanes
 diverge in their *fixed* projections, and the ``int8`` serving mirror
 would need a per-lane quantized shadow.
@@ -45,16 +67,46 @@ from .hebbian import (
 __all__ = ["HebbianFleet"]
 
 
+def _select_topk(probs: np.ndarray, width: int) -> list[tuple[int, float]]:
+    """One rollout selection step — verbatim ``predict_rollout`` branches.
+
+    Kept as a module function so the fleet's per-lane selection is the
+    same code shape (and the same numpy call sequence, hence the same
+    bits) as the scalar network's.
+    """
+    if width == 2 and probs.size > 2:
+        part = probs.argpartition(-2)
+        i0 = part.item(-2)
+        i1 = part.item(-1)
+        v0 = probs.item(i0)
+        v1 = probs.item(i1)
+        if v0 <= v1:
+            return [(i1, v1), (i0, v0)]
+        return [(i0, v0), (i1, v1)]
+    if width < probs.size:
+        part = probs.argpartition(-width)[-width:]
+        vals = probs[part]
+        order = vals.argsort()[::-1]
+        return list(zip(part[order].tolist(), vals[order].tolist()))
+    top_arr = probs.argsort()[::-1][:width]
+    return list(zip(top_arr.tolist(), probs[top_arr].tolist()))
+
+
 class HebbianFleet:
     """T lanes of one Hebbian prototype, stepped in lockstep.
 
     Each lane starts from the prototype's *current* learned weights and
     then learns independently.  ``step_all`` is the batched equivalent
     of calling ``step`` on T independent clones with one class per lane.
+
+    With ``reserve=True`` the fleet starts *empty* — every slot is free
+    and lanes enter via :meth:`acquire_lane` (the cohort drain/refill
+    shape); the prototype then contributes only its fixed structures,
+    never its weights.
     """
 
     def __init__(self, prototype: SparseHebbianNetwork,
-                 n_lanes: int) -> None:
+                 n_lanes: int, reserve: bool = False) -> None:
         if n_lanes <= 0:
             raise ValueError("n_lanes must be positive")
         config = prototype.config
@@ -72,8 +124,11 @@ class HebbianFleet:
         self._block = self.hidden_dim * self.vocab_size
         # Lane-major stacked weights; the flat alias is what every
         # batched update and readout indexes with +t*block offsets.
-        self.w_out = np.broadcast_to(
-            prototype.w_out, (n_lanes,) + prototype.w_out.shape).copy()
+        if reserve:
+            self.w_out = np.zeros((n_lanes,) + prototype.w_out.shape)
+        else:
+            self.w_out = np.broadcast_to(
+                prototype.w_out, (n_lanes,) + prototype.w_out.shape).copy()
         self._w_flat = self.w_out.reshape(-1)
         # A second kernel bundle over the widened T*vocab accumulator;
         # learn/punish are vocab-independent so it serves those too.
@@ -86,12 +141,102 @@ class HebbianFleet:
         self._prev_class: list[int | None] = [None] * n_lanes
         self._prev_active: list[np.ndarray | None] = [None] * n_lanes
         self._prev_pred: list[int | None] = [None] * n_lanes
-        self._last_scores: np.ndarray | None = None
-        self._last_probs: np.ndarray | None = None
         self._last_active: list[np.ndarray | None] = [None] * n_lanes
+        # Per-lane rollout anchors (the scalar net's ``_last_scores`` /
+        # ``_last_probs``), stored as rows so subset steps update only
+        # their own lanes.  ``_has_last[t]`` distinguishes "never
+        # stepped" (scalar: ``_last_scores is None``) from a zero row.
+        self._scores_rows = np.zeros((n_lanes, self.vocab_size))
+        self._probs_rows = np.zeros((n_lanes, self.vocab_size))
+        self._has_last = [False] * n_lanes
         # Lanes continue the prototype's training history, as clones do.
-        self.train_steps = np.full(n_lanes, prototype.train_steps,
-                                   dtype=np.int64)
+        self.train_steps = np.full(
+            n_lanes, 0 if reserve else prototype.train_steps, dtype=np.int64)
+        self._free: list[int] = list(range(n_lanes - 1, -1, -1)) if reserve \
+            else []
+
+    # ------------------------------------------------------------------
+    # Lane adoption (cohort drain/refill)
+    # ------------------------------------------------------------------
+    def acquire_lane(self, net: SparseHebbianNetwork) -> int:
+        """Adopt a live scalar network into a fleet slot; returns it.
+
+        The fleet takes over stepping: the slot carries the network's
+        learned weights, sequence context, and rollout anchor, so
+        subsequent ``step_lanes`` calls continue it bit-identically.
+        ``net`` itself is left untouched until :meth:`release_lane`
+        hands the state back.
+        """
+        if net.config != self.prototype.config:
+            raise ValueError("adopted network's config differs from the "
+                             "fleet prototype's")
+        if not self._free:
+            self._grow(self.n_lanes + 1)
+        t = self._free.pop()
+        self.w_out[t] = net.w_out
+        self._prev_class[t] = net._prev_class
+        self._prev_active[t] = net._prev_active
+        self._prev_pred[t] = net._prev_pred
+        self._last_active[t] = net._last_active
+        if net._last_scores is not None:
+            self._scores_rows[t] = net._last_scores
+            probs = net._last_probs
+            if probs is None:
+                probs = net.probabilities(net._last_scores.copy())
+            self._probs_rows[t] = probs
+            self._has_last[t] = True
+        else:
+            self._has_last[t] = False
+        self.train_steps[t] = net.train_steps
+        return t
+
+    def release_lane(self, lane: int, net: SparseHebbianNetwork) -> None:
+        """Hand a slot's state back to ``net`` and free the slot."""
+        has_last = self._has_last[lane]
+        net.restore_state(
+            w_out=self.w_out[lane].copy(),
+            prev_class=self._prev_class[lane],
+            prev_active=self._prev_active[lane],
+            prev_pred=self._prev_pred[lane],
+            last_active=self._last_active[lane],
+            last_scores=self._scores_rows[lane].copy() if has_last else None,
+            last_probs=self._probs_rows[lane].copy() if has_last else None,
+            train_steps=int(self.train_steps[lane]))
+        self._prev_class[lane] = None
+        self._prev_active[lane] = None
+        self._prev_pred[lane] = None
+        self._last_active[lane] = None
+        self._has_last[lane] = False
+        self._free.append(lane)
+
+    def _grow(self, min_capacity: int) -> None:
+        """Double capacity (at least to ``min_capacity``); existing lane
+        state is preserved, new slots join the free list."""
+        old = self.n_lanes
+        new = max(old * 2, min_capacity)
+        w_out = np.zeros((new,) + self.w_out.shape[1:])
+        w_out[:old] = self.w_out
+        self.w_out = w_out
+        self._w_flat = self.w_out.reshape(-1)
+        if self._kern is not None:
+            self._kern = hebbian_kernels(
+                self.prototype._backend, rec_pad=self.prototype._rec_pad,
+                hidden_dim=self.hidden_dim,
+                vocab_size=new * self.vocab_size)
+        grown = new - old
+        self._prev_class.extend([None] * grown)
+        self._prev_active.extend([None] * grown)
+        self._prev_pred.extend([None] * grown)
+        self._last_active.extend([None] * grown)
+        self._scores_rows = np.vstack(
+            [self._scores_rows, np.zeros((grown, self.vocab_size))])
+        self._probs_rows = np.vstack(
+            [self._probs_rows, np.zeros((grown, self.vocab_size))])
+        self._has_last.extend([False] * grown)
+        self.train_steps = np.concatenate(
+            [self.train_steps, np.zeros(grown, dtype=np.int64)])
+        self._free.extend(range(new - 1, old - 1, -1))
+        self.n_lanes = new
 
     # ------------------------------------------------------------------
     # Shared-structure helpers (prototype caches, per-lane offsets)
@@ -155,38 +300,59 @@ class HebbianFleet:
         ``net_t.step(classes[t], train, lr_scale)`` on T independent
         networks.
         """
+        if len(classes) != self.n_lanes:
+            raise ValueError(
+                f"expected {self.n_lanes} classes, got {len(classes)}")
+        lanes = list(range(self.n_lanes))
+        return self.step_lanes(lanes, classes,
+                               [train] * self.n_lanes, lr_scale)
+
+    def step_lanes(self, lanes: list[int],
+                   classes: list[int] | np.ndarray,
+                   train: list[bool], lr_scale: float = 1.0) -> np.ndarray:
+        """Advance a lane *subset* one step; returns ``(L, vocab)`` probs.
+
+        Row ``i`` of the result is lane ``lanes[i]`` consuming
+        ``classes[i]`` with its own train flag — the batched mirror of
+        per-lane ``step(classes[i], train[i], lr_scale)`` calls, bit for
+        bit (learn order across lanes is free: disjoint weight blocks).
+        """
         proto = self.prototype
         config = proto.config
-        lanes = [int(c) for c in classes]
-        if len(lanes) != self.n_lanes:
-            raise ValueError(
-                f"expected {self.n_lanes} classes, got {len(lanes)}")
-        for input_class in lanes:
+        cls = [int(c) for c in classes]
+        for input_class in cls:
             if not 0 <= input_class < self.vocab_size:
                 raise ValueError(
                     f"class {input_class} outside vocab "
                     f"[0, {self.vocab_size})")
-        if train:
-            self._learn_all(lanes, lr_scale)
+        trained = [(t, c) for t, c, flag in zip(lanes, cls, train)
+                   if flag and self._prev_active[t] is not None]
+        if trained:
+            self._learn_lanes(trained, lr_scale)
+            for t, _ in trained:
+                self.train_steps[t] += 1
 
         actives = [proto.hidden_code(input_class, self._prev_active[t])
-                   for t, input_class in enumerate(lanes)]
-        scores = self._readout_all(actives)
-        probs = self._probabilities_all(scores)
+                   for t, input_class in zip(lanes, cls)]
+        scores = self._readout_lanes(lanes, actives)
+        probs = self._probabilities_rows(scores)
 
         punish = config.punish_wrong
-        for t, input_class in enumerate(lanes):
+        arg = scores.argmax(axis=1) if punish else None
+        for i, (t, input_class) in enumerate(zip(lanes, cls)):
             self._prev_class[t] = input_class
-            self._prev_active[t] = actives[t]
-            self._prev_pred[t] = (int(scores[t].argmax()) if punish
-                                  else None)
-            self._last_active[t] = actives[t]
-        self._last_scores = scores
-        self._last_probs = probs
+            self._prev_active[t] = actives[i]
+            self._prev_pred[t] = int(arg[i]) if punish else None
+            self._last_active[t] = actives[i]
+            self._has_last[t] = True
+        idx = np.asarray(lanes, dtype=np.intp)
+        self._scores_rows[idx] = scores
+        self._probs_rows[idx] = probs
         return probs
 
-    def _learn_all(self, lanes: list[int], lr_scale: float) -> None:
-        """One fused Eq. 1 (+punish) application across all lanes.
+    def _learn_lanes(self, trained: list[tuple[int, int]],
+                     lr_scale: float) -> None:
+        """One fused Eq. 1 (+punish) application across trained lanes.
 
         Per-lane offsets live in disjoint ``t * block`` ranges and a
         lane's target and punished columns are distinct, so applying all
@@ -201,14 +367,11 @@ class HebbianFleet:
         flats: list[np.ndarray] = []
         deltas: list[np.ndarray] = []
         punish_flats: list[np.ndarray] = []
-        for t, target in enumerate(lanes):
+        for t, target in trained:
             prev_active = self._prev_active[t]
-            if prev_active is None:
-                continue
             offset = t * self._block
             flats.append(proto._out_flat[target] + offset)
             deltas.append(self._delta_for(prev_active, target, lr_scale))
-            self.train_steps[t] += 1
             predicted = self._prev_pred[t]
             if (config.punish_wrong and predicted is not None
                     and predicted != target):
@@ -239,39 +402,49 @@ class HebbianFleet:
                 np.maximum(wvals, -wm, out=wvals)
                 w_flat[wrong_flat] = wvals
 
-    def _readout_all(self, actives: list[np.ndarray]) -> np.ndarray:
-        """(T, vocab) scores via one concatenated sparse accumulation."""
+    def _readout_lanes(self, lanes: list[int],
+                       actives: list[np.ndarray]) -> np.ndarray:
+        """(L, vocab) scores via one concatenated sparse accumulation.
+
+        Flat weight offsets use the *global* lane index (each lane's
+        block), accumulator columns the *subset-local* row, so an
+        L-lane readout costs O(L), not O(capacity).
+        """
         vocab = self.vocab_size
+        n = len(lanes)
         flats: list[np.ndarray] = []
         cols_list: list[np.ndarray] = []
-        dense_lanes: list[int] = []
-        for t, active in enumerate(actives):
+        dense_rows: list[int] = []
+        for i, (t, active) in enumerate(zip(lanes, actives)):
             entry = self._readout_entry(active)
             if entry is None:
-                dense_lanes.append(t)
+                dense_rows.append(i)
                 continue
             cols, flat = entry
             flats.append(flat + t * self._block)
-            cols_list.append(cols + t * vocab)
+            cols_list.append(cols + i * vocab)
         if flats:
             flat_all = np.concatenate(flats)
             cols_all = np.concatenate(cols_list)
             if self._kern is not None:
+                # The widened bundle's accumulator spans capacity*vocab;
+                # every column index is < L*vocab, so the live scores
+                # are the leading slice.
                 scores = self._kern.readout_sparse(
-                    self._w_flat, flat_all, cols_all)
+                    self._w_flat, flat_all, cols_all)[:n * vocab]
             else:
                 scores = np.bincount(cols_all,
                                      weights=self._w_flat.take(flat_all),
-                                     minlength=self.n_lanes * vocab)
-            scores = scores.reshape(self.n_lanes, vocab)
+                                     minlength=n * vocab)
+            scores = scores.reshape(n, vocab)
         else:
-            scores = np.zeros((self.n_lanes, vocab))
-        for t in dense_lanes:
-            scores[t] = np.add.reduce(
-                self.w_out[t].take(actives[t], axis=0), axis=0)
+            scores = np.zeros((n, vocab))
+        for i in dense_rows:
+            scores[i] = np.add.reduce(
+                self.w_out[lanes[i]].take(actives[i], axis=0), axis=0)
         return scores
 
-    def _probabilities_all(self, scores: np.ndarray) -> np.ndarray:
+    def _probabilities_rows(self, scores: np.ndarray) -> np.ndarray:
         """Row-wise max-shifted softmax, same arithmetic as the scalar
         :meth:`SparseHebbianNetwork.probabilities` per row."""
         x = scores / self.prototype._temperature
@@ -279,6 +452,140 @@ class HebbianFleet:
         np.exp(x, out=x)
         x /= x.sum(axis=1, keepdims=True)
         return x
+
+    # ------------------------------------------------------------------
+    # Batched replay training (the ReplayScheduler mirror)
+    # ------------------------------------------------------------------
+    def train_pairs_lanes(self, lanes: list[int],
+                          pairs_per_lane: list[list[tuple[int, int]]],
+                          lr_scales: list[float]) -> None:
+        """Replay-train each lane on its own pair batch, batched.
+
+        The batched mirror of per-lane
+        ``train_pairs(pairs_per_lane[i], lr_scales[i])`` calls.  Rounds
+        are barriers: round ``j`` consumes the ``j``-th pair of every
+        lane that has one, so in-lane pair order (which matters for
+        duplicate targets and for punish_wrong's pre-update readout) is
+        preserved exactly, while cross-lane updates merge freely into
+        one ``learn_apply``/``punish_apply`` (disjoint weight blocks).
+        Like the scalar ``train_pairs``, this never touches
+        ``train_steps`` or the lanes' sequence context.
+        """
+        proto = self.prototype
+        config = proto.config
+        punish = config.punish_wrong
+        wm = config.weight_max
+        vocab = self.vocab_size
+        for pairs in pairs_per_lane:
+            for input_class, target_class in pairs:
+                proto._check_class(input_class)
+                proto._check_class(target_class)
+        depth = max((len(p) for p in pairs_per_lane), default=0)
+        for j in range(depth):
+            live = [i for i, pairs in enumerate(pairs_per_lane)
+                    if len(pairs) > j]
+            actives = [proto.hidden_code(pairs_per_lane[i][j][0], None)
+                       for i in live]
+            predicted: list[int | None] = [None] * len(live)
+            if punish:
+                # train_pair reads out (and argmaxes) *before* learning;
+                # the softmax confidence it computes is discarded and
+                # writes no state, so it is skipped here.
+                sub = [lanes[i] for i in live]
+                scores = self._readout_lanes(sub, actives)
+                arg = scores.argmax(axis=1)
+                predicted = [int(a) for a in arg]
+            flats: list[np.ndarray] = []
+            deltas: list[np.ndarray] = []
+            punish_flats: list[np.ndarray] = []
+            punish_lrs: list[float] = []
+            for row, i in enumerate(live):
+                t = lanes[i]
+                target = pairs_per_lane[i][j][1]
+                active = actives[row]
+                offset = t * self._block
+                flats.append(proto._out_flat[target] + offset)
+                deltas.append(self._delta_for(active, target, lr_scales[i]))
+                pred = predicted[row]
+                if punish and pred is not None and pred != target:
+                    wrong = active[proto.mask_out[active, pred]]
+                    if wrong.size:
+                        punish_flats.append(wrong * vocab + pred + offset)
+                        punish_lrs.append(config.lr * lr_scales[i])
+            if flats:
+                flat = np.concatenate(flats)
+                w_flat = self._w_flat
+                if self._kern is not None:
+                    self._kern.learn_apply(w_flat, flat,
+                                           np.concatenate(deltas), wm)
+                else:
+                    vals = w_flat.take(flat)
+                    vals += np.concatenate(deltas)
+                    np.minimum(vals, wm, out=vals)
+                    np.maximum(vals, -wm, out=vals)
+                    w_flat[flat] = vals
+            if punish_flats:
+                w_flat = self._w_flat
+                # punish_apply takes one scalar lr; group by value so
+                # mixed per-lane lr_scales still fuse per group.
+                by_lr: dict[float, list[np.ndarray]] = {}
+                for arr, plr in zip(punish_flats, punish_lrs):
+                    by_lr.setdefault(plr, []).append(arr)
+                for plr, arrs in by_lr.items():
+                    wrong_flat = np.concatenate(arrs)
+                    if self._kern is not None:
+                        self._kern.punish_apply(w_flat, wrong_flat, plr, wm)
+                    else:
+                        wvals = w_flat.take(wrong_flat)
+                        wvals -= plr
+                        np.maximum(wvals, -wm, out=wvals)
+                        w_flat[wrong_flat] = wvals
+
+    # ------------------------------------------------------------------
+    # Batched beam rollout (the predict_rollout mirror)
+    # ------------------------------------------------------------------
+    def rollout_lanes(self, lanes: list[int], widths: list[int],
+                      lengths: list[int]
+                      ) -> list[list[list[tuple[int, float]]]]:
+        """Per-lane beam rollouts with one batched readout per depth.
+
+        Result ``i`` equals ``lane_network(lanes[i]).predict_rollout(
+        widths[i], lengths[i])`` bit for bit: selection reuses the
+        scalar branch code verbatim, lanes whose beam is exhausted drop
+        out *before* the next readout (the scalar early ``break``), and
+        never-stepped lanes return ``[]``.
+        """
+        proto = self.prototype
+        out: list[list[list[tuple[int, float]]]] = [[] for _ in lanes]
+        live: list[int] = []      # indices into ``lanes``
+        actives: list[np.ndarray] = []
+        remaining: list[int] = []
+        probs_rows: list[np.ndarray] = []
+        for i, t in enumerate(lanes):
+            if not self._has_last[t] or lengths[i] < 1:
+                continue
+            live.append(i)
+            actives.append(self._last_active[t])
+            remaining.append(lengths[i] - 1)
+            probs_rows.append(self._probs_rows[t])
+        while live:
+            survivors: list[int] = []
+            for row, i in enumerate(live):
+                step = _select_topk(probs_rows[row], widths[i])
+                out[i].append(step)
+                if remaining[row]:
+                    survivors.append(row)
+            if not survivors:
+                break
+            live = [live[r] for r in survivors]
+            actives = [proto.hidden_code(out[live_i][-1][0][0], actives[r])
+                       for r, live_i in zip(survivors, live)]
+            remaining = [remaining[r] - 1 for r in survivors]
+            sub = [lanes[i] for i in live]
+            scores = self._readout_lanes(sub, actives)
+            probs = self._probabilities_rows(scores)
+            probs_rows = [probs[r] for r in range(len(live))]
+        return out
 
     # ------------------------------------------------------------------
     # Lane extraction
@@ -290,8 +597,7 @@ class HebbianFleet:
             self._prev_active[t] = None
             self._prev_pred[t] = None
             self._last_active[t] = None
-        self._last_scores = None
-        self._last_probs = None
+            self._has_last[t] = False
 
     def lane_network(self, lane: int) -> SparseHebbianNetwork:
         """Materialize lane ``lane`` as a standalone scalar network.
@@ -302,18 +608,14 @@ class HebbianFleet:
         lane bit-identically.
         """
         net = self.prototype.clone()
-        net.w_out = self.w_out[lane].copy()
-        net._prev_class = self._prev_class[lane]
-        net._prev_active = self._prev_active[lane]
-        net._prev_pred = self._prev_pred[lane]
-        net._last_active = self._last_active[lane]
-        if self._last_scores is not None:
-            net._last_scores = self._last_scores[lane].copy()
-        else:
-            net._last_scores = None
-        if self._last_probs is not None:
-            net._last_probs = self._last_probs[lane].copy()
-        else:
-            net._last_probs = None
-        net.train_steps = int(self.train_steps[lane])
+        has_last = self._has_last[lane]
+        net.restore_state(
+            w_out=self.w_out[lane].copy(),
+            prev_class=self._prev_class[lane],
+            prev_active=self._prev_active[lane],
+            prev_pred=self._prev_pred[lane],
+            last_active=self._last_active[lane],
+            last_scores=self._scores_rows[lane].copy() if has_last else None,
+            last_probs=self._probs_rows[lane].copy() if has_last else None,
+            train_steps=int(self.train_steps[lane]))
         return net

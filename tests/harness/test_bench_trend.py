@@ -92,10 +92,33 @@ class TestFleetTable:
             ]}})
         headers, rows = fleet_table(tmp_path)
         assert headers[0] == "PR"
+        # PR≤8 cells have no "jobs" field; the column renders "—".
         assert rows == [
-            ["PR8", "stride-null", 1, 1e5, 1.1e5, 0.91],
-            ["PR8", "stride-null", 1000, 9e5, 2e5, 4.5],
+            ["PR8", "stride-null", 1, "—", 1e5, 1.1e5, 0.91],
+            ["PR8", "stride-null", 1000, "—", 9e5, 2e5, 4.5],
         ]
+
+    def test_learned_lane_and_sharded_rows(self, tmp_path):
+        """PR 9 cls rows (with sharded jobs cells) sit alongside PR 8
+        null rows in one table."""
+        _write(tmp_path, "BENCH_PR8.json", {
+            "pr": 8,
+            "fleet": {"stride-null": [
+                {"tenants": 100, "fleet_events_per_sec": 3e5,
+                 "speedup": 2.0}]}})
+        _write(tmp_path, "BENCH_PR9.json", {
+            "pr": 9,
+            "fleet": {"stride-cls": [
+                {"tenants": 1000, "fleet_events_per_sec": 4e5,
+                 "sequential_events_per_sec": 1e5, "speedup": 4.0},
+                {"tenants": 1000, "jobs": 2,
+                 "fleet_events_per_sec": 3.5e5,
+                 "sequential_events_per_sec": 1e5, "speedup": 3.5},
+            ]}})
+        _, rows = fleet_table(tmp_path)
+        assert ["PR8", "stride-null", 100, "—", 3e5, "—", 2.0] in rows
+        assert ["PR9", "stride-cls", 1000, "—", 4e5, 1e5, 4.0] in rows
+        assert ["PR9", "stride-cls", 1000, 2, 3.5e5, 1e5, 3.5] in rows
 
     def test_empty_without_fleet_measurements(self, tmp_path):
         _write(tmp_path, "BENCH_PR3.json",

@@ -8,7 +8,13 @@ import pytest
 
 from repro.baselines.classic import StridePrefetcher
 from repro.core.cls_prefetcher import CLSPrefetcher, CLSPrefetcherConfig
-from repro.harness.fleet import run_fleet, write_fleet_manifest
+from repro.harness.fleet import (
+    materialize_lane_spec,
+    run_fleet,
+    run_fleet_jobs,
+    write_fleet_jobs_manifest,
+    write_fleet_manifest,
+)
 from repro.memsim.fleet import FleetLaneSpec
 from repro.memsim.prefetcher import NullPrefetcher
 from repro.memsim.simulator import SimConfig, simulate
@@ -120,3 +126,101 @@ def test_fleet_cls_lanes_from_one_prototype() -> None:
                              config=sim_cfg, backend="numpy")
         assert (outcome.result.stats.as_dict()
                 == reference.stats.as_dict())
+
+
+# ----------------------------------------------------------------------
+# Cross-process sharding (run_fleet_jobs).
+
+
+def _lane_jobs(n_lanes: int, *, learned_every: int = 3) -> list[dict]:
+    jobs = []
+    for i in range(n_lanes):
+        job: dict = {"pattern": PATTERNS[i % len(PATTERNS)], "n": 500,
+                     "working_set": 80, "seed": i, "prefetcher": "stride",
+                     "sim": {"prefetch_delay_accesses": 1}}
+        if i % learned_every == 0:
+            job["prefetcher"] = "cls-hebbian"
+            job["cls"] = {"vocab": 48, "seed": 4}
+        jobs.append(job)
+    return jobs
+
+
+def test_materialize_lane_spec_matches_inline_recipe() -> None:
+    """A materialized CLS lane equals a hand-built one, and same-recipe
+    lanes share one prototype (hence one stacked fleet group)."""
+    prototypes: dict = {}
+    job = _lane_jobs(1)[0]
+    spec = materialize_lane_spec(job, prototypes)
+    twin = materialize_lane_spec(job, prototypes)
+    assert len(prototypes) == 1
+    assert isinstance(spec.prefetcher, CLSPrefetcher)
+    assert isinstance(twin.prefetcher, CLSPrefetcher)
+    assert (spec.prefetcher.fleet_group_key()
+            == twin.prefetcher.fleet_group_key())
+    assert spec.config.prefetch_delay_accesses == 1
+    reference = simulate(spec.trace, spec.prefetcher, config=spec.config,
+                         backend="numpy")
+    want = simulate(twin.trace, twin.prefetcher, config=twin.config,
+                    backend="numpy")
+    assert reference.stats.as_dict() == want.stats.as_dict()
+    with pytest.raises(ValueError, match="unknown lane-job prefetcher"):
+        materialize_lane_spec({"pattern": "stride", "n": 100,
+                               "prefetcher": "bogus"}, {})
+
+
+def test_fleet_jobs_sharded_matches_serial() -> None:
+    """jobs=2 pooled rollups are bit-identical to the serial run, in
+    job order, for mixed stride + learned lanes."""
+    lane_jobs = _lane_jobs(6)
+    serial = run_fleet_jobs(lane_jobs, jobs=1, backend="numpy",
+                            record_miss_indices=True)
+    sharded = run_fleet_jobs(lane_jobs, jobs=2, backend="numpy",
+                             record_miss_indices=True)
+    assert serial.n_shards == 1 and serial.jobs == 1
+    assert sharded.n_shards == 2 and sharded.jobs == 2
+    assert serial.n_lanes == sharded.n_lanes == 6
+    strip = ("wall_time_s",)
+    for lane_a, lane_b in zip(serial.lanes, sharded.lanes):
+        trimmed_a = {k: v for k, v in lane_a.items() if k not in strip}
+        trimmed_b = {k: v for k, v in lane_b.items() if k not in strip}
+        assert trimmed_a == trimmed_b
+    # And both match per-lane simulate() references.
+    prototypes: dict = {}
+    for job, lane in zip(lane_jobs, serial.lanes):
+        spec = materialize_lane_spec(job, prototypes, backend="numpy")
+        reference = simulate(spec.trace, spec.prefetcher,
+                             config=spec.config, backend="numpy",
+                             record_miss_indices=True)
+        assert lane["stats"] == reference.stats.as_dict()
+        assert lane["miss_indices"] == reference.miss_indices
+
+
+def test_fleet_jobs_scalar_escape_hatch_identical() -> None:
+    """stacked_cls=False yields the same rollups (zero-regression)."""
+    lane_jobs = _lane_jobs(4, learned_every=2)
+    stacked = run_fleet_jobs(lane_jobs, jobs=1, backend="numpy")
+    scalar = run_fleet_jobs(lane_jobs, jobs=1, backend="numpy",
+                            stacked_cls=False)
+    for lane_a, lane_b in zip(stacked.lanes, scalar.lanes):
+        assert lane_a["stats"] == lane_b["stats"]
+
+
+def test_fleet_jobs_manifest_round_trip(tmp_path) -> None:
+    lane_jobs = _lane_jobs(4)
+    report = run_fleet_jobs(lane_jobs, jobs=2, backend="numpy",
+                            record_miss_indices=True)
+    path = write_fleet_jobs_manifest(report, tmp_path)
+    assert path.name == "fleet-4x-2j-numpy.jsonl"
+    lines = [json.loads(line)
+             for line in path.read_text().strip().splitlines()]
+    head, lanes = lines[0], lines[1:]
+    assert head["record"] == "fleet_manifest"
+    assert head["n_lanes"] == 4
+    assert head["jobs"] == 2
+    assert head["n_shards"] == 2
+    assert "env" in head and "python" in head["env"]
+    assert len(lanes) == 4
+    for lane in lanes:
+        assert lane["record"] == "fleet_lane"
+        # Bulk payloads stay out of the manifest.
+        assert "stats" not in lane and "miss_indices" not in lane

@@ -136,6 +136,21 @@ def test_rejects_per_access_observers() -> None:
         run_cohort(specs)
 
 
+def test_rejects_cls_per_access_observer_with_full_message() -> None:
+    """A CLS config with ``observe_hits`` sets ``wants_accesses``, and
+    the cohort's rejection renders the actionable remediation text."""
+    prefetcher = CLSPrefetcher(CLSPrefetcherConfig(seed=1,
+                                                   observe_hits=True))
+    assert prefetcher.wants_accesses
+    assert not prefetcher.fleet_steppable()
+    trace = _traces(n=600)[0]
+    specs = [FleetLaneSpec(trace=trace, prefetcher=prefetcher)]
+    with pytest.raises(ValueError) as excinfo:
+        run_cohort(specs)
+    assert ("run wants_accesses prefetchers through simulate() instead"
+            in str(excinfo.value))
+
+
 def test_load_validates_slot_and_trace() -> None:
     trace = _traces(n=600)[0]
     spec = FleetLaneSpec(trace=trace, prefetcher=NullPrefetcher())

@@ -126,3 +126,132 @@ def test_rollout_from_lane_network_matches() -> None:
         lane = fleet.lane_network(t)
         assert lane.predict_rollout(width=2, length=3) == \
             clone.predict_rollout(width=2, length=3)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_step_lanes_subset_matches_clones(backend: str) -> None:
+    """Stepping a changing subset each round equals per-clone steps."""
+    proto = _prototype(backend)
+    fleet = HebbianFleet(proto, N_LANES)
+    clones = [proto.clone() for _ in range(N_LANES)]
+    streams = _streams(3)
+    rng = child_rng(30482, 0)
+    for step in range(ROUNDS):
+        k = int(rng.integers(1, N_LANES + 1))
+        lanes = sorted(rng.choice(N_LANES, size=k, replace=False).tolist())
+        classes = [int(streams[step, t]) for t in lanes]
+        trains = [bool(rng.integers(0, 2)) for _ in lanes]
+        probs = fleet.step_lanes(lanes, classes, trains)
+        for i, t in enumerate(lanes):
+            want = clones[t].step(classes[i], train=trains[i])
+            assert np.array_equal(probs[i], want), (backend, step, t)
+    for t, clone in enumerate(clones):
+        assert np.array_equal(fleet.w_out[t], clone.w_out), (backend, t)
+        assert int(fleet.train_steps[t]) == clone.train_steps
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("punish", [True, False])
+def test_train_pairs_lanes_matches_clones(backend: str,
+                                          punish: bool) -> None:
+    """Batched replay application equals per-clone train_pairs calls."""
+    proto = _prototype(backend, punish=punish)
+    fleet = HebbianFleet(proto, N_LANES)
+    clones = [proto.clone() for _ in range(N_LANES)]
+    streams = _streams(4)
+    rng = child_rng(30483, 0)
+    for step in range(80):
+        fleet.step_all(streams[step])
+        for t, clone in enumerate(clones):
+            clone.step(int(streams[step, t]))
+        if step % 3 != 0:
+            continue
+        lanes = []
+        pairs_per_lane = []
+        scales = []
+        for t in range(N_LANES):
+            if rng.integers(0, 2) == 0:
+                continue
+            count = int(rng.integers(1, 5))
+            pairs = [(int(rng.integers(0, VOCAB)),
+                      int(rng.integers(0, VOCAB)))
+                     for _ in range(count)]
+            lanes.append(t)
+            pairs_per_lane.append(pairs)
+            scales.append(float(rng.choice([0.5, 1.0])))
+        if not lanes:
+            continue
+        fleet.train_pairs_lanes(lanes, pairs_per_lane, scales)
+        for t, pairs, scale in zip(lanes, pairs_per_lane, scales):
+            clones[t].train_pairs(pairs, lr_scale=scale)
+    for t, clone in enumerate(clones):
+        assert np.array_equal(fleet.w_out[t], clone.w_out), (backend, t)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_rollout_lanes_matches_clones(backend: str) -> None:
+    """Batched rollouts equal each clone's predict_rollout, including
+    lanes with no scored step yet (empty rollout)."""
+    proto = _prototype(backend)
+    fleet = HebbianFleet(proto, N_LANES)
+    clones = [proto.clone() for _ in range(N_LANES)]
+    streams = _streams(5)
+    # Leave lane N_LANES-1 unstepped: its rollout must be [].
+    stepped = list(range(N_LANES - 1))
+    for step in range(60):
+        classes = [int(streams[step, t]) for t in stepped]
+        fleet.step_lanes(stepped, classes, [True] * len(stepped))
+        for i, t in enumerate(stepped):
+            clones[t].step(classes[i])
+    widths = [2, 3, 1, 4, 2][:N_LANES]
+    lengths = [3, 2, 4, 1, 3][:N_LANES]
+    rollouts = fleet.rollout_lanes(list(range(N_LANES)), widths, lengths)
+    for t in range(N_LANES):
+        want = clones[t].predict_rollout(width=widths[t],
+                                         length=lengths[t])
+        assert rollouts[t] == want, (backend, t)
+    assert rollouts[N_LANES - 1] == []
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_acquire_release_round_trip(backend: str) -> None:
+    """A network adopted into a reserve fleet and released continues
+    bit-identically to a twin that never left scalar-land."""
+    proto = _prototype(backend)
+    fleet = HebbianFleet(proto, 2, reserve=True)
+    streams = _streams(6)
+    nets = [proto.clone() for _ in range(3)]
+    twins = [net.clone() for net in nets]
+    # Warm the networks outside the fleet first.
+    for step in range(20):
+        for net, twin in zip(nets, twins):
+            net.step(int(streams[step, 0]))
+            twin.step(int(streams[step, 0]))
+    # Adopt all three: the third acquisition forces a capacity grow.
+    slots = [fleet.acquire_lane(net) for net in nets]
+    assert len(set(slots)) == 3
+    for step in range(20, 40):
+        fleet.step_lanes(slots, [int(streams[step, 1])] * 3,
+                         [True] * 3)
+        for twin in twins:
+            twin.step(int(streams[step, 1]))
+    for slot, net, twin in zip(slots, nets, twins):
+        fleet.release_lane(slot, net)
+        assert np.array_equal(net.w_out, twin.w_out)
+        assert net.train_steps == twin.train_steps
+        for step in range(40, 60):
+            got = net.step(int(streams[step, 2]))
+            want = twin.step(int(streams[step, 2]))
+            assert np.array_equal(got, want), (backend, step)
+    # Released slots recycle without growing again.
+    recycled = fleet.acquire_lane(nets[0])
+    assert recycled in slots
+
+
+def test_acquire_rejects_config_mismatch() -> None:
+    proto = _prototype("numpy")
+    fleet = HebbianFleet(proto, 1, reserve=True)
+    other = SparseHebbianNetwork(HebbianConfig(
+        vocab_size=VOCAB, hidden_dim=200, seed=11, backend="numpy"))
+    with pytest.raises(ValueError, match="config"):
+        fleet.acquire_lane(other)

@@ -32,6 +32,12 @@ class TestParser:
             build_parser().parse_args(["generate", "--pattern", "zigzag",
                                        "-o", "x.npz"])
 
+    def test_fleet_jobs_defaults_to_autodetect(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.jobs is None
+        args = build_parser().parse_args(["fleet", "--jobs", "3"])
+        assert args.jobs == 3
+
 
 class TestCommands:
     def test_generate_and_simulate_roundtrip(self, tmp_path, capsys):
@@ -74,6 +80,25 @@ class TestCommands:
     def test_experiment_fig2(self, capsys):
         assert main(["experiment", "fig2"]) == 0
         assert "lstm-fp32-1t" in capsys.readouterr().out
+
+    def test_fleet_learned_lanes(self, capsys):
+        assert main(["fleet", "--tenants", "3", "--n", "400",
+                     "--working-set", "60", "--model", "hebbian",
+                     "--vocab", "32", "--backend", "numpy"]) == 0
+        output = capsys.readouterr().out
+        assert "3 tenants" in output
+        assert "hebbian" in output
+
+    def test_fleet_jobs_sharded_with_manifest(self, tmp_path, capsys):
+        assert main(["fleet", "--tenants", "4", "--n", "400",
+                     "--working-set", "60", "--model", "hebbian",
+                     "--vocab", "32", "--backend", "numpy",
+                     "--jobs", "2",
+                     "--manifest-dir", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "2 jobs" in output
+        manifests = list(tmp_path.glob("fleet-4x-2j-*.jsonl"))
+        assert len(manifests) == 1
 
     def test_profile_wraps_any_subcommand(self, capsys):
         assert main(["--profile", "simulate", "--pattern", "stride",
