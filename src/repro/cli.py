@@ -9,7 +9,13 @@ Three subcommands cover the library's day-to-day uses:
 - ``experiment`` — regenerate a paper table/figure (same drivers the
   benchmarks use);
 - ``telemetry`` — inspect the JSONL run records written by
-  ``--telemetry-dir`` (see :mod:`repro.telemetry`).
+  ``--telemetry-dir`` (see :mod:`repro.telemetry`);
+- ``serve`` — run the online train-and-serve prefetch daemon
+  (:mod:`repro.serve`) over a generated multi-tenant miss mix, in
+  deterministic lockstep or on real threads, plus a quick threaded
+  latency probe (``serve bench``);
+- ``bench`` — pivot the repo-root ``BENCH_PR*.json`` files into
+  cross-PR speedup/fleet/serving trend tables.
 
 Examples::
 
@@ -21,6 +27,9 @@ Examples::
     python -m repro --profile simulate --app resnet_training --model hebbian
     python -m repro simulate --app mcf --model hebbian --telemetry-dir runs/
     python -m repro telemetry summarize runs/
+    python -m repro serve run --tenants 8 --n 2000 --threaded
+    python -m repro serve bench --offered-eps 2000
+    python -m repro bench trend
 
 ``--profile`` (before the subcommand) wraps any run in :mod:`cProfile`
 and prints the 25 hottest functions by cumulative time — the same view
@@ -197,6 +206,47 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--manifest-dir", default=None,
                        help="write the fleet JSONL manifest (aggregate "
                             "rollup + one record per tenant) here")
+
+    serve = sub.add_parser(
+        "serve", help="online train-and-serve prefetch daemon")
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+    serve_run = serve_sub.add_parser(
+        "run", help="replay a generated multi-tenant miss mix through "
+                    "the daemon (deterministic lockstep, or --threaded)")
+    serve_run.add_argument("--tenants", type=int, default=4)
+    serve_run.add_argument("--pattern", action="append",
+                           choices=list(PATTERN_NAMES),
+                           help="trace pattern(s), cycled across tenants "
+                                "(default: all)")
+    serve_run.add_argument("--n", type=int, default=2000,
+                           help="miss events per tenant")
+    serve_run.add_argument("--working-set", type=int, default=64)
+    serve_run.add_argument("--vocab", type=int, default=128)
+    serve_run.add_argument("--length", type=int, default=2,
+                           help="prefetch rollout length")
+    serve_run.add_argument("--width", type=int, default=2,
+                           help="prefetch rollout width")
+    serve_run.add_argument("--max-staleness", type=int, default=256)
+    serve_run.add_argument("--ring-capacity", type=int, default=1024)
+    serve_run.add_argument("--max-batch", type=int, default=64)
+    serve_run.add_argument("--scalar", action="store_true",
+                           help="per-lane stepping instead of the "
+                                "stacked HebbianFleet path")
+    serve_run.add_argument("--threaded", action="store_true",
+                           help="drive the actors on real threads "
+                                "(default: deterministic lockstep)")
+    serve_run.add_argument("--seed", type=int, default=0)
+    serve_run.add_argument("--manifest-dir", default=None,
+                           help="write the serve JSONL manifest here")
+    serve_bench = serve_sub.add_parser(
+        "bench", help="quick threaded latency probe: p50/p99 query "
+                      "latency at one offered load")
+    serve_bench.add_argument("--tenants", type=int, default=4)
+    serve_bench.add_argument("--events", type=int, default=2000)
+    serve_bench.add_argument("--offered-eps", type=float, default=2000.0,
+                             help="offered events+queries per second")
+    serve_bench.add_argument("--vocab", type=int, default=128)
+    serve_bench.add_argument("--seed", type=int, default=0)
 
     bench = sub.add_parser("bench", help="inspect benchmark artifacts")
     bench_sub = bench.add_subparsers(dest="bench_command", required=True)
@@ -520,11 +570,117 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_events(tenants: int, patterns: list[str], n: int,
+                  working_set: int, seed: int
+                  ) -> list[tuple[int, int, int]]:
+    """A round-robin multi-tenant miss mix from the Table 1 generators.
+
+    Trace seeds derive from the root seed via ``spawn_seeds`` (not
+    ``seed + tenant``), so tenant streams stay decorrelated and the
+    tenant set can grow without re-seeding existing lanes.
+    """
+    from .seeding import spawn_seeds
+
+    seeds = spawn_seeds(seed, max(tenants, 1))
+    streams = []
+    for tenant in range(tenants):
+        trace = generate(patterns[tenant % len(patterns)],
+                         PatternSpec(n=n, working_set=working_set,
+                                     element_size=4096,
+                                     seed=seeds[tenant]))
+        streams.append(trace.addresses)
+    return [(tenant, int(streams[tenant][i]), i)
+            for i in range(n) for tenant in range(tenants)]
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import PrefetchService, ServeConfig, replay_lockstep
+    from .serve.loop import ThreadScheduler
+
+    if args.serve_command == "run":
+        config = ServeConfig(
+            vocab_size=args.vocab, prefetch_length=args.length,
+            prefetch_width=args.width, max_staleness=args.max_staleness,
+            ring_capacity=args.ring_capacity, max_batch=args.max_batch,
+            stacked=not args.scalar, seed=args.seed)
+        service = PrefetchService(config)
+        patterns = args.pattern or list(PATTERN_NAMES)
+        events = _serve_events(args.tenants, patterns, args.n,
+                               args.working_set, args.seed)
+        if args.threaded:
+            sched = ThreadScheduler()
+            for actor in service.actors():
+                sched.add(actor)
+            sched.start()
+            try:
+                for tenant, address, timestamp in events:
+                    service.submit_miss(tenant, address, timestamp)
+                    ticket = service.query(tenant)
+                    if not ticket.wait(30.0):
+                        raise RuntimeError(
+                            f"query {ticket.qid} unanswered after 30 s")
+            finally:
+                sched.stop()
+        else:
+            replay_lockstep(service, events)
+        rows = [[key, value] for key, value in service.counters().items()]
+        rows += [[f"latency_{key}", round(value, 4)]
+                 for key, value in service.latency_percentiles().items()]
+        rows += [[f"swap_pause_{key}", round(value, 4)]
+                 for key, value in service.swap_pause_percentiles().items()]
+        mode = "threaded" if args.threaded else "lockstep"
+        print_table(["metric", "value"], rows,
+                    title=f"Serve — {args.tenants} tenants x {args.n} "
+                          f"events ({mode})")
+        if args.manifest_dir is not None:
+            path = service.write_manifest(args.manifest_dir)
+            print(f"manifest: {path}")
+        return 0
+
+    # serve bench: paced threaded probe at one offered load.
+    import time as _time
+
+    service = PrefetchService(ServeConfig(vocab_size=args.vocab,
+                                          seed=args.seed))
+    sched = ThreadScheduler()
+    for actor in service.actors():
+        sched.add(actor)
+    sched.start()
+    period = 1.0 / args.offered_eps
+    tickets = []
+    try:
+        start = _time.perf_counter()
+        for i in range(args.events):
+            tenant = i % args.tenants
+            service.submit_miss(tenant, 4096 * ((3 * i + tenant) % 64), i)
+            tickets.append(service.query(tenant))
+            deadline = start + (i + 1) * period
+            remaining = deadline - _time.perf_counter()
+            if remaining > 0:
+                _time.sleep(remaining)
+        for ticket in tickets:
+            if not ticket.wait(30.0):
+                raise RuntimeError(
+                    f"query {ticket.qid} unanswered after 30 s")
+    finally:
+        sched.stop()
+    latency = service.latency_percentiles()
+    print_table(["metric", "value"],
+                [["offered_eps", args.offered_eps],
+                 ["queries", int(latency["n"])],
+                 ["p50_ms", round(latency["p50_ms"], 4)],
+                 ["p99_ms", round(latency["p99_ms"], 4)]],
+                title=f"Serve bench — {args.tenants} tenants at "
+                      f"{args.offered_eps:g} events/s offered")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     if args.bench_command == "trend":
         from .harness.bench_trend import (
             find_bench_files,
             fleet_table,
+            serve_table,
             trend_table,
         )
 
@@ -542,6 +698,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print_table(fleet_headers, fleet_rows,
                         title="Fleet throughput (batched engine vs "
                               "N sequential simulate() calls)")
+        serve_headers, serve_rows = serve_table(args.dir)
+        if serve_rows:
+            print()
+            print_table(serve_headers, serve_rows,
+                        title="Online serving SLOs (query latency, "
+                              "swap pause, daemon throughput)")
     return 0
 
 
@@ -553,6 +715,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": cmd_experiment,
         "fleet": cmd_fleet,
         "telemetry": cmd_telemetry,
+        "serve": cmd_serve,
         "bench": cmd_bench,
     }
     handler = handlers[args.command]

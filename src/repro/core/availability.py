@@ -97,6 +97,38 @@ class ShadowModelManager:
         self._staleness = 0
         self.confidence_ema = max(self.confidence_ema, self.redeploy_below)
 
+    def discard_shadow(self) -> None:
+        """Throw the shadow's training away; refork it from live.
+
+        The escape hatch for a corrupted shadow (e.g. a poisoned update
+        caught by :func:`weights_finite` at swap admission): the live
+        copy keeps serving untouched and background training restarts
+        from its weights.  Resets the staleness backstop — the discarded
+        steps no longer count toward a forced redeploy.
+        """
+        self.shadow = self.live.clone()
+        self._staleness = 0
+
+    @property
+    def staleness(self) -> int:
+        """Training steps absorbed by the shadow since the last swap."""
+        return self._staleness
+
+
+def weights_finite(model: SequenceModel) -> bool:
+    """True iff every learned weight of ``model`` is finite.
+
+    The swap admission check of the serving layer: a shadow that picked
+    up a NaN/inf (hardware fault, poisoned update) must never be
+    promoted to live.
+    """
+    if isinstance(model, OnlineLSTM):
+        return all(bool(np.isfinite(values).all())
+                   for values in model.net.params.values())
+    if isinstance(model, SparseHebbianNetwork):
+        return bool(np.isfinite(model.w_out).all())
+    raise TypeError(f"don't know how to validate {type(model).__name__}")
+
 
 def perturb_weights(model: SequenceModel, sigma: float,
                     seed: int = 0) -> SequenceModel:

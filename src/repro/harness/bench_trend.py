@@ -85,6 +85,27 @@ def extract_fleet_cells(payload: Any, _path: tuple[str, ...] = ()
     return out
 
 
+def extract_serve_cells(payload: Any, _path: tuple[str, ...] = ()
+                        ) -> list[tuple[str, dict]]:
+    """Online-serving cells: throughput dicts carrying
+    ``serve_events_per_sec`` and latency dicts carrying ``p99_ms``
+    (the PR 10 serve bench emits both shapes)."""
+    out: list[tuple[str, dict]] = []
+    if isinstance(payload, list):
+        for i, value in enumerate(payload):
+            out.extend(extract_serve_cells(value, _path + (str(i),)))
+        return out
+    if not isinstance(payload, dict):
+        return out
+    if "serve_events_per_sec" in payload or "p99_ms" in payload:
+        out.append(("/".join(_path), payload))
+    for key, value in payload.items():
+        if not _path and key in _META_KEYS:
+            continue
+        out.extend(extract_serve_cells(value, _path + (str(key),)))
+    return out
+
+
 def _workload(label: str) -> str:
     """The pivot key: the leaf of the key path (section names vary per
     PR, workload names are the stable vocabulary).  A bare list index is
@@ -154,5 +175,34 @@ def fleet_table(root: str | Path) -> tuple[list[str], list[list[object]]]:
                 cell["fleet_events_per_sec"],
                 cell.get("sequential_events_per_sec", "—"),
                 cell.get("speedup", "—"),
+            ])
+    return headers, rows
+
+
+def serve_table(root: str | Path) -> tuple[list[str], list[list[object]]]:
+    """Online-serving SLO cells across all bench files, flattened.
+
+    One row per serve cell: throughput rows carry ``tenants`` and
+    ``serve_events_per_sec``; latency rows carry the offered load and
+    the measured p50/p99 milliseconds (query latency or swap pause,
+    distinguished by the section name in ``workload``).  Empty when no
+    bench file carries serve measurements.
+    """
+    headers = ["PR", "workload", "tenants", "offered_eps",
+               "serve_events_per_sec", "p50_ms", "p99_ms"]
+    rows: list[list[object]] = []
+    for pr, path in find_bench_files(root):
+        with path.open("r", encoding="utf-8") as fh:
+            cells = extract_serve_cells(json.load(fh))
+        for label, cell in sorted(cells):
+            named = [p for p in label.split("/") if not p.isdigit()]
+            workload = named[-1] if named else label
+            rows.append([
+                f"PR{pr}", workload,
+                cell.get("tenants", "—"),
+                cell.get("offered_eps", "—"),
+                cell.get("serve_events_per_sec", "—"),
+                cell.get("p50_ms", "—"),
+                cell.get("p99_ms", "—"),
             ])
     return headers, rows

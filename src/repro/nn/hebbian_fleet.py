@@ -599,6 +599,19 @@ class HebbianFleet:
             self._last_active[t] = None
             self._has_last[t] = False
 
+    def lane_weights(self, lane: int) -> np.ndarray:
+        """Lane ``lane``'s learned-weight block, as a read-only view.
+
+        The serving layer checksums this to prove a query was answered
+        from exactly one deployed weight snapshot (never a torn mix);
+        a view keeps that check allocation-free.  Callers must not
+        write through it — mutation goes through ``step_lanes`` /
+        ``acquire_lane``.
+        """
+        view = self.w_out[lane]
+        view.flags.writeable = False
+        return view
+
     def lane_network(self, lane: int) -> SparseHebbianNetwork:
         """Materialize lane ``lane`` as a standalone scalar network.
 

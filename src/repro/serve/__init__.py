@@ -1,0 +1,48 @@
+"""Online train-and-serve prefetch daemon (§5.5 under real concurrency).
+
+The paper asks whether a model can be trained and queried concurrently;
+:mod:`repro.core.availability` answers with the shadow-copy protocol but
+never runs it under actual concurrency.  This package is the serving
+layer: a long-lived :class:`~repro.serve.service.PrefetchService` that
+ingests miss events through a bounded drop-oldest ring, answers prefetch
+queries through a request batcher (stacked across tenants via
+:class:`~repro.nn.hebbian_fleet.HebbianFleet`), trains a shadow copy on
+a background worker, and hot-swaps it through
+:class:`~repro.core.availability.ShadowModelManager`.
+
+All concurrency goes through the scheduler/clock seam
+(:mod:`repro.serve.clock`, :mod:`repro.serve.loop`): the same actors run
+on real threads in production (:class:`~repro.serve.loop.ThreadScheduler`)
+and single-stepped under a seeded virtual clock in tests
+(:class:`~repro.serve.loop.VirtualScheduler`), where interleavings are
+replayable from their seed and shrinkable via an injected chooser.
+"""
+
+from .batcher import QueryTicket, RequestBatcher
+from .clock import Clock, RealClock, VirtualClock
+from .faults import FaultPlan
+from .loop import Actor, ThreadScheduler, VirtualScheduler
+from .ring import EventRing
+from .service import (
+    PrefetchService,
+    ServeConfig,
+    TenantLane,
+    replay_lockstep,
+)
+
+__all__ = [
+    "Actor",
+    "Clock",
+    "EventRing",
+    "FaultPlan",
+    "PrefetchService",
+    "QueryTicket",
+    "RealClock",
+    "RequestBatcher",
+    "ServeConfig",
+    "TenantLane",
+    "ThreadScheduler",
+    "VirtualClock",
+    "VirtualScheduler",
+    "replay_lockstep",
+]

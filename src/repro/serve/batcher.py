@@ -1,0 +1,117 @@
+"""Request batching for the query path.
+
+Clients submit queries and receive a :class:`QueryTicket`; the serve
+loop drains pending tickets in bounded batches, answers each from the
+current live model, and resolves the ticket.  A ticket resolves exactly
+once (double-resolution raises — the hypothesis suite leans on that),
+and clients may block on :meth:`QueryTicket.wait` in threaded mode or
+poll :attr:`QueryTicket.done` under the virtual scheduler.
+
+The query path never touches the per-tenant training lock: answering is
+reading the live model, which only the serve loop mutates (at swap
+time), so a query can never block behind a training step.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+
+class QueryTicket:
+    """One in-flight prefetch query and, eventually, its answer.
+
+    Attributes:
+        qid: Monotone id assigned at submission.
+        tenant: The querying tenant.
+        submitted_at: Clock reading at submission.
+        answered_at: Clock reading at resolution (None while pending).
+        pages: The answer — predicted prefetch pages (None while pending).
+        checksum: Serving-weights checksum at answer time, recorded when
+            the service runs with ``record_checksums`` (the torn-swap
+            assertion compares it against the swap history).
+    """
+
+    __slots__ = ("qid", "tenant", "submitted_at", "answered_at", "pages",
+                 "checksum", "_event")
+
+    def __init__(self, qid: int, tenant: int, submitted_at: float) -> None:
+        self.qid = qid
+        self.tenant = tenant
+        self.submitted_at = submitted_at
+        self.answered_at: float | None = None
+        self.pages: list[int] | None = None
+        self.checksum: str | None = None
+        self._event = threading.Event()
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def resolve(self, pages: list[int], answered_at: float,
+                checksum: str | None = None) -> None:
+        """Attach the answer; a ticket resolves exactly once."""
+        if self._event.is_set():
+            raise RuntimeError(f"ticket {self.qid} resolved twice")
+        self.pages = pages
+        self.answered_at = answered_at
+        self.checksum = checksum
+        self._event.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block (threaded mode) until answered; True iff it was."""
+        return self._event.wait(timeout)
+
+    def latency(self) -> float:
+        """Seconds from submission to answer (clock units)."""
+        if self.answered_at is None:
+            raise RuntimeError(f"ticket {self.qid} not answered yet")
+        return self.answered_at - self.submitted_at
+
+
+class RequestBatcher:
+    """FIFO query queue drained in batches of at most ``max_batch``.
+
+    Attributes:
+        max_batch: Upper bound on tickets per :meth:`take_batch`.
+        submitted: Total tickets issued.
+        answered: Total tickets resolved through :meth:`answer`.
+    """
+
+    def __init__(self, max_batch: int) -> None:
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        self.max_batch = max_batch
+        self.submitted = 0
+        self.answered = 0
+        self._pending: deque[QueryTicket] = deque()
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    def submit(self, tenant: int, now: float) -> QueryTicket:
+        """Enqueue a query; returns its ticket immediately."""
+        with self._lock:
+            ticket = QueryTicket(self._next_id, tenant, now)
+            self._next_id += 1
+            self.submitted += 1
+            self._pending.append(ticket)
+            return ticket
+
+    def take_batch(self) -> list[QueryTicket]:
+        """Dequeue up to ``max_batch`` tickets, FIFO."""
+        with self._lock:
+            out: list[QueryTicket] = []
+            while self._pending and len(out) < self.max_batch:
+                out.append(self._pending.popleft())
+            return out
+
+    def answer(self, ticket: QueryTicket, pages: list[int], now: float,
+               checksum: str | None = None) -> None:
+        """Resolve a ticket taken from :meth:`take_batch`."""
+        ticket.resolve(pages, now, checksum)
+        with self._lock:
+            self.answered += 1
+
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._pending)

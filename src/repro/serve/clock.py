@@ -1,0 +1,53 @@
+"""The clock seam: every time read in the serving layer goes through a
+:class:`Clock` so tests can run the identical code under a deterministic
+virtual clock.
+
+``RealClock`` is ``perf_counter`` for production threads; wall-clock
+reads are confined to this module (the simulation zones under
+``core``/``memsim``/``nn``/``patterns`` stay clock-free per repro-lint
+RL002).  ``VirtualClock`` only moves when a scheduler advances it, so
+latencies measured under it are a pure function of the schedule.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Monotonic seconds; the only time source the serve layer may use."""
+
+    def now(self) -> float:
+        """Current monotonic time in seconds."""
+        ...
+
+
+class RealClock:
+    """Production clock: monotonic ``perf_counter`` seconds."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class VirtualClock:
+    """Deterministic clock advanced explicitly by the test scheduler.
+
+    Time never flows on its own: two runs that take the same schedule
+    read the same timestamps, so p50/p99 latencies asserted under this
+    clock are exact, not statistical.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new now."""
+        if seconds < 0:
+            raise ValueError("time only moves forward")
+        self._now += seconds
+        return self._now

@@ -1,0 +1,192 @@
+"""The scheduler seam: actors and the two ways to drive them.
+
+The service is decomposed into **actors** — objects exposing one atomic
+unit of work, ``step() -> bool`` (True = made progress).  Production
+runs each actor on its own thread (:class:`ThreadScheduler`); tests run
+the *same* actors single-stepped under :class:`VirtualScheduler`, which
+picks the next actor with a seeded RNG (or an injected chooser, so a
+hypothesis ``data.draw`` can shrink the interleaving).  Because a step
+is atomic by construction — the scheduler never preempts inside one —
+every interleaving the virtual scheduler can produce is replayable
+exactly from its seed, and any exception an actor raises is re-raised
+annotated with that seed.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Protocol, runtime_checkable
+
+from ..seeding import child_rng
+from .clock import VirtualClock
+
+#: Given the names of currently-runnable actors, return the index to
+#: step next.  Injected by property tests (hypothesis draws the index,
+#: so failing interleavings shrink); ``None`` means "use the seeded RNG".
+Chooser = Callable[[list[str]], int]
+
+
+@runtime_checkable
+class Actor(Protocol):
+    """One schedulable unit of the service."""
+
+    name: str
+
+    def step(self) -> bool:
+        """Run one atomic unit of work; True iff progress was made."""
+        ...
+
+
+class VirtualScheduler:
+    """Single-stepped deterministic scheduler over a virtual clock.
+
+    Each :meth:`step_once` picks one non-idle actor (seeded RNG or the
+    injected ``chooser``), runs exactly one ``step()``, and advances the
+    virtual clock by that actor's step cost.  An actor that reports no
+    progress is parked until *any* actor progresses (progress may have
+    unblocked it); when every actor is parked the system is quiescent.
+
+    Attributes:
+        seed: The interleaving seed; printed in every failure so the
+            schedule replays exactly.
+        trace: Actor names in execution order — the replayable schedule.
+    """
+
+    def __init__(self, clock: VirtualClock, *, seed: int = 0,
+                 chooser: Chooser | None = None,
+                 step_cost: float = 1e-6,
+                 costs: dict[str, float] | None = None) -> None:
+        self.clock = clock
+        self.seed = seed
+        self.trace: list[str] = []
+        self.steps = 0
+        self._rng = child_rng(seed, 0)
+        self._chooser = chooser
+        self._actors: list[Actor] = []
+        self._idle: set[str] = set()
+        self._step_cost = step_cost
+        self._costs = dict(costs or {})
+
+    def add(self, actor: Actor) -> None:
+        if any(a.name == actor.name for a in self._actors):
+            raise ValueError(f"duplicate actor name {actor.name!r}")
+        self._actors.append(actor)
+
+    def runnable(self) -> list[str]:
+        """Names of actors not currently parked as idle."""
+        return [a.name for a in self._actors if a.name not in self._idle]
+
+    def step_once(self) -> str | None:
+        """Step one actor; returns its name, or None when quiescent."""
+        candidates = [a for a in self._actors if a.name not in self._idle]
+        if not candidates:
+            return None
+        if self._chooser is not None:
+            index = self._chooser([a.name for a in candidates])
+            if not 0 <= index < len(candidates):
+                raise IndexError(
+                    f"chooser returned {index} for {len(candidates)} "
+                    "runnable actors")
+        else:
+            index = int(self._rng.integers(len(candidates)))
+        actor = candidates[index]
+        try:
+            progressed = actor.step()
+        except Exception as exc:
+            raise RuntimeError(
+                f"actor {actor.name!r} failed at schedule step {self.steps} "
+                f"under interleaving seed={self.seed}; rerun with "
+                f"VirtualScheduler(seed={self.seed}) to replay exactly"
+            ) from exc
+        self.steps += 1
+        self.trace.append(actor.name)
+        self.clock.advance(self._costs.get(actor.name, self._step_cost))
+        if progressed:
+            # Progress anywhere may unblock anyone: un-park everything.
+            self._idle.clear()
+        else:
+            self._idle.add(actor.name)
+        return actor.name
+
+    def run(self, max_steps: int) -> int:
+        """Step up to ``max_steps`` times; returns steps actually run."""
+        done = 0
+        while done < max_steps:
+            if self.step_once() is None:
+                break
+            done += 1
+        return done
+
+    def run_until_idle(self, max_steps: int = 1_000_000) -> int:
+        """Step until every actor is quiescent; returns steps run.
+
+        Raises if the budget is exhausted first — a live-lock under this
+        schedule, reported with the seed that reproduces it.
+        """
+        done = self.run(max_steps)
+        if done >= max_steps and self.step_once() is not None:
+            raise RuntimeError(
+                f"not quiescent after {max_steps} steps under interleaving "
+                f"seed={self.seed}; replay with VirtualScheduler("
+                f"seed={self.seed})")
+        return done
+
+
+class ThreadScheduler:
+    """Production driver: one daemon thread per actor.
+
+    Each thread loops the actor's ``step()``; when an actor reports no
+    progress the thread backs off for ``poll_interval`` seconds instead
+    of spinning.  :meth:`stop` joins every thread and re-raises the
+    first actor exception, if any — failures never vanish into a dead
+    thread.
+    """
+
+    def __init__(self, *, poll_interval: float = 1e-4) -> None:
+        self._poll = poll_interval
+        self._actors: list[Actor] = []
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._errors: list[tuple[str, BaseException]] = []
+        self._errors_lock = threading.Lock()
+        self.started = False
+
+    def add(self, actor: Actor) -> None:
+        if self.started:
+            raise RuntimeError("cannot add actors after start()")
+        self._actors.append(actor)
+
+    def start(self) -> None:
+        if self.started:
+            raise RuntimeError("already started")
+        self.started = True
+        for actor in self._actors:
+            thread = threading.Thread(target=self._drive, args=(actor,),
+                                      name=f"serve-{actor.name}", daemon=True)
+            self._threads.append(thread)
+            thread.start()
+
+    def _drive(self, actor: Actor) -> None:
+        stop = self._stop
+        while not stop.is_set():
+            try:
+                progressed = actor.step()
+            except Exception as exc:
+                with self._errors_lock:
+                    self._errors.append((actor.name, exc))
+                return
+            if not progressed:
+                stop.wait(self._poll)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Signal every thread, join them, and surface actor failures."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout)
+        alive = [t.name for t in self._threads if t.is_alive()]
+        if alive:
+            raise RuntimeError(f"actor threads failed to stop: {alive}")
+        with self._errors_lock:
+            if self._errors:
+                name, exc = self._errors[0]
+                raise RuntimeError(f"actor {name!r} failed") from exc

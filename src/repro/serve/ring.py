@@ -1,0 +1,73 @@
+"""Bounded drop-oldest event ring — the service's ingest backpressure.
+
+A full ring never blocks the producer and never grows: the oldest
+waiting event is dropped and counted.  For a prefetcher that is the
+right policy — a stale miss event teaches less than a fresh one, and
+the query path must stay bounded-latency regardless of ingest pressure.
+
+Thread-safe; every mutation happens under one internal lock so the
+counters are exact even under racing producers and consumers (the
+hypothesis suite pins: ``pushed == popped + dropped + len(ring)`` and
+FIFO order of the survivors, under random interleavings).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class EventRing(Generic[T]):
+    """Bounded FIFO with drop-oldest overflow and exact counters.
+
+    Attributes:
+        capacity: Maximum events held.
+        pushed: Total events offered via :meth:`push`.
+        popped: Total events handed out via :meth:`pop`/:meth:`pop_up_to`.
+        dropped: Total events evicted by overflow.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.pushed = 0
+        self.popped = 0
+        self.dropped = 0
+        self._items: deque[T] = deque()
+        self._lock = threading.Lock()
+
+    def push(self, item: T) -> bool:
+        """Enqueue; returns False iff an older event was dropped to fit."""
+        with self._lock:
+            self.pushed += 1
+            overflowed = len(self._items) >= self.capacity
+            if overflowed:
+                self._items.popleft()
+                self.dropped += 1
+            self._items.append(item)
+            return not overflowed
+
+    def pop(self) -> T | None:
+        """Dequeue the oldest event, or None when empty."""
+        with self._lock:
+            if not self._items:
+                return None
+            self.popped += 1
+            return self._items.popleft()
+
+    def pop_up_to(self, n: int) -> list[T]:
+        """Dequeue up to ``n`` oldest events (possibly empty)."""
+        with self._lock:
+            out: list[T] = []
+            while self._items and len(out) < n:
+                out.append(self._items.popleft())
+            self.popped += len(out)
+            return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)

@@ -76,6 +76,33 @@ def environment() -> dict:
     }
 
 
+def build_serve_manifest(spec: Mapping[str, Any], *,
+                         counters: Mapping[str, int],
+                         latency: Mapping[str, float],
+                         swap_pause: Mapping[str, float]) -> dict:
+    """The head record of an online-serving JSONL manifest.
+
+    Same provenance machinery as the simulation manifest — the spec is
+    hashed with :func:`~repro.harness.runner.spec_key` and the volatile
+    environment lives under ``env`` — but the payload is the service's
+    operational record: exact event/query/drop counters and the measured
+    p50/p99 query-latency and swap-pause milliseconds the §5.5
+    availability claim is judged on.
+    """
+    spec_hash = spec_key(dict(spec))
+    return {
+        "record": "serve_manifest",
+        "schema_version": SCHEMA_VERSION,
+        "run_id": spec_hash[:16],
+        "spec_hash": spec_hash,
+        "spec": dict(spec),
+        "counters": dict(counters),
+        "latency": dict(latency),
+        "swap_pause": dict(swap_pause),
+        "env": environment(),
+    }
+
+
 def build_manifest(spec: Mapping[str, Any], *, seed: int | None,
                    engine: str, capacity_pages: int, wall_time_s: float,
                    n_windows: int, backend: str = "unknown") -> dict:

@@ -9,6 +9,7 @@ from repro.core.availability import (
     ShadowModelManager,
     perturb_weights,
     weight_noise_robustness,
+    weights_finite,
 )
 from repro.nn.hebbian import HebbianConfig, SparseHebbianNetwork
 from repro.nn.lstm import LSTMConfig, OnlineLSTM
@@ -70,6 +71,93 @@ class TestShadowModelManager:
             ShadowModelManager(small_hebbian(), ema_alpha=0.0)
         with pytest.raises(ValueError):
             ShadowModelManager(small_hebbian(), max_staleness=0)
+
+    def test_confidence_exactly_at_threshold_does_not_redeploy(self):
+        """The trigger is strict ``<``: an EMA sitting exactly on the
+        threshold keeps the live model (the serving layer's swap logic
+        depends on this edge not flapping)."""
+        manager = ShadowModelManager(small_hebbian(), redeploy_below=0.5,
+                                     ema_alpha=1.0, max_staleness=10_000)
+        manager.note_confidence(0.5)
+        assert manager.confidence_ema == 0.5
+        assert not manager.should_redeploy()
+        manager.note_confidence(np.nextafter(0.5, 0.0))
+        assert manager.should_redeploy()
+
+    def test_zero_query_window_leaves_ema_untouched(self):
+        """With no confidence observations at all, the EMA never moves —
+        only the staleness backstop can force a redeploy."""
+        manager = ShadowModelManager(small_hebbian(), redeploy_below=0.5,
+                                     max_staleness=7)
+        before = manager.confidence_ema
+        for _ in range(6):
+            manager.train_shadow(1, 2)
+            assert manager.confidence_ema == before
+            assert not manager.should_redeploy()
+        manager.train_shadow(1, 2)  # step 7: exactly max_staleness
+        assert manager.confidence_ema == before
+        assert manager.should_redeploy()
+
+    def test_staleness_backstop_fires_at_exact_boundary(self):
+        manager = ShadowModelManager(small_hebbian(), redeploy_below=0.0,
+                                     max_staleness=3)
+        for expected in (1, 2):
+            manager.train_shadow(1, 2)
+            assert manager.staleness == expected
+            assert not manager.should_redeploy()
+        manager.train_shadow(1, 2)
+        assert manager.staleness == 3
+        assert manager.should_redeploy()
+        manager.redeploy()
+        assert manager.staleness == 0
+
+    def test_redeploy_clamps_ema_to_threshold(self):
+        """Redeploy resets the EMA to at least the threshold, so a
+        single low reading cannot trigger back-to-back swaps."""
+        manager = ShadowModelManager(small_hebbian(), redeploy_below=0.5,
+                                     ema_alpha=1.0, max_staleness=10_000)
+        manager.note_confidence(0.1)
+        assert manager.should_redeploy()
+        manager.redeploy()
+        assert manager.confidence_ema == 0.5
+        assert not manager.should_redeploy()
+
+    def test_discard_shadow_reforks_from_live(self):
+        manager = ShadowModelManager(small_hebbian(), redeploy_below=0.0,
+                                     max_staleness=10)
+        for _ in range(5):
+            manager.train_shadow(1, 2)
+        trained_shadow = manager.shadow
+        manager.discard_shadow()
+        assert manager.shadow is not trained_shadow
+        assert manager.staleness == 0
+        assert np.array_equal(manager.shadow.w_out, manager.live.w_out)
+        # The discarded training really is gone.
+        live_probs = manager.live.step(1, train=False)
+        shadow_probs = manager.shadow.step(1, train=False)
+        assert shadow_probs[2] == pytest.approx(live_probs[2])
+
+
+class TestWeightsFinite:
+    def test_hebbian_true_then_false_after_nan(self):
+        model = small_hebbian()
+        assert weights_finite(model)
+        w_out = model.w_out.copy()
+        w_out.reshape(-1)[0] = np.nan
+        model.w_out = w_out
+        assert not weights_finite(model)
+
+    def test_lstm_true_then_false_after_inf(self):
+        model = OnlineLSTM(LSTMConfig(vocab_size=8, embed_dim=4,
+                                      hidden_dim=8, seed=0))
+        assert weights_finite(model)
+        key = next(iter(model.net.params))
+        model.net.params[key].reshape(-1)[0] = np.inf
+        assert not weights_finite(model)
+
+    def test_unknown_model_type_rejected(self):
+        with pytest.raises(TypeError):
+            weights_finite(object())  # type: ignore[arg-type]
 
 
 class TestPerturbWeights:

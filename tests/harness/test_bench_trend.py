@@ -12,9 +12,11 @@ import json
 
 from repro.harness.bench_trend import (
     extract_fleet_cells,
+    extract_serve_cells,
     extract_speedups,
     find_bench_files,
     fleet_table,
+    serve_table,
     trend_table,
 )
 
@@ -134,6 +136,46 @@ class TestFleetTable:
         assert labels == ["c"]
 
 
+class TestServeTable:
+    def test_throughput_and_latency_shapes_in_one_table(self, tmp_path):
+        """The PR 10 serve bench mixes two cell shapes: throughput rows
+        (tenants + serve_events_per_sec) and latency rows (p50/p99,
+        optionally an offered load).  Both land in one table with '—'
+        for the fields the shape lacks."""
+        _write(tmp_path, "BENCH_PR10.json", {
+            "pr": 10,
+            "serve_latency": [
+                {"offered_eps": 1000.0, "p50_ms": 0.5, "p99_ms": 9.0}],
+            "swap_pause": {"p50_ms": 0.2, "p99_ms": 0.4,
+                           "histogram": {"<0.25ms": 10}},
+            "serve_throughput": [
+                {"tenants": 100, "serve_events_per_sec": 3000.0}],
+        })
+        headers, rows = serve_table(tmp_path)
+        assert headers[0] == "PR"
+        assert ["PR10", "serve_latency", "—", 1000.0, "—", 0.5, 9.0] \
+            in rows
+        assert ["PR10", "swap_pause", "—", "—", "—", 0.2, 0.4] in rows
+        assert ["PR10", "serve_throughput", 100, "—", 3000.0, "—", "—"] \
+            in rows
+
+    def test_empty_without_serve_measurements(self, tmp_path):
+        _write(tmp_path, "BENCH_PR9.json", {
+            "pr": 9,
+            "fleet": {"stride-cls": [
+                {"tenants": 10, "fleet_events_per_sec": 1e5,
+                 "speedup": 2.0}]}})
+        _, rows = serve_table(tmp_path)
+        assert rows == []
+
+    def test_extract_serve_cells_matches_either_shape(self):
+        payload = {"a": {"serve_events_per_sec": 1.0},
+                   "b": {"p99_ms": 2.0},
+                   "c": {"tenants": 5}}
+        labels = sorted(label for label, _ in extract_serve_cells(payload))
+        assert labels == ["a", "b"]
+
+
 def test_trend_tolerates_existing_repo_files():
     """The real repo-root bench files must keep parsing as the layout
     evolves (regression guard for the PR 8 list-bearing file)."""
@@ -144,3 +186,4 @@ def test_trend_tolerates_existing_repo_files():
     assert headers[0] == "workload"
     assert rows
     fleet_table(".")
+    serve_table(".")

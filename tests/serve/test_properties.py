@@ -1,0 +1,176 @@
+"""Hypothesis property suites for the ring buffer and request batcher.
+
+Both structures are exercised through actor interleavings drawn by
+hypothesis (``data.draw`` is the scheduler's chooser), so a failing
+schedule *shrinks* to a minimal interleaving and replays exactly.  The
+pinned invariants:
+
+ring     — conservation: ``pushed == popped + dropped + len(ring)``;
+           survivors come out in FIFO order; the drop counter is exact
+           (drop-oldest, never silent loss).
+batcher  — exactly-once: every submitted ticket is answered exactly
+           once (double resolution raises); batches respect the bound
+           and FIFO order.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.batcher import RequestBatcher
+from repro.serve.clock import VirtualClock
+from repro.serve.loop import VirtualScheduler
+from repro.serve.ring import EventRing
+
+import pytest
+
+
+class _Producer:
+    name = "producer"
+
+    def __init__(self, ring: EventRing[int], n: int) -> None:
+        self.ring = ring
+        self.next = 0
+        self.n = n
+
+    def step(self) -> bool:
+        if self.next >= self.n:
+            return False
+        self.ring.push(self.next)
+        self.next += 1
+        return True
+
+
+class _Consumer:
+    name = "consumer"
+
+    def __init__(self, ring: EventRing[int], batch: int) -> None:
+        self.ring = ring
+        self.batch = batch
+        self.got: list[int] = []
+
+    def step(self) -> bool:
+        items = self.ring.pop_up_to(self.batch)
+        if not items:
+            return False
+        self.got.extend(items)
+        return True
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(),
+       capacity=st.integers(min_value=1, max_value=8),
+       n_events=st.integers(min_value=0, max_value=60),
+       batch=st.integers(min_value=1, max_value=5))
+def test_ring_conservation_and_fifo(data: st.DataObject, capacity: int,
+                                    n_events: int, batch: int) -> None:
+    ring: EventRing[int] = EventRing(capacity)
+    producer = _Producer(ring, n_events)
+    consumer = _Consumer(ring, batch)
+    sched = VirtualScheduler(
+        VirtualClock(), seed=0,
+        chooser=lambda names: data.draw(
+            st.integers(0, len(names) - 1), label=f"next of {names}"))
+    sched.add(producer)
+    sched.add(consumer)
+    sched.run_until_idle(max_steps=10_000)
+    survivors = consumer.got + ring.pop_up_to(n_events)
+    # Conservation: nothing is lost except what the drop counter admits.
+    assert ring.pushed == n_events
+    assert ring.pushed == ring.popped + ring.dropped
+    assert len(survivors) == n_events - ring.dropped
+    # FIFO of survivors: strictly increasing subsequence of the input.
+    assert survivors == sorted(survivors)
+    assert len(set(survivors)) == len(survivors)
+    # Drop-oldest: whenever anything was dropped, the newest event always
+    # survives over older ones.
+    if n_events and ring.dropped:
+        assert survivors[-1] == n_events - 1
+
+
+class _Submitter:
+    name = "submitter"
+
+    def __init__(self, batcher: RequestBatcher, clock: VirtualClock,
+                 n: int) -> None:
+        self.batcher = batcher
+        self.clock = clock
+        self.n = n
+        self.tickets: list = []
+
+    def step(self) -> bool:
+        if len(self.tickets) >= self.n:
+            return False
+        self.tickets.append(
+            self.batcher.submit(len(self.tickets), self.clock.now()))
+        return True
+
+
+class _Answerer:
+    name = "answerer"
+
+    def __init__(self, batcher: RequestBatcher, clock: VirtualClock) -> None:
+        self.batcher = batcher
+        self.clock = clock
+        self.batches: list[list[int]] = []
+
+    def step(self) -> bool:
+        batch = self.batcher.take_batch()
+        if not batch:
+            return False
+        self.batches.append([t.qid for t in batch])
+        for ticket in batch:
+            self.batcher.answer(ticket, [ticket.qid], self.clock.now())
+        return True
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(),
+       n_queries=st.integers(min_value=0, max_value=40),
+       max_batch=st.integers(min_value=1, max_value=6))
+def test_batcher_exactly_once_and_bounds(data: st.DataObject,
+                                         n_queries: int,
+                                         max_batch: int) -> None:
+    clock = VirtualClock()
+    batcher = RequestBatcher(max_batch)
+    submitter = _Submitter(batcher, clock, n_queries)
+    answerer = _Answerer(batcher, clock)
+    sched = VirtualScheduler(
+        clock, seed=0,
+        chooser=lambda names: data.draw(
+            st.integers(0, len(names) - 1), label=f"next of {names}"))
+    sched.add(submitter)
+    sched.add(answerer)
+    sched.run_until_idle(max_steps=10_000)
+    # Every submitted ticket was answered exactly once, with its own
+    # payload, and the latency is well-defined and non-negative.
+    assert batcher.submitted == n_queries
+    assert batcher.answered == n_queries
+    assert batcher.pending() == 0
+    for ticket in submitter.tickets:
+        assert ticket.done
+        assert ticket.pages == [ticket.qid]
+        assert ticket.latency() >= 0
+    # Batch bound and global FIFO across batches.
+    answered_order = [qid for batch in answerer.batches for qid in batch]
+    assert answered_order == list(range(n_queries))
+    assert all(len(batch) <= max_batch for batch in answerer.batches)
+
+
+def test_ticket_double_resolution_raises() -> None:
+    batcher = RequestBatcher(4)
+    ticket = batcher.submit(0, 0.0)
+    batcher.answer(ticket, [], 1.0)
+    with pytest.raises(RuntimeError, match="resolved twice"):
+        ticket.resolve([], 2.0)
+
+
+def test_ring_rejects_nonpositive_capacity() -> None:
+    with pytest.raises(ValueError):
+        EventRing(0)
+
+
+def test_batcher_rejects_nonpositive_batch() -> None:
+    with pytest.raises(ValueError):
+        RequestBatcher(0)

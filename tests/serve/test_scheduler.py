@@ -1,0 +1,199 @@
+"""The scheduler seam: determinism, replay, quiescence, error surfacing.
+
+The whole serve test strategy rests on these properties — a failing
+interleaving must reprint its seed and replay bit-identically from it —
+so they are pinned directly, on tiny synthetic actors, before any
+service-level suite relies on them.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.serve.clock import RealClock, VirtualClock
+from repro.serve.loop import ThreadScheduler, VirtualScheduler
+
+
+class CountingActor:
+    """Makes progress ``budget`` times, then reports idle."""
+
+    def __init__(self, name: str, budget: int) -> None:
+        self.name = name
+        self.budget = budget
+        self.steps = 0
+
+    def step(self) -> bool:
+        if self.budget <= 0:
+            return False
+        self.budget -= 1
+        self.steps += 1
+        return True
+
+
+class FailingActor:
+    name = "bomb"
+
+    def step(self) -> bool:
+        raise ValueError("boom")
+
+
+def _run_trace(seed: int, budgets: tuple[int, ...]) -> list[str]:
+    sched = VirtualScheduler(VirtualClock(), seed=seed)
+    for i, budget in enumerate(budgets):
+        sched.add(CountingActor(f"a{i}", budget))
+    sched.run_until_idle()
+    return sched.trace
+
+
+def test_same_seed_same_trace() -> None:
+    budgets = (7, 3, 5)
+    assert _run_trace(42, budgets) == _run_trace(42, budgets)
+
+
+def test_different_seeds_differ() -> None:
+    budgets = (50, 50)
+    traces = {tuple(_run_trace(seed, budgets)) for seed in range(8)}
+    assert len(traces) > 1, "seed does not influence the interleaving"
+
+
+def test_run_until_idle_reaches_quiescence() -> None:
+    sched = VirtualScheduler(VirtualClock(), seed=0)
+    actors = [CountingActor("a", 4), CountingActor("b", 2)]
+    for actor in actors:
+        sched.add(actor)
+    sched.run_until_idle()
+    assert [a.steps for a in actors] == [4, 2]
+    # Quiescent: further stepping is a no-op.
+    assert sched.step_once() is None
+
+
+def test_progress_unparks_idle_actors() -> None:
+    """An idle actor is re-tried after any other actor progresses."""
+
+    class Producer:
+        name = "producer"
+
+        def __init__(self) -> None:
+            self.queue: list[int] = []
+            self.remaining = 3
+
+        def step(self) -> bool:
+            if self.remaining <= 0:
+                return False
+            self.remaining -= 1
+            self.queue.append(1)
+            return True
+
+    class Consumer:
+        name = "consumer"
+
+        def __init__(self, producer: Producer) -> None:
+            self.producer = producer
+            self.consumed = 0
+
+        def step(self) -> bool:
+            if not self.producer.queue:
+                return False
+            self.producer.queue.pop()
+            self.consumed += 1
+            return True
+
+    producer = Producer()
+    consumer = Consumer(producer)
+    # Force the consumer to run first (it parks), then the producer.
+    sched = VirtualScheduler(VirtualClock(), seed=0,
+                             chooser=lambda names: names.index(
+                                 "producer") if "producer" in names else 0)
+    sched.add(producer)
+    sched.add(consumer)
+    sched.run_until_idle()
+    assert consumer.consumed == 3
+
+
+def test_actor_failure_reprints_seed() -> None:
+    sched = VirtualScheduler(VirtualClock(), seed=1337)
+    sched.add(FailingActor())
+    with pytest.raises(RuntimeError, match="seed=1337"):
+        sched.step_once()
+
+
+def test_live_lock_reprints_seed() -> None:
+    sched = VirtualScheduler(VirtualClock(), seed=99)
+    sched.add(CountingActor("spin", 10**9))
+    with pytest.raises(RuntimeError, match="seed=99"):
+        sched.run_until_idle(max_steps=100)
+
+
+def test_chooser_out_of_range_raises() -> None:
+    sched = VirtualScheduler(VirtualClock(), seed=0,
+                             chooser=lambda names: len(names))
+    sched.add(CountingActor("a", 1))
+    with pytest.raises(IndexError):
+        sched.step_once()
+
+
+def test_duplicate_actor_name_rejected() -> None:
+    sched = VirtualScheduler(VirtualClock(), seed=0)
+    sched.add(CountingActor("a", 1))
+    with pytest.raises(ValueError, match="duplicate"):
+        sched.add(CountingActor("a", 1))
+
+
+def test_virtual_clock_advances_per_step_cost() -> None:
+    clock = VirtualClock()
+    sched = VirtualScheduler(clock, seed=0, step_cost=0.5,
+                             costs={"slow": 2.0})
+    sched.add(CountingActor("fast", 2))
+    sched.add(CountingActor("slow", 1))
+    sched.run_until_idle()
+    fast_steps = sched.trace.count("fast")
+    slow_steps = sched.trace.count("slow")
+    expected = 0.5 * fast_steps + 2.0 * slow_steps
+    assert clock.now() == pytest.approx(expected)
+
+
+def test_virtual_clock_rejects_negative_advance() -> None:
+    with pytest.raises(ValueError):
+        VirtualClock().advance(-1.0)
+
+
+def test_real_clock_is_monotone() -> None:
+    clock = RealClock()
+    a = clock.now()
+    b = clock.now()
+    assert b >= a
+
+
+def test_thread_scheduler_runs_actors_and_stops() -> None:
+    sched = ThreadScheduler(poll_interval=1e-4)
+    actors = [CountingActor("a", 100), CountingActor("b", 100)]
+    for actor in actors:
+        sched.add(actor)
+    sched.start()
+    deadline = time.monotonic() + 5.0
+    while (any(a.budget > 0 for a in actors)
+           and time.monotonic() < deadline):
+        time.sleep(1e-3)
+    sched.stop()
+    assert [a.steps for a in actors] == [100, 100]
+
+
+def test_thread_scheduler_surfaces_actor_errors() -> None:
+    sched = ThreadScheduler(poll_interval=1e-4)
+    sched.add(FailingActor())
+    sched.start()
+    time.sleep(0.05)
+    with pytest.raises(RuntimeError, match="bomb"):
+        sched.stop()
+
+
+def test_thread_scheduler_rejects_add_after_start() -> None:
+    sched = ThreadScheduler()
+    sched.start()
+    try:
+        with pytest.raises(RuntimeError):
+            sched.add(CountingActor("late", 1))
+    finally:
+        sched.stop()

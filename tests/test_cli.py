@@ -100,6 +100,29 @@ class TestCommands:
         manifests = list(tmp_path.glob("fleet-4x-2j-*.jsonl"))
         assert len(manifests) == 1
 
+    def test_serve_run_lockstep_with_manifest(self, tmp_path, capsys):
+        assert main(["serve", "run", "--tenants", "2", "--n", "150",
+                     "--vocab", "32", "--seed", "3",
+                     "--manifest-dir", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "2 tenants" in output
+        assert "lockstep" in output
+        assert "queries_answered" in output
+        manifests = list(tmp_path.glob("serve-2x.jsonl"))
+        assert len(manifests) == 1
+
+    def test_serve_run_threaded(self, capsys):
+        assert main(["serve", "run", "--tenants", "2", "--n", "80",
+                     "--vocab", "32", "--threaded"]) == 0
+        output = capsys.readouterr().out
+        assert "threaded" in output
+
+    def test_serve_run_scalar_matches_shape(self, capsys):
+        assert main(["serve", "run", "--tenants", "2", "--n", "80",
+                     "--vocab", "32", "--scalar"]) == 0
+        output = capsys.readouterr().out
+        assert "events_processed" in output
+
     def test_profile_wraps_any_subcommand(self, capsys):
         assert main(["--profile", "simulate", "--pattern", "stride",
                      "--n", "500", "--model", "stride"]) == 0
